@@ -1,0 +1,61 @@
+//! Benchmarks of the overlay's per-packet wire work: envelope
+//! encode/decode and dissemination-mask lookups. This is the forwarding
+//! fast path every node pays per packet.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dg_core::scheme::{build_scheme, SchemeKind, SchemeParams};
+use dg_core::{Flow, ServiceRequirement};
+use dg_overlay::wire::{DataPacket, Envelope, Message};
+use dg_topology::{presets, Micros};
+use std::hint::black_box;
+
+fn bench_wire(c: &mut Criterion) {
+    let graph = presets::north_america_12();
+    let flow = Flow::new(
+        graph.node_by_name("NYC").unwrap(),
+        graph.node_by_name("SJC").unwrap(),
+    );
+    let scheme = build_scheme(
+        SchemeKind::TargetedRedundancy,
+        &graph,
+        flow,
+        ServiceRequirement::default(),
+        &SchemeParams::default(),
+    )
+    .unwrap();
+    let mask = Bytes::from(scheme.current().to_bitmask(graph.edge_count()));
+    let packet = DataPacket {
+        flow,
+        flow_seq: 123_456,
+        sent_at: Micros::from_secs(1),
+        deadline: Micros::from_millis(65),
+        link_seq: 789,
+        retransmission: false,
+        mask,
+        payload: Bytes::from(vec![0xAB; 512]),
+    };
+    let envelope = Envelope { from: flow.source, message: Message::Data(packet.clone()) };
+    let encoded = envelope.encode();
+
+    let mut group = c.benchmark_group("overlay_wire");
+    group.sample_size(60);
+    group.bench_function("encode_data_512b", |b| {
+        b.iter(|| black_box(&envelope).encode())
+    });
+    group.bench_function("decode_data_512b", |b| {
+        b.iter(|| Envelope::decode(black_box(&encoded)).unwrap())
+    });
+    group.bench_function("mask_lookup_all_out_edges", |b| {
+        let out = graph.out_edges(flow.source).to_vec();
+        b.iter(|| {
+            out.iter()
+                .filter(|&&e| black_box(&packet).mask_contains(e))
+                .count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire);
+criterion_main!(benches);

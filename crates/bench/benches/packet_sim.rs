@@ -1,0 +1,82 @@
+//! Throughput of the playback simulator's inner loop: one packet
+//! propagated through each scheme's dissemination graph. This bounds
+//! how much simulated traffic a table2-scale experiment can afford.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dg_core::scheme::{build_scheme, SchemeKind, SchemeParams};
+use dg_core::{Flow, ServiceRequirement};
+use dg_sim::{simulate_packet, RecoveryModel};
+use dg_topology::{presets, Micros};
+use dg_trace::gen::{self, SyntheticWanConfig};
+use dg_trace::TraceSet;
+use std::hint::black_box;
+
+fn bench_packet_sim(c: &mut Criterion) {
+    let graph = presets::north_america_12();
+    let flow = Flow::new(
+        graph.node_by_name("NYC").unwrap(),
+        graph.node_by_name("SJC").unwrap(),
+    );
+    let deadline = Micros::from_millis(65);
+    let recovery = RecoveryModel::default();
+    let clean = TraceSet::clean(graph.edge_count(), 6, Micros::from_secs(10)).unwrap();
+    let mut wan = SyntheticWanConfig::calibrated(3);
+    wan.duration = Micros::from_secs(60);
+    wan.node_problems.events_per_hour = 30.0;
+    let lossy = gen::generate(&graph, &wan);
+
+    let mut group = c.benchmark_group("packet_sim");
+    group.sample_size(60);
+    for kind in [
+        SchemeKind::StaticSinglePath,
+        SchemeKind::StaticTwoDisjoint,
+        SchemeKind::TargetedRedundancy,
+        SchemeKind::TimeConstrainedFlooding,
+    ] {
+        let scheme = build_scheme(
+            kind,
+            &graph,
+            flow,
+            ServiceRequirement::default(),
+            &SchemeParams::default(),
+        )
+        .unwrap();
+        let dg = scheme.current().clone();
+        group.bench_function(format!("clean/{}", kind.label()), |b| {
+            let mut seq = 0u64;
+            b.iter(|| {
+                seq += 1;
+                simulate_packet(
+                    black_box(&graph),
+                    black_box(&dg),
+                    &clean,
+                    Micros::from_secs(1),
+                    deadline,
+                    &recovery,
+                    7,
+                    seq,
+                )
+            })
+        });
+        group.bench_function(format!("lossy/{}", kind.label()), |b| {
+            let mut seq = 0u64;
+            b.iter(|| {
+                seq += 1;
+                simulate_packet(
+                    black_box(&graph),
+                    black_box(&dg),
+                    &lossy,
+                    Micros::from_secs(30),
+                    deadline,
+                    &recovery,
+                    7,
+                    seq,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_packet_sim);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Figure 1 (reconstructed): example dissemination graphs for one flow.
+//!
+//! The paper's opening figure contrasts the routing schemes the
+//! dissemination-graph framework unifies: a single path, two disjoint
+//! paths, a source/destination problem graph, and time-constrained
+//! flooding. This prints each graph's edges and cost and writes DOT
+//! renderings under `results/`.
+//!
+//! Usage: `cargo run --release -p dg-bench --bin fig1_graphs --
+//! [--src NYC] [--dst SJC]`
+
+use dg_bench::{print_table, results_dir, Args};
+use dg_core::scheme::{SchemeParams, TargetedMode, TargetedRedundancy, TimeConstrainedFlooding};
+use dg_core::{DisseminationGraph, Flow, ServiceRequirement};
+use dg_topology::{presets, Graph};
+
+fn describe(graph: &Graph, dg: &DisseminationGraph) -> String {
+    dg.edges()
+        .iter()
+        .map(|&e| {
+            let i = graph.edge(e);
+            format!("{}->{}", graph.node(i.src).name, graph.node(i.dst).name)
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn dot(graph: &Graph, dg: &DisseminationGraph, name: &str) {
+    let mut out = String::from("digraph dg {\n  rankdir=LR;\n");
+    for &e in dg.edges() {
+        let i = graph.edge(e);
+        out.push_str(&format!(
+            "  {} -> {};\n",
+            graph.node(i.src).name,
+            graph.node(i.dst).name
+        ));
+    }
+    out.push_str("}\n");
+    let path = results_dir().join(format!("fig1_{name}.dot"));
+    std::fs::write(&path, out).expect("results dir is writable");
+    eprintln!("wrote {}", path.display());
+}
+
+fn main() {
+    let args = Args::from_env();
+    let graph = presets::north_america_12();
+    let src: String = args.get("src", "NYC".to_string());
+    let dst: String = args.get("dst", "SJC".to_string());
+    let flow = Flow::new(
+        graph.node_by_name(&src).expect("known source site"),
+        graph.node_by_name(&dst).expect("known destination site"),
+    );
+    let requirement = ServiceRequirement::default();
+    let params = SchemeParams::default();
+
+    let targeted = TargetedRedundancy::new(&graph, flow, requirement, &params)
+        .expect("flow is routable");
+    let flooding = TimeConstrainedFlooding::new(&graph, flow, requirement)
+        .expect("deadline feasible");
+    let single = dg_core::scheme::StaticSinglePath::new(&graph, flow).expect("routable");
+    use dg_core::scheme::RoutingScheme;
+
+    let graphs: Vec<(&str, &DisseminationGraph)> = vec![
+        ("single-path", single.current()),
+        ("two-disjoint", targeted.graph_for_mode(TargetedMode::Normal)),
+        ("source-problem", targeted.graph_for_mode(TargetedMode::SourceProblem)),
+        ("destination-problem", targeted.graph_for_mode(TargetedMode::DestinationProblem)),
+        ("robust", targeted.graph_for_mode(TargetedMode::Robust)),
+        ("flooding", flooding.current()),
+    ];
+
+    println!("dissemination graphs for {} (deadline {}):\n", flow.label(&graph), requirement.deadline);
+    let mut table = vec![vec![
+        "graph".to_string(),
+        "edges".to_string(),
+        "cost".to_string(),
+        "best latency".to_string(),
+    ]];
+    for (name, dg) in &graphs {
+        table.push(vec![
+            name.to_string(),
+            dg.len().to_string(),
+            dg.cost(&graph).to_string(),
+            dg.best_latency(&graph).to_string(),
+        ]);
+    }
+    print_table(&table);
+    println!();
+    for (name, dg) in &graphs {
+        println!("{name}: {}", describe(&graph, dg));
+        dot(&graph, dg, name);
+    }
+}

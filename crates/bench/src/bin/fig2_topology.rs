@@ -1,0 +1,63 @@
+//! Figure 2 (reconstructed): the evaluation overlay topology.
+//!
+//! Prints the 12 sites, their links with one-way latencies, and writes
+//! a DOT rendering. Also verifies the properties the evaluation relies
+//! on (two node-disjoint routes and a feasible 65 ms deadline for every
+//! transcontinental flow).
+//!
+//! Usage: `cargo run --release -p dg-bench --bin fig2_topology`
+
+use dg_bench::{print_table, results_dir, write_csv};
+use dg_topology::algo::disjoint::{max_disjoint, Disjointness};
+use dg_topology::algo::{dijkstra, reach};
+use dg_topology::{presets, Micros};
+
+fn main() {
+    let graph = presets::north_america_12();
+    println!(
+        "evaluation topology: {} sites, {} directed edges\n",
+        graph.node_count(),
+        graph.edge_count()
+    );
+
+    let mut table = vec![vec![
+        "link".to_string(),
+        "one-way latency".to_string(),
+    ]];
+    for e in graph.edges() {
+        let info = graph.edge(e);
+        // Print each bidirectional link once.
+        if info.src < info.dst {
+            table.push(vec![
+                format!("{} <-> {}", graph.node(info.src).name, graph.node(info.dst).name),
+                info.latency.to_string(),
+            ]);
+        }
+    }
+    print_table(&table);
+    write_csv("fig2_topology", &table);
+
+    println!("\ntranscontinental flows:");
+    let mut rows = vec![vec![
+        "flow".to_string(),
+        "shortest path".to_string(),
+        "latency".to_string(),
+        "disjoint capacity".to_string(),
+        "65ms feasible".to_string(),
+    ]];
+    for (s, t) in presets::transcontinental_flows(&graph) {
+        let p = dijkstra::shortest_path(&graph, s, t).expect("flows are routable");
+        rows.push(vec![
+            format!("{}->{}", graph.node(s).name, graph.node(t).name),
+            p.display(&graph),
+            p.latency(&graph).to_string(),
+            max_disjoint(&graph, s, t, Disjointness::Node).to_string(),
+            reach::deadline_feasible(&graph, s, t, Micros::from_millis(65)).to_string(),
+        ]);
+    }
+    print_table(&rows);
+
+    let path = results_dir().join("fig2_topology.dot");
+    std::fs::write(&path, graph.to_dot()).expect("results dir is writable");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,79 @@
+//! Figure 5 (reconstructed): the cost of each routing scheme.
+//!
+//! Two views of the paper's cost story: the *static* cost of each
+//! scheme's dissemination graphs (edges per message across the 16
+//! flows), and the *measured* average cost from playback (which folds
+//! in targeted redundancy's occasional escalations — the paper's
+//! "about 2% over two disjoint paths" claim).
+//!
+//! Usage: `cargo run --release -p dg-bench --bin fig5_cost --
+//! [--seconds N] [--weeks N] [--rate N]`
+
+use dg_bench::{print_table, write_csv, Args, Experiment};
+use dg_core::scheme::{build_scheme, SchemeKind};
+use dg_core::Flow;
+
+fn main() {
+    let args = Args::from_env();
+    let experiment = Experiment::from_args(&args);
+    let graph = &experiment.topology;
+
+    // Static graph costs.
+    println!("static dissemination-graph cost (edges per message):\n");
+    let mut table = vec![vec![
+        "scheme".to_string(),
+        "min".to_string(),
+        "mean".to_string(),
+        "max".to_string(),
+    ]];
+    for kind in SchemeKind::ALL {
+        let costs: Vec<u64> = experiment
+            .flows
+            .iter()
+            .map(|&(s, t)| {
+                build_scheme(
+                    kind,
+                    graph,
+                    Flow::new(s, t),
+                    experiment.config.requirement,
+                    &experiment.config.scheme_params,
+                )
+                .expect("flows routable")
+                .current()
+                .cost(graph)
+            })
+            .collect();
+        let mean = costs.iter().sum::<u64>() as f64 / costs.len() as f64;
+        table.push(vec![
+            kind.label().to_string(),
+            costs.iter().min().unwrap().to_string(),
+            format!("{mean:.2}"),
+            costs.iter().max().unwrap().to_string(),
+        ]);
+    }
+    print_table(&table);
+    write_csv("fig5_cost_static", &table);
+
+    // Measured costs from playback, normalized to two disjoint paths.
+    println!("\nmeasured cost from playback (packets actually sent per message):\n");
+    let aggregates = experiment.run(&SchemeKind::ALL);
+    let disjoint = aggregates
+        .iter()
+        .find(|a| a.kind == SchemeKind::StaticTwoDisjoint)
+        .expect("disjoint present")
+        .average_cost();
+    let mut measured = vec![vec![
+        "scheme".to_string(),
+        "avg cost".to_string(),
+        "vs 2-disjoint".to_string(),
+    ]];
+    for agg in &aggregates {
+        measured.push(vec![
+            agg.kind.label().to_string(),
+            format!("{:.2}", agg.average_cost()),
+            format!("{:+.1}%", (agg.average_cost() / disjoint - 1.0) * 100.0),
+        ]);
+    }
+    print_table(&measured);
+    write_csv("fig5_cost_measured", &measured);
+}

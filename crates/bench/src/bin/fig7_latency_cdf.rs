@@ -1,0 +1,92 @@
+//! Figure 7 (extension): the latency distribution behind the
+//! availability numbers.
+//!
+//! Per scheme: delivered-packet latency percentiles (loss-aware — a
+//! quantile that falls among never-delivered packets reports `lost`)
+//! and the full CDF as CSV. Shows the other face of redundancy: the
+//! extra branches don't just rescue packets, they tighten the tail,
+//! while flooding's tail is the best money can buy.
+//!
+//! Usage: `cargo run --release -p dg-bench --bin fig7_latency_cdf --
+//! [--seconds N] [--weeks N] [--rate N] [--topology us|global]`
+
+use dg_bench::{print_table, write_csv, Args, Experiment};
+use dg_core::scheme::{build_scheme, SchemeKind};
+use dg_core::Flow;
+use dg_sim::{run_flow_full, LatencyHistogram};
+use dg_trace::gen;
+
+fn main() {
+    let args = Args::from_env();
+    let experiment = Experiment::from_args(&args);
+
+    let mut histograms: Vec<(SchemeKind, LatencyHistogram)> =
+        SchemeKind::ALL.iter().map(|&k| (k, LatencyHistogram::new())).collect();
+
+    for (week, &seed) in experiment.seeds.iter().enumerate() {
+        let traces = gen::generate(&experiment.topology, &experiment.wan_config(seed));
+        let mut config = experiment.config;
+        config.playback.seed = seed;
+        for (kind, hist) in &mut histograms {
+            for &(s, t) in &experiment.flows {
+                let mut scheme = build_scheme(
+                    *kind,
+                    &experiment.topology,
+                    Flow::new(s, t),
+                    config.requirement,
+                    &config.scheme_params,
+                )
+                .expect("flows routable");
+                let out = run_flow_full(
+                    &experiment.topology,
+                    &traces,
+                    scheme.as_mut(),
+                    &config.playback,
+                );
+                hist.merge(&out.latency);
+            }
+        }
+        eprintln!("week {} done", week + 1);
+    }
+
+    let fmt = |q: Option<dg_topology::Micros>| {
+        q.map_or("lost".to_string(), |m| format!("{:.1}ms", m.as_micros() as f64 / 1_000.0))
+    };
+    let mut table = vec![vec![
+        "scheme".to_string(),
+        "P50".to_string(),
+        "P90".to_string(),
+        "P99".to_string(),
+        "P99.9".to_string(),
+        "P99.99".to_string(),
+    ]];
+    for (kind, hist) in &histograms {
+        table.push(vec![
+            kind.label().to_string(),
+            fmt(hist.quantile(0.5)),
+            fmt(hist.quantile(0.9)),
+            fmt(hist.quantile(0.99)),
+            fmt(hist.quantile(0.999)),
+            fmt(hist.quantile(0.9999)),
+        ]);
+    }
+    println!(
+        "one-way latency percentiles over all packets (deadline {}):\n",
+        experiment.config.playback.deadline
+    );
+    print_table(&table);
+    write_csv("fig7_percentiles", &table);
+
+    // Full CDFs, one column pair per scheme.
+    let mut cdf_rows = vec![vec!["scheme".to_string(), "latency_ms".to_string(), "cdf".to_string()]];
+    for (kind, hist) in &histograms {
+        for (lat, frac) in hist.cdf() {
+            cdf_rows.push(vec![
+                kind.label().to_string(),
+                format!("{:.3}", lat.as_micros() as f64 / 1_000.0),
+                format!("{frac:.6}"),
+            ]);
+        }
+    }
+    write_csv("fig7_latency_cdf", &cdf_rows);
+}

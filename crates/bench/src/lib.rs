@@ -1,0 +1,308 @@
+//! Shared harness for the experiment binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md §4 for the index). This library provides the
+//! common pieces: argument parsing, the standard experiment setup, and
+//! table/CSV output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dg_core::scheme::SchemeKind;
+use dg_sim::experiment::{ExperimentConfig, SchemeAggregate};
+use dg_topology::{Graph, Micros, NodeId};
+use dg_trace::gen::{self, SyntheticWanConfig};
+use std::collections::HashMap;
+use std::fs;
+use std::path::PathBuf;
+
+/// Simple `--key value` argument parser for the experiment binaries.
+#[derive(Debug, Clone)]
+pub struct Args {
+    values: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses the process arguments; `--key value` pairs only.
+    pub fn from_env() -> Self {
+        let mut values = HashMap::new();
+        let mut argv = std::env::args().skip(1);
+        while let Some(key) = argv.next() {
+            if let Some(name) = key.strip_prefix("--") {
+                if let Some(value) = argv.next() {
+                    values.insert(name.to_string(), value);
+                }
+            }
+        }
+        Args { values }
+    }
+
+    /// Returns the parsed value for `key`, or `default`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a clear message when the value does not parse.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Debug,
+    {
+        match self.values.get(key) {
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|e| panic!("invalid value for --{key}: {v:?} ({e:?})")),
+            None => default,
+        }
+    }
+}
+
+/// The standard experiment: the evaluation topology, its 16
+/// transcontinental flows, and the calibrated synthetic-WAN config.
+#[derive(Debug)]
+pub struct Experiment {
+    /// The 12-site evaluation topology.
+    pub topology: Graph,
+    /// The 16 transcontinental flows.
+    pub flows: Vec<(NodeId, NodeId)>,
+    /// Duration of each simulated "week" (scaled down by default).
+    pub seconds_per_week: u64,
+    /// Seeds, one per simulated week.
+    pub seeds: Vec<u64>,
+    /// Simulation configuration.
+    pub config: ExperimentConfig,
+    /// Worker threads for the playback fan-out.
+    pub threads: usize,
+    /// Replay this recorded trace file instead of generating synthetic
+    /// weeks (seeds then only vary the playback loss draws).
+    pub trace_file: Option<PathBuf>,
+}
+
+impl Experiment {
+    /// Builds the standard experiment from CLI arguments:
+    /// `--seconds` (per week, default 1800), `--weeks` (default 4),
+    /// `--rate` (packets/s, default 100), `--seed` (base, default
+    /// 2017), `--threshold` (per-second availability threshold, default
+    /// 1.0 = any miss), and `--topology` (`us`, the default 12-site
+    /// overlay with 16 transcontinental flows at a 65 ms deadline, or
+    /// `global`, the 16-site three-continent overlay with 8
+    /// intercontinental flows at 110 ms).
+    pub fn from_args(args: &Args) -> Self {
+        let seconds_per_week: u64 = args.get("seconds", 1_800);
+        let weeks: u64 = args.get("weeks", 4);
+        let base_seed: u64 = args.get("seed", 2_017);
+        let rate: u32 = args.get("rate", 100);
+        let threshold: f64 = args.get("threshold", 1.0);
+        let which: String = args.get("topology", "us".to_string());
+        let (topology, flows, deadline) = match which.as_str() {
+            "us" => {
+                let t = dg_topology::presets::north_america_12();
+                let f = dg_topology::presets::transcontinental_flows(&t);
+                (t, f, Micros::from_millis(65))
+            }
+            "global" => {
+                let t = dg_topology::presets::global_16();
+                let f = dg_topology::presets::intercontinental_flows(&t);
+                (t, f, Micros::from_millis(110))
+            }
+            other => panic!("unknown --topology {other:?} (use us or global)"),
+        };
+        let mut config = ExperimentConfig::default();
+        config.playback.packets_per_second = rate;
+        config.playback.availability_threshold = threshold;
+        config.playback.deadline = deadline;
+        config.requirement.deadline = deadline;
+        let threads: usize = args.get(
+            "threads",
+            std::thread::available_parallelism().map_or(1, |n| n.get()),
+        );
+        let trace_file = {
+            let path: String = args.get("trace", String::new());
+            (!path.is_empty()).then(|| PathBuf::from(path))
+        };
+        Experiment {
+            topology,
+            flows,
+            seconds_per_week,
+            seeds: (0..weeks).map(|w| base_seed + w).collect(),
+            config,
+            threads,
+            trace_file,
+        }
+    }
+
+    /// The trace for one week: the recorded file when `--trace` was
+    /// given (loaded per its extension), otherwise a fresh synthetic
+    /// generation for `seed`.
+    pub fn traces_for(&self, seed: u64) -> dg_trace::TraceSet {
+        match &self.trace_file {
+            Some(path) if path.extension().is_some_and(|e| e == "json") => {
+                dg_trace::TraceSet::load_json(path).expect("trace file loads")
+            }
+            Some(path) => dg_trace::TraceSet::load_binary(path).expect("trace file loads"),
+            None => gen::generate(&self.topology, &self.wan_config(seed)),
+        }
+    }
+
+    /// The access sites of the evaluation topology: the eight
+    /// flow-endpoint cities plus MIA (an access-like leaf), as opposed
+    /// to the core transit hubs (CHI, ATL, DFW, DEN).
+    pub const ACCESS_SITES: [&'static str; 8] =
+        ["NYC", "JHU", "WAS", "BOS", "SEA", "SJC", "LAX", "MIA"];
+
+    /// How much more often access sites suffer problems than core hubs
+    /// in the calibrated generator.
+    pub const ACCESS_BIAS: f64 = 6.0;
+
+    /// The calibrated trace-generator config for one week's seed:
+    /// problems biased toward access sites, matching the paper's
+    /// finding that flow-affecting problems concentrate around sources
+    /// and destinations.
+    pub fn wan_config(&self, seed: u64) -> SyntheticWanConfig {
+        let mut cfg = SyntheticWanConfig::calibrated(seed);
+        cfg.duration = Micros::from_secs(self.seconds_per_week);
+        cfg.node_weights = Some(gen::biased_node_weights(
+            &self.topology,
+            &Self::ACCESS_SITES,
+            Self::ACCESS_BIAS,
+        ));
+        cfg
+    }
+
+    /// Runs the full multi-week comparison for `kinds`, merging
+    /// per-scheme aggregates across weeks.
+    pub fn run(&self, kinds: &[SchemeKind]) -> Vec<SchemeAggregate> {
+        let mut merged: Vec<SchemeAggregate> = Vec::new();
+        for (week, &seed) in self.seeds.iter().enumerate() {
+            let mut config = self.config;
+            config.playback.seed = seed;
+            let traces = self.traces_for(seed);
+            let aggs = dg_sim::experiment::run_comparison_parallel(
+                &self.topology,
+                &traces,
+                &self.flows,
+                kinds,
+                &config,
+                self.threads,
+            )
+            .expect("standard experiment flows are routable");
+            if week == 0 {
+                merged = aggs;
+            } else {
+                for (m, a) in merged.iter_mut().zip(&aggs) {
+                    assert_eq!(m.kind, a.kind);
+                    m.totals.merge(&a.totals);
+                    for (mf, af) in m.per_flow.iter_mut().zip(&a.per_flow) {
+                        mf.merge(af);
+                    }
+                }
+            }
+            eprintln!("week {} (seed {seed}) done", week + 1);
+        }
+        merged
+    }
+}
+
+/// Directory where experiment binaries drop their CSV outputs.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    fs::create_dir_all(&dir).expect("results directory is creatable");
+    dir
+}
+
+/// Writes CSV rows (first row = header) to `results/<name>.csv`.
+pub fn write_csv(name: &str, rows: &[Vec<String>]) {
+    let path = results_dir().join(format!("{name}.csv"));
+    let body: String = rows
+        .iter()
+        .map(|r| r.join(","))
+        .collect::<Vec<_>>()
+        .join("\n");
+    fs::write(&path, body + "\n").expect("csv is writable");
+    eprintln!("wrote {}", path.display());
+}
+
+/// Prints an aligned text table (first row = header).
+pub fn print_table(rows: &[Vec<String>]) {
+    if rows.is_empty() {
+        return;
+    }
+    let cols = rows[0].len();
+    let widths: Vec<usize> = (0..cols)
+        .map(|c| rows.iter().map(|r| r[c].len()).max().unwrap_or(0))
+        .collect();
+    for (i, row) in rows.iter().enumerate() {
+        let line: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(cell, w)| format!("{cell:>w$}"))
+            .collect();
+        println!("{}", line.join("  "));
+        if i == 0 {
+            println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parse_defaults_and_values() {
+        let args = Args { values: HashMap::from([("rate".into(), "50".into())]) };
+        assert_eq!(args.get("rate", 100u32), 50);
+        assert_eq!(args.get("weeks", 4u64), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid value")]
+    fn bad_arg_panics() {
+        let args = Args { values: HashMap::from([("rate".into(), "abc".into())]) };
+        let _: u32 = args.get("rate", 100);
+    }
+
+    #[test]
+    fn experiment_setup_is_standard() {
+        let exp = Experiment::from_args(&Args { values: HashMap::new() });
+        assert_eq!(exp.topology.node_count(), 12);
+        assert_eq!(exp.flows.len(), 16);
+        assert_eq!(exp.seeds.len(), 4);
+        assert!(exp.trace_file.is_none());
+        let wan = exp.wan_config(7);
+        assert_eq!(wan.seed, 7);
+        assert_eq!(wan.duration.as_secs(), exp.seconds_per_week);
+    }
+
+    #[test]
+    fn global_topology_option() {
+        let exp = Experiment::from_args(&Args {
+            values: HashMap::from([("topology".into(), "global".into())]),
+        });
+        assert_eq!(exp.topology.node_count(), 16);
+        assert_eq!(exp.flows.len(), 8);
+        assert_eq!(exp.config.playback.deadline, Micros::from_millis(110));
+    }
+
+    #[test]
+    fn trace_file_overrides_generation() {
+        let dir = std::env::temp_dir().join("dg_bench_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.dgtrace");
+        let trace = dg_trace::TraceSet::clean(60, 5, Micros::from_secs(10)).unwrap();
+        trace.save_binary(&path).unwrap();
+        let exp = Experiment::from_args(&Args {
+            values: HashMap::from([("trace".into(), path.display().to_string())]),
+        });
+        let loaded = exp.traces_for(123);
+        assert_eq!(loaded.interval_count(), 5);
+        assert_eq!(loaded.link_count(), 60);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown --topology")]
+    fn bad_topology_panics() {
+        Experiment::from_args(&Args {
+            values: HashMap::from([("topology".into(), "mars".into())]),
+        });
+    }
+}

@@ -1,0 +1,198 @@
+//! Problem detection around flow endpoints.
+//!
+//! The targeted-redundancy scheme switches dissemination graphs based
+//! on *where* current loss is concentrated. This detector encodes the
+//! paper's trigger: a **source problem** is loss on links leaving the
+//! source that the flow currently relies on; a **destination problem**
+//! is loss on links entering the destination that the flow relies on.
+
+use crate::{DisseminationGraph, Flow};
+use dg_topology::Graph;
+use dg_trace::NetworkState;
+use serde::{Deserialize, Serialize};
+
+/// What the detector currently sees for a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProblemStatus {
+    /// No endpoint problems.
+    Clear,
+    /// Loss concentrated on links leaving the source.
+    SourceProblem,
+    /// Loss concentrated on links entering the destination.
+    DestinationProblem,
+    /// Both endpoints affected.
+    BothProblems,
+}
+
+impl ProblemStatus {
+    /// Severity ordering used by the graph selector's hold-down logic:
+    /// `Clear` < one endpoint < both endpoints.
+    pub fn severity(self) -> u8 {
+        match self {
+            ProblemStatus::Clear => 0,
+            ProblemStatus::SourceProblem | ProblemStatus::DestinationProblem => 1,
+            ProblemStatus::BothProblems => 2,
+        }
+    }
+
+    /// True if the source endpoint is implicated.
+    pub fn source_affected(self) -> bool {
+        matches!(self, ProblemStatus::SourceProblem | ProblemStatus::BothProblems)
+    }
+
+    /// True if the destination endpoint is implicated.
+    pub fn destination_affected(self) -> bool {
+        matches!(
+            self,
+            ProblemStatus::DestinationProblem | ProblemStatus::BothProblems
+        )
+    }
+}
+
+/// Stateless classifier of endpoint problems.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProblemDetector {
+    /// Loss rate at which a link counts as problematic.
+    pub loss_threshold: f64,
+}
+
+impl ProblemDetector {
+    /// Creates a detector with the given loss threshold.
+    pub fn new(loss_threshold: f64) -> Self {
+        ProblemDetector { loss_threshold }
+    }
+
+    /// Classifies the current state for `flow`, considering only links
+    /// the `reference` dissemination graph actually uses at each
+    /// endpoint (loss on an unused link is not a problem worth
+    /// switching for).
+    pub fn classify(
+        &self,
+        graph: &Graph,
+        flow: Flow,
+        reference: &DisseminationGraph,
+        state: &NetworkState,
+    ) -> ProblemStatus {
+        let src_problem = reference
+            .forwarding_edges(graph, flow.source)
+            .any(|e| state.condition(e).is_problematic(self.loss_threshold));
+        let dst_problem = reference
+            .edges()
+            .iter()
+            .filter(|&&e| graph.edge(e).dst == flow.destination)
+            .any(|&e| state.condition(e).is_problematic(self.loss_threshold));
+        match (src_problem, dst_problem) {
+            (false, false) => ProblemStatus::Clear,
+            (true, false) => ProblemStatus::SourceProblem,
+            (false, true) => ProblemStatus::DestinationProblem,
+            (true, true) => ProblemStatus::BothProblems,
+        }
+    }
+}
+
+impl Default for ProblemDetector {
+    /// A 5 % loss threshold: well above healthy background loss, well
+    /// below the severe problem events the paper's analysis targets.
+    fn default() -> Self {
+        ProblemDetector { loss_threshold: 0.05 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_topology::algo::disjoint::{disjoint_pair, Disjointness};
+    use dg_topology::{presets, Micros};
+    use dg_trace::LinkCondition;
+
+    fn setup() -> (Graph, Flow, DisseminationGraph, NetworkState) {
+        let g = presets::north_america_12();
+        let flow = Flow::new(
+            g.node_by_name("NYC").unwrap(),
+            g.node_by_name("SJC").unwrap(),
+        );
+        let (p1, p2) = disjoint_pair(&g, flow.source, flow.destination, Disjointness::Node)
+            .unwrap();
+        let dg = DisseminationGraph::from_paths(&g, &[p1, p2]).unwrap();
+        let state = NetworkState::clean(g.edge_count(), Micros::ZERO);
+        (g, flow, dg, state)
+    }
+
+    #[test]
+    fn clean_state_is_clear() {
+        let (g, flow, dg, state) = setup();
+        let d = ProblemDetector::default();
+        assert_eq!(d.classify(&g, flow, &dg, &state), ProblemStatus::Clear);
+    }
+
+    #[test]
+    fn loss_on_used_source_edge_triggers() {
+        let (g, flow, dg, mut state) = setup();
+        let used: Vec<_> = dg.forwarding_edges(&g, flow.source).collect();
+        state.set_condition(used[0], LinkCondition::new(0.5, Micros::ZERO));
+        let d = ProblemDetector::default();
+        assert_eq!(d.classify(&g, flow, &dg, &state), ProblemStatus::SourceProblem);
+    }
+
+    #[test]
+    fn loss_on_unused_source_edge_does_not_trigger() {
+        let (g, flow, dg, mut state) = setup();
+        let unused = g
+            .out_edges(flow.source)
+            .iter()
+            .copied()
+            .find(|&e| !dg.contains(e))
+            .expect("NYC has more out-edges than the pair uses");
+        state.set_condition(unused, LinkCondition::down());
+        let d = ProblemDetector::default();
+        assert_eq!(d.classify(&g, flow, &dg, &state), ProblemStatus::Clear);
+    }
+
+    #[test]
+    fn destination_and_both() {
+        let (g, flow, dg, mut state) = setup();
+        let into_dst: Vec<_> = dg
+            .edges()
+            .iter()
+            .copied()
+            .filter(|&e| g.edge(e).dst == flow.destination)
+            .collect();
+        assert!(!into_dst.is_empty());
+        state.set_condition(into_dst[0], LinkCondition::new(0.2, Micros::ZERO));
+        let d = ProblemDetector::default();
+        assert_eq!(
+            d.classify(&g, flow, &dg, &state),
+            ProblemStatus::DestinationProblem
+        );
+        let from_src: Vec<_> = dg.forwarding_edges(&g, flow.source).collect();
+        state.set_condition(from_src[0], LinkCondition::down());
+        assert_eq!(d.classify(&g, flow, &dg, &state), ProblemStatus::BothProblems);
+    }
+
+    #[test]
+    fn threshold_is_respected() {
+        let (g, flow, dg, mut state) = setup();
+        let used: Vec<_> = dg.forwarding_edges(&g, flow.source).collect();
+        state.set_condition(used[0], LinkCondition::new(0.03, Micros::ZERO));
+        assert_eq!(
+            ProblemDetector::new(0.05).classify(&g, flow, &dg, &state),
+            ProblemStatus::Clear
+        );
+        assert_eq!(
+            ProblemDetector::new(0.02).classify(&g, flow, &dg, &state),
+            ProblemStatus::SourceProblem
+        );
+    }
+
+    #[test]
+    fn severity_and_flags() {
+        assert!(ProblemStatus::Clear.severity() < ProblemStatus::SourceProblem.severity());
+        assert!(
+            ProblemStatus::SourceProblem.severity() < ProblemStatus::BothProblems.severity()
+        );
+        assert!(ProblemStatus::SourceProblem.source_affected());
+        assert!(!ProblemStatus::SourceProblem.destination_affected());
+        assert!(ProblemStatus::BothProblems.source_affected());
+        assert!(ProblemStatus::BothProblems.destination_affected());
+    }
+}

@@ -1,0 +1,96 @@
+//! Error type for dissemination-graph construction and scheme building.
+
+use dg_topology::{NodeId, TopologyError};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by `dg-core`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// An underlying topology operation failed.
+    Topology(TopologyError),
+    /// The edge set does not connect the flow's source to its destination.
+    Unreachable {
+        /// Flow source.
+        source: NodeId,
+        /// Flow destination.
+        destination: NodeId,
+    },
+    /// Paths passed to a union constructor had differing endpoints.
+    MismatchedEndpoints,
+    /// A dissemination-graph bitmask was too short for the topology.
+    BitmaskTooShort {
+        /// Bytes provided.
+        got: usize,
+        /// Bytes required.
+        need: usize,
+    },
+    /// The deadline is too tight: even the shortest route misses it.
+    DeadlineInfeasible {
+        /// Flow source.
+        source: NodeId,
+        /// Flow destination.
+        destination: NodeId,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Topology(e) => write!(f, "{e}"),
+            CoreError::Unreachable { source, destination } => {
+                write!(f, "edge set does not connect {source} to {destination}")
+            }
+            CoreError::MismatchedEndpoints => {
+                write!(f, "paths have mismatched endpoints")
+            }
+            CoreError::BitmaskTooShort { got, need } => {
+                write!(f, "bitmask too short: got {got} bytes, need {need}")
+            }
+            CoreError::DeadlineInfeasible { source, destination } => {
+                write!(f, "no route from {source} to {destination} meets the deadline")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Topology(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TopologyError> for CoreError {
+    fn from(e: TopologyError) -> Self {
+        CoreError::Topology(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = CoreError::Unreachable {
+            source: NodeId::new(0),
+            destination: NodeId::new(1),
+        };
+        assert!(e.to_string().contains("does not connect"));
+        assert!(e.source().is_none());
+
+        let wrapped: CoreError = TopologyError::UnknownNode(NodeId::new(5)).into();
+        assert!(wrapped.source().is_some());
+        assert_eq!(wrapped.to_string(), "unknown node n5");
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<CoreError>();
+    }
+}

@@ -1,0 +1,92 @@
+//! Flows and their service requirements.
+
+use dg_topology::{Graph, Micros, NodeId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A unidirectional application flow between two overlay sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Flow {
+    /// Sending site.
+    pub source: NodeId,
+    /// Receiving site.
+    pub destination: NodeId,
+}
+
+impl Flow {
+    /// Creates a flow from `source` to `destination`.
+    pub const fn new(source: NodeId, destination: NodeId) -> Self {
+        Flow { source, destination }
+    }
+
+    /// Human-readable label using site names, e.g. `"NYC->SJC"`.
+    pub fn label(&self, graph: &Graph) -> String {
+        format!(
+            "{}->{}",
+            graph.node(self.source).name,
+            graph.node(self.destination).name
+        )
+    }
+}
+
+impl fmt::Display for Flow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}->{}", self.source, self.destination)
+    }
+}
+
+/// The timeliness contract a flow must meet.
+///
+/// The paper's motivating applications need one-way delivery within
+/// 65 ms (a 130 ms round trip across the US); that is the default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceRequirement {
+    /// Maximum one-way latency for a packet to count as delivered.
+    pub deadline: Micros,
+}
+
+impl ServiceRequirement {
+    /// Creates a requirement with the given one-way deadline.
+    pub const fn new(deadline: Micros) -> Self {
+        ServiceRequirement { deadline }
+    }
+}
+
+impl Default for ServiceRequirement {
+    fn default() -> Self {
+        ServiceRequirement { deadline: Micros::from_millis(65) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_topology::presets;
+
+    #[test]
+    fn labels_use_site_names() {
+        let g = presets::north_america_12();
+        let f = Flow::new(
+            g.node_by_name("BOS").unwrap(),
+            g.node_by_name("LAX").unwrap(),
+        );
+        assert_eq!(f.label(&g), "BOS->LAX");
+        assert_eq!(f.to_string(), format!("{}->{}", f.source, f.destination));
+    }
+
+    #[test]
+    fn default_requirement_is_65ms() {
+        assert_eq!(ServiceRequirement::default().deadline, Micros::from_millis(65));
+        assert_eq!(
+            ServiceRequirement::new(Micros::from_millis(100)).deadline.as_millis(),
+            100
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let f = Flow::new(NodeId::new(1), NodeId::new(2));
+        let json = serde_json::to_string(&f).unwrap();
+        assert_eq!(serde_json::from_str::<Flow>(&json).unwrap(), f);
+    }
+}

@@ -1,0 +1,153 @@
+//! A single path re-routed on monitoring updates.
+
+use crate::scheme::{
+    expected_set_weight, RoutingScheme, SchemeKind, SchemeParams,
+};
+use crate::{CoreError, DisseminationGraph, Flow};
+use dg_topology::algo::dijkstra;
+use dg_topology::Graph;
+use dg_trace::NetworkState;
+
+/// Routes on one path, recomputed over loss-penalized expected latency
+/// at every monitoring update, with hysteresis so marginal differences
+/// do not cause route flapping.
+#[derive(Debug, Clone)]
+pub struct DynamicSinglePath {
+    flow: Flow,
+    graph: DisseminationGraph,
+    hysteresis: f64,
+}
+
+impl DynamicSinglePath {
+    /// Starts on the baseline shortest path.
+    ///
+    /// # Errors
+    ///
+    /// Returns a topology error when no route exists.
+    pub fn new(topology: &Graph, flow: Flow, params: &SchemeParams) -> Result<Self, CoreError> {
+        let path = dijkstra::shortest_path(topology, flow.source, flow.destination)?;
+        Ok(DynamicSinglePath {
+            flow,
+            graph: DisseminationGraph::from_path(topology, &path),
+            hysteresis: params.hysteresis,
+        })
+    }
+}
+
+impl RoutingScheme for DynamicSinglePath {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::DynamicSinglePath
+    }
+
+    fn flow(&self) -> Flow {
+        self.flow
+    }
+
+    fn current(&self) -> &DisseminationGraph {
+        &self.graph
+    }
+
+    fn update(&mut self, topology: &Graph, state: &NetworkState) -> bool {
+        let candidate = match dijkstra::shortest_path_weighted(
+            topology,
+            self.flow.source,
+            self.flow.destination,
+            |e| Some(crate::scheme::expected_edge_weight(topology, state, e)),
+        ) {
+            Ok(p) => p,
+            // The weight function is total, so this only fires on a
+            // disconnected topology; keep the current route.
+            Err(_) => return false,
+        };
+        let current_weight =
+            expected_set_weight(topology, state, self.graph.edges().iter().copied());
+        let candidate_weight =
+            expected_set_weight(topology, state, candidate.edges().iter().copied());
+        let improvement_needed = (current_weight as f64 * (1.0 - self.hysteresis)) as u64;
+        if candidate_weight < improvement_needed {
+            let next = DisseminationGraph::from_path(topology, &candidate);
+            if next != self.graph {
+                self.graph = next;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_topology::{presets, Micros};
+    use dg_trace::LinkCondition;
+
+    fn setup() -> (Graph, DynamicSinglePath) {
+        let g = presets::north_america_12();
+        let flow = Flow::new(
+            g.node_by_name("NYC").unwrap(),
+            g.node_by_name("SJC").unwrap(),
+        );
+        let s = DynamicSinglePath::new(&g, flow, &SchemeParams::default()).unwrap();
+        (g, s)
+    }
+
+    #[test]
+    fn stays_put_when_clean() {
+        let (g, mut s) = setup();
+        let state = NetworkState::clean(g.edge_count(), Micros::ZERO);
+        assert!(!s.update(&g, &state));
+    }
+
+    #[test]
+    fn reroutes_around_a_dead_link() {
+        let g = presets::north_america_12();
+        let flow = Flow::new(
+            g.node_by_name("NYC").unwrap(),
+            g.node_by_name("SJC").unwrap(),
+        );
+        // Zero hysteresis so the heal-back below is not (correctly)
+        // suppressed as a marginal improvement.
+        let params = SchemeParams { hysteresis: 0.0, ..SchemeParams::default() };
+        let mut s = DynamicSinglePath::new(&g, flow, &params).unwrap();
+        let before = s.current().clone();
+        let mut state = NetworkState::clean(g.edge_count(), Micros::ZERO);
+        let victim = before.edges()[0];
+        state.set_condition(victim, LinkCondition::down());
+        assert!(s.update(&g, &state));
+        assert!(!s.current().contains(victim));
+        // And returns once the link heals (old route is strictly faster).
+        let clean = NetworkState::clean(g.edge_count(), Micros::from_secs(10));
+        let back = s.update(&g, &clean);
+        assert!(back);
+        assert_eq!(s.current(), &before);
+    }
+
+    #[test]
+    fn hysteresis_suppresses_marginal_switches() {
+        let (g, mut s) = setup();
+        let before = s.current().clone();
+        let mut state = NetworkState::clean(g.edge_count(), Micros::ZERO);
+        // Tiny extra latency on the current route: not worth moving.
+        state.set_condition(
+            before.edges()[0],
+            LinkCondition::new(0.0, Micros::from_micros(50)),
+        );
+        assert!(!s.update(&g, &state));
+        assert_eq!(s.current(), &before);
+    }
+
+    #[test]
+    fn avoids_moderate_loss_when_alternative_exists() {
+        let (g, mut s) = setup();
+        let before = s.current().clone();
+        let mut state = NetworkState::clean(g.edge_count(), Micros::ZERO);
+        for &e in before.edges() {
+            state.set_condition(e, LinkCondition::new(0.3, Micros::ZERO));
+        }
+        assert!(s.update(&g, &state));
+        // New route avoids all the lossy edges (clean alternatives exist).
+        for &e in s.current().edges() {
+            assert!(state.condition(e).loss_rate < 0.3);
+        }
+    }
+}

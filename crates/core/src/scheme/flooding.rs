@@ -1,0 +1,136 @@
+//! Time-constrained flooding: the optimal benchmark.
+
+use crate::scheme::{RoutingScheme, SchemeKind};
+use crate::{CoreError, DisseminationGraph, Flow, ServiceRequirement};
+use dg_topology::algo::reach;
+use dg_topology::Graph;
+use dg_trace::NetworkState;
+
+/// Floods every packet over every edge that can still contribute to
+/// on-time delivery. No scheme can beat its timeliness/reliability —
+/// any on-deadline route a packet could take is included — which makes
+/// it the paper's optimality benchmark; its cost (every packet on
+/// dozens of links) is what makes it prohibitive in practice.
+#[derive(Debug, Clone)]
+pub struct TimeConstrainedFlooding {
+    flow: Flow,
+    graph: DisseminationGraph,
+}
+
+impl TimeConstrainedFlooding {
+    /// Computes the deadline-feasible edge set for `flow`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DeadlineInfeasible`] when even the shortest
+    /// route misses the deadline.
+    pub fn new(
+        topology: &Graph,
+        flow: Flow,
+        requirement: ServiceRequirement,
+    ) -> Result<Self, CoreError> {
+        let edges = reach::time_constrained_edges(
+            topology,
+            flow.source,
+            flow.destination,
+            requirement.deadline,
+        )?;
+        let graph = DisseminationGraph::new(topology, flow.source, flow.destination, edges)
+            .map_err(|_| CoreError::DeadlineInfeasible {
+                source: flow.source,
+                destination: flow.destination,
+            })?;
+        Ok(TimeConstrainedFlooding { flow, graph })
+    }
+}
+
+impl RoutingScheme for TimeConstrainedFlooding {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::TimeConstrainedFlooding
+    }
+
+    fn flow(&self) -> Flow {
+        self.flow
+    }
+
+    fn current(&self) -> &DisseminationGraph {
+        &self.graph
+    }
+
+    fn update(&mut self, _topology: &Graph, _state: &NetworkState) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_topology::{presets, Micros};
+
+    #[test]
+    fn covers_a_large_edge_fraction() {
+        let g = presets::north_america_12();
+        let flow = Flow::new(
+            g.node_by_name("NYC").unwrap(),
+            g.node_by_name("SJC").unwrap(),
+        );
+        let s = TimeConstrainedFlooding::new(&g, flow, ServiceRequirement::default()).unwrap();
+        // With a 65 ms budget over a ~30 ms shortest path, most of the
+        // continental mesh is usable.
+        assert!(s.current().len() > g.edge_count() / 3);
+        assert!(s.current().best_latency(&g) <= Micros::from_millis(65));
+    }
+
+    #[test]
+    fn infeasible_deadline_errors() {
+        let g = presets::north_america_12();
+        let flow = Flow::new(
+            g.node_by_name("NYC").unwrap(),
+            g.node_by_name("SJC").unwrap(),
+        );
+        let err = TimeConstrainedFlooding::new(
+            &g,
+            flow,
+            ServiceRequirement::new(Micros::from_millis(5)),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::DeadlineInfeasible { .. }));
+    }
+
+    #[test]
+    fn tighter_deadline_means_smaller_graph() {
+        let g = presets::north_america_12();
+        let flow = Flow::new(
+            g.node_by_name("BOS").unwrap(),
+            g.node_by_name("LAX").unwrap(),
+        );
+        let wide = TimeConstrainedFlooding::new(
+            &g,
+            flow,
+            ServiceRequirement::new(Micros::from_millis(100)),
+        )
+        .unwrap();
+        let tight = TimeConstrainedFlooding::new(
+            &g,
+            flow,
+            ServiceRequirement::new(Micros::from_millis(45)),
+        )
+        .unwrap();
+        assert!(tight.current().len() < wide.current().len());
+        assert!(wide.current().is_superset_of(tight.current()));
+    }
+
+    #[test]
+    fn static_scheme_never_updates() {
+        let g = presets::north_america_12();
+        let flow = Flow::new(
+            g.node_by_name("WAS").unwrap(),
+            g.node_by_name("DEN").unwrap(),
+        );
+        let mut s =
+            TimeConstrainedFlooding::new(&g, flow, ServiceRequirement::default()).unwrap();
+        let state = NetworkState::clean(g.edge_count(), Micros::ZERO);
+        assert!(!s.update(&g, &state));
+        assert_eq!(s.kind(), SchemeKind::TimeConstrainedFlooding);
+    }
+}

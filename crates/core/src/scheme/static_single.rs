@@ -1,0 +1,91 @@
+//! The traditional baseline: one fixed shortest path.
+
+use crate::scheme::{RoutingScheme, SchemeKind};
+use crate::{CoreError, DisseminationGraph, Flow};
+use dg_topology::algo::dijkstra;
+use dg_topology::Graph;
+use dg_trace::NetworkState;
+
+/// Routes every packet on the latency-shortest path computed once at
+/// flow setup, regardless of conditions — what a conventional overlay
+/// (or plain IP routing with stable paths) gives you.
+#[derive(Debug, Clone)]
+pub struct StaticSinglePath {
+    flow: Flow,
+    graph: DisseminationGraph,
+}
+
+impl StaticSinglePath {
+    /// Computes the shortest path for `flow` at baseline latencies.
+    ///
+    /// # Errors
+    ///
+    /// Returns a topology error when no route exists.
+    pub fn new(topology: &Graph, flow: Flow) -> Result<Self, CoreError> {
+        let path = dijkstra::shortest_path(topology, flow.source, flow.destination)?;
+        Ok(StaticSinglePath { flow, graph: DisseminationGraph::from_path(topology, &path) })
+    }
+}
+
+impl RoutingScheme for StaticSinglePath {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::StaticSinglePath
+    }
+
+    fn flow(&self) -> Flow {
+        self.flow
+    }
+
+    fn current(&self) -> &DisseminationGraph {
+        &self.graph
+    }
+
+    fn update(&mut self, _topology: &Graph, _state: &NetworkState) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_topology::{presets, Micros};
+    use dg_trace::LinkCondition;
+
+    #[test]
+    fn never_changes() {
+        let g = presets::north_america_12();
+        let flow = Flow::new(
+            g.node_by_name("NYC").unwrap(),
+            g.node_by_name("SEA").unwrap(),
+        );
+        let mut s = StaticSinglePath::new(&g, flow).unwrap();
+        let before = s.current().clone();
+        let mut state = NetworkState::clean(g.edge_count(), Micros::ZERO);
+        for &e in before.edges() {
+            state.set_condition(e, LinkCondition::down());
+        }
+        assert!(!s.update(&g, &state));
+        assert_eq!(s.current(), &before);
+        assert_eq!(s.kind(), SchemeKind::StaticSinglePath);
+    }
+
+    #[test]
+    fn uses_the_shortest_path() {
+        let g = presets::north_america_12();
+        let flow = Flow::new(
+            g.node_by_name("JHU").unwrap(),
+            g.node_by_name("DEN").unwrap(),
+        );
+        let s = StaticSinglePath::new(&g, flow).unwrap();
+        let sp = dijkstra::shortest_path(&g, flow.source, flow.destination).unwrap();
+        assert_eq!(s.current().best_latency(&g), sp.latency(&g));
+        assert_eq!(s.current().len(), sp.len());
+    }
+
+    #[test]
+    fn errors_on_missing_route() {
+        let g = presets::north_america_12();
+        let n = g.node_by_name("NYC").unwrap();
+        assert!(StaticSinglePath::new(&g, Flow::new(n, n)).is_err());
+    }
+}

@@ -1,0 +1,541 @@
+//! Dissemination graphs with targeted redundancy — the paper's routing
+//! method.
+//!
+//! The scheme precomputes four dissemination graphs per flow:
+//!
+//! 1. the **normal graph**: two node-disjoint paths,
+//! 2. the **source-problem graph**: the disjoint pair plus a branch
+//!    through *every* usable neighbour of the source (so a copy escapes
+//!    the lossy source area on as many independent links as possible),
+//! 3. the **destination-problem graph**: symmetric, entering the
+//!    destination over every usable neighbour,
+//! 4. the **robust graph**: the union of 2 and 3.
+//!
+//! At runtime a [`ProblemDetector`] classifies each monitoring update;
+//! the selector switches *up* (toward more redundancy) immediately and
+//! *down* only after the problem has stayed clear for a configurable
+//! number of updates, damping flapping. Because problems around
+//! endpoints are rare, the expensive graphs are almost never active and
+//! the scheme's average cost stays within a few percent of two disjoint
+//! paths while recovering nearly the whole gap to optimal flooding.
+
+use crate::scheme::{RoutingScheme, SchemeKind, SchemeParams};
+use crate::{
+    CoreError, DisseminationGraph, Flow, ProblemDetector, ProblemStatus, ServiceRequirement,
+};
+use dg_topology::algo::{dijkstra, disjoint::disjoint_pair, reach};
+use dg_topology::{EdgeId, Graph, Micros, NodeId};
+use dg_trace::NetworkState;
+use std::collections::HashSet;
+
+/// Which of the four precomputed graphs is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TargetedMode {
+    /// Two disjoint paths (the common case).
+    Normal,
+    /// Source-problem graph active.
+    SourceProblem,
+    /// Destination-problem graph active.
+    DestinationProblem,
+    /// Robust source-destination graph active.
+    Robust,
+}
+
+impl TargetedMode {
+    fn severity(self) -> u8 {
+        match self {
+            TargetedMode::Normal => 0,
+            TargetedMode::SourceProblem | TargetedMode::DestinationProblem => 1,
+            TargetedMode::Robust => 2,
+        }
+    }
+
+    fn for_status(status: ProblemStatus) -> TargetedMode {
+        match status {
+            ProblemStatus::Clear => TargetedMode::Normal,
+            ProblemStatus::SourceProblem => TargetedMode::SourceProblem,
+            ProblemStatus::DestinationProblem => TargetedMode::DestinationProblem,
+            ProblemStatus::BothProblems => TargetedMode::Robust,
+        }
+    }
+}
+
+/// The targeted-redundancy routing scheme (see module docs).
+#[derive(Debug, Clone)]
+pub struct TargetedRedundancy {
+    flow: Flow,
+    detector: ProblemDetector,
+    clear_after_updates: u32,
+    normal: DisseminationGraph,
+    source_graph: DisseminationGraph,
+    destination_graph: DisseminationGraph,
+    robust: DisseminationGraph,
+    mode: TargetedMode,
+    clear_streak: u32,
+}
+
+impl TargetedRedundancy {
+    /// Precomputes the four graphs for `flow` under `requirement`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the topology lacks two disjoint routes or
+    /// the deadline is infeasible.
+    pub fn new(
+        topology: &Graph,
+        flow: Flow,
+        requirement: ServiceRequirement,
+        params: &SchemeParams,
+    ) -> Result<Self, CoreError> {
+        let (p1, p2) =
+            disjoint_pair(topology, flow.source, flow.destination, params.disjointness)?;
+        let normal = DisseminationGraph::from_paths(topology, &[p1, p2])?;
+
+        // Edges that can still meet the deadline; branches outside this
+        // set could never deliver on time, so they are never added.
+        let feasible: HashSet<EdgeId> = reach::time_constrained_edges(
+            topology,
+            flow.source,
+            flow.destination,
+            requirement.deadline,
+        )?
+        .into_iter()
+        .collect();
+        if feasible.is_empty() {
+            return Err(CoreError::DeadlineInfeasible {
+                source: flow.source,
+                destination: flow.destination,
+            });
+        }
+
+        let limit = params.problem_branch_limit.map(usize::from);
+        let source_graph = build_source_problem_graph(
+            topology,
+            flow,
+            &normal,
+            &feasible,
+            requirement.deadline,
+            limit,
+        )?;
+        let destination_graph = build_destination_problem_graph(
+            topology,
+            flow,
+            &normal,
+            &feasible,
+            requirement.deadline,
+            limit,
+        )?;
+        let robust = source_graph.union(topology, &destination_graph)?;
+
+        Ok(TargetedRedundancy {
+            flow,
+            detector: ProblemDetector::new(params.problem_loss_threshold),
+            clear_after_updates: params.clear_after_updates,
+            normal,
+            source_graph,
+            destination_graph,
+            robust,
+            mode: TargetedMode::Normal,
+            clear_streak: 0,
+        })
+    }
+
+    /// The currently active mode.
+    pub fn mode(&self) -> TargetedMode {
+        self.mode
+    }
+
+    /// The precomputed graph for `mode`.
+    pub fn graph_for_mode(&self, mode: TargetedMode) -> &DisseminationGraph {
+        match mode {
+            TargetedMode::Normal => &self.normal,
+            TargetedMode::SourceProblem => &self.source_graph,
+            TargetedMode::DestinationProblem => &self.destination_graph,
+            TargetedMode::Robust => &self.robust,
+        }
+    }
+}
+
+/// Adds, for every usable neighbour `n` of the source not already on
+/// the disjoint pair, the edge `source -> n` plus a shortest
+/// continuation `n -> destination` that avoids the source area, so each
+/// branch is an independent escape route. Branches that cannot meet the
+/// deadline are skipped; `limit` caps how many are added (lowest
+/// latency first).
+fn build_source_problem_graph(
+    topology: &Graph,
+    flow: Flow,
+    normal: &DisseminationGraph,
+    feasible: &HashSet<EdgeId>,
+    deadline: Micros,
+    limit: Option<usize>,
+) -> Result<DisseminationGraph, CoreError> {
+    let used: HashSet<NodeId> = normal
+        .forwarding_edges(topology, flow.source)
+        .map(|e| topology.edge(e).dst)
+        .collect();
+    let mut candidates: Vec<(Micros, Vec<EdgeId>)> = Vec::new();
+    for &out in topology.out_edges(flow.source) {
+        if !feasible.contains(&out) || used.contains(&topology.edge(out).dst) {
+            continue;
+        }
+        let neighbor = topology.edge(out).dst;
+        if neighbor == flow.destination {
+            candidates.push((topology.edge(out).latency, vec![out]));
+            continue;
+        }
+        if let Some(tail) =
+            continuation(topology, neighbor, flow.destination, flow.source, feasible)
+        {
+            let branch_latency: Micros = topology.edge(out).latency
+                + tail.iter().map(|&e| topology.edge(e).latency).sum::<Micros>();
+            if branch_latency <= deadline {
+                let mut branch = vec![out];
+                branch.extend(tail);
+                candidates.push((branch_latency, branch));
+            }
+        }
+    }
+    candidates.sort_by(|a, b| (a.0, a.1.as_slice()).cmp(&(b.0, b.1.as_slice())));
+    let mut edges: Vec<EdgeId> = normal.edges().to_vec();
+    for (_, branch) in candidates.into_iter().take(limit.unwrap_or(usize::MAX)) {
+        edges.extend(branch);
+    }
+    DisseminationGraph::new(topology, flow.source, flow.destination, edges)
+}
+
+/// Symmetric construction on the destination side: a shortest approach
+/// `source -> m` avoiding the destination area, plus the final edge
+/// `m -> destination`, for every usable in-neighbour `m` not already on
+/// the disjoint pair; `limit` caps how many are added.
+fn build_destination_problem_graph(
+    topology: &Graph,
+    flow: Flow,
+    normal: &DisseminationGraph,
+    feasible: &HashSet<EdgeId>,
+    deadline: Micros,
+    limit: Option<usize>,
+) -> Result<DisseminationGraph, CoreError> {
+    let used: HashSet<NodeId> = normal
+        .edges()
+        .iter()
+        .filter(|&&e| topology.edge(e).dst == flow.destination)
+        .map(|&e| topology.edge(e).src)
+        .collect();
+    let mut candidates: Vec<(Micros, Vec<EdgeId>)> = Vec::new();
+    for &inc in topology.in_edges(flow.destination) {
+        if !feasible.contains(&inc) || used.contains(&topology.edge(inc).src) {
+            continue;
+        }
+        let neighbor = topology.edge(inc).src;
+        if neighbor == flow.source {
+            candidates.push((topology.edge(inc).latency, vec![inc]));
+            continue;
+        }
+        if let Some(head) =
+            continuation(topology, flow.source, neighbor, flow.destination, feasible)
+        {
+            let branch_latency: Micros = topology.edge(inc).latency
+                + head.iter().map(|&e| topology.edge(e).latency).sum::<Micros>();
+            if branch_latency <= deadline {
+                let mut branch = head;
+                branch.push(inc);
+                candidates.push((branch_latency, branch));
+            }
+        }
+    }
+    candidates.sort_by(|a, b| (a.0, a.1.as_slice()).cmp(&(b.0, b.1.as_slice())));
+    let mut edges: Vec<EdgeId> = normal.edges().to_vec();
+    for (_, branch) in candidates.into_iter().take(limit.unwrap_or(usize::MAX)) {
+        edges.extend(branch);
+    }
+    DisseminationGraph::new(topology, flow.source, flow.destination, edges)
+}
+
+/// Shortest path `from -> to` that stays within the feasible edge set
+/// and avoids the node `avoid` (the problematic endpoint area).
+fn continuation(
+    topology: &Graph,
+    from: NodeId,
+    to: NodeId,
+    avoid: NodeId,
+    feasible: &HashSet<EdgeId>,
+) -> Option<Vec<EdgeId>> {
+    dijkstra::shortest_path_filtered(topology, from, to, |e| {
+        let info = topology.edge(e);
+        feasible.contains(&e) && info.src != avoid && info.dst != avoid
+    })
+    .ok()
+    .map(|p| p.edges().to_vec())
+}
+
+impl RoutingScheme for TargetedRedundancy {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::TargetedRedundancy
+    }
+
+    fn flow(&self) -> Flow {
+        self.flow
+    }
+
+    fn current(&self) -> &DisseminationGraph {
+        self.graph_for_mode(self.mode)
+    }
+
+    fn update(&mut self, topology: &Graph, state: &NetworkState) -> bool {
+        // Problems are always judged against the normal graph's edges:
+        // those are the links the flow depends on in steady state, and
+        // judging against the inflated problem graphs would keep the
+        // scheme escalated whenever any extra branch sees loss.
+        let status = self.detector.classify(topology, self.flow, &self.normal, state);
+        let target = TargetedMode::for_status(status);
+        let previous = self.mode;
+
+        if target.severity() >= self.mode.severity() {
+            // Escalate (or move sideways, e.g. source -> destination)
+            // immediately; problems demand an instant reaction.
+            self.mode = target;
+            self.clear_streak = 0;
+        } else {
+            // De-escalate only after a sustained clear streak.
+            self.clear_streak += 1;
+            if self.clear_streak >= self.clear_after_updates {
+                self.mode = target;
+                self.clear_streak = 0;
+            }
+        }
+        self.mode != previous
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_topology::presets;
+    use dg_trace::LinkCondition;
+
+    fn setup() -> (Graph, TargetedRedundancy) {
+        let g = presets::north_america_12();
+        let flow = Flow::new(
+            g.node_by_name("NYC").unwrap(),
+            g.node_by_name("SJC").unwrap(),
+        );
+        // Pin the hold-down at 2 updates; the de-escalation tests below
+        // depend on it regardless of the library default.
+        let params = SchemeParams { clear_after_updates: 2, ..SchemeParams::default() };
+        let s = TargetedRedundancy::new(&g, flow, ServiceRequirement::default(), &params)
+            .unwrap();
+        (g, s)
+    }
+
+    fn impair_source(g: &Graph, s: &TargetedRedundancy, state: &mut NetworkState) {
+        for &e in g.out_edges(s.flow().source) {
+            state.set_condition(e, LinkCondition::new(0.5, Micros::ZERO));
+        }
+    }
+
+    fn impair_destination(g: &Graph, s: &TargetedRedundancy, state: &mut NetworkState) {
+        for &e in g.in_edges(s.flow().destination) {
+            state.set_condition(e, LinkCondition::new(0.5, Micros::ZERO));
+        }
+    }
+
+    #[test]
+    fn starts_in_normal_mode_with_disjoint_pair() {
+        let (g, s) = setup();
+        assert_eq!(s.mode(), TargetedMode::Normal);
+        assert_eq!(s.current().forwarding_edges(&g, s.flow().source).count(), 2);
+    }
+
+    #[test]
+    fn source_problem_graph_uses_every_source_neighbor() {
+        let (g, s) = setup();
+        let sg = s.graph_for_mode(TargetedMode::SourceProblem);
+        let out_degree = g.out_edges(s.flow().source).len();
+        assert_eq!(
+            sg.forwarding_edges(&g, s.flow().source).count(),
+            out_degree,
+            "source-problem graph should branch on all {out_degree} neighbours"
+        );
+        assert!(sg.is_superset_of(s.graph_for_mode(TargetedMode::Normal)));
+    }
+
+    #[test]
+    fn destination_problem_graph_enters_on_every_neighbor() {
+        let (g, s) = setup();
+        let dgr = s.graph_for_mode(TargetedMode::DestinationProblem);
+        let in_degree = g.in_edges(s.flow().destination).len();
+        let entering = dgr
+            .edges()
+            .iter()
+            .filter(|&&e| g.edge(e).dst == s.flow().destination)
+            .count();
+        assert_eq!(entering, in_degree);
+        assert!(dgr.is_superset_of(s.graph_for_mode(TargetedMode::Normal)));
+    }
+
+    #[test]
+    fn robust_graph_is_the_union() {
+        let (g, s) = setup();
+        let robust = s.graph_for_mode(TargetedMode::Robust);
+        assert!(robust.is_superset_of(s.graph_for_mode(TargetedMode::SourceProblem)));
+        assert!(robust.is_superset_of(s.graph_for_mode(TargetedMode::DestinationProblem)));
+        // Still cheaper than flooding.
+        let flood = crate::scheme::TimeConstrainedFlooding::new(
+            &g,
+            s.flow(),
+            ServiceRequirement::default(),
+        )
+        .unwrap();
+        assert!(robust.cost(&g) < flood.current().cost(&g));
+    }
+
+    #[test]
+    fn all_graphs_meet_the_deadline() {
+        let (g, s) = setup();
+        for mode in [
+            TargetedMode::Normal,
+            TargetedMode::SourceProblem,
+            TargetedMode::DestinationProblem,
+            TargetedMode::Robust,
+        ] {
+            assert!(
+                s.graph_for_mode(mode).best_latency(&g) <= Micros::from_millis(65),
+                "{mode:?} graph misses the deadline"
+            );
+        }
+    }
+
+    #[test]
+    fn escalates_immediately_on_source_problem() {
+        let (g, mut s) = setup();
+        let mut state = NetworkState::clean(g.edge_count(), Micros::ZERO);
+        impair_source(&g, &s, &mut state);
+        assert!(s.update(&g, &state));
+        assert_eq!(s.mode(), TargetedMode::SourceProblem);
+    }
+
+    #[test]
+    fn escalates_to_robust_on_both() {
+        let (g, mut s) = setup();
+        let mut state = NetworkState::clean(g.edge_count(), Micros::ZERO);
+        impair_source(&g, &s, &mut state);
+        impair_destination(&g, &s, &mut state);
+        assert!(s.update(&g, &state));
+        assert_eq!(s.mode(), TargetedMode::Robust);
+    }
+
+    #[test]
+    fn deescalates_only_after_clear_streak() {
+        let (g, mut s) = setup();
+        let mut state = NetworkState::clean(g.edge_count(), Micros::ZERO);
+        impair_destination(&g, &s, &mut state);
+        s.update(&g, &state);
+        assert_eq!(s.mode(), TargetedMode::DestinationProblem);
+
+        let clean = NetworkState::clean(g.edge_count(), Micros::from_secs(10));
+        assert!(!s.update(&g, &clean), "first clear update holds the graph");
+        assert_eq!(s.mode(), TargetedMode::DestinationProblem);
+        assert!(s.update(&g, &clean), "second clear update releases it");
+        assert_eq!(s.mode(), TargetedMode::Normal);
+    }
+
+    #[test]
+    fn problem_streak_resets_on_reescalation() {
+        let (g, mut s) = setup();
+        let mut bad = NetworkState::clean(g.edge_count(), Micros::ZERO);
+        impair_source(&g, &s, &mut bad);
+        let clean = NetworkState::clean(g.edge_count(), Micros::from_secs(10));
+        s.update(&g, &bad);
+        s.update(&g, &clean); // streak 1
+        s.update(&g, &bad); // problem returns; streak must reset
+        s.update(&g, &clean); // streak 1 again
+        assert_eq!(s.mode(), TargetedMode::SourceProblem);
+        s.update(&g, &clean); // streak 2 -> release
+        assert_eq!(s.mode(), TargetedMode::Normal);
+    }
+
+    #[test]
+    fn loss_on_unused_links_does_not_escalate() {
+        let (g, mut s) = setup();
+        let mut state = NetworkState::clean(g.edge_count(), Micros::ZERO);
+        // Severe loss far from the flow's normal graph.
+        let mia = g.node_by_name("MIA").unwrap();
+        for &e in g.out_edges(mia) {
+            state.set_condition(e, LinkCondition::down());
+        }
+        assert!(!s.update(&g, &state));
+        assert_eq!(s.mode(), TargetedMode::Normal);
+    }
+
+    #[test]
+    fn branch_limit_caps_problem_graph_size() {
+        let g = presets::north_america_12();
+        let flow = Flow::new(
+            g.node_by_name("NYC").unwrap(),
+            g.node_by_name("SJC").unwrap(),
+        );
+        let req = ServiceRequirement::default();
+        let sizes: Vec<usize> = [Some(0), Some(1), Some(2), None]
+            .into_iter()
+            .map(|limit| {
+                let params = SchemeParams {
+                    problem_branch_limit: limit,
+                    ..SchemeParams::default()
+                };
+                TargetedRedundancy::new(&g, flow, req, &params)
+                    .unwrap()
+                    .graph_for_mode(TargetedMode::SourceProblem)
+                    .len()
+            })
+            .collect();
+        // Limit 0 is exactly the disjoint pair; each extra branch grows
+        // the graph; the unlimited graph is the largest.
+        let normal = TargetedRedundancy::new(&g, flow, req, &SchemeParams::default())
+            .unwrap()
+            .graph_for_mode(TargetedMode::Normal)
+            .len();
+        assert_eq!(sizes[0], normal);
+        assert!(sizes[0] < sizes[1]);
+        assert!(sizes[1] <= sizes[2]);
+        assert!(sizes[2] <= sizes[3]);
+        // NYC has degree 5 and the pair uses 2, so the unlimited source
+        // graph branches on all 3 remaining neighbours.
+        let unlimited = TargetedRedundancy::new(&g, flow, req, &SchemeParams::default())
+            .unwrap();
+        assert_eq!(
+            unlimited
+                .graph_for_mode(TargetedMode::SourceProblem)
+                .forwarding_edges(&g, flow.source)
+                .count(),
+            g.out_edges(flow.source).len()
+        );
+    }
+
+    #[test]
+    fn limited_branches_prefer_lower_latency() {
+        let g = presets::north_america_12();
+        let flow = Flow::new(
+            g.node_by_name("NYC").unwrap(),
+            g.node_by_name("SJC").unwrap(),
+        );
+        let req = ServiceRequirement::default();
+        let one = SchemeParams { problem_branch_limit: Some(1), ..SchemeParams::default() };
+        let s = TargetedRedundancy::new(&g, flow, req, &one).unwrap();
+        let sg = s.graph_for_mode(TargetedMode::SourceProblem);
+        // The one extra branch still meets the deadline.
+        assert!(sg.best_latency(&g) <= req.deadline);
+        assert_eq!(sg.forwarding_edges(&g, flow.source).count(), 3);
+    }
+
+    #[test]
+    fn switching_changes_cost_modestly() {
+        let (g, s) = setup();
+        let normal_cost = s.graph_for_mode(TargetedMode::Normal).cost(&g);
+        let source_cost = s.graph_for_mode(TargetedMode::SourceProblem).cost(&g);
+        assert!(source_cost > normal_cost);
+        // The problem graph roughly doubles cost at worst — nowhere near
+        // flooding's blanket coverage.
+        assert!(source_cost <= normal_cost * 3);
+    }
+}

@@ -1,0 +1,120 @@
+//! `dg-node` — a standalone overlay transport daemon.
+//!
+//! Runs one overlay node from a JSON config: it joins the overlay,
+//! monitors its links, floods link state, and forwards dissemination-
+//! graph traffic for any flow crossing it. Applications attach through
+//! the in-process session API (see `dg_overlay::cluster` for the
+//! single-machine variant); a production deployment would front this
+//! daemon with an IPC shim.
+//!
+//! Usage:
+//!   dg-node --emit-topology topology.json        # write the preset
+//!   dg-node --config node.json                   # run a node
+//!
+//! Config format:
+//! ```json
+//! {
+//!   "topology": "topology.json",
+//!   "node": "NYC",
+//!   "listen": "0.0.0.0:7100",
+//!   "peers": { "CHI": "192.0.2.10:7100", "WAS": "192.0.2.11:7100" },
+//!   "hello_interval_ms": 50,
+//!   "link_state_interval_ms": 200
+//! }
+//! ```
+
+use dg_overlay::{NodeConfig, OverlayNode};
+use dg_topology::Graph;
+use serde::Deserialize;
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[derive(Debug, Deserialize)]
+struct FileConfig {
+    topology: String,
+    node: String,
+    listen: SocketAddr,
+    peers: HashMap<String, SocketAddr>,
+    #[serde(default = "default_hello_ms")]
+    hello_interval_ms: u64,
+    #[serde(default = "default_ls_ms")]
+    link_state_interval_ms: u64,
+}
+
+fn default_hello_ms() -> u64 {
+    50
+}
+
+fn default_ls_ms() -> u64 {
+    200
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("--emit-topology") => {
+            let path = args.get(2).map(String::as_str).unwrap_or("topology.json");
+            let graph = dg_topology::presets::north_america_12();
+            let json = serde_json::to_string_pretty(&graph).expect("graph serializes");
+            std::fs::write(path, json).expect("topology file is writable");
+            println!("wrote {path}");
+        }
+        Some("--config") => {
+            let path = args.get(2).expect("usage: dg-node --config <file>");
+            run(path);
+        }
+        _ => {
+            eprintln!("usage: dg-node --config <file> | dg-node --emit-topology [file]");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run(config_path: &str) {
+    let raw = std::fs::read_to_string(config_path)
+        .unwrap_or_else(|e| panic!("cannot read {config_path}: {e}"));
+    let file: FileConfig =
+        serde_json::from_str(&raw).unwrap_or_else(|e| panic!("bad config: {e}"));
+    let topo_raw = std::fs::read_to_string(&file.topology)
+        .unwrap_or_else(|e| panic!("cannot read topology {}: {e}", file.topology));
+    let graph: Graph =
+        serde_json::from_str(&topo_raw).unwrap_or_else(|e| panic!("bad topology: {e}"));
+
+    let me = graph
+        .node_by_name(&file.node)
+        .unwrap_or_else(|| panic!("node {:?} not in topology", file.node));
+    let mut config = NodeConfig::new(me, file.listen);
+    config.hello_interval = Duration::from_millis(file.hello_interval_ms);
+    config.link_state_interval = Duration::from_millis(file.link_state_interval_ms);
+    for (name, addr) in &file.peers {
+        let peer = graph
+            .node_by_name(name)
+            .unwrap_or_else(|| panic!("peer {name:?} not in topology"));
+        config.peers.insert(peer, *addr);
+    }
+
+    let handle = OverlayNode::spawn(config, Arc::new(graph)).expect("node starts");
+    println!(
+        "dg-node {} listening on {} with {} peers",
+        file.node,
+        handle.local_addr(),
+        file.peers.len()
+    );
+    // Report stats periodically until killed.
+    loop {
+        std::thread::sleep(Duration::from_secs(10));
+        let s = handle.stats();
+        println!(
+            "stats: rx {} tx {} delivered {} dup {} expired {} nack {} retx {}",
+            s.data_received,
+            s.data_sent,
+            s.delivered,
+            s.duplicates,
+            s.expired,
+            s.nacks_sent,
+            s.retransmissions
+        );
+    }
+}

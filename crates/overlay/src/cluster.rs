@@ -1,0 +1,233 @@
+//! Whole-overlay deployment on localhost.
+//!
+//! A [`Cluster`] spins up one [`crate::OverlayNode`] per topology site,
+//! wires their peer tables together over loopback UDP, and emulates
+//! each link's propagation delay through the nodes' fault plans — so
+//! the full transport service, including its monitoring and recovery
+//! protocols, runs with realistic WAN timing on one machine.
+
+use crate::config::NodeConfig;
+use crate::fault::LinkFault;
+use crate::node::{OverlayHandle, OverlayNode};
+use crate::session::{FlowReceiver, FlowSender};
+use crate::OverlayError;
+use dg_core::scheme::{build_scheme, SchemeKind, SchemeParams};
+use dg_core::{Flow, ServiceRequirement};
+use dg_topology::{EdgeId, Graph, Micros, NodeId};
+use std::collections::HashMap;
+use std::net::UdpSocket;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Cluster-wide settings.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Hello probe interval for every node.
+    pub hello_interval: Duration,
+    /// Link-state origination interval for every node.
+    pub link_state_interval: Duration,
+    /// Scale factor applied to emulated link latencies (1.0 = the
+    /// topology's real propagation delays; tests may shrink it).
+    pub latency_scale: f64,
+    /// Scheme construction tunables used by [`Cluster::open_sender`].
+    pub scheme_params: SchemeParams,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            hello_interval: Duration::from_millis(50),
+            link_state_interval: Duration::from_millis(200),
+            latency_scale: 1.0,
+            scheme_params: SchemeParams::default(),
+        }
+    }
+}
+
+/// A running localhost overlay: one node per topology site.
+#[derive(Debug)]
+pub struct Cluster {
+    graph: Arc<Graph>,
+    handles: Vec<Option<OverlayHandle>>,
+    config: ClusterConfig,
+    /// Baseline emulated delay per edge, so injected faults compose.
+    base_delay: Vec<Micros>,
+}
+
+impl Cluster {
+    /// Binds and starts one node per site of `graph`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::Io`] when sockets cannot be bound.
+    pub fn launch(graph: &Graph, config: ClusterConfig) -> Result<Cluster, OverlayError> {
+        let graph = Arc::new(graph.clone());
+        // Bind every socket first so all peer addresses are known.
+        let sockets: Vec<UdpSocket> = (0..graph.node_count())
+            .map(|_| UdpSocket::bind("127.0.0.1:0"))
+            .collect::<Result<_, _>>()?;
+        let addrs: Vec<std::net::SocketAddr> =
+            sockets.iter().map(|s| s.local_addr()).collect::<Result<_, _>>()?;
+
+        let base_delay: Vec<Micros> = graph
+            .edges()
+            .map(|e| {
+                Micros::from_micros(
+                    (graph.edge(e).latency.as_micros() as f64 * config.latency_scale) as u64,
+                )
+            })
+            .collect();
+
+        let mut handles = Vec::with_capacity(graph.node_count());
+        for (socket, node) in sockets.into_iter().zip(graph.nodes()) {
+            let mut node_config = NodeConfig::new(node, addrs[node.index()]);
+            node_config.hello_interval = config.hello_interval;
+            node_config.link_state_interval = config.link_state_interval;
+            node_config.peers = graph
+                .neighbors(node)
+                .map(|n| (n, addrs[n.index()]))
+                .collect::<HashMap<_, _>>();
+            let handle = OverlayNode::spawn_with_socket(node_config, Arc::clone(&graph), socket)?;
+            // Emulate propagation delay on each out-link.
+            for &e in graph.out_edges(node) {
+                handle.faults().set(
+                    graph.edge(e).dst,
+                    LinkFault { loss: 0.0, delay: base_delay[e.index()] },
+                );
+            }
+            handles.push(Some(handle));
+        }
+        Ok(Cluster { graph, handles, config, base_delay })
+    }
+
+    /// The topology this cluster runs.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The node handle for `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or has been killed.
+    pub fn node(&self, node: NodeId) -> &OverlayHandle {
+        self.handles[node.index()].as_ref().expect("node is alive")
+    }
+
+    /// Stops one node's daemon, simulating a site failure. The rest of
+    /// the overlay discovers the death through hello silence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or already killed.
+    pub fn kill_node(&mut self, node: NodeId) {
+        self.handles[node.index()].take().expect("node is alive").shutdown();
+    }
+
+    /// True when `node` has not been killed.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.handles[node.index()].is_some()
+    }
+
+    /// Opens a sender at the flow's source using a freshly built scheme.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheme-construction and session errors.
+    pub fn open_sender(
+        &self,
+        flow: Flow,
+        kind: SchemeKind,
+        requirement: ServiceRequirement,
+    ) -> Result<FlowSender, OverlayError> {
+        let scheme = build_scheme(
+            kind,
+            &self.graph,
+            flow,
+            requirement,
+            &self.config.scheme_params,
+        )?;
+        self.node(flow.source).open_sender(scheme, requirement)
+    }
+
+    /// Opens a receiver at the flow's destination.
+    ///
+    /// # Errors
+    ///
+    /// Propagates session errors.
+    pub fn open_receiver(&self, flow: Flow) -> Result<FlowReceiver, OverlayError> {
+        self.node(flow.destination).open_receiver(flow)
+    }
+
+    /// Injects loss (and optional extra delay) on a directed edge,
+    /// composing with the emulated propagation delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is out of range.
+    pub fn set_link_fault(&self, edge: EdgeId, loss: f64, extra_delay: Micros) {
+        let info = self.graph.edge(edge);
+        self.node(info.src).faults().set(
+            info.dst,
+            LinkFault {
+                loss,
+                delay: self.base_delay[edge.index()].saturating_add(extra_delay),
+            },
+        );
+    }
+
+    /// Restores a directed edge to its emulated baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is out of range.
+    pub fn clear_link_fault(&self, edge: EdgeId) {
+        let info = self.graph.edge(edge);
+        self.node(info.src)
+            .faults()
+            .set(info.dst, LinkFault { loss: 0.0, delay: self.base_delay[edge.index()] });
+    }
+
+    /// Impairs every link incident to `node` (both directions) — the
+    /// paper's "problem around a node".
+    pub fn impair_node(&self, node: NodeId, loss: f64, extra_delay: Micros) {
+        for &e in self.graph.out_edges(node).iter().chain(self.graph.in_edges(node)) {
+            self.set_link_fault(e, loss, extra_delay);
+        }
+    }
+
+    /// Clears impairments on every link incident to `node`.
+    pub fn heal_node(&self, node: NodeId) {
+        for &e in self.graph.out_edges(node).iter().chain(self.graph.in_edges(node)) {
+            self.clear_link_fault(e);
+        }
+    }
+
+    /// Blocks until every live node has heard link state from every
+    /// origin, or the timeout passes; returns whether convergence was
+    /// reached.
+    pub fn wait_for_link_state(&self, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let converged = self
+                .handles
+                .iter()
+                .flatten()
+                .all(|h| h.link_state_origins() == self.graph.node_count());
+            if converged {
+                return true;
+            }
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    /// Stops every node.
+    pub fn shutdown(self) {
+        for h in self.handles.into_iter().flatten() {
+            h.shutdown();
+        }
+    }
+}

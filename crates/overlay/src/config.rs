@@ -1,0 +1,58 @@
+//! Per-node configuration.
+
+use dg_topology::NodeId;
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+/// Configuration for one overlay node.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// This node's identity in the topology.
+    pub node: NodeId,
+    /// Address to bind the UDP socket on (use port 0 for ephemeral).
+    pub listen: SocketAddr,
+    /// Socket addresses of every overlay neighbour, by node id.
+    pub peers: HashMap<NodeId, SocketAddr>,
+    /// How often hellos probe each out-link.
+    pub hello_interval: Duration,
+    /// Hellos per loss-estimation window.
+    pub monitor_window: usize,
+    /// How often this node originates a link-state update.
+    pub link_state_interval: Duration,
+    /// Per-neighbour retransmission buffer capacity (packets).
+    pub retransmit_buffer: usize,
+    /// Flow-level duplicate-suppression window (packets).
+    pub dedup_window: usize,
+}
+
+impl NodeConfig {
+    /// A configuration with the defaults used by localhost clusters:
+    /// 50 ms hellos, 20-hello loss windows, 200 ms link-state refresh.
+    pub fn new(node: NodeId, listen: SocketAddr) -> Self {
+        NodeConfig {
+            node,
+            listen,
+            peers: HashMap::new(),
+            hello_interval: Duration::from_millis(50),
+            monitor_window: 20,
+            link_state_interval: Duration::from_millis(200),
+            retransmit_buffer: 2_048,
+            dedup_window: 16_384,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let cfg = NodeConfig::new(NodeId::new(1), "127.0.0.1:0".parse().unwrap());
+        assert_eq!(cfg.node, NodeId::new(1));
+        assert!(cfg.peers.is_empty());
+        assert!(cfg.hello_interval < cfg.link_state_interval * 10);
+        assert!(cfg.retransmit_buffer > 0 && cfg.dedup_window > 0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Programmable link impairment for localhost deployments.
+//!
+//! A real overlay link has propagation delay and (sometimes) loss; on
+//! localhost both must be synthesized. Every outgoing datagram passes
+//! through the sending node's [`FaultPlan`], which drops it with the
+//! link's loss probability and otherwise delays it by the link's
+//! configured latency. Both components are adjustable at runtime, which
+//! is how tests and examples inject the paper's "problems around a
+//! node".
+
+use dg_topology::{Micros, NodeId};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// Impairment applied to one directed link (this node → neighbour).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LinkFault {
+    /// Drop probability per datagram.
+    pub loss: f64,
+    /// Added delay per datagram (emulated propagation + injected).
+    pub delay: Micros,
+}
+
+/// Runtime-adjustable impairments for a node's out-links.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    links: RwLock<HashMap<NodeId, LinkFault>>,
+}
+
+impl FaultPlan {
+    /// A plan with no impairments.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Sets the impairment toward `neighbor`, replacing any previous one.
+    pub fn set(&self, neighbor: NodeId, fault: LinkFault) {
+        self.links.write().insert(neighbor, fault);
+    }
+
+    /// Removes the impairment toward `neighbor`.
+    pub fn clear(&self, neighbor: NodeId) {
+        self.links.write().remove(&neighbor);
+    }
+
+    /// Current impairment toward `neighbor` (default: none).
+    pub fn get(&self, neighbor: NodeId) -> LinkFault {
+        self.links.read().get(&neighbor).copied().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let plan = FaultPlan::new();
+        let n = NodeId::new(4);
+        assert_eq!(plan.get(n), LinkFault::default());
+        let f = LinkFault { loss: 0.25, delay: Micros::from_millis(9) };
+        plan.set(n, f);
+        assert_eq!(plan.get(n), f);
+        // Other neighbours are untouched.
+        assert_eq!(plan.get(NodeId::new(5)), LinkFault::default());
+        plan.clear(n);
+        assert_eq!(plan.get(n), LinkFault::default());
+    }
+}

@@ -1,0 +1,64 @@
+//! The deployable overlay transport service.
+//!
+//! Where `dg-sim` *replays* recorded conditions, this crate runs the
+//! real thing at laptop scale: each [`OverlayNode`] is a thread-driven
+//! UDP daemon that
+//!
+//! - forwards data packets along the dissemination graph carried in
+//!   each packet's header (an edge bitmask — the source alone decides
+//!   routing, intermediate nodes just follow the graph),
+//! - suppresses duplicates and drops expired packets,
+//! - runs hop-by-hop recovery on every overlay link (gap detection,
+//!   NACK, a single retransmission),
+//! - monitors its links with hellos (loss and RTT estimation) and
+//!   floods link-state updates so sources can react to problems,
+//! - exposes a [`session::FlowSender`]/[`session::FlowReceiver`] API to
+//!   applications.
+//!
+//! Link loss and extra latency are injectable per edge
+//! ([`fault::FaultPlan`]), so a whole overlay with realistic WAN
+//! behaviour runs on localhost — see [`cluster::Cluster`].
+//!
+//! # Example
+//!
+//! ```no_run
+//! use dg_topology::presets;
+//! use dg_core::{Flow, ServiceRequirement};
+//! use dg_core::scheme::SchemeKind;
+//! use dg_overlay::cluster::{Cluster, ClusterConfig};
+//!
+//! let graph = presets::north_america_12();
+//! let cluster = Cluster::launch(&graph, ClusterConfig::default())?;
+//! let flow = Flow::new(
+//!     graph.node_by_name("NYC").unwrap(),
+//!     graph.node_by_name("SJC").unwrap(),
+//! );
+//! let rx = cluster.open_receiver(flow)?;
+//! let tx = cluster.open_sender(flow, SchemeKind::TargetedRedundancy,
+//!                              ServiceRequirement::default())?;
+//! tx.send(b"scalpel, please")?;
+//! let delivery = rx.recv_timeout(std::time::Duration::from_secs(1)).unwrap();
+//! assert!(delivery.on_time);
+//! cluster.shutdown();
+//! # Ok::<(), dg_overlay::OverlayError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+mod clock;
+mod config;
+mod error;
+pub mod fault;
+mod linkstate;
+mod monitor;
+mod node;
+mod recovery;
+pub mod session;
+pub mod wire;
+
+pub use clock::now_us;
+pub use config::NodeConfig;
+pub use error::OverlayError;
+pub use node::{NodeStats, OverlayHandle, OverlayNode};

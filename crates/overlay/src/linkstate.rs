@@ -1,0 +1,120 @@
+//! The flooded link-state database.
+//!
+//! Every node periodically reports the condition of its out-links; the
+//! reports are flooded with per-origin sequence numbers (newer replaces
+//! older, duplicates are not re-flooded). Each node's database thus
+//! converges to a network-wide [`NetworkState`] — the input the routing
+//! schemes consume.
+
+use crate::wire::LinkStateUpdate;
+use dg_topology::{Graph, Micros};
+use dg_trace::{LinkCondition, NetworkState};
+
+/// Per-node view of every link's reported condition.
+#[derive(Debug)]
+pub struct LinkStateDb {
+    /// Latest sequence seen per origin node.
+    origin_seq: Vec<Option<u64>>,
+    /// Latest reported condition per edge.
+    conditions: Vec<LinkCondition>,
+}
+
+impl LinkStateDb {
+    /// An empty database for `graph` (all links presumed clean).
+    pub fn new(graph: &Graph) -> Self {
+        LinkStateDb {
+            origin_seq: vec![None; graph.node_count()],
+            conditions: vec![LinkCondition::CLEAN; graph.edge_count()],
+        }
+    }
+
+    /// Applies an update. Returns `true` when the update was new (and
+    /// should therefore be re-flooded to neighbours).
+    ///
+    /// Stale or duplicate updates (sequence not newer than what is
+    /// stored for the origin) are ignored. Entries referencing unknown
+    /// edges are skipped rather than erroring: a malformed report from
+    /// one node must not poison the database.
+    pub fn apply(&mut self, update: &LinkStateUpdate) -> bool {
+        let Some(slot) = self.origin_seq.get_mut(update.origin.index()) else {
+            return false;
+        };
+        if slot.is_some_and(|have| update.seq <= have) {
+            return false;
+        }
+        *slot = Some(update.seq);
+        for entry in &update.entries {
+            if let Some(c) = self.conditions.get_mut(entry.edge.index()) {
+                *c = LinkCondition::new(
+                    f64::from(entry.loss),
+                    Micros::from_micros(u64::from(entry.extra_latency_us)),
+                );
+            }
+        }
+        true
+    }
+
+    /// Snapshot of the database as a [`NetworkState`] stamped `now`.
+    pub fn network_state(&self, now: Micros) -> NetworkState {
+        NetworkState::from_conditions(now, self.conditions.clone())
+    }
+
+    /// How many origins have reported at least once.
+    pub fn origins_heard(&self) -> usize {
+        self.origin_seq.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::LinkStateEntry;
+    use dg_topology::{presets, EdgeId, NodeId};
+
+    fn update(origin: u32, seq: u64, edge: u32, loss: f32) -> LinkStateUpdate {
+        LinkStateUpdate {
+            origin: NodeId::new(origin),
+            seq,
+            entries: vec![LinkStateEntry { edge: EdgeId::new(edge), loss, extra_latency_us: 500 }],
+        }
+    }
+
+    #[test]
+    fn applies_new_and_rejects_stale() {
+        let g = presets::north_america_12();
+        let mut db = LinkStateDb::new(&g);
+        assert_eq!(db.origins_heard(), 0);
+        assert!(db.apply(&update(0, 1, 3, 0.5)));
+        assert_eq!(db.origins_heard(), 1);
+        assert!(!db.apply(&update(0, 1, 3, 0.9)), "duplicate seq is ignored");
+        assert!(!db.apply(&update(0, 0, 3, 0.9)), "older seq is ignored");
+        let st = db.network_state(Micros::ZERO);
+        assert!((st.condition(EdgeId::new(3)).loss_rate - 0.5).abs() < 1e-6);
+        assert_eq!(
+            st.condition(EdgeId::new(3)).extra_latency,
+            Micros::from_micros(500)
+        );
+        // Newer seq replaces.
+        assert!(db.apply(&update(0, 2, 3, 0.0)));
+        let st = db.network_state(Micros::ZERO);
+        assert_eq!(st.condition(EdgeId::new(3)).loss_rate, 0.0);
+    }
+
+    #[test]
+    fn unknown_origin_or_edge_is_harmless() {
+        let g = presets::north_america_12();
+        let mut db = LinkStateDb::new(&g);
+        assert!(!db.apply(&update(99, 1, 3, 0.5)));
+        // Known origin, bogus edge id: accepted but entry skipped.
+        assert!(db.apply(&update(1, 1, 9_999, 0.5)));
+        let st = db.network_state(Micros::ZERO);
+        assert!(st.problematic_edges(0.01).is_empty());
+    }
+
+    #[test]
+    fn state_time_is_stamped() {
+        let g = presets::north_america_12();
+        let db = LinkStateDb::new(&g);
+        assert_eq!(db.network_state(Micros::from_secs(9)).time(), Micros::from_secs(9));
+    }
+}

@@ -1,0 +1,222 @@
+//! Hello-based link monitoring.
+//!
+//! Each node probes its out-links with periodic hellos; neighbours echo
+//! them back. Loss is estimated from hello sequence gaps over a sliding
+//! window, and RTT from the echo round trip. These estimates feed the
+//! node's link-state reports — the information dynamic schemes and the
+//! targeted-redundancy detector act on.
+//!
+//! Estimates are *staleness-aware*: a link that stops delivering hellos
+//! entirely would otherwise freeze at its last (possibly clean)
+//! estimate, so silence is charged as loss based on how many hellos
+//! should have arrived since the last one did.
+
+use dg_topology::{Micros, NodeId};
+use std::collections::{BTreeSet, HashMap};
+
+/// Per-neighbour monitoring state.
+#[derive(Debug, Default)]
+struct NeighborStats {
+    /// Hello seqs received from this neighbour (pruned to the window).
+    received: BTreeSet<u64>,
+    /// Highest hello seq seen.
+    highest: Option<u64>,
+    /// When the most recent hello arrived.
+    last_heard: Option<Micros>,
+    /// Smoothed round-trip time to this neighbour.
+    rtt: Option<Micros>,
+    /// Smoothed one-way delay from this neighbour (from hello
+    /// timestamps; nodes of a localhost cluster share a clock).
+    one_way: Option<Micros>,
+}
+
+/// Tracks hello reception and RTT per neighbour.
+#[derive(Debug)]
+pub struct LinkMonitor {
+    window: u64,
+    hello_interval: Micros,
+    neighbors: HashMap<NodeId, NeighborStats>,
+}
+
+impl LinkMonitor {
+    /// Creates a monitor estimating loss over the last `window` hellos,
+    /// charging silence as loss at one hello per `hello_interval`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero or `hello_interval` is zero.
+    pub fn new(window: usize, hello_interval: Micros) -> Self {
+        assert!(window > 0, "monitor window must be positive");
+        assert!(hello_interval > Micros::ZERO, "hello interval must be positive");
+        LinkMonitor { window: window as u64, hello_interval, neighbors: HashMap::new() }
+    }
+
+    /// Records a hello received *from* `neighbor` — i.e. evidence about
+    /// the link `neighbor -> self` — along with its measured one-way
+    /// delay (EWMA-smoothed) and the local arrival time.
+    pub fn record_hello(&mut self, neighbor: NodeId, seq: u64, one_way: Micros, now: Micros) {
+        let stats = self.neighbors.entry(neighbor).or_default();
+        stats.received.insert(seq);
+        stats.highest = Some(stats.highest.map_or(seq, |h| h.max(seq)));
+        stats.last_heard = Some(stats.last_heard.map_or(now, |t| t.max(now)));
+        let floor = stats.highest.expect("just set").saturating_sub(self.window);
+        stats.received.retain(|&s| s > floor);
+        stats.one_way = Some(match stats.one_way {
+            Some(old) => {
+                Micros::from_micros((old.as_micros() * 7 + one_way.as_micros()) / 8)
+            }
+            None => one_way,
+        });
+    }
+
+    /// Smoothed one-way delay from `neighbor`, if any hello arrived.
+    pub fn one_way_from(&self, neighbor: NodeId) -> Option<Micros> {
+        self.neighbors.get(&neighbor).and_then(|s| s.one_way)
+    }
+
+    /// Records a measured round trip to `neighbor` (EWMA-smoothed).
+    pub fn record_rtt(&mut self, neighbor: NodeId, rtt: Micros) {
+        let stats = self.neighbors.entry(neighbor).or_default();
+        stats.rtt = Some(match stats.rtt {
+            // Standard 7/8 smoothing.
+            Some(old) => Micros::from_micros(
+                (old.as_micros() * 7 + rtt.as_micros()) / 8,
+            ),
+            None => rtt,
+        });
+    }
+
+    /// Estimated loss rate on the link *from* `neighbor` to this node
+    /// as of `now`, over the window. Unknown neighbours report full
+    /// loss (a link that has never delivered a hello is as good as
+    /// down), and hellos overdue since `last_heard` count as lost.
+    pub fn loss_from(&self, neighbor: NodeId, now: Micros) -> f64 {
+        let Some(stats) = self.neighbors.get(&neighbor) else {
+            return 1.0;
+        };
+        let (Some(highest), Some(last_heard)) = (stats.highest, stats.last_heard) else {
+            return 1.0;
+        };
+        // Hellos that should have arrived during the silence. One
+        // interval of quiet is normal scheduling jitter, so it is free.
+        let silence = now.saturating_sub(last_heard).as_micros();
+        let overdue =
+            (silence / self.hello_interval.as_micros()).saturating_sub(1).min(self.window);
+        let expected = (highest + 1).min(self.window) + overdue;
+        let floor = highest.saturating_sub(self.window);
+        let got = stats.received.iter().filter(|&&s| s > floor).count() as u64;
+        (1.0 - got as f64 / expected.max(1) as f64).clamp(0.0, 1.0)
+    }
+
+    /// Smoothed RTT to `neighbor`, if any echo has returned.
+    pub fn rtt_to(&self, neighbor: NodeId) -> Option<Micros> {
+        self.neighbors.get(&neighbor).and_then(|s| s.rtt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TICK: Micros = Micros::from_millis(50);
+
+    fn monitor() -> LinkMonitor {
+        LinkMonitor::new(10, TICK)
+    }
+
+    fn at(i: u64) -> Micros {
+        Micros::from_micros(i * TICK.as_micros())
+    }
+
+    #[test]
+    fn unknown_neighbor_is_fully_lossy() {
+        let m = monitor();
+        assert_eq!(m.loss_from(NodeId::new(0), at(100)), 1.0);
+        assert_eq!(m.rtt_to(NodeId::new(0)), None);
+    }
+
+    #[test]
+    fn perfect_reception_is_zero_loss() {
+        let mut m = monitor();
+        let n = NodeId::new(1);
+        for seq in 0..30 {
+            m.record_hello(n, seq, Micros::from_millis(10), at(seq));
+        }
+        assert_eq!(m.loss_from(n, at(30)), 0.0);
+        assert_eq!(m.one_way_from(n), Some(Micros::from_millis(10)));
+    }
+
+    #[test]
+    fn gaps_raise_the_estimate() {
+        let mut m = monitor();
+        let n = NodeId::new(1);
+        // Seqs 20..30 with every other one missing.
+        for seq in (20..30).step_by(2) {
+            m.record_hello(n, seq, Micros::from_millis(5), at(seq));
+        }
+        let loss = m.loss_from(n, at(29));
+        assert!(loss > 0.4 && loss < 0.6, "loss {loss}");
+    }
+
+    #[test]
+    fn window_forgets_old_losses() {
+        let mut m = monitor();
+        let n = NodeId::new(1);
+        // A terrible early patch...
+        m.record_hello(n, 0, Micros::ZERO, at(0));
+        m.record_hello(n, 9, Micros::ZERO, at(9));
+        assert!(m.loss_from(n, at(9)) > 0.5);
+        // ...followed by a clean window.
+        for seq in 10..21 {
+            m.record_hello(n, seq, Micros::ZERO, at(seq));
+        }
+        assert_eq!(m.loss_from(n, at(21)), 0.0);
+    }
+
+    #[test]
+    fn silence_decays_toward_full_loss() {
+        let mut m = monitor();
+        let n = NodeId::new(3);
+        for seq in 0..20 {
+            m.record_hello(n, seq, Micros::ZERO, at(seq));
+        }
+        assert_eq!(m.loss_from(n, at(20)), 0.0);
+        // The neighbour dies: after a few missed intervals the estimate
+        // climbs, and eventually saturates near 1.
+        let after_5 = m.loss_from(n, at(25));
+        assert!(after_5 > 0.2, "after 5 quiet intervals: {after_5}");
+        let after_20 = m.loss_from(n, at(40));
+        assert!(after_20 >= 0.5, "after 20 quiet intervals: {after_20}");
+        // A single quiet interval is free (scheduling jitter).
+        let mut m2 = monitor();
+        for seq in 0..20 {
+            m2.record_hello(n, seq, Micros::ZERO, at(seq));
+        }
+        assert_eq!(m2.loss_from(n, at(20) + Micros::from_millis(40)), 0.0);
+    }
+
+    #[test]
+    fn rtt_smoothing_converges() {
+        let mut m = monitor();
+        let n = NodeId::new(2);
+        m.record_rtt(n, Micros::from_millis(10));
+        assert_eq!(m.rtt_to(n), Some(Micros::from_millis(10)));
+        for _ in 0..50 {
+            m.record_rtt(n, Micros::from_millis(20));
+        }
+        let rtt = m.rtt_to(n).unwrap();
+        assert!(rtt > Micros::from_millis(19), "rtt {rtt}");
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_panics() {
+        LinkMonitor::new(0, TICK);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval")]
+    fn zero_interval_panics() {
+        LinkMonitor::new(10, Micros::ZERO);
+    }
+}

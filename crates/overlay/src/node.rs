@@ -1,0 +1,642 @@
+//! The overlay node: socket, forwarding engine, and protocol threads.
+
+use crate::clock::now_us;
+use crate::config::NodeConfig;
+use crate::fault::FaultPlan;
+use crate::linkstate::LinkStateDb;
+use crate::monitor::LinkMonitor;
+use crate::recovery::{GapTracker, SendBuffer};
+use crate::session::{Delivery, FlowReceiver, FlowSender, SchemeSlot};
+use crate::wire::{DataPacket, Envelope, LinkStateEntry, LinkStateUpdate, Message};
+use crate::OverlayError;
+use bytes::Bytes;
+use crossbeam::channel::{self, Receiver, Sender, TryRecvError};
+use dg_core::scheme::RoutingScheme;
+use dg_core::{Flow, ServiceRequirement};
+use dg_topology::{Graph, Micros, NodeId};
+use dg_trace::NetworkState;
+use parking_lot::Mutex;
+use rand::Rng;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::net::UdpSocket;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Constructor namespace for overlay nodes; see [`OverlayNode::spawn`].
+#[derive(Debug)]
+pub struct OverlayNode;
+
+/// Counters exposed by a running node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Data transmissions onto links (originals, not retransmissions).
+    pub data_sent: u64,
+    /// Data packets received from links.
+    pub data_received: u64,
+    /// Packets delivered to local receiver sessions.
+    pub delivered: u64,
+    /// Flow-level duplicates suppressed.
+    pub duplicates: u64,
+    /// Packets dropped because their deadline had passed.
+    pub expired: u64,
+    /// NACKs sent upstream.
+    pub nacks_sent: u64,
+    /// Retransmissions performed in response to NACKs.
+    pub retransmissions: u64,
+    /// Datagrams dropped by injected link faults.
+    pub fault_drops: u64,
+    /// Hello probes sent.
+    pub hellos_sent: u64,
+    /// Link-state updates originated or re-flooded.
+    pub link_state_sent: u64,
+    /// Dissemination-graph changes across local sender sessions.
+    pub graph_changes: u64,
+    /// Datagrams that failed to parse.
+    pub malformed: u64,
+}
+
+#[derive(Debug, Default)]
+struct AtomicStats {
+    data_sent: AtomicU64,
+    data_received: AtomicU64,
+    delivered: AtomicU64,
+    duplicates: AtomicU64,
+    expired: AtomicU64,
+    nacks_sent: AtomicU64,
+    retransmissions: AtomicU64,
+    fault_drops: AtomicU64,
+    hellos_sent: AtomicU64,
+    link_state_sent: AtomicU64,
+    graph_changes: AtomicU64,
+    malformed: AtomicU64,
+}
+
+impl AtomicStats {
+    fn snapshot(&self) -> NodeStats {
+        NodeStats {
+            data_sent: self.data_sent.load(Ordering::Relaxed),
+            data_received: self.data_received.load(Ordering::Relaxed),
+            delivered: self.delivered.load(Ordering::Relaxed),
+            duplicates: self.duplicates.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            nacks_sent: self.nacks_sent.load(Ordering::Relaxed),
+            retransmissions: self.retransmissions.load(Ordering::Relaxed),
+            fault_drops: self.fault_drops.load(Ordering::Relaxed),
+            hellos_sent: self.hellos_sent.load(Ordering::Relaxed),
+            link_state_sent: self.link_state_sent.load(Ordering::Relaxed),
+            graph_changes: self.graph_changes.load(Ordering::Relaxed),
+            malformed: self.malformed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct DedupCache {
+    seen: HashSet<(Flow, u64)>,
+    order: VecDeque<(Flow, u64)>,
+    capacity: usize,
+}
+
+impl DedupCache {
+    fn new(capacity: usize) -> Self {
+        DedupCache {
+            seen: HashSet::with_capacity(capacity),
+            order: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Returns `true` when the key is new.
+    fn insert(&mut self, key: (Flow, u64)) -> bool {
+        if !self.seen.insert(key) {
+            return false;
+        }
+        if self.order.len() == self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.seen.remove(&old);
+            }
+        }
+        self.order.push_back(key);
+        true
+    }
+}
+
+struct SendLink {
+    next_seq: u64,
+    buffer: SendBuffer,
+}
+
+struct Shipment {
+    to: NodeId,
+    datagram: Bytes,
+    depart_at: Micros,
+    order: u64,
+}
+
+pub(crate) struct Shared {
+    pub(crate) config: NodeConfig,
+    pub(crate) graph: Arc<Graph>,
+    socket: UdpSocket,
+    running: AtomicBool,
+    pub(crate) faults: FaultPlan,
+    monitor: Mutex<LinkMonitor>,
+    linkstate: Mutex<LinkStateDb>,
+    dedup: Mutex<DedupCache>,
+    send_links: Mutex<HashMap<NodeId, SendLink>>,
+    recv_links: Mutex<HashMap<NodeId, GapTracker>>,
+    receivers: Mutex<HashMap<Flow, Sender<Delivery>>>,
+    pub(crate) senders: Mutex<Vec<Arc<Mutex<SchemeSlot>>>>,
+    shipper_tx: Sender<Shipment>,
+    shipment_order: AtomicU64,
+    stats: AtomicStats,
+    hello_seq: AtomicU64,
+    ls_seq: AtomicU64,
+}
+
+impl Shared {
+    fn me(&self) -> NodeId {
+        self.config.node
+    }
+
+    /// Applies link faults and hands the datagram to the shipper.
+    fn transmit(&self, to: NodeId, datagram: Bytes) {
+        let fault = self.faults.get(to);
+        if fault.loss > 0.0 && rand::thread_rng().gen_bool(fault.loss.clamp(0.0, 1.0)) {
+            self.stats.fault_drops.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let shipment = Shipment {
+            to,
+            datagram,
+            depart_at: now_us().saturating_add(fault.delay),
+            order: self.shipment_order.fetch_add(1, Ordering::Relaxed),
+        };
+        // A send on a closed channel only happens during shutdown.
+        let _ = self.shipper_tx.send(shipment);
+    }
+
+    /// Assigns a per-link sequence, buffers for recovery, and transmits
+    /// a data packet toward `neighbor`.
+    pub(crate) fn send_data(&self, neighbor: NodeId, packet: &DataPacket) {
+        let bytes = {
+            let mut links = self.send_links.lock();
+            let link = links.entry(neighbor).or_insert_with(|| SendLink {
+                next_seq: 0,
+                buffer: SendBuffer::new(self.config.retransmit_buffer),
+            });
+            let mut own = packet.clone();
+            own.link_seq = link.next_seq;
+            link.next_seq += 1;
+            let bytes = Envelope { from: self.me(), message: Message::Data(own) }.encode();
+            link.buffer.push(link.next_seq - 1, bytes.clone());
+            bytes
+        };
+        self.stats.data_sent.fetch_add(1, Ordering::Relaxed);
+        self.transmit(neighbor, bytes);
+    }
+
+    /// Disseminates a packet from this node along its mask's out-edges.
+    pub(crate) fn disseminate(&self, packet: &DataPacket) {
+        for &e in self.graph.out_edges(self.me()) {
+            if packet.mask_contains(e) {
+                self.send_data(self.graph.edge(e).dst, packet);
+            }
+        }
+    }
+
+    fn handle_datagram(&self, datagram: &[u8]) {
+        let envelope = match Envelope::decode(datagram) {
+            Ok(e) => e,
+            Err(_) => {
+                self.stats.malformed.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        let from = envelope.from;
+        match envelope.message {
+            Message::Hello { seq, sent_at } => {
+                let now = now_us();
+                self.monitor.lock().record_hello(from, seq, now.saturating_sub(sent_at), now);
+                let ack = Envelope {
+                    from: self.me(),
+                    message: Message::HelloAck { echo_seq: seq, echo_sent_at: sent_at },
+                };
+                self.transmit(from, ack.encode());
+            }
+            Message::HelloAck { echo_sent_at, .. } => {
+                let rtt = now_us().saturating_sub(echo_sent_at);
+                self.monitor.lock().record_rtt(from, rtt);
+            }
+            Message::LinkState(update) => {
+                if self.linkstate.lock().apply(&update) {
+                    self.flood_link_state(&update, Some(from));
+                }
+            }
+            Message::Nack { missing } => {
+                let mut resends = Vec::new();
+                {
+                    let mut links = self.send_links.lock();
+                    if let Some(link) = links.get_mut(&from) {
+                        for seq in missing {
+                            if let Some(bytes) = link.buffer.take(seq) {
+                                resends.push(bytes);
+                            }
+                        }
+                    }
+                }
+                for bytes in resends {
+                    self.stats.retransmissions.fetch_add(1, Ordering::Relaxed);
+                    self.transmit(from, bytes);
+                }
+            }
+            Message::Data(packet) => self.handle_data(from, packet),
+        }
+    }
+
+    fn handle_data(&self, from: NodeId, packet: DataPacket) {
+        self.stats.data_received.fetch_add(1, Ordering::Relaxed);
+        // Hop-by-hop recovery: detect gaps on this incoming link.
+        let missing = self.recv_links.lock().entry(from).or_default().observe(packet.link_seq);
+        if !missing.is_empty() {
+            self.stats.nacks_sent.fetch_add(1, Ordering::Relaxed);
+            let nack = Envelope { from: self.me(), message: Message::Nack { missing } };
+            self.transmit(from, nack.encode());
+        }
+        // Flow-level duplicate suppression.
+        if !self.dedup.lock().insert((packet.flow, packet.flow_seq)) {
+            self.stats.duplicates.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let now = now_us();
+        if packet.flow.destination == self.me() {
+            self.stats.delivered.fetch_add(1, Ordering::Relaxed);
+            if let Some(tx) = self.receivers.lock().get(&packet.flow) {
+                let _ = tx.send(Delivery {
+                    flow: packet.flow,
+                    flow_seq: packet.flow_seq,
+                    payload: packet.payload.clone(),
+                    sent_at: packet.sent_at,
+                    delivered_at: now,
+                    on_time: !packet.expired(now),
+                });
+            }
+        }
+        if packet.expired(now) {
+            self.stats.expired.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        self.disseminate(&packet);
+    }
+
+    fn flood_link_state(&self, update: &LinkStateUpdate, except: Option<NodeId>) {
+        let bytes =
+            Envelope { from: self.me(), message: Message::LinkState(update.clone()) }.encode();
+        for &e in self.graph.out_edges(self.me()) {
+            let neighbor = self.graph.edge(e).dst;
+            if Some(neighbor) != except {
+                self.stats.link_state_sent.fetch_add(1, Ordering::Relaxed);
+                self.transmit(neighbor, bytes.clone());
+            }
+        }
+    }
+
+    /// Originates this node's own link-state report: the loss observed
+    /// *from* each neighbour (our in-edges) and the latency above
+    /// baseline.
+    fn originate_link_state(&self) {
+        let me = self.me();
+        let now = now_us();
+        let entries: Vec<LinkStateEntry> = {
+            let monitor = self.monitor.lock();
+            self.graph
+                .in_edges(me)
+                .iter()
+                .map(|&e| {
+                    let neighbor = self.graph.edge(e).src;
+                    let baseline = self.graph.edge(e).latency;
+                    let extra = monitor
+                        .one_way_from(neighbor)
+                        .map_or(Micros::ZERO, |d| d.saturating_sub(baseline));
+                    LinkStateEntry {
+                        edge: e,
+                        loss: monitor.loss_from(neighbor, now) as f32,
+                        extra_latency_us: extra.as_micros().min(u64::from(u32::MAX)) as u32,
+                    }
+                })
+                .collect()
+        };
+        let update = LinkStateUpdate {
+            origin: me,
+            seq: self.ls_seq.fetch_add(1, Ordering::Relaxed) + 1,
+            entries,
+        };
+        self.linkstate.lock().apply(&update);
+        self.flood_link_state(&update, None);
+    }
+
+    fn update_schemes(&self) {
+        let state = self.linkstate.lock().network_state(now_us());
+        let slots: Vec<_> = self.senders.lock().clone();
+        for slot in slots {
+            let mut slot = slot.lock();
+            if slot.scheme.update(&self.graph, &state) {
+                slot.refresh_mask(self.graph.edge_count());
+                self.stats.graph_changes.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn send_hellos(&self) {
+        let me = self.me();
+        let seq = self.hello_seq.fetch_add(1, Ordering::Relaxed);
+        for &e in self.graph.out_edges(me) {
+            let hello = Envelope {
+                from: me,
+                message: Message::Hello { seq, sent_at: now_us() },
+            };
+            self.stats.hellos_sent.fetch_add(1, Ordering::Relaxed);
+            self.transmit(self.graph.edge(e).dst, hello.encode());
+        }
+    }
+}
+
+/// A running overlay node.
+///
+/// Dropping the handle without calling [`OverlayHandle::shutdown`]
+/// leaves the daemon threads running until process exit; call
+/// `shutdown` for an orderly stop.
+pub struct OverlayHandle {
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for OverlayHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OverlayHandle")
+            .field("node", &self.shared.config.node)
+            .field("addr", &self.local_addr())
+            .finish()
+    }
+}
+
+impl OverlayNode {
+    /// Binds the configured address and starts the node's threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::Io`] when the socket cannot be bound.
+    pub fn spawn(config: NodeConfig, graph: Arc<Graph>) -> Result<OverlayHandle, OverlayError> {
+        let socket = UdpSocket::bind(config.listen)?;
+        OverlayNode::spawn_with_socket(config, graph, socket)
+    }
+
+    /// Starts a node over an already-bound socket (used by clusters,
+    /// which must learn every port before wiring up peer tables).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::Io`] when socket options cannot be set.
+    pub fn spawn_with_socket(
+        config: NodeConfig,
+        graph: Arc<Graph>,
+        socket: UdpSocket,
+    ) -> Result<OverlayHandle, OverlayError> {
+        socket.set_read_timeout(Some(Duration::from_millis(10)))?;
+        let (shipper_tx, shipper_rx) = channel::unbounded();
+        let monitor_window = config.monitor_window;
+        let dedup_window = config.dedup_window;
+        let hello_interval = config.hello_interval;
+        let shared = Arc::new(Shared {
+            config,
+            graph: Arc::clone(&graph),
+            socket,
+            running: AtomicBool::new(true),
+            faults: FaultPlan::new(),
+            monitor: Mutex::new(LinkMonitor::new(
+                monitor_window,
+                Micros::from_micros(hello_interval.as_micros() as u64),
+            )),
+            linkstate: Mutex::new(LinkStateDb::new(&graph)),
+            dedup: Mutex::new(DedupCache::new(dedup_window)),
+            send_links: Mutex::new(HashMap::new()),
+            recv_links: Mutex::new(HashMap::new()),
+            receivers: Mutex::new(HashMap::new()),
+            senders: Mutex::new(Vec::new()),
+            shipper_tx,
+            shipment_order: AtomicU64::new(0),
+            stats: AtomicStats::default(),
+            hello_seq: AtomicU64::new(0),
+            ls_seq: AtomicU64::new(0),
+        });
+
+        let rx_shared = Arc::clone(&shared);
+        let rx_thread = std::thread::Builder::new()
+            .name(format!("dg-rx-{}", rx_shared.config.node))
+            .spawn(move || receive_loop(&rx_shared))?;
+
+        let ship_shared = Arc::clone(&shared);
+        let ship_thread = std::thread::Builder::new()
+            .name(format!("dg-ship-{}", ship_shared.config.node))
+            .spawn(move || shipper_loop(&ship_shared, &shipper_rx))?;
+
+        let tick_shared = Arc::clone(&shared);
+        let tick_thread = std::thread::Builder::new()
+            .name(format!("dg-tick-{}", tick_shared.config.node))
+            .spawn(move || ticker_loop(&tick_shared))?;
+
+        Ok(OverlayHandle { shared, threads: vec![rx_thread, ship_thread, tick_thread] })
+    }
+}
+
+impl OverlayHandle {
+    /// This node's id.
+    pub fn node_id(&self) -> NodeId {
+        self.shared.config.node
+    }
+
+    /// The bound socket address.
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.shared.socket.local_addr().expect("bound socket has an address")
+    }
+
+    /// Opens a sending session at this node for the scheme's flow.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::UnknownNode`] when the scheme's flow does
+    /// not originate here.
+    pub fn open_sender(
+        &self,
+        scheme: Box<dyn RoutingScheme>,
+        requirement: ServiceRequirement,
+    ) -> Result<FlowSender, OverlayError> {
+        if scheme.flow().source != self.node_id() {
+            return Err(OverlayError::UnknownNode(scheme.flow().source));
+        }
+        let flow = scheme.flow();
+        let slot = Arc::new(Mutex::new(SchemeSlot::new(
+            scheme,
+            self.shared.graph.edge_count(),
+        )));
+        self.shared.senders.lock().push(Arc::clone(&slot));
+        Ok(FlowSender::new(Arc::clone(&self.shared), slot, flow, requirement.deadline))
+    }
+
+    /// Opens a receiving session for `flow`, which must terminate here.
+    ///
+    /// A later receiver for the same flow replaces the earlier one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::UnknownNode`] when the flow does not
+    /// terminate at this node.
+    pub fn open_receiver(&self, flow: Flow) -> Result<FlowReceiver, OverlayError> {
+        if flow.destination != self.node_id() {
+            return Err(OverlayError::UnknownNode(flow.destination));
+        }
+        let (tx, rx) = channel::unbounded();
+        self.shared.receivers.lock().insert(flow, tx);
+        Ok(FlowReceiver::new(rx))
+    }
+
+    /// The runtime-adjustable fault plan for this node's out-links.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.shared.faults
+    }
+
+    /// This node's current view of network-wide link conditions.
+    pub fn network_state(&self) -> NetworkState {
+        self.shared.linkstate.lock().network_state(now_us())
+    }
+
+    /// How many origins have reported link state so far.
+    pub fn link_state_origins(&self) -> usize {
+        self.shared.linkstate.lock().origins_heard()
+    }
+
+    /// Snapshot of this node's counters.
+    pub fn stats(&self) -> NodeStats {
+        self.shared.stats.snapshot()
+    }
+
+    /// This node's direct measurements of the link *from* `neighbor`:
+    /// `(estimated loss, smoothed RTT if an echo returned)`.
+    pub fn link_quality(&self, neighbor: NodeId) -> (f64, Option<Micros>) {
+        let monitor = self.shared.monitor.lock();
+        (monitor.loss_from(neighbor, now_us()), monitor.rtt_to(neighbor))
+    }
+
+    /// Total datagrams currently held for possible retransmission
+    /// across all out-links.
+    pub fn retransmit_backlog(&self) -> usize {
+        self.shared.send_links.lock().values().map(|l| l.buffer.len()).sum()
+    }
+
+    /// Stops the node's threads and joins them.
+    pub fn shutdown(mut self) {
+        self.shared.running.store(false, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn receive_loop(shared: &Shared) {
+    let mut buf = vec![0u8; 65_536];
+    while shared.running.load(Ordering::SeqCst) {
+        match shared.socket.recv_from(&mut buf) {
+            Ok((len, _addr)) => shared.handle_datagram(&buf[..len]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => break,
+        }
+    }
+}
+
+fn shipper_loop(shared: &Shared, rx: &Receiver<Shipment>) {
+    use std::cmp::Reverse;
+    let mut heap: std::collections::BinaryHeap<Reverse<(Micros, u64)>> =
+        std::collections::BinaryHeap::new();
+    let mut pending: HashMap<u64, Shipment> = HashMap::new();
+    loop {
+        // Drain whatever has been queued.
+        loop {
+            match rx.try_recv() {
+                Ok(s) => {
+                    heap.push(Reverse((s.depart_at, s.order)));
+                    pending.insert(s.order, s);
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => break,
+            }
+        }
+        // Send everything due.
+        let now = now_us();
+        while heap.peek().is_some_and(|Reverse((due, _))| *due <= now) {
+            let Reverse((_, order)) = heap.pop().expect("peeked");
+            if let Some(s) = pending.remove(&order) {
+                if let Some(addr) = shared.config.peers.get(&s.to) {
+                    let _ = shared.socket.send_to(&s.datagram, addr);
+                }
+            }
+        }
+        if !shared.running.load(Ordering::SeqCst) && heap.is_empty() {
+            return;
+        }
+        // Sleep until the next due shipment or a short poll.
+        let nap = heap
+            .peek()
+            .map(|Reverse((due, _))| {
+                Duration::from_micros(due.saturating_sub(now_us()).as_micros().min(5_000))
+            })
+            .unwrap_or(Duration::from_millis(2));
+        if let Ok(s) = rx.recv_timeout(nap) {
+            heap.push(Reverse((s.depart_at, s.order)));
+            pending.insert(s.order, s);
+        }
+    }
+}
+
+fn ticker_loop(shared: &Shared) {
+    let hello_every = shared.config.hello_interval;
+    let ls_every = shared.config.link_state_interval;
+    let mut last_ls = std::time::Instant::now();
+    while shared.running.load(Ordering::SeqCst) {
+        shared.send_hellos();
+        if last_ls.elapsed() >= ls_every {
+            last_ls = std::time::Instant::now();
+            shared.originate_link_state();
+            shared.update_schemes();
+        }
+        std::thread::sleep(hello_every);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_cache_evicts_in_order() {
+        let f = Flow::new(NodeId::new(0), NodeId::new(1));
+        let mut cache = DedupCache::new(2);
+        assert!(cache.insert((f, 1)));
+        assert!(!cache.insert((f, 1)));
+        assert!(cache.insert((f, 2)));
+        assert!(cache.insert((f, 3))); // evicts seq 1
+        assert!(cache.insert((f, 1)), "evicted key is fresh again");
+    }
+
+    #[test]
+    fn stats_snapshot_reads_counters() {
+        let stats = AtomicStats::default();
+        stats.data_sent.fetch_add(3, Ordering::Relaxed);
+        stats.duplicates.fetch_add(1, Ordering::Relaxed);
+        let snap = stats.snapshot();
+        assert_eq!(snap.data_sent, 3);
+        assert_eq!(snap.duplicates, 1);
+        assert_eq!(snap.delivered, 0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Hop-by-hop recovery: per-link sequencing, gap detection, and a
+//! bounded retransmission buffer.
+//!
+//! Every data transmission on an overlay link carries a per-link
+//! sequence number. The receiving side detects gaps when a later
+//! sequence arrives and NACKs the missing ones; the sending side keeps
+//! recent datagrams in a ring buffer and retransmits each **once** —
+//! the paper's single-retransmission discipline, which bounds the
+//! latency a recovered packet can accumulate.
+
+use bytes::Bytes;
+use std::collections::{HashSet, VecDeque};
+
+/// Cap on how many sequences one gap can NACK; a bigger gap means the
+/// link was effectively down and recovery would be useless anyway.
+const MAX_NACK: u64 = 64;
+
+/// Sender side: recent transmissions kept for possible retransmission.
+#[derive(Debug)]
+pub struct SendBuffer {
+    capacity: usize,
+    entries: VecDeque<(u64, Bytes)>,
+}
+
+impl SendBuffer {
+    /// A buffer holding up to `capacity` recent datagrams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "send buffer capacity must be positive");
+        SendBuffer { capacity, entries: VecDeque::with_capacity(capacity) }
+    }
+
+    /// Stores a transmitted datagram under its link sequence number.
+    pub fn push(&mut self, link_seq: u64, datagram: Bytes) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back((link_seq, datagram));
+    }
+
+    /// Takes the datagram for `link_seq`, removing it so a second NACK
+    /// for the same sequence cannot trigger a second retransmission.
+    pub fn take(&mut self, link_seq: u64) -> Option<Bytes> {
+        let idx = self.entries.iter().position(|(s, _)| *s == link_seq)?;
+        self.entries.remove(idx).map(|(_, d)| d)
+    }
+
+    /// Number of buffered datagrams.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is buffered.
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Receiver side: detects sequence gaps on one incoming link.
+#[derive(Debug, Default)]
+pub struct GapTracker {
+    next_expected: Option<u64>,
+    /// Sequences already NACKed, so reordering cannot double-request.
+    requested: HashSet<u64>,
+}
+
+impl GapTracker {
+    /// A tracker that synchronizes on the first observed sequence
+    /// (equivalent to `GapTracker::default()`).
+    #[cfg(test)]
+    pub fn new() -> Self {
+        GapTracker::default()
+    }
+
+    /// Observes an arriving link sequence number and returns the gap of
+    /// missing sequences to NACK (empty for in-order, duplicate, or
+    /// retransmitted arrivals).
+    pub fn observe(&mut self, link_seq: u64) -> Vec<u64> {
+        let Some(expected) = self.next_expected else {
+            // First packet on this link: synchronize, nothing to recover
+            // (anything earlier predates our knowledge of the link).
+            self.next_expected = Some(link_seq + 1);
+            return Vec::new();
+        };
+        if link_seq < expected {
+            // A retransmission or reordering; no new information.
+            self.requested.remove(&link_seq);
+            return Vec::new();
+        }
+        let gap_start = expected.max(link_seq.saturating_sub(MAX_NACK));
+        let missing: Vec<u64> =
+            (gap_start..link_seq).filter(|s| !self.requested.contains(s)).collect();
+        self.requested.extend(missing.iter().copied());
+        // Bound the memory of the requested set.
+        if self.requested.len() > 4 * MAX_NACK as usize {
+            let floor = link_seq.saturating_sub(2 * MAX_NACK);
+            self.requested.retain(|&s| s >= floor);
+        }
+        self.next_expected = Some(link_seq + 1);
+        missing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_stores_and_takes_once() {
+        let mut b = SendBuffer::new(4);
+        assert!(b.is_empty());
+        b.push(1, Bytes::from_static(b"one"));
+        b.push(2, Bytes::from_static(b"two"));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.take(1), Some(Bytes::from_static(b"one")));
+        assert_eq!(b.take(1), None, "single retransmission only");
+        assert_eq!(b.take(99), None);
+    }
+
+    #[test]
+    fn buffer_evicts_oldest() {
+        let mut b = SendBuffer::new(2);
+        b.push(1, Bytes::from_static(b"a"));
+        b.push(2, Bytes::from_static(b"b"));
+        b.push(3, Bytes::from_static(b"c"));
+        assert_eq!(b.take(1), None, "evicted");
+        assert!(b.take(2).is_some());
+        assert!(b.take(3).is_some());
+    }
+
+    #[test]
+    fn tracker_synchronizes_then_detects_gaps() {
+        let mut t = GapTracker::new();
+        assert!(t.observe(10).is_empty(), "first packet synchronizes");
+        assert!(t.observe(11).is_empty(), "in order");
+        assert_eq!(t.observe(14), vec![12, 13]);
+        assert!(t.observe(15).is_empty());
+    }
+
+    #[test]
+    fn duplicates_and_retransmissions_do_not_renack() {
+        let mut t = GapTracker::new();
+        t.observe(0);
+        assert_eq!(t.observe(3), vec![1, 2]);
+        // The retransmission of 1 arrives late.
+        assert!(t.observe(1).is_empty());
+        // A later gap does not re-request 2 (already asked).
+        assert_eq!(t.observe(5), vec![4]);
+    }
+
+    #[test]
+    fn huge_gaps_are_capped() {
+        let mut t = GapTracker::new();
+        t.observe(0);
+        let missing = t.observe(10_000);
+        assert_eq!(missing.len() as u64, MAX_NACK);
+        assert_eq!(*missing.first().unwrap(), 10_000 - MAX_NACK);
+        assert_eq!(*missing.last().unwrap(), 9_999);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        SendBuffer::new(0);
+    }
+}

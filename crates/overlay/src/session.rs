@@ -1,0 +1,252 @@
+//! Application-facing sending and receiving sessions.
+
+use crate::clock::now_us;
+use crate::node::Shared;
+use crate::wire::{DataPacket, MAX_PAYLOAD};
+use crate::OverlayError;
+use bytes::Bytes;
+use crossbeam::channel::Receiver;
+use dg_core::scheme::RoutingScheme;
+use dg_core::{DisseminationGraph, Flow};
+use dg_topology::Micros;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A packet handed to a receiving application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// The flow it belongs to.
+    pub flow: Flow,
+    /// End-to-end sequence number.
+    pub flow_seq: u64,
+    /// Application bytes.
+    pub payload: Bytes,
+    /// When the source sent it.
+    pub sent_at: Micros,
+    /// When this node delivered it.
+    pub delivered_at: Micros,
+    /// Whether it arrived within the flow's deadline.
+    pub on_time: bool,
+}
+
+impl Delivery {
+    /// One-way latency experienced by this packet.
+    pub fn latency(&self) -> Micros {
+        self.delivered_at.saturating_sub(self.sent_at)
+    }
+}
+
+/// Summary of a batch of deliveries (e.g. one drained receive queue).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeliveryStats {
+    /// Packets delivered.
+    pub delivered: u64,
+    /// Packets delivered within their deadline.
+    pub on_time: u64,
+    /// Worst one-way latency observed.
+    pub max_latency: Micros,
+    /// Sum of latencies (for the mean).
+    total_latency: Micros,
+}
+
+impl DeliveryStats {
+    /// Summarizes a batch of deliveries.
+    pub fn from_deliveries<'a, I: IntoIterator<Item = &'a Delivery>>(batch: I) -> Self {
+        let mut stats = DeliveryStats::default();
+        for d in batch {
+            stats.delivered += 1;
+            if d.on_time {
+                stats.on_time += 1;
+            }
+            let l = d.latency();
+            stats.max_latency = stats.max_latency.max(l);
+            stats.total_latency = stats.total_latency.saturating_add(l);
+        }
+        stats
+    }
+
+    /// Fraction of delivered packets that met their deadline.
+    pub fn on_time_fraction(&self) -> f64 {
+        if self.delivered == 0 {
+            1.0
+        } else {
+            self.on_time as f64 / self.delivered as f64
+        }
+    }
+
+    /// Mean one-way latency, or zero for an empty batch.
+    pub fn mean_latency(&self) -> Micros {
+        match self.total_latency.as_micros().checked_div(self.delivered) {
+            Some(mean) => Micros::from_micros(mean),
+            None => Micros::ZERO,
+        }
+    }
+}
+
+/// The per-sender routing state: the live scheme plus its current
+/// dissemination graph pre-encoded as a wire bitmask.
+pub(crate) struct SchemeSlot {
+    pub(crate) scheme: Box<dyn RoutingScheme>,
+    mask: Bytes,
+}
+
+impl SchemeSlot {
+    pub(crate) fn new(scheme: Box<dyn RoutingScheme>, edge_count: usize) -> Self {
+        let mask = Bytes::from(scheme.current().to_bitmask(edge_count));
+        SchemeSlot { scheme, mask }
+    }
+
+    pub(crate) fn refresh_mask(&mut self, edge_count: usize) {
+        self.mask = Bytes::from(self.scheme.current().to_bitmask(edge_count));
+    }
+
+    fn mask(&self) -> Bytes {
+        self.mask.clone()
+    }
+}
+
+impl std::fmt::Debug for SchemeSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SchemeSlot").field("scheme", &self.scheme.kind()).finish()
+    }
+}
+
+/// A sending session: stamps packets with the flow's current
+/// dissemination graph and injects them at the source node.
+pub struct FlowSender {
+    shared: Arc<Shared>,
+    slot: Arc<Mutex<SchemeSlot>>,
+    flow: Flow,
+    deadline: Micros,
+    next_seq: AtomicU64,
+}
+
+impl std::fmt::Debug for FlowSender {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlowSender")
+            .field("flow", &self.flow)
+            .field("deadline", &self.deadline)
+            .finish()
+    }
+}
+
+impl FlowSender {
+    pub(crate) fn new(
+        shared: Arc<Shared>,
+        slot: Arc<Mutex<SchemeSlot>>,
+        flow: Flow,
+        deadline: Micros,
+    ) -> Self {
+        FlowSender { shared, slot, flow, deadline, next_seq: AtomicU64::new(0) }
+    }
+
+    /// The flow this session sends on.
+    pub fn flow(&self) -> Flow {
+        self.flow
+    }
+
+    /// Sends one application packet; returns its flow sequence number.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::PayloadTooLarge`] for payloads over
+    /// [`MAX_PAYLOAD`] bytes.
+    pub fn send(&self, payload: &[u8]) -> Result<u64, OverlayError> {
+        if payload.len() > MAX_PAYLOAD {
+            return Err(OverlayError::PayloadTooLarge { got: payload.len(), max: MAX_PAYLOAD });
+        }
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let packet = DataPacket {
+            flow: self.flow,
+            flow_seq: seq,
+            sent_at: now_us(),
+            deadline: self.deadline,
+            link_seq: 0, // assigned per link at transmission
+            retransmission: false,
+            mask: self.slot.lock().mask(),
+            payload: Bytes::copy_from_slice(payload),
+        };
+        self.shared.disseminate(&packet);
+        Ok(seq)
+    }
+
+    /// The dissemination graph currently stamped onto packets.
+    pub fn current_graph(&self) -> DisseminationGraph {
+        self.slot.lock().scheme.current().clone()
+    }
+}
+
+/// A receiving session: yields [`Delivery`] records for one flow.
+#[derive(Debug)]
+pub struct FlowReceiver {
+    rx: Receiver<Delivery>,
+}
+
+impl FlowReceiver {
+    pub(crate) fn new(rx: Receiver<Delivery>) -> Self {
+        FlowReceiver { rx }
+    }
+
+    /// Blocks up to `timeout` for the next delivery.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Delivery> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Returns a delivery if one is already queued.
+    pub fn try_recv(&self) -> Option<Delivery> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Drains everything currently queued.
+    pub fn drain(&self) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        while let Some(d) = self.try_recv() {
+            out.push(d);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_topology::NodeId;
+
+    #[test]
+    fn delivery_latency() {
+        let d = Delivery {
+            flow: Flow::new(NodeId::new(0), NodeId::new(1)),
+            flow_seq: 0,
+            payload: Bytes::new(),
+            sent_at: Micros::from_micros(100),
+            delivered_at: Micros::from_micros(350),
+            on_time: true,
+        };
+        assert_eq!(d.latency(), Micros::from_micros(250));
+    }
+
+    #[test]
+    fn delivery_stats_summarize() {
+        let mk = |sent: u64, arrived: u64, on_time: bool| Delivery {
+            flow: Flow::new(NodeId::new(0), NodeId::new(1)),
+            flow_seq: 0,
+            payload: Bytes::new(),
+            sent_at: Micros::from_micros(sent),
+            delivered_at: Micros::from_micros(arrived),
+            on_time,
+        };
+        let batch = [mk(0, 100, true), mk(0, 300, true), mk(0, 800, false)];
+        let stats = DeliveryStats::from_deliveries(&batch);
+        assert_eq!(stats.delivered, 3);
+        assert_eq!(stats.on_time, 2);
+        assert_eq!(stats.max_latency, Micros::from_micros(800));
+        assert_eq!(stats.mean_latency(), Micros::from_micros(400));
+        assert!((stats.on_time_fraction() - 2.0 / 3.0).abs() < 1e-12);
+
+        let empty = DeliveryStats::from_deliveries([]);
+        assert_eq!(empty.on_time_fraction(), 1.0);
+        assert_eq!(empty.mean_latency(), Micros::ZERO);
+    }
+}

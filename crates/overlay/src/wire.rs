@@ -1,0 +1,383 @@
+//! Wire format of overlay packets.
+//!
+//! Every datagram is an [`Envelope`]: a fixed prelude (magic, version,
+//! message type, sending node) followed by one [`Message`]. Data
+//! packets carry the flow's dissemination graph as an edge bitmask, so
+//! intermediate nodes forward without any per-flow routing state — the
+//! source alone decides the routing, per the paper's architecture.
+
+use crate::OverlayError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use dg_core::Flow;
+use dg_topology::{EdgeId, Micros, NodeId};
+
+/// First byte of every overlay datagram.
+pub const MAGIC: u8 = 0xDC;
+/// Wire protocol version.
+pub const VERSION: u8 = 1;
+/// Maximum application payload per packet, chosen to keep the whole
+/// datagram under a typical 1500-byte MTU.
+pub const MAX_PAYLOAD: usize = 1200;
+
+/// A decoded overlay datagram: who sent it, and what it is.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// The overlay node that transmitted this datagram (one hop away).
+    pub from: NodeId,
+    /// The message.
+    pub message: Message,
+}
+
+/// The overlay message types.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// An application packet being disseminated.
+    Data(DataPacket),
+    /// A hop-by-hop recovery request for lost link sequence numbers.
+    Nack {
+        /// The link sequence numbers the receiver never saw.
+        missing: Vec<u64>,
+    },
+    /// A link-monitoring probe.
+    Hello {
+        /// Monotonic hello counter on this link.
+        seq: u64,
+        /// Sender timestamp, echoed back for RTT measurement.
+        sent_at: Micros,
+    },
+    /// Echo of a received hello.
+    HelloAck {
+        /// The echoed hello counter.
+        echo_seq: u64,
+        /// The echoed send timestamp.
+        echo_sent_at: Micros,
+    },
+    /// A flooded link-state report.
+    LinkState(LinkStateUpdate),
+}
+
+/// An application packet in flight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataPacket {
+    /// The flow this packet belongs to.
+    pub flow: Flow,
+    /// End-to-end sequence number assigned by the source.
+    pub flow_seq: u64,
+    /// Source send timestamp.
+    pub sent_at: Micros,
+    /// One-way delivery deadline (duration, not an instant).
+    pub deadline: Micros,
+    /// Per-link sequence number assigned by the transmitting node.
+    pub link_seq: u64,
+    /// True for hop-by-hop retransmissions (they are not recovered again).
+    pub retransmission: bool,
+    /// Dissemination-graph edge bitmask (LSB-first over dense edge ids).
+    pub mask: Bytes,
+    /// Application payload.
+    pub payload: Bytes,
+}
+
+impl DataPacket {
+    /// True when the dissemination graph includes `edge`.
+    pub fn mask_contains(&self, edge: EdgeId) -> bool {
+        let i = edge.index();
+        self.mask.get(i / 8).is_some_and(|b| b & (1 << (i % 8)) != 0)
+    }
+
+    /// True when, at time `now`, this packet can no longer be delivered
+    /// within its deadline.
+    pub fn expired(&self, now: Micros) -> bool {
+        now > self.sent_at.saturating_add(self.deadline)
+    }
+}
+
+/// One edge's condition inside a link-state update.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkStateEntry {
+    /// The reported edge (an out-edge of the originating node).
+    pub edge: EdgeId,
+    /// Estimated loss rate.
+    pub loss: f32,
+    /// Estimated latency above baseline, in microseconds.
+    pub extra_latency_us: u32,
+}
+
+/// A link-state report flooded through the overlay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkStateUpdate {
+    /// The node reporting its out-links.
+    pub origin: NodeId,
+    /// Monotonic per-origin sequence number (newer replaces older).
+    pub seq: u64,
+    /// Conditions of the origin's out-edges.
+    pub entries: Vec<LinkStateEntry>,
+}
+
+const T_DATA: u8 = 0;
+const T_NACK: u8 = 1;
+const T_HELLO: u8 = 2;
+const T_HELLO_ACK: u8 = 3;
+const T_LINK_STATE: u8 = 4;
+
+impl Envelope {
+    /// Serializes the envelope to bytes ready for a datagram.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u8(MAGIC);
+        buf.put_u8(VERSION);
+        match &self.message {
+            Message::Data(_) => buf.put_u8(T_DATA),
+            Message::Nack { .. } => buf.put_u8(T_NACK),
+            Message::Hello { .. } => buf.put_u8(T_HELLO),
+            Message::HelloAck { .. } => buf.put_u8(T_HELLO_ACK),
+            Message::LinkState(_) => buf.put_u8(T_LINK_STATE),
+        }
+        buf.put_u32(self.from.index() as u32);
+        match &self.message {
+            Message::Data(d) => {
+                buf.put_u32(d.flow.source.index() as u32);
+                buf.put_u32(d.flow.destination.index() as u32);
+                buf.put_u64(d.flow_seq);
+                buf.put_u64(d.sent_at.as_micros());
+                buf.put_u64(d.deadline.as_micros());
+                buf.put_u64(d.link_seq);
+                buf.put_u8(u8::from(d.retransmission));
+                buf.put_u16(d.mask.len() as u16);
+                buf.put_slice(&d.mask);
+                buf.put_u16(d.payload.len() as u16);
+                buf.put_slice(&d.payload);
+            }
+            Message::Nack { missing } => {
+                buf.put_u16(missing.len() as u16);
+                for &s in missing {
+                    buf.put_u64(s);
+                }
+            }
+            Message::Hello { seq, sent_at } => {
+                buf.put_u64(*seq);
+                buf.put_u64(sent_at.as_micros());
+            }
+            Message::HelloAck { echo_seq, echo_sent_at } => {
+                buf.put_u64(*echo_seq);
+                buf.put_u64(echo_sent_at.as_micros());
+            }
+            Message::LinkState(u) => {
+                buf.put_u32(u.origin.index() as u32);
+                buf.put_u64(u.seq);
+                buf.put_u16(u.entries.len() as u16);
+                for e in &u.entries {
+                    buf.put_u32(e.edge.index() as u32);
+                    buf.put_f32(e.loss);
+                    buf.put_u32(e.extra_latency_us);
+                }
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Parses an envelope from a received datagram.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::Malformed`] on truncation, bad magic, or
+    /// an unknown message type.
+    pub fn decode(datagram: &[u8]) -> Result<Envelope, OverlayError> {
+        let mut buf = datagram;
+        if buf.remaining() < 7 {
+            return Err(OverlayError::Malformed("short prelude"));
+        }
+        if buf.get_u8() != MAGIC {
+            return Err(OverlayError::Malformed("bad magic"));
+        }
+        if buf.get_u8() != VERSION {
+            return Err(OverlayError::Malformed("unsupported version"));
+        }
+        let msg_type = buf.get_u8();
+        let from = NodeId::new(buf.get_u32());
+        let message = match msg_type {
+            T_DATA => {
+                if buf.remaining() < 4 + 4 + 8 + 8 + 8 + 8 + 1 + 2 {
+                    return Err(OverlayError::Malformed("short data header"));
+                }
+                let flow = Flow::new(NodeId::new(buf.get_u32()), NodeId::new(buf.get_u32()));
+                let flow_seq = buf.get_u64();
+                let sent_at = Micros::from_micros(buf.get_u64());
+                let deadline = Micros::from_micros(buf.get_u64());
+                let link_seq = buf.get_u64();
+                let retransmission = buf.get_u8() != 0;
+                let mask_len = buf.get_u16() as usize;
+                if buf.remaining() < mask_len + 2 {
+                    return Err(OverlayError::Malformed("short mask"));
+                }
+                let mask = Bytes::copy_from_slice(&buf[..mask_len]);
+                buf.advance(mask_len);
+                let payload_len = buf.get_u16() as usize;
+                if buf.remaining() < payload_len {
+                    return Err(OverlayError::Malformed("short payload"));
+                }
+                let payload = Bytes::copy_from_slice(&buf[..payload_len]);
+                Message::Data(DataPacket {
+                    flow,
+                    flow_seq,
+                    sent_at,
+                    deadline,
+                    link_seq,
+                    retransmission,
+                    mask,
+                    payload,
+                })
+            }
+            T_NACK => {
+                if buf.remaining() < 2 {
+                    return Err(OverlayError::Malformed("short nack"));
+                }
+                let count = buf.get_u16() as usize;
+                if buf.remaining() < count * 8 {
+                    return Err(OverlayError::Malformed("short nack list"));
+                }
+                let missing = (0..count).map(|_| buf.get_u64()).collect();
+                Message::Nack { missing }
+            }
+            T_HELLO => {
+                if buf.remaining() < 16 {
+                    return Err(OverlayError::Malformed("short hello"));
+                }
+                Message::Hello {
+                    seq: buf.get_u64(),
+                    sent_at: Micros::from_micros(buf.get_u64()),
+                }
+            }
+            T_HELLO_ACK => {
+                if buf.remaining() < 16 {
+                    return Err(OverlayError::Malformed("short hello ack"));
+                }
+                Message::HelloAck {
+                    echo_seq: buf.get_u64(),
+                    echo_sent_at: Micros::from_micros(buf.get_u64()),
+                }
+            }
+            T_LINK_STATE => {
+                if buf.remaining() < 14 {
+                    return Err(OverlayError::Malformed("short link state"));
+                }
+                let origin = NodeId::new(buf.get_u32());
+                let seq = buf.get_u64();
+                let count = buf.get_u16() as usize;
+                if buf.remaining() < count * 12 {
+                    return Err(OverlayError::Malformed("short link state entries"));
+                }
+                let entries = (0..count)
+                    .map(|_| LinkStateEntry {
+                        edge: EdgeId::new(buf.get_u32()),
+                        loss: buf.get_f32(),
+                        extra_latency_us: buf.get_u32(),
+                    })
+                    .collect();
+                Message::LinkState(LinkStateUpdate { origin, seq, entries })
+            }
+            _ => return Err(OverlayError::Malformed("unknown message type")),
+        };
+        Ok(Envelope { from, message })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_data() -> Envelope {
+        Envelope {
+            from: NodeId::new(3),
+            message: Message::Data(DataPacket {
+                flow: Flow::new(NodeId::new(0), NodeId::new(7)),
+                flow_seq: 42,
+                sent_at: Micros::from_micros(1_000_000),
+                deadline: Micros::from_millis(65),
+                link_seq: 99,
+                retransmission: false,
+                mask: Bytes::from_static(&[0b1010_0001, 0x00, 0xff]),
+                payload: Bytes::from_static(b"hello world"),
+            }),
+        }
+    }
+
+    #[test]
+    fn data_round_trip() {
+        let env = sample_data();
+        let bytes = env.encode();
+        let back = Envelope::decode(&bytes).unwrap();
+        assert_eq!(env, back);
+    }
+
+    #[test]
+    fn all_types_round_trip() {
+        let envs = vec![
+            Envelope { from: NodeId::new(1), message: Message::Nack { missing: vec![5, 6, 9] } },
+            Envelope {
+                from: NodeId::new(2),
+                message: Message::Hello { seq: 17, sent_at: Micros::from_micros(12345) },
+            },
+            Envelope {
+                from: NodeId::new(2),
+                message: Message::HelloAck {
+                    echo_seq: 17,
+                    echo_sent_at: Micros::from_micros(12345),
+                },
+            },
+            Envelope {
+                from: NodeId::new(4),
+                message: Message::LinkState(LinkStateUpdate {
+                    origin: NodeId::new(4),
+                    seq: 8,
+                    entries: vec![
+                        LinkStateEntry { edge: EdgeId::new(12), loss: 0.25, extra_latency_us: 1500 },
+                        LinkStateEntry { edge: EdgeId::new(13), loss: 0.0, extra_latency_us: 0 },
+                    ],
+                }),
+            },
+        ];
+        for env in envs {
+            let bytes = env.encode();
+            assert_eq!(Envelope::decode(&bytes).unwrap(), env, "{env:?}");
+        }
+    }
+
+    #[test]
+    fn mask_lookup() {
+        let Envelope { message: Message::Data(d), .. } = sample_data() else {
+            unreachable!()
+        };
+        assert!(d.mask_contains(EdgeId::new(0)));
+        assert!(!d.mask_contains(EdgeId::new(1)));
+        assert!(d.mask_contains(EdgeId::new(5)));
+        assert!(d.mask_contains(EdgeId::new(7)));
+        assert!(!d.mask_contains(EdgeId::new(8)));
+        assert!(d.mask_contains(EdgeId::new(16)));
+        // Out of mask range.
+        assert!(!d.mask_contains(EdgeId::new(100)));
+    }
+
+    #[test]
+    fn expiry_uses_sent_at_plus_deadline() {
+        let Envelope { message: Message::Data(d), .. } = sample_data() else {
+            unreachable!()
+        };
+        assert!(!d.expired(Micros::from_micros(1_000_000)));
+        assert!(!d.expired(Micros::from_micros(1_065_000)));
+        assert!(d.expired(Micros::from_micros(1_065_001)));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Envelope::decode(&[]).is_err());
+        assert!(Envelope::decode(&[0x00; 16]).is_err());
+        let mut bytes = sample_data().encode().to_vec();
+        bytes[2] = 99; // unknown type
+        assert!(Envelope::decode(&bytes).is_err());
+        // Truncations never panic.
+        let good = sample_data().encode();
+        for cut in 0..good.len() {
+            let _ = Envelope::decode(&good[..cut]);
+        }
+    }
+}

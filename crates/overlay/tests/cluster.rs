@@ -1,0 +1,531 @@
+//! End-to-end tests of the overlay transport service on localhost.
+//!
+//! These launch real multi-node overlays (UDP sockets, protocol
+//! threads, emulated link latency) and verify the behaviours the paper
+//! depends on: timely delivery, hop-by-hop recovery, disjoint-path
+//! survival, link-state convergence, and targeted-redundancy switching.
+
+use dg_core::scheme::SchemeKind;
+use dg_core::{Flow, ServiceRequirement};
+use dg_overlay::cluster::{Cluster, ClusterConfig};
+use dg_topology::{presets, Micros};
+use std::time::Duration;
+
+fn na_cluster() -> Cluster {
+    let graph = presets::north_america_12();
+    let config = ClusterConfig {
+        hello_interval: Duration::from_millis(20),
+        link_state_interval: Duration::from_millis(80),
+        ..ClusterConfig::default()
+    };
+    Cluster::launch(&graph, config).expect("cluster launches")
+}
+
+fn nyc_sjc(cluster: &Cluster) -> Flow {
+    Flow::new(
+        cluster.graph().node_by_name("NYC").unwrap(),
+        cluster.graph().node_by_name("SJC").unwrap(),
+    )
+}
+
+#[test]
+fn clean_network_delivers_on_time() {
+    let cluster = na_cluster();
+    let flow = nyc_sjc(&cluster);
+    let rx = cluster.open_receiver(flow).unwrap();
+    let tx = cluster
+        .open_sender(flow, SchemeKind::StaticSinglePath, ServiceRequirement::default())
+        .unwrap();
+    for i in 0..20u64 {
+        let seq = tx.send(format!("packet {i}").as_bytes()).unwrap();
+        assert_eq!(seq, i);
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let mut got = Vec::new();
+    while got.len() < 20 {
+        match rx.recv_timeout(Duration::from_millis(500)) {
+            Some(d) => got.push(d),
+            None => break,
+        }
+    }
+    assert_eq!(got.len(), 20, "all packets delivered");
+    for d in &got {
+        assert!(d.on_time, "seq {} late: {}", d.flow_seq, d.latency());
+        // Cross-country one-way should sit in the tens of milliseconds.
+        assert!(d.latency() > Micros::from_millis(20), "latency {}", d.latency());
+        assert!(d.latency() < Micros::from_millis(65), "latency {}", d.latency());
+    }
+    assert_eq!(got[0].payload.as_ref(), b"packet 0");
+    cluster.shutdown();
+}
+
+#[test]
+fn recovery_rescues_moderate_loss() {
+    let cluster = na_cluster();
+    let flow = nyc_sjc(&cluster);
+    let rx = cluster.open_receiver(flow).unwrap();
+    let tx = cluster
+        .open_sender(flow, SchemeKind::StaticSinglePath, ServiceRequirement::default())
+        .unwrap();
+    // 30% loss on the path's first hop.
+    let graph = cluster.graph().clone();
+    let first_hop = tx
+        .current_graph()
+        .forwarding_edges(&graph, flow.source)
+        .next()
+        .expect("single path has a first hop");
+    cluster.set_link_fault(first_hop, 0.3, Micros::ZERO);
+
+    let total = 150u64;
+    for i in 0..total {
+        tx.send(format!("m{i}").as_bytes()).unwrap();
+        std::thread::sleep(Duration::from_millis(4));
+    }
+    std::thread::sleep(Duration::from_millis(300));
+    let got = rx.drain();
+    // Without recovery ~30% would vanish; with one retransmission the
+    // expected residual loss is ~9%.
+    assert!(
+        got.len() as u64 >= total * 80 / 100,
+        "only {}/{total} delivered",
+        got.len()
+    );
+    let nyc_stats = cluster.node(flow.source).stats();
+    assert!(nyc_stats.retransmissions > 0, "recovery never fired");
+    let chi_like = cluster.node(graph.edge(first_hop).dst).stats();
+    assert!(chi_like.nacks_sent > 0, "receiver never detected gaps");
+    cluster.shutdown();
+}
+
+#[test]
+fn disjoint_pair_survives_a_dead_path() {
+    let cluster = na_cluster();
+    let flow = nyc_sjc(&cluster);
+    let rx = cluster.open_receiver(flow).unwrap();
+    let tx = cluster
+        .open_sender(flow, SchemeKind::StaticTwoDisjoint, ServiceRequirement::default())
+        .unwrap();
+    // Kill the primary path's first hop completely.
+    let graph = cluster.graph().clone();
+    let first_hop = tx
+        .current_graph()
+        .forwarding_edges(&graph, flow.source)
+        .next()
+        .expect("pair has a first hop");
+    cluster.set_link_fault(first_hop, 1.0, Micros::ZERO);
+
+    for i in 0..30u64 {
+        tx.send(format!("m{i}").as_bytes()).unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    std::thread::sleep(Duration::from_millis(300));
+    let got = rx.drain();
+    assert_eq!(got.len(), 30, "the second disjoint path must deliver everything");
+    assert!(got.iter().all(|d| d.on_time));
+    cluster.shutdown();
+}
+
+#[test]
+fn link_state_converges_and_reports_loss() {
+    let cluster = na_cluster();
+    assert!(
+        cluster.wait_for_link_state(Duration::from_secs(5)),
+        "link state flooding never converged"
+    );
+    // Inject heavy loss on one edge and wait for a remote node to see it.
+    let graph = cluster.graph().clone();
+    let chi = graph.node_by_name("CHI").unwrap();
+    let den = graph.node_by_name("DEN").unwrap();
+    let edge = graph.edge_between(chi, den).unwrap();
+    cluster.set_link_fault(edge, 0.8, Micros::ZERO);
+
+    let observer = graph.node_by_name("MIA").unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(6);
+    loop {
+        let state = cluster.node(observer).network_state();
+        if state.condition(edge).loss_rate > 0.3 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "MIA never learned about the CHI->DEN problem (sees loss {})",
+            state.condition(edge).loss_rate
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn targeted_redundancy_escalates_and_releases() {
+    let cluster = na_cluster();
+    let flow = nyc_sjc(&cluster);
+    let graph = cluster.graph().clone();
+    let rx = cluster.open_receiver(flow).unwrap();
+    let tx = cluster
+        .open_sender(flow, SchemeKind::TargetedRedundancy, ServiceRequirement::default())
+        .unwrap();
+    assert!(cluster.wait_for_link_state(Duration::from_secs(5)));
+
+    let normal_out = tx.current_graph().forwarding_edges(&graph, flow.source).count();
+    assert_eq!(normal_out, 2, "starts on the disjoint pair");
+
+    // A problem around the source: 40% loss on every NYC link.
+    cluster.impair_node(flow.source, 0.4, Micros::ZERO);
+    let full_degree = graph.out_edges(flow.source).len();
+    let deadline = std::time::Instant::now() + Duration::from_secs(8);
+    loop {
+        let out = tx.current_graph().forwarding_edges(&graph, flow.source).count();
+        if out == full_degree {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "never escalated to the source-problem graph (out-degree {out})"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // Traffic still gets through during the problem.
+    for i in 0..40u64 {
+        tx.send(format!("m{i}").as_bytes()).unwrap();
+        std::thread::sleep(Duration::from_millis(4));
+    }
+    std::thread::sleep(Duration::from_millis(300));
+    let got = rx.drain();
+    assert!(
+        got.len() >= 38,
+        "source-problem graph should mask a 40% source-area loss, got {}/40",
+        got.len()
+    );
+
+    // Heal and verify de-escalation back to the pair.
+    cluster.heal_node(flow.source);
+    let deadline = std::time::Instant::now() + Duration::from_secs(8);
+    loop {
+        let out = tx.current_graph().forwarding_edges(&graph, flow.source).count();
+        if out == 2 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "never de-escalated after healing (out-degree {out})"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn expired_packets_are_not_delivered() {
+    let cluster = na_cluster();
+    let flow = nyc_sjc(&cluster);
+    let rx = cluster.open_receiver(flow).unwrap();
+    // A 5ms deadline cannot cross the country (~30ms).
+    let tx = cluster
+        .open_sender(
+            flow,
+            SchemeKind::StaticSinglePath,
+            ServiceRequirement::new(Micros::from_millis(5)),
+        )
+        .unwrap();
+    for _ in 0..10 {
+        tx.send(b"too slow").unwrap();
+        std::thread::sleep(Duration::from_millis(3));
+    }
+    assert!(rx.recv_timeout(Duration::from_millis(500)).is_none());
+    // Some node along the path dropped them as expired.
+    let total_expired: u64 = cluster
+        .graph()
+        .nodes()
+        .map(|n| cluster.node(n).stats().expired)
+        .sum();
+    assert!(total_expired > 0);
+    cluster.shutdown();
+}
+
+#[test]
+fn flooding_reaches_most_of_the_network() {
+    let cluster = na_cluster();
+    let flow = nyc_sjc(&cluster);
+    let rx = cluster.open_receiver(flow).unwrap();
+    let tx = cluster
+        .open_sender(
+            flow,
+            SchemeKind::TimeConstrainedFlooding,
+            ServiceRequirement::default(),
+        )
+        .unwrap();
+    let graph_size = tx.current_graph().len() as u64;
+    assert!(graph_size > 20, "flooding graph should span the mesh");
+    for i in 0..10u64 {
+        tx.send(format!("f{i}").as_bytes()).unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    std::thread::sleep(Duration::from_millis(400));
+    let got = rx.drain();
+    assert_eq!(got.len(), 10);
+    assert!(got.iter().all(|d| d.on_time));
+    // Network-wide transmissions reflect flooding's cost; duplicates
+    // were suppressed at joins.
+    let graph = cluster.graph().clone();
+    let total_sent: u64 = graph.nodes().map(|n| cluster.node(n).stats().data_sent).sum();
+    let total_dups: u64 =
+        graph.nodes().map(|n| cluster.node(n).stats().duplicates).sum();
+    assert!(total_sent >= 10 * (graph_size / 2), "sent {total_sent}");
+    assert!(total_dups > 0, "flooding must produce suppressed duplicates");
+    cluster.shutdown();
+}
+
+#[test]
+fn sessions_validate_their_endpoints() {
+    let cluster = na_cluster();
+    let flow = nyc_sjc(&cluster);
+    // Receiver must live at the destination, sender at the source.
+    assert!(cluster.node(flow.source).open_receiver(flow).is_err());
+    let scheme = dg_core::scheme::build_scheme(
+        SchemeKind::StaticSinglePath,
+        cluster.graph(),
+        flow,
+        ServiceRequirement::default(),
+        &Default::default(),
+    )
+    .unwrap();
+    assert!(cluster
+        .node(flow.destination)
+        .open_sender(scheme, ServiceRequirement::default())
+        .is_err());
+    // Oversized payloads are rejected.
+    let tx = cluster
+        .open_sender(flow, SchemeKind::StaticSinglePath, ServiceRequirement::default())
+        .unwrap();
+    assert!(tx.send(&[0u8; 5_000]).is_err());
+    cluster.shutdown();
+}
+
+#[test]
+fn dynamic_routing_survives_a_node_death() {
+    let mut cluster = na_cluster();
+    let flow = nyc_sjc(&cluster);
+    let graph = cluster.graph().clone();
+    let rx = cluster.open_receiver(flow).unwrap();
+    let tx = cluster
+        .open_sender(flow, SchemeKind::DynamicTwoDisjoint, ServiceRequirement::default())
+        .unwrap();
+    assert!(cluster.wait_for_link_state(Duration::from_secs(5)));
+
+    // Find a transit node the current pair routes through and kill it.
+    let victim = tx
+        .current_graph()
+        .edges()
+        .iter()
+        .map(|&e| graph.edge(e).dst)
+        .find(|&n| n != flow.destination && n != flow.source)
+        .expect("pair has a transit node");
+    cluster.kill_node(victim);
+    assert!(!cluster.is_alive(victim));
+
+    // Hello silence pushes the dead node's links toward full loss; the
+    // dynamic scheme must re-route around it.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let avoided = tx
+            .current_graph()
+            .edges()
+            .iter()
+            .all(|&e| graph.edge(e).dst != victim && graph.edge(e).src != victim);
+        if avoided {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "never rerouted around the dead node {}",
+            graph.node(victim).name
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    // Traffic flows normally on the new pair.
+    for i in 0..30u64 {
+        tx.send(format!("m{i}").as_bytes()).unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    std::thread::sleep(Duration::from_millis(300));
+    let got = rx.drain();
+    assert!(got.len() >= 29, "only {}/30 delivered after reroute", got.len());
+    cluster.shutdown();
+}
+
+#[test]
+fn reordering_from_unequal_delays_is_tolerated() {
+    // A small ring where we give the two hops of the primary route very
+    // different injected delays, so retransmissions and hellos arrive
+    // interleaved and out of order relative to data.
+    let graph = presets::ring(4, Micros::from_millis(5));
+    let cluster = Cluster::launch(
+        &graph,
+        ClusterConfig {
+            hello_interval: Duration::from_millis(15),
+            link_state_interval: Duration::from_millis(60),
+            ..ClusterConfig::default()
+        },
+    )
+    .unwrap();
+    let flow = Flow::new(
+        graph.node_by_name("R0").unwrap(),
+        graph.node_by_name("R2").unwrap(),
+    );
+    let rx = cluster.open_receiver(flow).unwrap();
+    let tx = cluster
+        .open_sender(
+            flow,
+            SchemeKind::StaticTwoDisjoint,
+            ServiceRequirement::new(Micros::from_millis(80)),
+        )
+        .unwrap();
+    // Wildly different delays + moderate loss on both directions of the
+    // ring: packets race each other and recovery interleaves.
+    let g = cluster.graph().clone();
+    for e in g.edges() {
+        let jitter = Micros::from_millis(u64::from(e.index() as u32 % 7) * 3);
+        cluster.set_link_fault(e, 0.15, jitter);
+    }
+    let total = 120u64;
+    for i in 0..total {
+        tx.send(format!("r{i}").as_bytes()).unwrap();
+        std::thread::sleep(Duration::from_millis(3));
+    }
+    std::thread::sleep(Duration::from_millis(500));
+    let got = rx.drain();
+    // Two disjoint paths at 15% loss each, with recovery: residual loss
+    // per path ~2%, joint ~0.05% — essentially everything arrives.
+    assert!(got.len() as u64 >= total * 95 / 100, "got {}/{total}", got.len());
+    // No duplicate deliveries despite retransmissions and dual paths.
+    let mut seqs: Vec<u64> = got.iter().map(|d| d.flow_seq).collect();
+    let before = seqs.len();
+    seqs.sort_unstable();
+    seqs.dedup();
+    assert_eq!(seqs.len(), before, "duplicate deliveries leaked through");
+    cluster.shutdown();
+}
+
+#[test]
+fn latency_scale_shrinks_observed_latency() {
+    let graph = presets::north_america_12();
+    let flow = Flow::new(
+        graph.node_by_name("NYC").unwrap(),
+        graph.node_by_name("SJC").unwrap(),
+    );
+    let run_with_scale = |scale: f64| {
+        let cluster = Cluster::launch(
+            &graph,
+            ClusterConfig { latency_scale: scale, ..ClusterConfig::default() },
+        )
+        .unwrap();
+        let rx = cluster.open_receiver(flow).unwrap();
+        let tx = cluster
+            .open_sender(flow, SchemeKind::StaticSinglePath, ServiceRequirement::default())
+            .unwrap();
+        for _ in 0..10 {
+            tx.send(b"ping").unwrap();
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        std::thread::sleep(Duration::from_millis(300));
+        let got = rx.drain();
+        assert_eq!(got.len(), 10);
+        let stats = dg_overlay::session::DeliveryStats::from_deliveries(&got);
+        cluster.shutdown();
+        stats.mean_latency()
+    };
+    let full = run_with_scale(1.0);
+    let tenth = run_with_scale(0.1);
+    assert!(full > Micros::from_millis(20), "full-scale latency {full}");
+    // A tenth of the propagation delay plus scheduling overhead.
+    assert!(tenth < Micros::from_millis(15), "scaled latency {tenth}");
+}
+
+#[test]
+fn four_concurrent_flows_share_the_overlay() {
+    let cluster = na_cluster();
+    let graph = cluster.graph().clone();
+    let flows: Vec<Flow> = [
+        ("NYC", "SJC"),
+        ("WAS", "SEA"),
+        ("BOS", "LAX"),
+        ("JHU", "DEN"),
+    ]
+    .iter()
+    .map(|(s, t)| {
+        Flow::new(graph.node_by_name(s).unwrap(), graph.node_by_name(t).unwrap())
+    })
+    .collect();
+    let sessions: Vec<_> = flows
+        .iter()
+        .map(|&f| {
+            let rx = cluster.open_receiver(f).unwrap();
+            let tx = cluster
+                .open_sender(f, SchemeKind::TargetedRedundancy, ServiceRequirement::default())
+                .unwrap();
+            (f, tx, rx)
+        })
+        .collect();
+    let per_flow = 60u64;
+    for i in 0..per_flow {
+        for (_, tx, _) in &sessions {
+            tx.send(format!("m{i}").as_bytes()).unwrap();
+        }
+        std::thread::sleep(Duration::from_millis(4));
+    }
+    std::thread::sleep(Duration::from_millis(400));
+    for (f, _, rx) in &sessions {
+        let got = rx.drain();
+        assert_eq!(
+            got.len() as u64,
+            per_flow,
+            "{} delivered {}/{}",
+            f.label(&graph),
+            got.len(),
+            per_flow
+        );
+        assert!(got.iter().all(|d| d.on_time), "{} had late packets", f.label(&graph));
+        // Deliveries belong to the right flow.
+        assert!(got.iter().all(|d| d.flow == *f));
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn global_overlay_delivers_intercontinentally() {
+    let graph = presets::global_16();
+    let cluster = Cluster::launch(
+        &graph,
+        ClusterConfig {
+            hello_interval: Duration::from_millis(25),
+            link_state_interval: Duration::from_millis(100),
+            ..ClusterConfig::default()
+        },
+    )
+    .unwrap();
+    let flow = Flow::new(
+        graph.node_by_name("LON").unwrap(),
+        graph.node_by_name("SJC").unwrap(),
+    );
+    let req = ServiceRequirement::new(Micros::from_millis(110));
+    let rx = cluster.open_receiver(flow).unwrap();
+    let tx = cluster
+        .open_sender(flow, SchemeKind::TargetedRedundancy, req)
+        .unwrap();
+    for i in 0..20u64 {
+        tx.send(format!("g{i}").as_bytes()).unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    std::thread::sleep(Duration::from_millis(400));
+    let got = rx.drain();
+    assert_eq!(got.len(), 20);
+    for d in &got {
+        assert!(d.on_time, "seq {} took {}", d.flow_seq, d.latency());
+        // Trans-Atlantic plus cross-country: 60-110 ms one way.
+        assert!(d.latency() > Micros::from_millis(55), "latency {}", d.latency());
+    }
+    cluster.shutdown();
+}

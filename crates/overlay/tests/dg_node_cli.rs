@@ -1,0 +1,88 @@
+//! Smoke tests of the standalone `dg-node` daemon binary.
+
+use std::io::Read;
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_dg-node")
+}
+
+#[test]
+fn emit_topology_writes_a_loadable_graph() {
+    let dir = std::env::temp_dir().join("dg_node_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let topo = dir.join("topology.json");
+    let status = Command::new(bin())
+        .args(["--emit-topology", topo.to_str().unwrap()])
+        .status()
+        .expect("binary runs");
+    assert!(status.success());
+    let raw = std::fs::read_to_string(&topo).unwrap();
+    let graph: dg_topology::Graph = serde_json::from_str(&raw).unwrap();
+    assert_eq!(graph.node_count(), 12);
+    assert_eq!(graph.edge_count(), 60);
+    std::fs::remove_file(&topo).unwrap();
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let status = Command::new(bin()).status().expect("binary runs");
+    assert!(!status.success());
+}
+
+#[test]
+fn two_daemons_start_and_exchange_traffic() {
+    let dir = std::env::temp_dir().join("dg_node_cli_pair");
+    std::fs::create_dir_all(&dir).unwrap();
+    let topo = dir.join("topology.json");
+    assert!(Command::new(bin())
+        .args(["--emit-topology", topo.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+
+    // Two fixed loopback ports for NYC and JHU (directly linked).
+    let (port_a, port_b) = (47_311u16, 47_312u16);
+    let config = |node: &str, me: u16, peer_name: &str, peer: u16| {
+        let path = dir.join(format!("{node}.json"));
+        std::fs::write(
+            &path,
+            format!(
+                r#"{{"topology": "{}", "node": "{node}", "listen": "127.0.0.1:{me}",
+                    "peers": {{"{peer_name}": "127.0.0.1:{peer}"}},
+                    "hello_interval_ms": 20, "link_state_interval_ms": 60}}"#,
+                topo.display()
+            ),
+        )
+        .unwrap();
+        path
+    };
+    let cfg_a = config("NYC", port_a, "JHU", port_b);
+    let cfg_b = config("JHU", port_b, "NYC", port_a);
+
+    let mut a = Command::new(bin())
+        .args(["--config", cfg_a.to_str().unwrap()])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("NYC daemon starts");
+    let mut b = Command::new(bin())
+        .args(["--config", cfg_b.to_str().unwrap()])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("JHU daemon starts");
+
+    // Let hellos flow for a moment, then stop both.
+    std::thread::sleep(Duration::from_millis(800));
+    a.kill().unwrap();
+    b.kill().unwrap();
+    let mut out_a = String::new();
+    a.stdout.take().unwrap().read_to_string(&mut out_a).unwrap();
+    let _ = a.wait();
+    let _ = b.wait();
+    assert!(
+        out_a.contains("dg-node NYC listening on 127.0.0.1"),
+        "unexpected banner: {out_a:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,116 @@
+//! Property tests of the wire codec: decoding must be total (no panics,
+//! no unbounded allocation) on arbitrary input, and encode/decode must
+//! round-trip arbitrary well-formed messages.
+
+use bytes::Bytes;
+use dg_core::Flow;
+use dg_overlay::wire::{DataPacket, Envelope, LinkStateEntry, LinkStateUpdate, Message};
+use dg_topology::{EdgeId, Micros, NodeId};
+use proptest::prelude::*;
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (
+            0u32..64,
+            0u32..64,
+            any::<u64>(),
+            any::<u64>(),
+            0u64..1_000_000_000,
+            any::<u64>(),
+            any::<bool>(),
+            proptest::collection::vec(any::<u8>(), 0..16),
+            proptest::collection::vec(any::<u8>(), 0..64),
+        )
+            .prop_map(|(s, d, seq, sent, dl, lseq, retx, mask, payload)| {
+                Message::Data(DataPacket {
+                    flow: Flow::new(NodeId::new(s), NodeId::new(d)),
+                    flow_seq: seq,
+                    sent_at: Micros::from_micros(sent),
+                    deadline: Micros::from_micros(dl),
+                    link_seq: lseq,
+                    retransmission: retx,
+                    mask: Bytes::from(mask),
+                    payload: Bytes::from(payload),
+                })
+            }),
+        proptest::collection::vec(any::<u64>(), 0..64)
+            .prop_map(|missing| Message::Nack { missing }),
+        (any::<u64>(), any::<u64>()).prop_map(|(seq, t)| Message::Hello {
+            seq,
+            sent_at: Micros::from_micros(t),
+        }),
+        (any::<u64>(), any::<u64>()).prop_map(|(seq, t)| Message::HelloAck {
+            echo_seq: seq,
+            echo_sent_at: Micros::from_micros(t),
+        }),
+        (
+            0u32..64,
+            any::<u64>(),
+            proptest::collection::vec((0u32..256, 0.0f32..1.0, any::<u32>()), 0..32),
+        )
+            .prop_map(|(origin, seq, entries)| {
+                Message::LinkState(LinkStateUpdate {
+                    origin: NodeId::new(origin),
+                    seq,
+                    entries: entries
+                        .into_iter()
+                        .map(|(e, loss, extra)| LinkStateEntry {
+                            edge: EdgeId::new(e),
+                            loss,
+                            extra_latency_us: extra,
+                        })
+                        .collect(),
+                })
+            }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes never panic the decoder.
+    #[test]
+    fn decode_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Envelope::decode(&bytes);
+    }
+
+    /// Every well-formed envelope round-trips exactly.
+    #[test]
+    fn encode_decode_round_trips(from in 0u32..64, message in arb_message()) {
+        let env = Envelope { from: NodeId::new(from), message };
+        let encoded = env.encode();
+        let decoded = Envelope::decode(&encoded).expect("own encoding decodes");
+        prop_assert_eq!(env, decoded);
+    }
+
+    /// Truncating a valid datagram at any point yields an error, never
+    /// a panic or a bogus success that reads past the buffer.
+    #[test]
+    fn truncation_is_safe(from in 0u32..64, message in arb_message(), cut_frac in 0.0f64..1.0) {
+        let env = Envelope { from: NodeId::new(from), message };
+        let encoded = env.encode();
+        let cut = ((encoded.len() as f64) * cut_frac) as usize;
+        if cut < encoded.len() {
+            // Either a clean error or (for cuts landing after all
+            // payload bytes were consumed) a structurally valid prefix.
+            let _ = Envelope::decode(&encoded[..cut]);
+        }
+    }
+
+    /// Flipping one byte never panics the decoder.
+    #[test]
+    fn corruption_is_safe(
+        from in 0u32..64,
+        message in arb_message(),
+        pos_frac in 0.0f64..1.0,
+        xor in 1u8..=255,
+    ) {
+        let env = Envelope { from: NodeId::new(from), message };
+        let mut bytes = env.encode().to_vec();
+        let pos = ((bytes.len() as f64) * pos_frac) as usize % bytes.len().max(1);
+        if !bytes.is_empty() {
+            bytes[pos] ^= xor;
+        }
+        let _ = Envelope::decode(&bytes);
+    }
+}

@@ -1,0 +1,312 @@
+//! Multi-flow, multi-scheme comparison experiments (the Table 2 engine).
+
+use crate::metrics::{gap_coverage, FlowRunStats};
+use crate::playback::{run_flow, PlaybackConfig};
+use dg_core::scheme::{build_scheme, SchemeKind, SchemeParams};
+use dg_core::{CoreError, Flow, ServiceRequirement};
+use dg_topology::{Graph, NodeId};
+use dg_trace::TraceSet;
+use serde::{Deserialize, Serialize};
+
+/// Full configuration of a comparison experiment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Scheme construction tunables.
+    pub scheme_params: SchemeParams,
+    /// The flows' timeliness contract.
+    pub requirement: ServiceRequirement,
+    /// Playback parameters.
+    pub playback: PlaybackConfig,
+}
+
+/// One scheme's aggregate over all flows (one row of Table 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchemeAggregate {
+    /// The scheme.
+    pub kind: SchemeKind,
+    /// Sum over flows.
+    pub totals: FlowRunStats,
+    /// The individual flow runs (for per-flow figures).
+    pub per_flow: Vec<FlowRunStats>,
+}
+
+impl SchemeAggregate {
+    /// Availability over all flow-seconds.
+    pub fn availability(&self) -> f64 {
+        self.totals.availability()
+    }
+
+    /// Average cost per message over all packets.
+    pub fn average_cost(&self) -> f64 {
+        self.totals.average_cost()
+    }
+}
+
+/// Runs every scheme in `kinds` over every flow against `traces`.
+///
+/// All schemes replay identical traces with paired loss draws, so the
+/// comparison isolates routing differences.
+///
+/// # Errors
+///
+/// Propagates scheme-construction failures (e.g. a flow without two
+/// disjoint paths).
+pub fn run_comparison(
+    topology: &Graph,
+    traces: &TraceSet,
+    flows: &[(NodeId, NodeId)],
+    kinds: &[SchemeKind],
+    config: &ExperimentConfig,
+) -> Result<Vec<SchemeAggregate>, CoreError> {
+    let mut out = Vec::with_capacity(kinds.len());
+    for &kind in kinds {
+        let mut per_flow = Vec::with_capacity(flows.len());
+        for &(s, t) in flows {
+            let flow = Flow::new(s, t);
+            let mut scheme =
+                build_scheme(kind, topology, flow, config.requirement, &config.scheme_params)?;
+            per_flow.push(run_flow(topology, traces, scheme.as_mut(), &config.playback));
+        }
+        let mut totals = per_flow[0];
+        for f in &per_flow[1..] {
+            totals.merge(f);
+        }
+        out.push(SchemeAggregate { kind, totals, per_flow });
+    }
+    Ok(out)
+}
+
+/// Like [`run_comparison`], fanning the per-(scheme, flow) runs out
+/// over `threads` worker threads. Results are bit-identical to the
+/// serial version (loss draws are a pure function of the event
+/// coordinates, so execution order cannot matter).
+///
+/// # Errors
+///
+/// Propagates scheme-construction failures.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+pub fn run_comparison_parallel(
+    topology: &Graph,
+    traces: &TraceSet,
+    flows: &[(NodeId, NodeId)],
+    kinds: &[SchemeKind],
+    config: &ExperimentConfig,
+    threads: usize,
+) -> Result<Vec<SchemeAggregate>, CoreError> {
+    use dg_core::scheme::RoutingScheme;
+    assert!(threads > 0, "at least one worker thread required");
+    // Pre-build every scheme serially so construction errors surface
+    // deterministically, then farm the replay work out to workers.
+    let mut jobs: Vec<Option<(usize, Box<dyn RoutingScheme>)>> = Vec::new();
+    for &kind in kinds {
+        for &(s, t) in flows {
+            let scheme = build_scheme(
+                kind,
+                topology,
+                Flow::new(s, t),
+                config.requirement,
+                &config.scheme_params,
+            )?;
+            jobs.push(Some((jobs.len(), scheme)));
+        }
+    }
+    let total_jobs = jobs.len();
+    let jobs = std::sync::Mutex::new(jobs);
+    let results: std::sync::Mutex<Vec<Option<FlowRunStats>>> =
+        std::sync::Mutex::new(vec![None; total_jobs]);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads.min(total_jobs.max(1)) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                if i >= total_jobs {
+                    return;
+                }
+                let (slot, mut scheme) =
+                    jobs.lock().expect("jobs lock")[i].take().expect("each job taken once");
+                let stats = run_flow(topology, traces, scheme.as_mut(), &config.playback);
+                results.lock().expect("results lock")[slot] = Some(stats);
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+
+    let results = results.into_inner().expect("results lock");
+    let flows_per_kind = flows.len();
+    let mut out = Vec::with_capacity(kinds.len());
+    for (ki, &kind) in kinds.iter().enumerate() {
+        let per_flow: Vec<FlowRunStats> = (0..flows_per_kind)
+            .map(|fi| results[ki * flows_per_kind + fi].expect("every job ran"))
+            .collect();
+        let mut totals = per_flow[0];
+        for f in &per_flow[1..] {
+            totals.merge(f);
+        }
+        out.push(SchemeAggregate { kind, totals, per_flow });
+    }
+    Ok(out)
+}
+
+/// A Table-2-style row derived from a comparison run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableRow {
+    /// Scheme label.
+    pub scheme: SchemeKind,
+    /// Total unavailable seconds across flows.
+    pub unavailable_seconds: u64,
+    /// Availability percentage.
+    pub availability_pct: f64,
+    /// Fraction of the baseline-to-optimal gap covered.
+    pub gap_coverage: f64,
+    /// Average packets sent per message.
+    pub average_cost: f64,
+}
+
+/// Derives Table-2 rows from aggregates, using `baseline` and
+/// `optimal` (scheme kinds that must be present in `aggregates`) as the
+/// endpoints of the gap-coverage metric.
+///
+/// # Panics
+///
+/// Panics if `baseline` or `optimal` is missing from `aggregates`.
+pub fn tabulate(
+    aggregates: &[SchemeAggregate],
+    baseline: SchemeKind,
+    optimal: SchemeKind,
+) -> Vec<TableRow> {
+    let base = aggregates
+        .iter()
+        .find(|a| a.kind == baseline)
+        .expect("baseline scheme present")
+        .totals
+        .unavailable_seconds;
+    let best = aggregates
+        .iter()
+        .find(|a| a.kind == optimal)
+        .expect("optimal scheme present")
+        .totals
+        .unavailable_seconds;
+    aggregates
+        .iter()
+        .map(|a| TableRow {
+            scheme: a.kind,
+            unavailable_seconds: a.totals.unavailable_seconds,
+            availability_pct: a.availability() * 100.0,
+            gap_coverage: gap_coverage(base, best, a.totals.unavailable_seconds),
+            average_cost: a.average_cost(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_topology::{presets, Micros};
+    use dg_trace::gen::{self, SyntheticWanConfig};
+
+    fn tiny_experiment() -> (Graph, TraceSet, Vec<(NodeId, NodeId)>) {
+        let g = presets::north_america_12();
+        let mut cfg = SyntheticWanConfig::calibrated(5);
+        cfg.duration = Micros::from_secs(60);
+        // Crank problems up so the short run actually contains some.
+        cfg.node_problems.events_per_hour = 3.0;
+        cfg.link_problems.events_per_hour = 2.0;
+        let traces = gen::generate(&g, &cfg);
+        let flows = vec![
+            (g.node_by_name("NYC").unwrap(), g.node_by_name("SJC").unwrap()),
+            (g.node_by_name("WAS").unwrap(), g.node_by_name("SEA").unwrap()),
+        ];
+        (g, traces, flows)
+    }
+
+    #[test]
+    fn comparison_covers_all_schemes_and_flows() {
+        let (g, traces, flows) = tiny_experiment();
+        let config = ExperimentConfig {
+            playback: PlaybackConfig { packets_per_second: 10, ..Default::default() },
+            ..Default::default()
+        };
+        let aggs =
+            run_comparison(&g, &traces, &flows, &SchemeKind::ALL, &config).unwrap();
+        assert_eq!(aggs.len(), 6);
+        for a in &aggs {
+            assert_eq!(a.per_flow.len(), 2);
+            assert_eq!(a.totals.seconds, 120);
+            assert!(a.totals.packets_sent == 1_200);
+        }
+        // Flooding is at least as available as everything else, and the
+        // most expensive.
+        let flood = aggs
+            .iter()
+            .find(|a| a.kind == SchemeKind::TimeConstrainedFlooding)
+            .unwrap();
+        for a in &aggs {
+            assert!(
+                flood.totals.unavailable_seconds <= a.totals.unavailable_seconds,
+                "{} beat flooding",
+                a.kind
+            );
+            assert!(flood.average_cost() >= a.average_cost());
+        }
+        // Single path is the cheapest.
+        let single = aggs
+            .iter()
+            .find(|a| a.kind == SchemeKind::StaticSinglePath)
+            .unwrap();
+        for a in &aggs {
+            assert!(single.average_cost() <= a.average_cost() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn parallel_runner_matches_serial() {
+        let (g, traces, flows) = tiny_experiment();
+        let config = ExperimentConfig {
+            playback: PlaybackConfig { packets_per_second: 10, ..Default::default() },
+            ..Default::default()
+        };
+        let serial =
+            run_comparison(&g, &traces, &flows, &SchemeKind::ALL, &config).unwrap();
+        for threads in [1, 3] {
+            let parallel = run_comparison_parallel(
+                &g, &traces, &flows, &SchemeKind::ALL, &config, threads,
+            )
+            .unwrap();
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn tabulate_produces_consistent_rows() {
+        let (g, traces, flows) = tiny_experiment();
+        let config = ExperimentConfig {
+            playback: PlaybackConfig { packets_per_second: 10, ..Default::default() },
+            ..Default::default()
+        };
+        let aggs =
+            run_comparison(&g, &traces, &flows, &SchemeKind::ALL, &config).unwrap();
+        let rows = tabulate(
+            &aggs,
+            SchemeKind::StaticSinglePath,
+            SchemeKind::TimeConstrainedFlooding,
+        );
+        assert_eq!(rows.len(), 6);
+        let base = rows.iter().find(|r| r.scheme == SchemeKind::StaticSinglePath).unwrap();
+        let best = rows
+            .iter()
+            .find(|r| r.scheme == SchemeKind::TimeConstrainedFlooding)
+            .unwrap();
+        if base.unavailable_seconds > best.unavailable_seconds {
+            assert_eq!(base.gap_coverage, 0.0);
+        }
+        assert_eq!(best.gap_coverage, 1.0);
+        for r in &rows {
+            assert!((0.0..=100.0).contains(&r.availability_pct));
+            assert!((0.0..=1.0).contains(&r.gap_coverage));
+        }
+    }
+}

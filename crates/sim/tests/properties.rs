@@ -1,0 +1,155 @@
+//! Property tests of the packet-propagation model.
+
+use dg_core::scheme::{build_scheme, SchemeKind, SchemeParams};
+use dg_core::{DisseminationGraph, Flow, ServiceRequirement};
+use dg_sim::{simulate_packet, RecoveryModel};
+use dg_topology::{presets, EdgeId, Micros};
+use dg_trace::{LinkCondition, TraceSet};
+use proptest::prelude::*;
+
+/// A one-interval trace with arbitrary (loss, extra-latency) per edge —
+/// conditions constant in time, which makes dominance properties exact.
+fn constant_trace(losses: &[(u32, f64, u64)], edges: usize) -> TraceSet {
+    let mut t = TraceSet::clean(edges, 1, Micros::from_secs(3_600)).unwrap();
+    for &(e, loss, extra_ms) in losses {
+        t.set_condition(
+            EdgeId::new(e % edges as u32),
+            0,
+            LinkCondition::new(loss, Micros::from_millis(extra_ms)),
+        );
+    }
+    t
+}
+
+fn graphs() -> (dg_topology::Graph, Flow, Vec<DisseminationGraph>) {
+    let g = presets::north_america_12();
+    let flow = Flow::new(
+        g.node_by_name("NYC").unwrap(),
+        g.node_by_name("SJC").unwrap(),
+    );
+    let dgs = [
+        SchemeKind::StaticSinglePath,
+        SchemeKind::StaticTwoDisjoint,
+        SchemeKind::TargetedRedundancy,
+        SchemeKind::TimeConstrainedFlooding,
+    ]
+    .iter()
+    .map(|&k| {
+        build_scheme(k, &g, flow, ServiceRequirement::default(), &SchemeParams::default())
+            .unwrap()
+            .current()
+            .clone()
+    })
+    .collect();
+    (g, flow, dgs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Under constant conditions with paired loss draws, the flooding
+    /// graph (a superset of every scheme's graph) delivers at least as
+    /// early as any other graph: adding edges can only help.
+    #[test]
+    fn flooding_dominates_under_constant_conditions(
+        losses in proptest::collection::vec((0u32..60, 0.0f64..0.9, 0u64..5), 0..25),
+        seq in 0u64..5_000,
+    ) {
+        let (g, _, dgs) = graphs();
+        let traces = constant_trace(&losses, g.edge_count());
+        let recovery = RecoveryModel::default();
+        let deadline = Micros::from_millis(65);
+        let flood = simulate_packet(
+            &g, dgs.last().unwrap(), &traces, Micros::from_secs(1),
+            deadline, &recovery, 99, seq,
+        );
+        for dg in &dgs[..dgs.len() - 1] {
+            let out = simulate_packet(
+                &g, dg, &traces, Micros::from_secs(1), deadline, &recovery, 99, seq,
+            );
+            if let Some(t) = out.delivered_at {
+                let ft = flood.delivered_at.expect("flooding also delivers");
+                prop_assert!(ft <= t, "flooding {ft} later than subgraph {t}");
+            }
+            prop_assert!(flood.on_time >= out.on_time);
+        }
+    }
+
+    /// Cost accounting: without recovery, a packet transmits at most
+    /// once per graph edge; with recovery, at most twice.
+    #[test]
+    fn transmission_counts_are_bounded(
+        losses in proptest::collection::vec((0u32..60, 0.0f64..1.0, 0u64..3), 0..30),
+        seq in 0u64..5_000,
+    ) {
+        let (g, _, dgs) = graphs();
+        let traces = constant_trace(&losses, g.edge_count());
+        let deadline = Micros::from_millis(65);
+        for dg in &dgs {
+            let plain = simulate_packet(
+                &g, dg, &traces, Micros::ZERO, deadline,
+                &RecoveryModel { enabled: false, gap_detection: Micros::ZERO }, 5, seq,
+            );
+            prop_assert!(plain.transmissions <= dg.len() as u64);
+            let rec = simulate_packet(
+                &g, dg, &traces, Micros::ZERO, deadline,
+                &RecoveryModel::default(), 5, seq,
+            );
+            prop_assert!(rec.transmissions <= 2 * dg.len() as u64);
+            prop_assert!(rec.transmissions >= plain.transmissions);
+        }
+    }
+
+    /// A longer deadline never hurts: arrivals can only get earlier (or
+    /// stay equal) because expiry prunes less of the dissemination.
+    #[test]
+    fn on_time_is_monotone_in_deadline(
+        losses in proptest::collection::vec((0u32..60, 0.0f64..0.8, 0u64..20), 0..25),
+        seq in 0u64..5_000,
+    ) {
+        let (g, _, dgs) = graphs();
+        let traces = constant_trace(&losses, g.edge_count());
+        let recovery = RecoveryModel::default();
+        for dg in &dgs {
+            let tight = simulate_packet(
+                &g, dg, &traces, Micros::ZERO, Micros::from_millis(50),
+                &recovery, 5, seq,
+            );
+            let loose = simulate_packet(
+                &g, dg, &traces, Micros::ZERO, Micros::from_millis(90),
+                &recovery, 5, seq,
+            );
+            prop_assert!(u8::from(loose.on_time) >= u8::from(tight.on_time));
+            if let (Some(a), Some(b)) = (tight.delivered_at, loose.delivered_at) {
+                prop_assert!(b <= a);
+            }
+        }
+    }
+
+    /// Recovery never loses packets it would have delivered without it,
+    /// and a recovered delivery is never *earlier* than a direct one.
+    #[test]
+    fn recovery_only_adds_deliveries(
+        losses in proptest::collection::vec((0u32..60, 0.0f64..0.9, 0u64..2), 0..25),
+        seq in 0u64..5_000,
+    ) {
+        let (g, _, dgs) = graphs();
+        let traces = constant_trace(&losses, g.edge_count());
+        let deadline = Micros::from_millis(65);
+        for dg in &dgs {
+            let without = simulate_packet(
+                &g, dg, &traces, Micros::ZERO, deadline,
+                &RecoveryModel { enabled: false, gap_detection: Micros::ZERO }, 5, seq,
+            );
+            let with = simulate_packet(
+                &g, dg, &traces, Micros::ZERO, deadline,
+                &RecoveryModel::default(), 5, seq,
+            );
+            if without.delivered_at.is_some() {
+                let a = without.delivered_at.expect("checked");
+                let b = with.delivered_at.expect("recovery cannot lose a delivery");
+                prop_assert!(b <= a, "recovery delayed a direct delivery");
+            }
+        }
+    }
+}

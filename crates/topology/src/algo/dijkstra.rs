@@ -1,0 +1,282 @@
+//! Dijkstra shortest paths by latency.
+
+use crate::{EdgeId, Graph, Micros, NodeId, Path, TopologyError};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Shortest path from `src` to `dst` by total latency.
+///
+/// # Errors
+///
+/// Returns [`TopologyError::UnknownNode`] for out-of-range endpoints and
+/// [`TopologyError::NoRoute`] when `dst` is unreachable (or equals `src`:
+/// the overlay never routes a flow to itself).
+///
+/// # Example
+///
+/// ```
+/// use dg_topology::{presets, algo::dijkstra};
+///
+/// let g = presets::north_america_12();
+/// let s = g.node_by_name("NYC").unwrap();
+/// let t = g.node_by_name("LAX").unwrap();
+/// let p = dijkstra::shortest_path(&g, s, t)?;
+/// assert_eq!(p.source(), s);
+/// assert_eq!(p.destination(), t);
+/// # Ok::<(), dg_topology::TopologyError>(())
+/// ```
+pub fn shortest_path(graph: &Graph, src: NodeId, dst: NodeId) -> Result<Path, TopologyError> {
+    shortest_path_filtered(graph, src, dst, |_| true)
+}
+
+/// Shortest path using only edges for which `usable` returns true.
+///
+/// # Errors
+///
+/// Same conditions as [`shortest_path`].
+pub fn shortest_path_filtered<F>(
+    graph: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    usable: F,
+) -> Result<Path, TopologyError>
+where
+    F: Fn(EdgeId) -> bool,
+{
+    graph.check_node(src)?;
+    graph.check_node(dst)?;
+    if src == dst {
+        return Err(TopologyError::NoRoute(src, dst));
+    }
+    let (dist, prev) = run(graph, src, Direction::Forward, &usable);
+    if dist[dst.index()].is_unreachable() {
+        return Err(TopologyError::NoRoute(src, dst));
+    }
+    let mut edges = Vec::new();
+    let mut at = dst;
+    while at != src {
+        let e = prev[at.index()].expect("reachable node has predecessor");
+        edges.push(e);
+        at = graph.edge(e).src;
+    }
+    edges.reverse();
+    Path::new(graph, edges)
+}
+
+/// Latency of the shortest path from `src` to every node.
+///
+/// Unreachable nodes get [`Micros::MAX`].
+pub fn distances_from<F>(graph: &Graph, src: NodeId, usable: F) -> Vec<Micros>
+where
+    F: Fn(EdgeId) -> bool,
+{
+    run(graph, src, Direction::Forward, &usable).0
+}
+
+/// Latency of the shortest path from every node to `dst`.
+///
+/// Computed over reversed edges; unreachable nodes get [`Micros::MAX`].
+pub fn distances_to<F>(graph: &Graph, dst: NodeId, usable: F) -> Vec<Micros>
+where
+    F: Fn(EdgeId) -> bool,
+{
+    run(graph, dst, Direction::Backward, &usable).0
+}
+
+/// Shortest path under a caller-supplied edge weight (in microseconds);
+/// returning `None` from `weight` excludes the edge entirely.
+///
+/// Dynamic routing schemes use this to route on *expected* latency —
+/// baseline propagation plus current extra latency, penalized by loss.
+///
+/// # Errors
+///
+/// Same conditions as [`shortest_path`].
+pub fn shortest_path_weighted<W>(
+    graph: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    weight: W,
+) -> Result<Path, TopologyError>
+where
+    W: Fn(EdgeId) -> Option<u64>,
+{
+    graph.check_node(src)?;
+    graph.check_node(dst)?;
+    if src == dst {
+        return Err(TopologyError::NoRoute(src, dst));
+    }
+    let n = graph.node_count();
+    let mut dist = vec![u64::MAX; n];
+    let mut prev: Vec<Option<EdgeId>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[src.index()] = 0;
+    heap.push(Reverse((0u64, src)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u.index()] {
+            continue;
+        }
+        for &e in graph.out_edges(u) {
+            let Some(w) = weight(e) else { continue };
+            let v = graph.edge(e).dst;
+            let nd = d.saturating_add(w);
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                prev[v.index()] = Some(e);
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    if dist[dst.index()] == u64::MAX {
+        return Err(TopologyError::NoRoute(src, dst));
+    }
+    let mut edges = Vec::new();
+    let mut at = dst;
+    while at != src {
+        let e = prev[at.index()].expect("reachable node has predecessor");
+        edges.push(e);
+        at = graph.edge(e).src;
+    }
+    edges.reverse();
+    Path::new(graph, edges)
+}
+
+enum Direction {
+    Forward,
+    Backward,
+}
+
+fn run<F>(
+    graph: &Graph,
+    origin: NodeId,
+    direction: Direction,
+    usable: &F,
+) -> (Vec<Micros>, Vec<Option<EdgeId>>)
+where
+    F: Fn(EdgeId) -> bool,
+{
+    let n = graph.node_count();
+    let mut dist = vec![Micros::MAX; n];
+    let mut prev: Vec<Option<EdgeId>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[origin.index()] = Micros::ZERO;
+    heap.push(Reverse((Micros::ZERO, origin)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u.index()] {
+            continue;
+        }
+        let edges = match direction {
+            Direction::Forward => graph.out_edges(u),
+            Direction::Backward => graph.in_edges(u),
+        };
+        for &e in edges {
+            if !usable(e) {
+                continue;
+            }
+            let info = graph.edge(e);
+            let v = match direction {
+                Direction::Forward => info.dst,
+                Direction::Backward => info.src,
+            };
+            let nd = d.saturating_add(info.latency);
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                prev[v.index()] = Some(e);
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    (dist, prev)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    /// A --1-- B --1-- D, A --5-- C --1-- D: shortest A->D is via B.
+    fn diamond() -> Graph {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("A");
+        let n1 = b.add_node("B");
+        let n2 = b.add_node("C");
+        let d = b.add_node("D");
+        b.add_link(a, n1, Micros::from_millis(1), 1).unwrap();
+        b.add_link(n1, d, Micros::from_millis(1), 1).unwrap();
+        b.add_link(a, n2, Micros::from_millis(5), 1).unwrap();
+        b.add_link(n2, d, Micros::from_millis(1), 1).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn finds_cheapest_route() {
+        let g = diamond();
+        let a = g.node_by_name("A").unwrap();
+        let d = g.node_by_name("D").unwrap();
+        let p = shortest_path(&g, a, d).unwrap();
+        assert_eq!(p.display(&g), "A -> B -> D");
+        assert_eq!(p.latency(&g), Micros::from_millis(2));
+    }
+
+    #[test]
+    fn filter_forces_detour() {
+        let g = diamond();
+        let a = g.node_by_name("A").unwrap();
+        let b = g.node_by_name("B").unwrap();
+        let d = g.node_by_name("D").unwrap();
+        let banned = g.edge_between(a, b).unwrap();
+        let p = shortest_path_filtered(&g, a, d, |e| e != banned).unwrap();
+        assert_eq!(p.display(&g), "A -> C -> D");
+    }
+
+    #[test]
+    fn unreachable_and_self_route_error() {
+        let mut builder = GraphBuilder::new();
+        let a = builder.add_node("A");
+        let b = builder.add_node("B");
+        let g = builder.build();
+        assert_eq!(shortest_path(&g, a, b), Err(TopologyError::NoRoute(a, b)));
+        assert_eq!(shortest_path(&g, a, a), Err(TopologyError::NoRoute(a, a)));
+        assert!(shortest_path(&g, NodeId::new(9), b).is_err());
+    }
+
+    #[test]
+    fn distances_from_marks_unreachable() {
+        let mut builder = GraphBuilder::new();
+        let a = builder.add_node("A");
+        let b = builder.add_node("B");
+        let c = builder.add_node("C");
+        builder.add_edge(a, b, Micros::from_millis(3), 1).unwrap();
+        let g = builder.build();
+        let d = distances_from(&g, a, |_| true);
+        assert_eq!(d[a.index()], Micros::ZERO);
+        assert_eq!(d[b.index()], Micros::from_millis(3));
+        assert!(d[c.index()].is_unreachable());
+    }
+
+    #[test]
+    fn distances_to_uses_reverse_edges() {
+        let mut builder = GraphBuilder::new();
+        let a = builder.add_node("A");
+        let b = builder.add_node("B");
+        builder.add_edge(a, b, Micros::from_millis(3), 1).unwrap();
+        let g = builder.build();
+        let d = distances_to(&g, b, |_| true);
+        assert_eq!(d[a.index()], Micros::from_millis(3));
+        assert_eq!(d[b.index()], Micros::ZERO);
+        // No edge B -> A, so distance from B in `distances_to(a)` is MAX.
+        let d2 = distances_to(&g, a, |_| true);
+        assert!(d2[b.index()].is_unreachable());
+    }
+
+    #[test]
+    fn forward_and_backward_distances_agree() {
+        let g = crate::presets::north_america_12();
+        let s = g.node_by_name("NYC").unwrap();
+        let from = distances_from(&g, s, |_| true);
+        for t in g.nodes() {
+            let to = distances_to(&g, t, |_| true);
+            assert_eq!(from[t.index()], to[s.index()], "mismatch NYC->{}", g.node(t).name);
+        }
+    }
+}

@@ -1,0 +1,442 @@
+//! Bhandari's algorithm for minimum-total-latency disjoint path pairs.
+//!
+//! The dissemination-graph schemes in `dg-core` build on pairs (and in
+//! the k-paths extension, larger sets) of edge- or node-disjoint paths.
+//! Bhandari's algorithm finds the set of k disjoint paths whose *total*
+//! latency is minimal, which can differ from greedily taking the
+//! shortest path first and then routing around it.
+
+use crate::algo::bellman_ford::{Arc, ArcList};
+use crate::{EdgeId, Graph, NodeId, Path, TopologyError};
+use std::collections::HashSet;
+
+/// Which resources the paths must not share.
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    Hash,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub enum Disjointness {
+    /// Paths share no directed edges.
+    Edge,
+    /// Paths share no nodes except source and destination (implies edge
+    /// disjointness). This is the mode the paper's two-disjoint-path
+    /// schemes use: node-disjoint paths survive a full site failure.
+    Node,
+}
+
+/// Finds two disjoint paths of minimum total latency.
+///
+/// The returned pair is ordered by latency (shortest first).
+///
+/// # Errors
+///
+/// Returns [`TopologyError::InsufficientDisjointPaths`] when the graph
+/// does not contain two disjoint routes, and the usual endpoint errors.
+///
+/// # Example
+///
+/// ```
+/// use dg_topology::{presets, algo::disjoint::{disjoint_pair, Disjointness}};
+///
+/// let g = presets::north_america_12();
+/// let s = g.node_by_name("JHU").unwrap();
+/// let t = g.node_by_name("SEA").unwrap();
+/// let (p1, p2) = disjoint_pair(&g, s, t, Disjointness::Node)?;
+/// assert!(p1.is_node_disjoint(&g, &p2));
+/// # Ok::<(), dg_topology::TopologyError>(())
+/// ```
+pub fn disjoint_pair(
+    graph: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    mode: Disjointness,
+) -> Result<(Path, Path), TopologyError> {
+    let mut paths = k_disjoint_paths(graph, src, dst, 2, mode)?;
+    let second = paths.pop().expect("k_disjoint_paths returned 2 paths");
+    let first = paths.pop().expect("k_disjoint_paths returned 2 paths");
+    Ok((first, second))
+}
+
+/// Finds `k` mutually disjoint paths of minimum total latency.
+///
+/// Paths are returned sorted by latency, shortest first.
+///
+/// # Errors
+///
+/// Returns [`TopologyError::InsufficientDisjointPaths`] (with the number
+/// that do exist) when fewer than `k` disjoint routes are available, and
+/// [`TopologyError::NoRoute`] when `src == dst` or `k == 0`.
+pub fn k_disjoint_paths(
+    graph: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+    mode: Disjointness,
+) -> Result<Vec<Path>, TopologyError> {
+    k_disjoint_paths_filtered(graph, src, dst, k, mode, |_| true)
+}
+
+/// Like [`k_disjoint_paths`], restricted to edges passing `usable`.
+///
+/// # Errors
+///
+/// Same conditions as [`k_disjoint_paths`].
+pub fn k_disjoint_paths_filtered<F>(
+    graph: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+    mode: Disjointness,
+    usable: F,
+) -> Result<Vec<Path>, TopologyError>
+where
+    F: Fn(EdgeId) -> bool,
+{
+    k_disjoint_paths_weighted(graph, src, dst, k, mode, |e| {
+        if usable(e) {
+            Some(graph.edge(e).latency.as_micros() as i64)
+        } else {
+            None
+        }
+    })
+}
+
+/// Like [`k_disjoint_paths`], under a caller-supplied edge weight (in
+/// microseconds); returning `None` from `weight` excludes the edge.
+///
+/// Dynamic disjoint-path schemes use this to pick the pair minimizing
+/// total loss-penalized expected latency under current link state.
+///
+/// # Errors
+///
+/// Same conditions as [`k_disjoint_paths`].
+pub fn k_disjoint_paths_weighted<W>(
+    graph: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+    mode: Disjointness,
+    weight: W,
+) -> Result<Vec<Path>, TopologyError>
+where
+    W: Fn(EdgeId) -> Option<i64>,
+{
+    graph.check_node(src)?;
+    graph.check_node(dst)?;
+    if src == dst || k == 0 {
+        return Err(TopologyError::NoRoute(src, dst));
+    }
+
+    let base = build_base(graph, mode, &weight);
+    let (s, t) = split_endpoints(src, dst, mode);
+
+    let mut used: HashSet<usize> = HashSet::new();
+    for round in 0..k {
+        let residual = build_residual(&base, &used);
+        let Some(path) = residual.arcs.shortest_path(s, t) else {
+            return Err(TopologyError::InsufficientDisjointPaths {
+                requested: k,
+                available: round,
+            });
+        };
+        for arc_idx in path {
+            match residual.origin[arc_idx] {
+                Origin::Forward(i) => {
+                    used.insert(i);
+                }
+                Origin::ReverseOf(i) => {
+                    used.remove(&i);
+                }
+            }
+        }
+    }
+
+    let mut paths = decompose(graph, &base, &used, s, t, k);
+    paths.sort_by_key(|p| p.latency(graph));
+    Ok(paths)
+}
+
+/// Maximum number of disjoint paths between `src` and `dst`.
+///
+/// Thin wrapper over [`crate::algo::maxflow::max_disjoint_paths`],
+/// exposed here so callers probing feasibility before requesting paths
+/// need only this module.
+pub fn max_disjoint(graph: &Graph, src: NodeId, dst: NodeId, mode: Disjointness) -> usize {
+    crate::algo::maxflow::max_disjoint_paths(graph, src, dst, mode)
+}
+
+pub(crate) struct BaseArc {
+    pub(crate) from: usize,
+    pub(crate) to: usize,
+    pub(crate) weight: i64,
+    /// The overlay edge this arc represents; `None` for node-internal
+    /// arcs introduced by node splitting.
+    pub(crate) edge: Option<EdgeId>,
+}
+
+pub(crate) struct Base {
+    pub(crate) node_count: usize,
+    pub(crate) arcs: Vec<BaseArc>,
+}
+
+/// Endpoint indices of a flow in the (possibly node-split) arc graph:
+/// leave from the source's out-copy, arrive at the destination's
+/// in-copy, so intermediate-node capacity 1 is enforced while the
+/// endpoints stay shared.
+pub(crate) fn split_endpoints(src: NodeId, dst: NodeId, mode: Disjointness) -> (usize, usize) {
+    match mode {
+        Disjointness::Edge => (src.index(), dst.index()),
+        Disjointness::Node => (src.index() * 2 + 1, dst.index() * 2),
+    }
+}
+
+pub(crate) fn build_base<W>(graph: &Graph, mode: Disjointness, weight: &W) -> Base
+where
+    W: Fn(EdgeId) -> Option<i64>,
+{
+    match mode {
+        Disjointness::Edge => Base {
+            node_count: graph.node_count(),
+            arcs: graph
+                .edges()
+                .filter_map(|e| {
+                    let w = weight(e)?;
+                    let info = graph.edge(e);
+                    Some(BaseArc {
+                        from: info.src.index(),
+                        to: info.dst.index(),
+                        weight: w,
+                        edge: Some(e),
+                    })
+                })
+                .collect(),
+        },
+        Disjointness::Node => {
+            // Node v splits into v_in = 2v and v_out = 2v + 1.
+            let mut arcs: Vec<BaseArc> = (0..graph.node_count())
+                .map(|v| BaseArc { from: v * 2, to: v * 2 + 1, weight: 0, edge: None })
+                .collect();
+            arcs.extend(graph.edges().filter_map(|e| {
+                let w = weight(e)?;
+                let info = graph.edge(e);
+                Some(BaseArc {
+                    from: info.src.index() * 2 + 1,
+                    to: info.dst.index() * 2,
+                    weight: w,
+                    edge: Some(e),
+                })
+            }));
+            Base { node_count: graph.node_count() * 2, arcs }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Origin {
+    Forward(usize),
+    ReverseOf(usize),
+}
+
+struct Residual {
+    arcs: ArcList,
+    origin: Vec<Origin>,
+}
+
+fn build_residual(base: &Base, used: &HashSet<usize>) -> Residual {
+    let mut arcs = Vec::with_capacity(base.arcs.len());
+    let mut origin = Vec::with_capacity(base.arcs.len());
+    for (i, a) in base.arcs.iter().enumerate() {
+        if used.contains(&i) {
+            arcs.push(Arc { from: a.to, to: a.from, weight: -a.weight });
+            origin.push(Origin::ReverseOf(i));
+        } else {
+            arcs.push(Arc { from: a.from, to: a.to, weight: a.weight });
+            origin.push(Origin::Forward(i));
+        }
+    }
+    Residual { arcs: ArcList { node_count: base.node_count, arcs }, origin }
+}
+
+/// Splits the union of `k` arc-disjoint s→t paths back into paths.
+pub(crate) fn decompose(
+    graph: &Graph,
+    base: &Base,
+    used: &HashSet<usize>,
+    s: usize,
+    t: usize,
+    k: usize,
+) -> Vec<Path> {
+    let mut out: Vec<Vec<usize>> = vec![Vec::new(); base.node_count];
+    for &i in used {
+        out[base.arcs[i].from].push(i);
+    }
+    let mut paths = Vec::with_capacity(k);
+    for _ in 0..k {
+        let mut edges = Vec::new();
+        let mut at = s;
+        while at != t {
+            let arc_idx = out[at].pop().expect("balanced degrees guarantee an out-arc");
+            let arc = &base.arcs[arc_idx];
+            if let Some(e) = arc.edge {
+                edges.push(e);
+            }
+            at = arc.to;
+        }
+        paths.push(Path::new(graph, edges).expect("decomposed arcs form a path"));
+    }
+    paths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GraphBuilder, Micros};
+
+    /// Two vertex-disjoint routes A->Z: via M1 and via M2, plus a tempting
+    /// shortcut M1->M2 that a greedy shortest-path-first approach would
+    /// take and thereby block the second path.
+    fn trap() -> Graph {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("A");
+        let m1 = b.add_node("M1");
+        let m2 = b.add_node("M2");
+        let z = b.add_node("Z");
+        b.add_link(a, m1, Micros::from_millis(1), 1).unwrap();
+        b.add_link(m1, m2, Micros::from_millis(1), 1).unwrap();
+        b.add_link(m2, z, Micros::from_millis(1), 1).unwrap();
+        b.add_link(a, m2, Micros::from_millis(10), 1).unwrap();
+        b.add_link(m1, z, Micros::from_millis(10), 1).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn survives_greedy_trap() {
+        let g = trap();
+        let a = g.node_by_name("A").unwrap();
+        let z = g.node_by_name("Z").unwrap();
+        // Greedy would take A-M1-M2-Z (3ms) and then fail to find a
+        // node-disjoint second path; Bhandari must find the optimal pair
+        // A-M1-Z + A-M2-Z (total 22ms).
+        let (p1, p2) = disjoint_pair(&g, a, z, Disjointness::Node).unwrap();
+        assert!(p1.is_node_disjoint(&g, &p2));
+        let total = p1.latency(&g) + p2.latency(&g);
+        assert_eq!(total, Micros::from_millis(22));
+    }
+
+    #[test]
+    fn pair_is_ordered_by_latency() {
+        let g = trap();
+        let a = g.node_by_name("A").unwrap();
+        let z = g.node_by_name("Z").unwrap();
+        let (p1, p2) = disjoint_pair(&g, a, z, Disjointness::Edge).unwrap();
+        assert!(p1.latency(&g) <= p2.latency(&g));
+    }
+
+    #[test]
+    fn edge_mode_allows_shared_nodes() {
+        // A -> B -> Z twice over parallel-ish routes that share node B is
+        // impossible with simple graphs; instead verify edge mode finds a
+        // pair where node mode cannot.
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("A");
+        let hub = b.add_node("H");
+        let x = b.add_node("X");
+        let y = b.add_node("Y");
+        let z = b.add_node("Z");
+        // Routes: A-X-H-Z and A-Y-H-Z share only node H.
+        b.add_link(a, x, Micros::from_millis(1), 1).unwrap();
+        b.add_link(x, hub, Micros::from_millis(1), 1).unwrap();
+        b.add_link(a, y, Micros::from_millis(1), 1).unwrap();
+        b.add_link(y, hub, Micros::from_millis(1), 1).unwrap();
+        b.add_link(hub, z, Micros::from_millis(1), 1).unwrap();
+        let g = b.build();
+        assert!(disjoint_pair(&g, a, z, Disjointness::Edge).is_err());
+        assert_eq!(
+            disjoint_pair(&g, a, z, Disjointness::Node),
+            Err(TopologyError::InsufficientDisjointPaths { requested: 2, available: 1 })
+        );
+    }
+
+    #[test]
+    fn reports_available_count() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("A");
+        let m = b.add_node("M");
+        let z = b.add_node("Z");
+        b.add_link(a, m, Micros::from_millis(1), 1).unwrap();
+        b.add_link(m, z, Micros::from_millis(1), 1).unwrap();
+        let g = b.build();
+        assert_eq!(
+            k_disjoint_paths(&g, a, z, 3, Disjointness::Edge),
+            Err(TopologyError::InsufficientDisjointPaths { requested: 3, available: 1 })
+        );
+    }
+
+    #[test]
+    fn preset_supports_pairs_for_all_transcontinental_flows() {
+        let g = crate::presets::north_america_12();
+        for (s, t) in crate::presets::transcontinental_flows(&g) {
+            let (p1, p2) = disjoint_pair(&g, s, t, Disjointness::Node)
+                .unwrap_or_else(|e| panic!("{} -> {}: {e}", g.node(s).name, g.node(t).name));
+            assert!(p1.is_node_disjoint(&g, &p2));
+            assert!(p1.is_edge_disjoint(&p2));
+            assert_eq!(p1.source(), s);
+            assert_eq!(p2.destination(), t);
+        }
+    }
+
+    #[test]
+    fn filtered_avoids_banned_edges() {
+        let g = trap();
+        let a = g.node_by_name("A").unwrap();
+        let m1 = g.node_by_name("M1").unwrap();
+        let z = g.node_by_name("Z").unwrap();
+        let banned = g.edge_between(a, m1).unwrap();
+        let result =
+            k_disjoint_paths_filtered(&g, a, z, 2, Disjointness::Node, |e| e != banned);
+        // Without A->M1 only one node-disjoint route remains.
+        assert_eq!(
+            result,
+            Err(TopologyError::InsufficientDisjointPaths { requested: 2, available: 1 })
+        );
+    }
+
+    #[test]
+    fn rejects_degenerate_requests() {
+        let g = trap();
+        let a = g.node_by_name("A").unwrap();
+        assert!(k_disjoint_paths(&g, a, a, 2, Disjointness::Edge).is_err());
+        let z = g.node_by_name("Z").unwrap();
+        assert!(k_disjoint_paths(&g, a, z, 0, Disjointness::Edge).is_err());
+    }
+
+    #[test]
+    fn three_paths_when_available() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("A");
+        let z = b.add_node("Z");
+        let mids: Vec<_> = (0..3).map(|i| b.add_node(&format!("M{i}"))).collect();
+        for (i, &m) in mids.iter().enumerate() {
+            let w = Micros::from_millis(1 + i as u64);
+            b.add_link(a, m, w, 1).unwrap();
+            b.add_link(m, z, w, 1).unwrap();
+        }
+        let g = b.build();
+        let paths = k_disjoint_paths(&g, a, z, 3, Disjointness::Node).unwrap();
+        assert_eq!(paths.len(), 3);
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                assert!(paths[i].is_node_disjoint(&g, &paths[j]));
+            }
+        }
+        // Sorted by latency.
+        assert!(paths[0].latency(&g) <= paths[1].latency(&g));
+        assert!(paths[1].latency(&g) <= paths[2].latency(&g));
+    }
+}

@@ -1,0 +1,101 @@
+//! Geographic helpers used to derive realistic link latencies.
+
+use crate::Micros;
+use serde::{Deserialize, Serialize};
+
+/// Mean radius of the Earth in kilometres.
+const EARTH_RADIUS_KM: f64 = 6_371.0;
+
+/// Speed of light in fibre, in kilometres per second (~0.66 c).
+const FIBRE_KM_PER_SEC: f64 = 200_000.0;
+
+/// Multiplier accounting for fibre routes being longer than great circles.
+const ROUTE_INFLATION: f64 = 1.3;
+
+/// Fixed per-hop overhead (forwarding, serialization) in microseconds.
+const HOP_OVERHEAD_US: u64 = 200;
+
+/// A point on the Earth's surface, in decimal degrees.
+///
+/// # Example
+///
+/// ```
+/// use dg_topology::GeoPoint;
+///
+/// let nyc = GeoPoint::new(40.71, -74.01);
+/// let sjc = GeoPoint::new(37.34, -121.89);
+/// let km = nyc.distance_km(&sjc);
+/// assert!(km > 4000.0 && km < 4200.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoPoint {
+    /// Latitude in decimal degrees, positive north.
+    pub lat: f64,
+    /// Longitude in decimal degrees, positive east.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Creates a point from latitude and longitude in decimal degrees.
+    pub fn new(lat: f64, lon: f64) -> Self {
+        GeoPoint { lat, lon }
+    }
+
+    /// Great-circle distance to `other` in kilometres (haversine formula).
+    pub fn distance_km(&self, other: &GeoPoint) -> f64 {
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2)
+            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_KM * a.sqrt().asin()
+    }
+
+    /// One-way propagation latency to `other` over a typical fibre route.
+    ///
+    /// Combines the great-circle distance, a route-inflation factor for
+    /// real fibre paths, and a fixed per-hop forwarding overhead. This is
+    /// what the synthetic topology presets use for base link latencies.
+    pub fn propagation_latency(&self, other: &GeoPoint) -> Micros {
+        let km = self.distance_km(other) * ROUTE_INFLATION;
+        let us = km / FIBRE_KM_PER_SEC * 1_000_000.0;
+        Micros::from_micros(us.round() as u64 + HOP_OVERHEAD_US)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_distance_to_self() {
+        let p = GeoPoint::new(40.0, -74.0);
+        assert!(p.distance_km(&p) < 1e-9);
+        assert_eq!(p.propagation_latency(&p).as_micros(), HOP_OVERHEAD_US);
+    }
+
+    #[test]
+    fn known_city_distance() {
+        // NYC <-> LAX is ~3940 km great circle.
+        let nyc = GeoPoint::new(40.71, -74.01);
+        let lax = GeoPoint::new(34.05, -118.24);
+        let km = nyc.distance_km(&lax);
+        assert!((3_900.0..4_000.0).contains(&km), "got {km}");
+    }
+
+    #[test]
+    fn transcontinental_latency_is_tens_of_ms() {
+        let nyc = GeoPoint::new(40.71, -74.01);
+        let sjc = GeoPoint::new(37.34, -121.89);
+        let lat = nyc.propagation_latency(&sjc);
+        assert!(lat.as_millis() >= 20 && lat.as_millis() <= 35, "got {lat}");
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = GeoPoint::new(47.61, -122.33);
+        let b = GeoPoint::new(25.76, -80.19);
+        assert!((a.distance_km(&b) - b.distance_km(&a)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,89 @@
+//! Typed identifiers for overlay graph elements.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an overlay node (site).
+///
+/// Node ids are dense indices assigned by [`crate::GraphBuilder`] in
+/// insertion order, so they can be used directly to index per-node
+/// tables.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a dense index.
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// Returns the dense index of this node.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a directed overlay edge (link).
+///
+/// Edge ids are dense indices assigned by [`crate::GraphBuilder`] in
+/// insertion order; a bidirectional link is two directed edges with two
+/// distinct ids.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct EdgeId(u32);
+
+impl EdgeId {
+    /// Creates an edge id from a dense index.
+    pub const fn new(index: u32) -> Self {
+        EdgeId(index)
+    }
+
+    /// Returns the dense index of this edge.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_round_trip_indices() {
+        assert_eq!(NodeId::new(7).index(), 7);
+        assert_eq!(EdgeId::new(42).index(), 42);
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let set: HashSet<NodeId> = [NodeId::new(1), NodeId::new(2), NodeId::new(1)]
+            .into_iter()
+            .collect();
+        assert_eq!(set.len(), 2);
+        assert!(EdgeId::new(1) < EdgeId::new(2));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NodeId::new(3).to_string(), "n3");
+        assert_eq!(EdgeId::new(9).to_string(), "e9");
+    }
+}

@@ -1,0 +1,216 @@
+//! Simple (loopless) paths through the overlay graph.
+
+use crate::{EdgeId, Graph, Micros, NodeId, TopologyError};
+use serde::{Deserialize, Serialize};
+
+/// A directed path through the overlay, stored as a sequence of edges.
+///
+/// Paths are always non-empty and contiguous: each edge starts where the
+/// previous one ended. Construct with [`Path::new`], which validates
+/// these invariants against a concrete graph.
+///
+/// # Example
+///
+/// ```
+/// use dg_topology::{presets, algo::dijkstra};
+///
+/// let g = presets::north_america_12();
+/// let p = dijkstra::shortest_path(
+///     &g,
+///     g.node_by_name("BOS").unwrap(),
+///     g.node_by_name("MIA").unwrap(),
+/// )?;
+/// assert!(p.is_simple(&g));
+/// println!("{} in {}", p.display(&g), p.latency(&g));
+/// # Ok::<(), dg_topology::TopologyError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Path {
+    edges: Vec<EdgeId>,
+    src: NodeId,
+    dst: NodeId,
+}
+
+impl Path {
+    /// Builds a path from consecutive edges of `graph`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::UnknownEdge`] for edges outside the graph
+    /// and [`TopologyError::NoRoute`] if `edges` is empty or the edges do
+    /// not form a contiguous chain.
+    pub fn new(graph: &Graph, edges: Vec<EdgeId>) -> Result<Self, TopologyError> {
+        let first = *edges
+            .first()
+            .ok_or(TopologyError::NoRoute(NodeId::new(0), NodeId::new(0)))?;
+        graph.check_edge(first)?;
+        let src = graph.edge(first).src;
+        let mut at = src;
+        for &e in &edges {
+            graph.check_edge(e)?;
+            let info = graph.edge(e);
+            if info.src != at {
+                return Err(TopologyError::NoRoute(src, info.src));
+            }
+            at = info.dst;
+        }
+        Ok(Path { edges, src, dst: at })
+    }
+
+    /// The path's source node.
+    pub fn source(&self) -> NodeId {
+        self.src
+    }
+
+    /// The path's destination node.
+    pub fn destination(&self) -> NodeId {
+        self.dst
+    }
+
+    /// The edges of the path, in order.
+    pub fn edges(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// Number of edges (hops).
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Paths are never empty; always `false`. Provided for idiom's sake.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The nodes visited, source first, destination last.
+    pub fn nodes(&self, graph: &Graph) -> Vec<NodeId> {
+        let mut nodes = Vec::with_capacity(self.edges.len() + 1);
+        nodes.push(self.src);
+        for &e in &self.edges {
+            nodes.push(graph.edge(e).dst);
+        }
+        nodes
+    }
+
+    /// Sum of baseline edge latencies along the path.
+    pub fn latency(&self, graph: &Graph) -> Micros {
+        self.edges.iter().map(|&e| graph.edge(e).latency).sum()
+    }
+
+    /// Sum of edge costs along the path.
+    pub fn cost(&self, graph: &Graph) -> u64 {
+        graph.edge_set_cost(self.edges.iter().copied())
+    }
+
+    /// True if no intermediate node repeats (the path is simple).
+    pub fn is_simple(&self, graph: &Graph) -> bool {
+        let nodes = self.nodes(graph);
+        let mut seen = std::collections::HashSet::with_capacity(nodes.len());
+        nodes.iter().all(|n| seen.insert(*n))
+    }
+
+    /// True if `self` and `other` share no edges.
+    pub fn is_edge_disjoint(&self, other: &Path) -> bool {
+        !self.edges.iter().any(|e| other.edges.contains(e))
+    }
+
+    /// True if `self` and `other` share no nodes except source/destination.
+    pub fn is_node_disjoint(&self, graph: &Graph, other: &Path) -> bool {
+        let mine: std::collections::HashSet<NodeId> = self
+            .nodes(graph)
+            .into_iter()
+            .filter(|&n| n != self.src && n != self.dst)
+            .collect();
+        other
+            .nodes(graph)
+            .into_iter()
+            .filter(|&n| n != other.src && n != other.dst)
+            .all(|n| !mine.contains(&n))
+    }
+
+    /// Formats the path as `A -> B -> C` using node names.
+    pub fn display(&self, graph: &Graph) -> String {
+        self.nodes(graph)
+            .iter()
+            .map(|&n| graph.node(n).name.as_str())
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn line() -> (Graph, Vec<EdgeId>) {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("A");
+        let c = b.add_node("B");
+        let d = b.add_node("C");
+        let (e0, _) = b.add_link(a, c, Micros::from_millis(1), 1).unwrap();
+        let (e1, _) = b.add_link(c, d, Micros::from_millis(2), 2).unwrap();
+        (b.build(), vec![e0, e1])
+    }
+
+    #[test]
+    fn builds_valid_path() {
+        let (g, edges) = line();
+        let p = Path::new(&g, edges).unwrap();
+        assert_eq!(p.source(), g.node_by_name("A").unwrap());
+        assert_eq!(p.destination(), g.node_by_name("C").unwrap());
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert_eq!(p.latency(&g), Micros::from_millis(3));
+        assert_eq!(p.cost(&g), 3);
+        assert_eq!(p.display(&g), "A -> B -> C");
+    }
+
+    #[test]
+    fn rejects_empty_and_discontiguous() {
+        let (g, edges) = line();
+        assert!(Path::new(&g, vec![]).is_err());
+        // Reversed order is not contiguous.
+        assert!(Path::new(&g, vec![edges[1], edges[0]]).is_err());
+        assert!(Path::new(&g, vec![EdgeId::new(99)]).is_err());
+    }
+
+    #[test]
+    fn nodes_lists_all_visited() {
+        let (g, edges) = line();
+        let p = Path::new(&g, edges).unwrap();
+        let names: Vec<&str> =
+            p.nodes(&g).iter().map(|&n| g.node(n).name.as_str()).collect();
+        assert_eq!(names, ["A", "B", "C"]);
+        assert!(p.is_simple(&g));
+    }
+
+    #[test]
+    fn disjointness_checks() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("A");
+        let m1 = b.add_node("M1");
+        let m2 = b.add_node("M2");
+        let z = b.add_node("Z");
+        let (e_am1, _) = b.add_link(a, m1, Micros::from_millis(1), 1).unwrap();
+        let (e_m1z, _) = b.add_link(m1, z, Micros::from_millis(1), 1).unwrap();
+        let (e_am2, _) = b.add_link(a, m2, Micros::from_millis(1), 1).unwrap();
+        let (e_m2z, _) = b.add_link(m2, z, Micros::from_millis(1), 1).unwrap();
+        let g = b.build();
+        let p1 = Path::new(&g, vec![e_am1, e_m1z]).unwrap();
+        let p2 = Path::new(&g, vec![e_am2, e_m2z]).unwrap();
+        assert!(p1.is_edge_disjoint(&p2));
+        assert!(p1.is_node_disjoint(&g, &p2));
+        assert!(!p1.is_edge_disjoint(&p1));
+        assert!(!p1.is_node_disjoint(&g, &p1));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let (g, edges) = line();
+        let p = Path::new(&g, edges).unwrap();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Path = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,449 @@
+//! Ready-made overlay topologies.
+//!
+//! [`north_america_12`] is the evaluation topology of this reproduction:
+//! 12 overlay sites at real city locations with link latencies derived
+//! from fibre-route distances, standing in for the commercial overlay
+//! the paper measured (see DESIGN.md §2 for the substitution argument).
+
+use crate::{GeoPoint, Graph, GraphBuilder, Micros, NodeId};
+
+/// The 12 sites of the evaluation topology, as `(name, lat, lon)`.
+pub const NORTH_AMERICA_SITES: [(&str, f64, f64); 12] = [
+    ("NYC", 40.71, -74.01),
+    ("JHU", 39.30, -76.61), // Baltimore
+    ("WAS", 38.91, -77.04),
+    ("BOS", 42.36, -71.06),
+    ("CHI", 41.88, -87.63),
+    ("ATL", 33.75, -84.39),
+    ("MIA", 25.76, -80.19),
+    ("DFW", 32.78, -96.80),
+    ("DEN", 39.74, -104.99),
+    ("LAX", 34.05, -118.24),
+    ("SJC", 37.34, -121.89),
+    ("SEA", 47.61, -122.33),
+];
+
+/// Bidirectional links of the evaluation topology, by site name.
+///
+/// Connectivity mirrors a commercial overlay's dense mesh: every access
+/// site attaches to several others, so partial problems around a site
+/// leave escape links for redundancy-based routing.
+pub const NORTH_AMERICA_LINKS: [(&str, &str); 30] = [
+    ("BOS", "NYC"),
+    ("BOS", "CHI"),
+    ("BOS", "JHU"),
+    ("BOS", "WAS"),
+    ("NYC", "JHU"),
+    ("NYC", "WAS"),
+    ("NYC", "CHI"),
+    ("NYC", "ATL"),
+    ("JHU", "WAS"),
+    ("JHU", "CHI"),
+    ("WAS", "ATL"),
+    ("WAS", "CHI"),
+    ("WAS", "MIA"),
+    ("ATL", "MIA"),
+    ("ATL", "DFW"),
+    ("ATL", "CHI"),
+    ("ATL", "LAX"),
+    ("MIA", "DFW"),
+    ("CHI", "DEN"),
+    ("CHI", "DFW"),
+    ("CHI", "SEA"),
+    ("DFW", "DEN"),
+    ("DFW", "LAX"),
+    ("DFW", "SJC"),
+    ("DEN", "SEA"),
+    ("DEN", "SJC"),
+    ("DEN", "LAX"),
+    ("SEA", "SJC"),
+    ("SEA", "LAX"),
+    ("SJC", "LAX"),
+];
+
+/// Builds the 12-site North-America overlay used throughout the
+/// evaluation (60 directed edges, latencies from fibre-route distance).
+///
+/// # Example
+///
+/// ```
+/// let g = dg_topology::presets::north_america_12();
+/// assert_eq!(g.node_count(), 12);
+/// assert_eq!(g.edge_count(), 60);
+/// ```
+pub fn north_america_12() -> Graph {
+    let mut b = GraphBuilder::new();
+    for (name, lat, lon) in NORTH_AMERICA_SITES {
+        b.add_node_at(name, GeoPoint::new(lat, lon));
+    }
+    for (x, y) in NORTH_AMERICA_LINKS {
+        let (mut ids, mut pts) = (Vec::new(), Vec::new());
+        for name in [x, y] {
+            let mut builder_probe = None;
+            // Builder has no name lookup; recompute from the site table.
+            for (i, (n, lat, lon)) in NORTH_AMERICA_SITES.iter().enumerate() {
+                if *n == name {
+                    builder_probe = Some((NodeId::new(i as u32), GeoPoint::new(*lat, *lon)));
+                }
+            }
+            let (id, pt) = builder_probe.expect("link references a known site");
+            ids.push(id);
+            pts.push(pt);
+        }
+        let latency = pts[0].propagation_latency(&pts[1]);
+        b.add_link(ids[0], ids[1], latency, 1).expect("preset links are valid");
+    }
+    b.build()
+}
+
+/// The 16 transcontinental flows the evaluation measures: each of the
+/// four eastern sites (NYC, JHU, WAS, BOS) sending to each of the four
+/// western sites (SEA, SJC, LAX, DEN).
+pub fn transcontinental_flows(graph: &Graph) -> Vec<(NodeId, NodeId)> {
+    let east = ["NYC", "JHU", "WAS", "BOS"];
+    let west = ["SEA", "SJC", "LAX", "DEN"];
+    let mut flows = Vec::with_capacity(16);
+    for e in east {
+        for w in west {
+            flows.push((
+                graph.node_by_name(e).expect("eastern site exists"),
+                graph.node_by_name(w).expect("western site exists"),
+            ));
+        }
+    }
+    flows
+}
+
+/// The four non-American sites of the global topology.
+pub const GLOBAL_EXTRA_SITES: [(&str, f64, f64); 4] = [
+    ("LON", 51.51, -0.13),
+    ("FRA", 50.11, 8.68),
+    ("TYO", 35.68, 139.65),
+    ("HKG", 22.32, 114.17),
+];
+
+/// Intercontinental links of the global topology (submarine-cable
+/// routes), by site name.
+pub const GLOBAL_EXTRA_LINKS: [(&str, &str); 9] = [
+    ("LON", "NYC"),
+    ("LON", "BOS"),
+    ("LON", "FRA"),
+    ("FRA", "NYC"),
+    ("FRA", "WAS"),
+    ("TYO", "SEA"),
+    ("TYO", "SJC"),
+    ("TYO", "HKG"),
+    ("HKG", "SJC"),
+];
+
+/// The 16-site global overlay: [`north_america_12`] plus London,
+/// Frankfurt, Tokyo, and Hong Kong — the three-continent span of the
+/// commercial overlay the paper measured.
+///
+/// Intercontinental propagation is 35–55 ms one way, so global flows
+/// need a larger deadline than the US-only 65 ms; see
+/// [`intercontinental_flows`].
+///
+/// # Example
+///
+/// ```
+/// let g = dg_topology::presets::global_16();
+/// assert_eq!(g.node_count(), 16);
+/// assert!(g.node_by_name("TYO").is_some());
+/// ```
+pub fn global_16() -> Graph {
+    let mut b = GraphBuilder::new();
+    let mut positions: Vec<(String, GeoPoint)> = Vec::new();
+    for (name, lat, lon) in NORTH_AMERICA_SITES.iter().chain(GLOBAL_EXTRA_SITES.iter()) {
+        let p = GeoPoint::new(*lat, *lon);
+        b.add_node_at(name, p);
+        positions.push((name.to_string(), p));
+    }
+    let find = |name: &str| {
+        positions
+            .iter()
+            .position(|(n, _)| n == name)
+            .map(|i| (NodeId::new(i as u32), positions[i].1))
+            .expect("link references a known site")
+    };
+    for (x, y) in NORTH_AMERICA_LINKS.iter().chain(GLOBAL_EXTRA_LINKS.iter()) {
+        let (a, pa) = find(x);
+        let (bb, pb) = find(y);
+        b.add_link(a, bb, pa.propagation_latency(&pb), 1)
+            .expect("preset links are valid");
+    }
+    b.build()
+}
+
+/// The eight intercontinental flows of the global evaluation (each
+/// European/Asian site sending to two distant American sites), with
+/// the one-way deadline that makes them feasible (110 ms — roughly the
+/// global analogue of the US flows' 65 ms).
+pub fn intercontinental_flows(graph: &Graph) -> Vec<(NodeId, NodeId)> {
+    [
+        ("LON", "SJC"),
+        ("LON", "LAX"),
+        ("FRA", "SEA"),
+        ("FRA", "DEN"),
+        ("TYO", "NYC"),
+        ("TYO", "WAS"),
+        ("HKG", "JHU"),
+        ("HKG", "BOS"),
+    ]
+    .iter()
+    .map(|(s, t)| {
+        (
+            graph.node_by_name(s).expect("global site exists"),
+            graph.node_by_name(t).expect("global site exists"),
+        )
+    })
+    .collect()
+}
+
+/// A bidirectional ring of `n` nodes with uniform link latency.
+///
+/// Handy for tests: exactly two node-disjoint paths exist between any
+/// distinct pair.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn ring(n: usize, latency: Micros) -> Graph {
+    assert!(n >= 3, "a ring needs at least 3 nodes");
+    let mut b = GraphBuilder::new();
+    let nodes: Vec<NodeId> = (0..n).map(|i| b.add_node(&format!("R{i}"))).collect();
+    for i in 0..n {
+        b.add_link(nodes[i], nodes[(i + 1) % n], latency, 1)
+            .expect("ring links are valid");
+    }
+    b.build()
+}
+
+/// A `rows x cols` grid with uniform link latency.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+pub fn grid(rows: usize, cols: usize, latency: Micros) -> Graph {
+    assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+    let mut b = GraphBuilder::new();
+    let mut ids = Vec::with_capacity(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            ids.push(b.add_node(&format!("G{r}_{c}")));
+        }
+    }
+    for r in 0..rows {
+        for c in 0..cols {
+            let i = r * cols + c;
+            if c + 1 < cols {
+                b.add_link(ids[i], ids[i + 1], latency, 1).expect("grid links are valid");
+            }
+            if r + 1 < rows {
+                b.add_link(ids[i], ids[i + cols], latency, 1)
+                    .expect("grid links are valid");
+            }
+        }
+    }
+    b.build()
+}
+
+/// A random geometric overlay: `n` sites placed uniformly on a
+/// `width x width` kilometre square, linked when within `radius_km`,
+/// with latencies from the link distances. Deterministic per `seed`.
+///
+/// Useful for scaling studies: the evaluation topology has 12 sites,
+/// but the algorithms must behave on much larger overlays.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `radius_km <= 0`.
+pub fn random_geometric(n: usize, width_km: f64, radius_km: f64, seed: u64) -> Graph {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    assert!(n > 0, "at least one node required");
+    assert!(radius_km > 0.0, "radius must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new();
+    let positions: Vec<(f64, f64)> = (0..n)
+        .map(|i| {
+            let p = (rng.gen_range(0.0..width_km), rng.gen_range(0.0..width_km));
+            b.add_node(&format!("V{i}"));
+            p
+        })
+        .collect();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let (dx, dy) = (positions[i].0 - positions[j].0, positions[i].1 - positions[j].1);
+            let km = (dx * dx + dy * dy).sqrt();
+            if km <= radius_km {
+                // 5 us/km of fibre plus per-hop overhead, as in geo.rs.
+                let latency = Micros::from_micros((km * 5.0).round() as u64 + 200);
+                b.add_link(NodeId::new(i as u32), NodeId::new(j as u32), latency, 1)
+                    .expect("geometric links are valid");
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::dijkstra;
+
+    #[test]
+    fn north_america_shape() {
+        let g = north_america_12();
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 60);
+        // Every edge has its reverse (bidirectional links).
+        for e in g.edges() {
+            assert!(g.reverse_edge(e).is_some());
+        }
+        // Every node participates in at least 2 links.
+        for n in g.nodes() {
+            assert!(g.out_edges(n).len() >= 2, "{} under-connected", g.node(n).name);
+        }
+    }
+
+    #[test]
+    fn transcontinental_latencies_fit_65ms_budget() {
+        let g = north_america_12();
+        for (s, t) in transcontinental_flows(&g) {
+            let p = dijkstra::shortest_path(&g, s, t).unwrap();
+            let lat = p.latency(&g);
+            assert!(
+                lat.as_millis() < 50,
+                "{} -> {} shortest path {} exceeds budget",
+                g.node(s).name,
+                g.node(t).name,
+                lat
+            );
+        }
+    }
+
+    #[test]
+    fn sixteen_flows() {
+        let g = north_america_12();
+        let flows = transcontinental_flows(&g);
+        assert_eq!(flows.len(), 16);
+        let unique: std::collections::HashSet<_> = flows.iter().collect();
+        assert_eq!(unique.len(), 16);
+    }
+
+    #[test]
+    fn ring_has_two_disjoint_routes() {
+        use crate::algo::disjoint::{disjoint_pair, Disjointness};
+        let g = ring(6, Micros::from_millis(5));
+        let a = g.node_by_name("R0").unwrap();
+        let d = g.node_by_name("R3").unwrap();
+        let (p1, p2) = disjoint_pair(&g, a, d, Disjointness::Node).unwrap();
+        assert!(p1.is_node_disjoint(&g, &p2));
+        assert_eq!(p1.len() + p2.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_ring_panics() {
+        ring(2, Micros::from_millis(1));
+    }
+
+    #[test]
+    fn global_topology_shape_and_feasibility() {
+        use crate::algo::disjoint::{max_disjoint, Disjointness};
+        use crate::algo::reach;
+        let g = global_16();
+        assert_eq!(g.node_count(), 16);
+        assert_eq!(g.edge_count(), (30 + 9) * 2);
+        for e in g.edges() {
+            assert!(g.reverse_edge(e).is_some());
+        }
+        let deadline = Micros::from_millis(110);
+        for (s, t) in intercontinental_flows(&g) {
+            let p = dijkstra::shortest_path(&g, s, t).unwrap();
+            assert!(
+                p.latency(&g) <= deadline,
+                "{} -> {} shortest {} misses 110ms",
+                g.node(s).name,
+                g.node(t).name,
+                p.latency(&g)
+            );
+            assert!(
+                max_disjoint(&g, s, t, Disjointness::Node) >= 2,
+                "{} -> {} lacks a disjoint pair",
+                g.node(s).name,
+                g.node(t).name
+            );
+            assert!(reach::deadline_feasible(&g, s, t, deadline));
+        }
+    }
+
+    #[test]
+    fn global_preserves_the_us_core() {
+        let na = north_america_12();
+        let g = global_16();
+        // The first 12 nodes and 60 edges are exactly the US overlay.
+        for n in na.nodes() {
+            assert_eq!(g.node(n).name, na.node(n).name);
+        }
+        for e in na.edges() {
+            assert_eq!(g.edge(e).src, na.edge(e).src);
+            assert_eq!(g.edge(e).dst, na.edge(e).dst);
+            assert_eq!(g.edge(e).latency, na.edge(e).latency);
+        }
+    }
+
+    #[test]
+    fn intercontinental_latency_regime() {
+        let g = global_16();
+        let lon = g.node_by_name("LON").unwrap();
+        let nyc = g.node_by_name("NYC").unwrap();
+        let lat = g.edge(g.edge_between(lon, nyc).unwrap()).latency;
+        assert!(
+            lat > Micros::from_millis(30) && lat < Micros::from_millis(45),
+            "LON-NYC {lat}"
+        );
+        let tyo = g.node_by_name("TYO").unwrap();
+        let sjc = g.node_by_name("SJC").unwrap();
+        let lat = g.edge(g.edge_between(tyo, sjc).unwrap()).latency;
+        assert!(
+            lat > Micros::from_millis(45) && lat < Micros::from_millis(65),
+            "TYO-SJC {lat}"
+        );
+    }
+
+    #[test]
+    fn random_geometric_is_deterministic_and_connected_enough() {
+        let a = random_geometric(30, 1_000.0, 400.0, 9);
+        let b = random_geometric(30, 1_000.0, 400.0, 9);
+        assert_eq!(a, b);
+        let c = random_geometric(30, 1_000.0, 400.0, 10);
+        assert_ne!(a, c);
+        assert_eq!(a.node_count(), 30);
+        // Every edge respects the radius-derived latency bound.
+        for e in a.edges() {
+            let lat = a.edge(e).latency.as_micros();
+            assert!(lat <= 400 * 5 + 200, "latency {lat} exceeds radius bound");
+            assert!(a.reverse_edge(e).is_some());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "radius")]
+    fn geometric_rejects_zero_radius() {
+        random_geometric(5, 100.0, 0.0, 1);
+    }
+
+    #[test]
+    fn grid_connectivity() {
+        let g = grid(3, 4, Micros::from_millis(1));
+        assert_eq!(g.node_count(), 12);
+        // Interior edges: horizontal 3*3, vertical 2*4 = 17 links = 34 edges.
+        assert_eq!(g.edge_count(), 34);
+        let a = g.node_by_name("G0_0").unwrap();
+        let z = g.node_by_name("G2_3").unwrap();
+        let p = dijkstra::shortest_path(&g, a, z).unwrap();
+        assert_eq!(p.len(), 5); // Manhattan distance.
+    }
+}

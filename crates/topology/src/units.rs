@@ -1,0 +1,189 @@
+//! Time units used throughout the workspace.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A duration in microseconds.
+///
+/// Overlay link latencies, deadlines, and simulated clocks are all
+/// expressed in whole microseconds; a `u64` comfortably covers both the
+/// sub-millisecond granularity of link measurements and multi-week
+/// experiment horizons.
+///
+/// # Example
+///
+/// ```
+/// use dg_topology::Micros;
+///
+/// let deadline = Micros::from_millis(65);
+/// assert_eq!(deadline.as_micros(), 65_000);
+/// assert_eq!(deadline + Micros::from_micros(500), Micros::from_micros(65_500));
+/// ```
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Micros(u64);
+
+impl Micros {
+    /// Zero duration.
+    pub const ZERO: Micros = Micros(0);
+    /// The maximum representable duration, used as an "unreachable" sentinel.
+    pub const MAX: Micros = Micros(u64::MAX);
+
+    /// Creates a duration from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Micros(us)
+    }
+
+    /// Creates a duration from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Micros(ms * 1_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Micros(s * 1_000_000)
+    }
+
+    /// Returns the duration in whole microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration in whole milliseconds, truncating.
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Returns the duration in whole seconds, truncating.
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Returns the duration in seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Saturating addition; `MAX` is treated as "unreachable" and absorbs.
+    pub const fn saturating_add(self, rhs: Micros) -> Micros {
+        Micros(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction, clamping at zero.
+    pub const fn saturating_sub(self, rhs: Micros) -> Micros {
+        Micros(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Multiplies the duration by an integer factor.
+    pub const fn saturating_mul(self, factor: u64) -> Micros {
+        Micros(self.0.saturating_mul(factor))
+    }
+
+    /// Returns true if this is the `MAX` "unreachable" sentinel.
+    pub const fn is_unreachable(self) -> bool {
+        self.0 == u64::MAX
+    }
+}
+
+impl Add for Micros {
+    type Output = Micros;
+    fn add(self, rhs: Micros) -> Micros {
+        Micros(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Micros {
+    fn add_assign(&mut self, rhs: Micros) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Micros {
+    type Output = Micros;
+    fn sub(self, rhs: Micros) -> Micros {
+        Micros(self.0 - rhs.0)
+    }
+}
+
+impl Sum for Micros {
+    fn sum<I: Iterator<Item = Micros>>(iter: I) -> Micros {
+        Micros(iter.map(|m| m.0).sum())
+    }
+}
+
+impl fmt::Display for Micros {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1_000.0)
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+impl From<u64> for Micros {
+    fn from(us: u64) -> Self {
+        Micros(us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        assert_eq!(Micros::from_millis(65).as_micros(), 65_000);
+        assert_eq!(Micros::from_secs(2).as_millis(), 2_000);
+        assert_eq!(Micros::from_micros(999).as_millis(), 0);
+        assert_eq!(Micros::from_micros(1_500_000).as_secs(), 1);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Micros::from_micros(10);
+        let b = Micros::from_micros(3);
+        assert_eq!(a + b, Micros::from_micros(13));
+        assert_eq!(a - b, Micros::from_micros(7));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Micros::from_micros(13));
+    }
+
+    #[test]
+    fn saturating_ops() {
+        assert_eq!(Micros::MAX.saturating_add(Micros::from_micros(1)), Micros::MAX);
+        assert_eq!(
+            Micros::from_micros(1).saturating_sub(Micros::from_micros(5)),
+            Micros::ZERO
+        );
+        assert_eq!(Micros::MAX.saturating_mul(2), Micros::MAX);
+        assert!(Micros::MAX.is_unreachable());
+        assert!(!Micros::ZERO.is_unreachable());
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Micros = (1..=4).map(Micros::from_micros).sum();
+        assert_eq!(total, Micros::from_micros(10));
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(Micros::from_micros(12).to_string(), "12us");
+        assert_eq!(Micros::from_micros(1_500).to_string(), "1.500ms");
+        assert_eq!(Micros::from_secs(3).to_string(), "3.000s");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Micros::from_millis(1) < Micros::from_millis(2));
+        assert!(Micros::MAX > Micros::from_secs(1_000_000));
+    }
+}

@@ -1,0 +1,205 @@
+//! Property-based tests for the topology algorithms.
+
+use dg_topology::algo::disjoint::{k_disjoint_paths, max_disjoint, Disjointness};
+use dg_topology::algo::{bellman_ford, dijkstra, reach, yen};
+use dg_topology::{Graph, GraphBuilder, Micros, NodeId, TopologyError};
+use proptest::prelude::*;
+
+/// Builds a random graph from a list of candidate links, silently
+/// skipping self-loops and duplicates.
+fn build_graph(n: usize, links: &[(usize, usize, u64)]) -> Graph {
+    let mut b = GraphBuilder::new();
+    let nodes: Vec<NodeId> = (0..n).map(|i| b.add_node(&format!("N{i}"))).collect();
+    for &(x, y, lat) in links {
+        let (x, y) = (x % n, y % n);
+        if x == y {
+            continue;
+        }
+        let _ = b.add_link(nodes[x], nodes[y], Micros::from_micros(lat + 1), 1);
+    }
+    b.build()
+}
+
+fn graph_strategy() -> impl Strategy<Value = Graph> {
+    (3usize..10, proptest::collection::vec((0usize..10, 0usize..10, 0u64..50_000), 4..40))
+        .prop_map(|(n, links)| build_graph(n, &links))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Dijkstra and Bellman–Ford agree on all shortest distances.
+    #[test]
+    fn dijkstra_matches_bellman_ford(g in graph_strategy()) {
+        for s in g.nodes() {
+            let fast = dijkstra::distances_from(&g, s, |_| true);
+            let slow = bellman_ford::distances_from(&g, s);
+            prop_assert_eq!(fast, slow);
+        }
+    }
+
+    /// Any path returned by Dijkstra has latency equal to the reported
+    /// distance and is simple.
+    #[test]
+    fn dijkstra_paths_are_consistent(g in graph_strategy()) {
+        for s in g.nodes() {
+            let dist = dijkstra::distances_from(&g, s, |_| true);
+            for t in g.nodes() {
+                if s == t { continue; }
+                match dijkstra::shortest_path(&g, s, t) {
+                    Ok(p) => {
+                        prop_assert_eq!(p.latency(&g), dist[t.index()]);
+                        prop_assert!(p.is_simple(&g));
+                    }
+                    Err(TopologyError::NoRoute(..)) => {
+                        prop_assert!(dist[t.index()].is_unreachable());
+                    }
+                    Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                }
+            }
+        }
+    }
+
+    /// Bhandari succeeds exactly when max-flow says k paths exist, and
+    /// the returned paths are pairwise disjoint in the requested mode.
+    #[test]
+    fn bhandari_agrees_with_maxflow(g in graph_strategy(), k in 1usize..4) {
+        for mode in [Disjointness::Edge, Disjointness::Node] {
+            for s in g.nodes() {
+                for t in g.nodes() {
+                    if s == t { continue; }
+                    let capacity = max_disjoint(&g, s, t, mode);
+                    match k_disjoint_paths(&g, s, t, k, mode) {
+                        Ok(paths) => {
+                            prop_assert!(capacity >= k,
+                                "bhandari found {k} paths but maxflow says {capacity}");
+                            prop_assert_eq!(paths.len(), k);
+                            for i in 0..paths.len() {
+                                prop_assert!(paths[i].is_simple(&g));
+                                for j in (i + 1)..paths.len() {
+                                    prop_assert!(paths[i].is_edge_disjoint(&paths[j]));
+                                    if mode == Disjointness::Node {
+                                        prop_assert!(paths[i].is_node_disjoint(&g, &paths[j]));
+                                    }
+                                }
+                            }
+                        }
+                        Err(TopologyError::InsufficientDisjointPaths { available, .. }) => {
+                            prop_assert_eq!(available, capacity.min(k));
+                            prop_assert!(capacity < k);
+                        }
+                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                    }
+                }
+            }
+        }
+    }
+
+    /// A disjoint pair's total latency is no worse than greedy
+    /// shortest-first would achieve (Bhandari is optimal; greedy is a
+    /// feasible solution whenever it succeeds).
+    #[test]
+    fn bhandari_beats_greedy(g in graph_strategy()) {
+        for s in g.nodes() {
+            for t in g.nodes() {
+                if s == t { continue; }
+                let Ok(p1) = dijkstra::shortest_path(&g, s, t) else { continue };
+                let banned: std::collections::HashSet<_> =
+                    p1.edges().iter().copied().collect();
+                let Ok(p2) = dijkstra::shortest_path_filtered(&g, s, t,
+                    |e| !banned.contains(&e)) else { continue };
+                if !p1.is_edge_disjoint(&p2) { continue; }
+                let greedy_total = p1.latency(&g) + p2.latency(&g);
+                let (q1, q2) = dg_topology::algo::disjoint::disjoint_pair(
+                    &g, s, t, Disjointness::Edge).expect("greedy found a pair");
+                prop_assert!(q1.latency(&g) + q2.latency(&g) <= greedy_total);
+            }
+        }
+    }
+
+    /// Yen's paths are sorted, simple, distinct, and start with the
+    /// true shortest path.
+    #[test]
+    fn yen_invariants(g in graph_strategy(), k in 1usize..6) {
+        for s in g.nodes() {
+            for t in g.nodes() {
+                if s == t { continue; }
+                let Ok(paths) = yen::k_shortest_paths(&g, s, t, k) else { continue };
+                prop_assert!(!paths.is_empty() && paths.len() <= k);
+                let sp = dijkstra::shortest_path(&g, s, t).unwrap();
+                prop_assert_eq!(paths[0].latency(&g), sp.latency(&g));
+                for w in paths.windows(2) {
+                    prop_assert!(w[0].latency(&g) <= w[1].latency(&g));
+                    prop_assert_ne!(&w[0], &w[1]);
+                }
+                for p in &paths {
+                    prop_assert!(p.is_simple(&g));
+                    prop_assert_eq!(p.source(), s);
+                    prop_assert_eq!(p.destination(), t);
+                }
+            }
+        }
+    }
+
+    /// Every edge of every on-deadline Yen path appears in the
+    /// time-constrained flooding edge set.
+    #[test]
+    fn flooding_covers_all_on_time_paths(g in graph_strategy(), deadline_ms in 1u64..200) {
+        let deadline = Micros::from_millis(deadline_ms);
+        for s in g.nodes() {
+            for t in g.nodes() {
+                if s == t { continue; }
+                let Ok(paths) = yen::k_shortest_paths(&g, s, t, 4) else { continue };
+                let edges = reach::time_constrained_edges(&g, s, t, deadline).unwrap();
+                for p in paths {
+                    if p.latency(&g) <= deadline {
+                        for e in p.edges() {
+                            prop_assert!(edges.contains(e));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Two independent optimal disjoint-pair implementations (Bhandari
+    /// over Bellman–Ford, Suurballe over Dijkstra-with-potentials)
+    /// agree on success/failure and on the optimal total latency for
+    /// every pair on every random graph.
+    #[test]
+    fn suurballe_agrees_with_bhandari(g in graph_strategy()) {
+        use dg_topology::algo::suurballe::suurballe_pair;
+        for mode in [Disjointness::Edge, Disjointness::Node] {
+            for s in g.nodes() {
+                for t in g.nodes() {
+                    if s == t { continue; }
+                    let a = suurballe_pair(&g, s, t, mode);
+                    let b = dg_topology::algo::disjoint::disjoint_pair(&g, s, t, mode);
+                    match (a, b) {
+                        (Ok((a1, a2)), Ok((b1, b2))) => {
+                            prop_assert_eq!(
+                                a1.latency(&g) + a2.latency(&g),
+                                b1.latency(&g) + b2.latency(&g)
+                            );
+                            prop_assert!(a1.is_edge_disjoint(&a2));
+                            if mode == Disjointness::Node {
+                                prop_assert!(a1.is_node_disjoint(&g, &a2));
+                            }
+                        }
+                        (Err(ea), Err(eb)) => prop_assert_eq!(ea, eb),
+                        (a, b) => return Err(TestCaseError::fail(
+                            format!("disagree for {s}->{t} {mode:?}: {a:?} vs {b:?}"))),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Graph serde round-trips losslessly.
+    #[test]
+    fn graph_serde_round_trip(g in graph_strategy()) {
+        let json = serde_json::to_string(&g).unwrap();
+        let back: Graph = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(g, back);
+    }
+}

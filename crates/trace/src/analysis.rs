@@ -1,0 +1,379 @@
+//! Classification of problematic intervals by location.
+//!
+//! The paper's key empirical finding — the motivation for targeted
+//! redundancy — is that when routing over two disjoint paths fails, the
+//! underlying problem usually sits *around the source or destination*
+//! of the flow. This module reproduces that analysis over a
+//! [`TraceSet`]: for each monitoring interval it decides whether the
+//! flow faced a problem and, if so, where.
+
+use crate::TraceSet;
+use dg_topology::{EdgeId, Graph, Micros, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Where a problematic interval's trouble was located, relative to a
+/// flow from `source` to `destination`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProblemLocation {
+    /// Loss on links incident to the source only.
+    Source,
+    /// Loss on links incident to the destination only.
+    Destination,
+    /// Loss at both endpoints.
+    SourceAndDestination,
+    /// Loss only on links touching neither endpoint.
+    Middle,
+}
+
+/// Per-flow classification counts (the rows of Table 1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowProblemSummary {
+    /// Intervals examined.
+    pub total_intervals: usize,
+    /// Intervals with at least one relevant problematic link.
+    pub problematic_intervals: usize,
+    /// Problematic intervals classified [`ProblemLocation::Source`].
+    pub source: usize,
+    /// Problematic intervals classified [`ProblemLocation::Destination`].
+    pub destination: usize,
+    /// Problematic intervals classified [`ProblemLocation::SourceAndDestination`].
+    pub both: usize,
+    /// Problematic intervals classified [`ProblemLocation::Middle`].
+    pub middle: usize,
+}
+
+impl FlowProblemSummary {
+    /// Fraction of problematic intervals involving an endpoint
+    /// (the paper reports roughly two-thirds).
+    pub fn fraction_around_endpoints(&self) -> f64 {
+        if self.problematic_intervals == 0 {
+            return 0.0;
+        }
+        (self.source + self.destination + self.both) as f64
+            / self.problematic_intervals as f64
+    }
+
+    /// Merges another summary into this one (for aggregating flows).
+    pub fn merge(&mut self, other: &FlowProblemSummary) {
+        self.total_intervals += other.total_intervals;
+        self.problematic_intervals += other.problematic_intervals;
+        self.source += other.source;
+        self.destination += other.destination;
+        self.both += other.both;
+        self.middle += other.middle;
+    }
+}
+
+/// Classifies one set of problematic edges relative to a flow.
+///
+/// Returns `None` when `lossy_edges` contains nothing relevant. When an
+/// endpoint is involved at all, the interval is attributed to the
+/// endpoint(s); `Middle` is reserved for trouble that touches neither,
+/// matching the paper's framing (endpoint problems are the ones extra
+/// path diversity cannot route around).
+pub fn classify_edges(
+    graph: &Graph,
+    lossy_edges: &[EdgeId],
+    source: NodeId,
+    destination: NodeId,
+) -> Option<ProblemLocation> {
+    let mut at_source = false;
+    let mut at_destination = false;
+    let mut elsewhere = false;
+    for &e in lossy_edges {
+        let info = graph.edge(e);
+        let touches_src = info.src == source || info.dst == source;
+        let touches_dst = info.src == destination || info.dst == destination;
+        at_source |= touches_src;
+        at_destination |= touches_dst;
+        elsewhere |= !touches_src && !touches_dst;
+    }
+    match (at_source, at_destination, elsewhere) {
+        (true, true, _) => Some(ProblemLocation::SourceAndDestination),
+        (true, false, _) => Some(ProblemLocation::Source),
+        (false, true, _) => Some(ProblemLocation::Destination),
+        (false, false, true) => Some(ProblemLocation::Middle),
+        (false, false, false) => None,
+    }
+}
+
+/// Classifies every interval of `traces` for the flow `source ->
+/// destination`.
+///
+/// `loss_threshold` is the loss rate at which a link counts as
+/// problematic. `relevant_edges` restricts attention to links that can
+/// matter for the flow (typically the time-constrained flooding edge
+/// set); `None` considers the whole network.
+///
+/// # Example
+///
+/// ```
+/// use dg_topology::{presets, Micros};
+/// use dg_trace::{analysis, LinkCondition, TraceSet};
+///
+/// let g = presets::north_america_12();
+/// let mut traces = TraceSet::clean(g.edge_count(), 5, Micros::from_secs(10))?;
+/// let (s, t) = (g.node_by_name("NYC").unwrap(), g.node_by_name("SEA").unwrap());
+/// for &e in g.out_edges(s) {
+///     traces.set_condition(e, 0, LinkCondition::new(0.5, Micros::ZERO));
+/// }
+/// let summary = analysis::classify_flow(&g, &traces, s, t, 0.1, None);
+/// assert_eq!(summary.source, 1);
+/// # Ok::<(), dg_trace::TraceError>(())
+/// ```
+pub fn classify_flow(
+    graph: &Graph,
+    traces: &TraceSet,
+    source: NodeId,
+    destination: NodeId,
+    loss_threshold: f64,
+    relevant_edges: Option<&[EdgeId]>,
+) -> FlowProblemSummary {
+    let relevant: Option<HashSet<EdgeId>> =
+        relevant_edges.map(|edges| edges.iter().copied().collect());
+    let mut summary = FlowProblemSummary { total_intervals: traces.interval_count(), ..Default::default() };
+    for i in 0..traces.interval_count() {
+        let lossy: Vec<EdgeId> = graph
+            .edges()
+            .filter(|&e| {
+                relevant.as_ref().is_none_or(|r| r.contains(&e))
+                    && traces.condition_in_interval(e, i).is_problematic(loss_threshold)
+            })
+            .collect();
+        if let Some(loc) = classify_edges(graph, &lossy, source, destination) {
+            summary.problematic_intervals += 1;
+            match loc {
+                ProblemLocation::Source => summary.source += 1,
+                ProblemLocation::Destination => summary.destination += 1,
+                ProblemLocation::SourceAndDestination => summary.both += 1,
+                ProblemLocation::Middle => summary.middle += 1,
+            }
+        }
+    }
+    summary
+}
+
+/// Distribution of problem-episode durations for one flow: an episode
+/// is a maximal run of consecutive problematic intervals. Reactive
+/// routing (dynamic schemes, targeted redundancy) only pays off when
+/// episodes outlive the detection delay — this is the paper's
+/// justification analysis.
+///
+/// Returns episode durations in *intervals*, in order of occurrence.
+pub fn problem_episode_durations(
+    graph: &Graph,
+    traces: &TraceSet,
+    source: NodeId,
+    destination: NodeId,
+    loss_threshold: f64,
+    relevant_edges: Option<&[EdgeId]>,
+) -> Vec<usize> {
+    let relevant: Option<HashSet<EdgeId>> =
+        relevant_edges.map(|edges| edges.iter().copied().collect());
+    let mut episodes = Vec::new();
+    let mut run = 0usize;
+    for i in 0..traces.interval_count() {
+        let lossy: Vec<EdgeId> = graph
+            .edges()
+            .filter(|&e| {
+                relevant.as_ref().is_none_or(|r| r.contains(&e))
+                    && traces.condition_in_interval(e, i).is_problematic(loss_threshold)
+            })
+            .collect();
+        if classify_edges(graph, &lossy, source, destination).is_some() {
+            run += 1;
+        } else if run > 0 {
+            episodes.push(run);
+            run = 0;
+        }
+    }
+    if run > 0 {
+        episodes.push(run);
+    }
+    episodes
+}
+
+/// Classifies all `flows` against `traces`, restricting each flow to
+/// its time-constrained flooding edge set under `deadline`, and returns
+/// the aggregate summary (the paper's Table 1).
+pub fn classify_flows(
+    graph: &Graph,
+    traces: &TraceSet,
+    flows: &[(NodeId, NodeId)],
+    loss_threshold: f64,
+    deadline: Micros,
+) -> FlowProblemSummary {
+    let mut aggregate = FlowProblemSummary::default();
+    for &(s, t) in flows {
+        let relevant = dg_topology::algo::reach::time_constrained_edges(graph, s, t, deadline)
+            .unwrap_or_default();
+        let summary = classify_flow(graph, traces, s, t, loss_threshold, Some(&relevant));
+        aggregate.merge(&summary);
+    }
+    aggregate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinkCondition;
+    use dg_topology::presets;
+
+    fn setup() -> (Graph, TraceSet, NodeId, NodeId) {
+        let g = presets::north_america_12();
+        let t = TraceSet::clean(g.edge_count(), 10, Micros::from_secs(10)).unwrap();
+        let s = g.node_by_name("NYC").unwrap();
+        let d = g.node_by_name("SJC").unwrap();
+        (g, t, s, d)
+    }
+
+    use dg_topology::Graph;
+
+    #[test]
+    fn clean_trace_has_no_problems() {
+        let (g, t, s, d) = setup();
+        let sum = classify_flow(&g, &t, s, d, 0.1, None);
+        assert_eq!(sum.problematic_intervals, 0);
+        assert_eq!(sum.total_intervals, 10);
+        assert_eq!(sum.fraction_around_endpoints(), 0.0);
+    }
+
+    #[test]
+    fn source_problem_is_classified() {
+        let (g, mut t, s, d) = setup();
+        for &e in g.out_edges(s) {
+            t.set_condition(e, 3, LinkCondition::new(0.5, Micros::ZERO));
+        }
+        let sum = classify_flow(&g, &t, s, d, 0.1, None);
+        assert_eq!(sum.problematic_intervals, 1);
+        assert_eq!(sum.source, 1);
+        assert_eq!(sum.destination, 0);
+        assert_eq!(sum.fraction_around_endpoints(), 1.0);
+    }
+
+    #[test]
+    fn destination_problem_is_classified() {
+        let (g, mut t, s, d) = setup();
+        let e = g.in_edges(d)[0];
+        t.set_condition(e, 0, LinkCondition::down());
+        let sum = classify_flow(&g, &t, s, d, 0.5, None);
+        assert_eq!(sum.destination, 1);
+    }
+
+    #[test]
+    fn both_endpoints_dominates() {
+        let (g, mut t, s, d) = setup();
+        t.set_condition(g.out_edges(s)[0], 2, LinkCondition::down());
+        t.set_condition(g.in_edges(d)[0], 2, LinkCondition::down());
+        // Also a middle problem in the same interval; endpoints win.
+        let chi = g.node_by_name("CHI").unwrap();
+        let den = g.node_by_name("DEN").unwrap();
+        let mid = g.edge_between(chi, den).unwrap();
+        t.set_condition(mid, 2, LinkCondition::down());
+        let sum = classify_flow(&g, &t, s, d, 0.5, None);
+        assert_eq!(sum.both, 1);
+        assert_eq!(sum.middle, 0);
+    }
+
+    #[test]
+    fn middle_problem_away_from_endpoints() {
+        let (g, mut t, s, d) = setup();
+        let chi = g.node_by_name("CHI").unwrap();
+        let den = g.node_by_name("DEN").unwrap();
+        let mid = g.edge_between(chi, den).unwrap();
+        t.set_condition(mid, 5, LinkCondition::down());
+        let sum = classify_flow(&g, &t, s, d, 0.5, None);
+        assert_eq!(sum.middle, 1);
+        assert_eq!(sum.fraction_around_endpoints(), 0.0);
+    }
+
+    #[test]
+    fn relevant_edge_filter_hides_faraway_problems() {
+        let (g, mut t, s, d) = setup();
+        // A severe problem on MIA links is irrelevant to NYC -> SJC when
+        // restricted to a tight flooding edge set (35 ms leaves no slack
+        // for a detour through the southeast).
+        let mia = g.node_by_name("MIA").unwrap();
+        for &e in g.out_edges(mia) {
+            t.set_condition(e, 1, LinkCondition::down());
+        }
+        let relevant =
+            dg_topology::algo::reach::time_constrained_edges(&g, s, d, Micros::from_millis(35))
+                .unwrap();
+        assert!(!relevant.iter().any(|&e| {
+            let i = g.edge(e);
+            i.src == mia || i.dst == mia
+        }));
+        let sum = classify_flow(&g, &t, s, d, 0.5, Some(&relevant));
+        assert_eq!(sum.problematic_intervals, 0);
+        // Without the filter it shows up as a middle problem.
+        let sum_all = classify_flow(&g, &t, s, d, 0.5, None);
+        assert_eq!(sum_all.middle, 1);
+    }
+
+    #[test]
+    fn classify_edges_handles_empty() {
+        let (g, _, s, d) = setup();
+        assert_eq!(classify_edges(&g, &[], s, d), None);
+    }
+
+    #[test]
+    fn episode_durations_find_runs() {
+        let (g, mut t, s, d) = setup();
+        let e = g.out_edges(s)[0];
+        // Problematic intervals 1..3 and 6..7 -> episodes of 2 and 1.
+        for i in [1usize, 2, 6] {
+            t.set_condition(e, i, LinkCondition::down());
+        }
+        let eps = problem_episode_durations(&g, &t, s, d, 0.5, None);
+        assert_eq!(eps, vec![2, 1]);
+    }
+
+    #[test]
+    fn episode_at_horizon_end_is_counted() {
+        let (g, mut t, s, d) = setup();
+        let e = g.out_edges(s)[0];
+        for i in 8..10 {
+            t.set_condition(e, i, LinkCondition::down());
+        }
+        assert_eq!(problem_episode_durations(&g, &t, s, d, 0.5, None), vec![2]);
+        // A clean trace has no episodes.
+        let clean = TraceSet::clean(g.edge_count(), 10, Micros::from_secs(10)).unwrap();
+        assert!(problem_episode_durations(&g, &clean, s, d, 0.5, None).is_empty());
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let a = FlowProblemSummary {
+            total_intervals: 10,
+            problematic_intervals: 2,
+            source: 1,
+            destination: 0,
+            both: 0,
+            middle: 1,
+        };
+        let mut b = a;
+        b.merge(&a);
+        assert_eq!(b.total_intervals, 20);
+        assert_eq!(b.problematic_intervals, 4);
+        assert_eq!(b.source, 2);
+        assert_eq!(b.middle, 2);
+    }
+
+    #[test]
+    fn classify_flows_aggregates_transcontinental() {
+        let (g, mut t, _, _) = setup();
+        let sea = g.node_by_name("SEA").unwrap();
+        for &e in g.in_edges(sea) {
+            t.set_condition(e, 4, LinkCondition::down());
+        }
+        let flows = presets::transcontinental_flows(&g);
+        let sum = classify_flows(&g, &t, &flows, 0.5, Micros::from_millis(65));
+        // SEA is the destination of 4 flows; each counts one
+        // destination-problem interval. For other flows the SEA links
+        // may be in their flooding set as middle problems.
+        assert!(sum.destination >= 4);
+        assert_eq!(sum.total_intervals, 10 * 16);
+    }
+}

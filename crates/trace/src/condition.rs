@@ -1,0 +1,191 @@
+//! Instantaneous link conditions and whole-network state.
+
+use dg_topology::{EdgeId, Graph, Micros, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// The health of one overlay link during one monitoring interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkCondition {
+    /// Probability that a packet sent on the link is lost, in `[0, 1]`.
+    pub loss_rate: f64,
+    /// Latency added on top of the link's baseline propagation delay
+    /// (queueing, rerouting of the underlying IP path, ...).
+    pub extra_latency: Micros,
+}
+
+impl LinkCondition {
+    /// A perfectly healthy link: no loss, no added latency.
+    pub const CLEAN: LinkCondition =
+        LinkCondition { loss_rate: 0.0, extra_latency: Micros::ZERO };
+
+    /// Creates a condition, clamping `loss_rate` into `[0, 1]`.
+    pub fn new(loss_rate: f64, extra_latency: Micros) -> Self {
+        LinkCondition { loss_rate: loss_rate.clamp(0.0, 1.0), extra_latency }
+    }
+
+    /// A fully failed link (all packets lost).
+    pub const fn down() -> Self {
+        LinkCondition { loss_rate: 1.0, extra_latency: Micros::ZERO }
+    }
+
+    /// True when the loss rate reaches `threshold`.
+    ///
+    /// The problem detector in `dg-core` and the analysis in
+    /// [`crate::analysis`] both use this predicate.
+    pub fn is_problematic(&self, threshold: f64) -> bool {
+        self.loss_rate >= threshold
+    }
+
+    /// Combines two impairments affecting the same link: loss
+    /// probabilities compose as independent events, extra latencies add.
+    pub fn combine(&self, other: &LinkCondition) -> LinkCondition {
+        LinkCondition {
+            loss_rate: 1.0 - (1.0 - self.loss_rate) * (1.0 - other.loss_rate),
+            extra_latency: self.extra_latency.saturating_add(other.extra_latency),
+        }
+    }
+}
+
+impl Default for LinkCondition {
+    fn default() -> Self {
+        LinkCondition::CLEAN
+    }
+}
+
+/// A snapshot of every link's condition at one instant.
+///
+/// This is the view a routing scheme sees when deciding whether (and
+/// how) to re-route: dynamic schemes recompute paths over it, and the
+/// targeted-redundancy scheme classifies problems from it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkState {
+    time: Micros,
+    conditions: Vec<LinkCondition>,
+}
+
+impl NetworkState {
+    /// A state with every link clean.
+    pub fn clean(edge_count: usize, time: Micros) -> Self {
+        NetworkState { time, conditions: vec![LinkCondition::CLEAN; edge_count] }
+    }
+
+    /// Builds a state from explicit per-edge conditions.
+    pub fn from_conditions(time: Micros, conditions: Vec<LinkCondition>) -> Self {
+        NetworkState { time, conditions }
+    }
+
+    /// The instant this snapshot describes.
+    pub fn time(&self) -> Micros {
+        self.time
+    }
+
+    /// Number of links covered.
+    pub fn link_count(&self) -> usize {
+        self.conditions.len()
+    }
+
+    /// Condition of `edge`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is out of range for this state.
+    pub fn condition(&self, edge: EdgeId) -> LinkCondition {
+        self.conditions[edge.index()]
+    }
+
+    /// Overwrites the condition of `edge`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is out of range for this state.
+    pub fn set_condition(&mut self, edge: EdgeId, condition: LinkCondition) {
+        self.conditions[edge.index()] = condition;
+    }
+
+    /// Edges whose loss rate reaches `threshold`.
+    pub fn problematic_edges(&self, threshold: f64) -> Vec<EdgeId> {
+        self.conditions
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_problematic(threshold))
+            .map(|(i, _)| EdgeId::new(i as u32))
+            .collect()
+    }
+
+    /// True when any edge incident to `node` (either direction) reaches
+    /// the loss `threshold` in `graph`.
+    pub fn node_has_problem(&self, graph: &Graph, node: NodeId, threshold: f64) -> bool {
+        graph
+            .out_edges(node)
+            .iter()
+            .chain(graph.in_edges(node).iter())
+            .any(|&e| self.condition(e).is_problematic(threshold))
+    }
+
+    /// The effective latency of `edge`: baseline plus current extra.
+    pub fn effective_latency(&self, graph: &Graph, edge: EdgeId) -> Micros {
+        graph.edge(edge).latency.saturating_add(self.condition(edge).extra_latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_topology::presets;
+
+    #[test]
+    fn clean_condition_is_default() {
+        assert_eq!(LinkCondition::default(), LinkCondition::CLEAN);
+        assert!(!LinkCondition::CLEAN.is_problematic(0.01));
+        assert!(LinkCondition::down().is_problematic(0.99));
+    }
+
+    #[test]
+    fn new_clamps_loss() {
+        assert_eq!(LinkCondition::new(1.5, Micros::ZERO).loss_rate, 1.0);
+        assert_eq!(LinkCondition::new(-0.2, Micros::ZERO).loss_rate, 0.0);
+    }
+
+    #[test]
+    fn combine_composes_independently() {
+        let a = LinkCondition::new(0.5, Micros::from_millis(1));
+        let b = LinkCondition::new(0.5, Micros::from_millis(2));
+        let c = a.combine(&b);
+        assert!((c.loss_rate - 0.75).abs() < 1e-12);
+        assert_eq!(c.extra_latency, Micros::from_millis(3));
+        // Combining with clean is identity.
+        let d = a.combine(&LinkCondition::CLEAN);
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn state_get_set_and_problem_queries() {
+        let g = presets::north_america_12();
+        let mut st = NetworkState::clean(g.edge_count(), Micros::from_secs(5));
+        assert_eq!(st.time(), Micros::from_secs(5));
+        assert_eq!(st.link_count(), 60);
+        assert!(st.problematic_edges(0.01).is_empty());
+
+        let nyc = g.node_by_name("NYC").unwrap();
+        let e = g.out_edges(nyc)[0];
+        st.set_condition(e, LinkCondition::new(0.3, Micros::from_millis(4)));
+        assert_eq!(st.problematic_edges(0.2), vec![e]);
+        assert!(st.node_has_problem(&g, nyc, 0.2));
+        let sea = g.node_by_name("SEA").unwrap();
+        assert!(!st.node_has_problem(&g, sea, 0.2));
+        assert_eq!(
+            st.effective_latency(&g, e),
+            g.edge(e).latency + Micros::from_millis(4)
+        );
+    }
+
+    #[test]
+    fn node_problem_seen_from_incoming_side() {
+        let g = presets::north_america_12();
+        let mut st = NetworkState::clean(g.edge_count(), Micros::ZERO);
+        let lax = g.node_by_name("LAX").unwrap();
+        let incoming = g.in_edges(lax)[0];
+        st.set_condition(incoming, LinkCondition::down());
+        assert!(st.node_has_problem(&g, lax, 0.5));
+    }
+}

@@ -1,0 +1,39 @@
+//! Network-condition traces for the dissemination-graph evaluation.
+//!
+//! The paper's evaluation replays *recorded* per-link loss and latency
+//! data through its Playback Network Simulator. This crate supplies the
+//! equivalent data layer:
+//!
+//! - [`LinkCondition`] / [`NetworkState`]: the instantaneous view of
+//!   link health that routing schemes react to,
+//! - [`TraceSet`]: per-link conditions over time at a fixed monitoring
+//!   granularity (the paper's data was collected at 10 s intervals),
+//! - [`gen`]: a seeded synthetic WAN generator (Gilbert–Elliott
+//!   background loss plus injected problem events) standing in for the
+//!   proprietary traces (DESIGN.md §2),
+//! - [`analysis`]: classification of problematic intervals by location
+//!   relative to a flow (the paper's source/destination finding).
+//!
+//! # Example
+//!
+//! ```
+//! use dg_topology::presets;
+//! use dg_trace::gen::{self, SyntheticWanConfig};
+//!
+//! let graph = presets::north_america_12();
+//! let config = SyntheticWanConfig::calibrated(42);
+//! let traces = gen::generate(&graph, &config);
+//! assert_eq!(traces.link_count(), graph.edge_count());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod condition;
+pub mod gen;
+pub mod stats;
+mod trace_set;
+
+pub use condition::{LinkCondition, NetworkState};
+pub use trace_set::{TraceError, TraceSet};

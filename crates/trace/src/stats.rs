@@ -1,0 +1,133 @@
+//! Summary statistics over trace sets.
+
+use crate::TraceSet;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate statistics of a [`TraceSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Number of links.
+    pub links: usize,
+    /// Number of monitoring intervals.
+    pub intervals: usize,
+    /// Mean loss rate over all link-intervals.
+    pub mean_loss: f64,
+    /// Highest loss rate observed.
+    pub max_loss: f64,
+    /// Link-intervals at or above the problem threshold.
+    pub problematic_link_intervals: usize,
+    /// Total link-intervals.
+    pub total_link_intervals: usize,
+    /// The threshold used for `problematic_link_intervals`.
+    pub loss_threshold: f64,
+}
+
+impl TraceStats {
+    /// Fraction of link-intervals that were problematic.
+    pub fn problematic_fraction(&self) -> f64 {
+        if self.total_link_intervals == 0 {
+            0.0
+        } else {
+            self.problematic_link_intervals as f64 / self.total_link_intervals as f64
+        }
+    }
+}
+
+/// Computes summary statistics, counting link-intervals with loss at or
+/// above `loss_threshold` as problematic.
+pub fn summarize(traces: &TraceSet, loss_threshold: f64) -> TraceStats {
+    let links = traces.link_count();
+    let intervals = traces.interval_count();
+    let mut sum = 0.0;
+    let mut max = 0.0f64;
+    let mut problematic = 0;
+    for l in 0..links {
+        for i in 0..intervals {
+            let c = traces.condition_in_interval(dg_topology::EdgeId::new(l as u32), i);
+            sum += c.loss_rate;
+            max = max.max(c.loss_rate);
+            if c.is_problematic(loss_threshold) {
+                problematic += 1;
+            }
+        }
+    }
+    let total = links * intervals;
+    TraceStats {
+        links,
+        intervals,
+        mean_loss: if total == 0 { 0.0 } else { sum / total as f64 },
+        max_loss: max,
+        problematic_link_intervals: problematic,
+        total_link_intervals: total,
+        loss_threshold,
+    }
+}
+
+/// Histogram of loss rates across all link-intervals; `buckets` equal
+/// divisions of `[0, 1]`, with 1.0 landing in the last bucket.
+///
+/// # Panics
+///
+/// Panics if `buckets == 0`.
+pub fn loss_histogram(traces: &TraceSet, buckets: usize) -> Vec<usize> {
+    assert!(buckets > 0, "at least one bucket required");
+    let mut hist = vec![0usize; buckets];
+    for l in 0..traces.link_count() {
+        for i in 0..traces.interval_count() {
+            let loss = traces
+                .condition_in_interval(dg_topology::EdgeId::new(l as u32), i)
+                .loss_rate;
+            let idx = ((loss * buckets as f64) as usize).min(buckets - 1);
+            hist[idx] += 1;
+        }
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinkCondition;
+    use dg_topology::{EdgeId, Micros};
+
+    fn mixed() -> TraceSet {
+        let mut t = TraceSet::clean(2, 4, Micros::from_secs(10)).unwrap();
+        t.set_condition(EdgeId::new(0), 0, LinkCondition::new(0.5, Micros::ZERO));
+        t.set_condition(EdgeId::new(1), 3, LinkCondition::down());
+        t
+    }
+
+    #[test]
+    fn summarize_counts_problems() {
+        let s = summarize(&mixed(), 0.25);
+        assert_eq!(s.total_link_intervals, 8);
+        assert_eq!(s.problematic_link_intervals, 2);
+        assert!((s.mean_loss - 1.5 / 8.0).abs() < 1e-12);
+        assert_eq!(s.max_loss, 1.0);
+        assert!((s.problematic_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clean_trace_stats_are_zero() {
+        let t = TraceSet::clean(3, 5, Micros::from_secs(1)).unwrap();
+        let s = summarize(&t, 0.01);
+        assert_eq!(s.problematic_link_intervals, 0);
+        assert_eq!(s.mean_loss, 0.0);
+        assert_eq!(s.problematic_fraction(), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_cover_range() {
+        let h = loss_histogram(&mixed(), 4);
+        assert_eq!(h.iter().sum::<usize>(), 8);
+        assert_eq!(h[0], 6); // six clean link-intervals
+        assert_eq!(h[2], 1); // the 0.5 loss
+        assert_eq!(h[3], 1); // the full loss lands in the last bucket
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket")]
+    fn zero_buckets_panics() {
+        loss_histogram(&mixed(), 0);
+    }
+}

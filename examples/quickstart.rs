@@ -1,0 +1,49 @@
+//! Quickstart: compute every routing scheme's dissemination graph for
+//! one transcontinental flow and compare their shape, latency, and cost.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use dissemination_graphs::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = topology::presets::north_america_12();
+    let flow = Flow::new(
+        graph.node_by_name("NYC").expect("preset has NYC"),
+        graph.node_by_name("SJC").expect("preset has SJC"),
+    );
+    let requirement = ServiceRequirement::default(); // 65 ms one-way
+    let params = SchemeParams::default();
+
+    println!(
+        "flow {} under a {} one-way deadline\n",
+        flow.label(&graph),
+        requirement.deadline
+    );
+    println!(
+        "{:<28} {:>6} {:>12} {:>10}",
+        "scheme", "edges", "best latency", "cost"
+    );
+    for kind in SchemeKind::ALL {
+        let scheme = build_scheme(kind, &graph, flow, requirement, &params)?;
+        let dg = scheme.current();
+        println!(
+            "{:<28} {:>6} {:>12} {:>10}",
+            kind.label(),
+            dg.len(),
+            dg.best_latency(&graph).to_string(),
+            dg.cost(&graph)
+        );
+    }
+
+    // Show the actual routes of the disjoint pair.
+    let (p1, p2) = topology::algo::disjoint::disjoint_pair(
+        &graph,
+        flow.source,
+        flow.destination,
+        topology::algo::disjoint::Disjointness::Node,
+    )?;
+    println!("\ndisjoint pair:");
+    println!("  primary:   {} ({})", p1.display(&graph), p1.latency(&graph));
+    println!("  secondary: {} ({})", p2.display(&graph), p2.latency(&graph));
+    Ok(())
+}

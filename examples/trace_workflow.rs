@@ -1,0 +1,77 @@
+//! The offline experiment workflow: generate a synthetic WAN trace,
+//! persist it (compact binary), reload it, analyse where its problems
+//! sit, and replay it against two schemes — the full `dg-trace` →
+//! `dg-sim` pipeline a researcher would run on recorded data.
+//!
+//! Run with: `cargo run --release --example trace_workflow`
+
+use dissemination_graphs::prelude::*;
+use dissemination_graphs::trace::{analysis, gen, stats};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = topology::presets::north_america_12();
+
+    // 1. Generate twenty minutes of conditions with a busy problem mix.
+    let mut wan = SyntheticWanConfig::calibrated(99);
+    wan.duration = Micros::from_secs(1_200);
+    wan.node_problems.events_per_hour = 3.0;
+    let (traces, events) = gen::generate_with_events(&graph, &wan);
+    println!(
+        "generated {} link-intervals with {} injected problem events",
+        traces.link_count() * traces.interval_count(),
+        events.len()
+    );
+
+    // 2. Persist and reload (binary round trip).
+    let dir = std::env::temp_dir().join("dg_trace_workflow");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("wan.dgtrace");
+    traces.save_binary(&path)?;
+    let traces = TraceSet::load_binary(&path)?;
+    println!(
+        "persisted to {} ({} bytes) and reloaded",
+        path.display(),
+        std::fs::metadata(&path)?.len()
+    );
+
+    // 3. Summary statistics and problem-location analysis.
+    let summary = stats::summarize(&traces, 0.05);
+    println!(
+        "mean loss {:.4}, {:.2}% of link-intervals problematic",
+        summary.mean_loss,
+        summary.problematic_fraction() * 100.0
+    );
+    let flows = topology::presets::transcontinental_flows(&graph);
+    let locations =
+        analysis::classify_flows(&graph, &traces, &flows, 0.05, Micros::from_millis(65));
+    println!(
+        "{:.1}% of problematic flow-intervals involve an endpoint",
+        locations.fraction_around_endpoints() * 100.0
+    );
+
+    // 4. Replay against two schemes.
+    let flow = Flow::new(
+        graph.node_by_name("NYC").unwrap(),
+        graph.node_by_name("SEA").unwrap(),
+    );
+    let config = PlaybackConfig { packets_per_second: 50, ..Default::default() };
+    for kind in [SchemeKind::StaticSinglePath, SchemeKind::TargetedRedundancy] {
+        let mut scheme = build_scheme(
+            kind,
+            &graph,
+            flow,
+            ServiceRequirement::default(),
+            &SchemeParams::default(),
+        )?;
+        let stats = dissemination_graphs::sim::run_flow(&graph, &traces, scheme.as_mut(), &config);
+        println!(
+            "{:<24} {} unavailable s of {}, cost {:.2}",
+            kind.label(),
+            stats.unavailable_seconds,
+            stats.seconds,
+            stats.average_cost()
+        );
+    }
+    std::fs::remove_file(&path)?;
+    Ok(())
+}
