@@ -63,13 +63,8 @@ fn bench_scaling(c: &mut Criterion) {
         }
         group.bench_function(format!("flooding_edges/{n}_nodes"), |b| {
             b.iter(|| {
-                reach::time_constrained_edges(
-                    black_box(&graph),
-                    s,
-                    t,
-                    Micros::from_millis(100),
-                )
-                .unwrap()
+                reach::time_constrained_edges(black_box(&graph), s, t, Micros::from_millis(100))
+                    .unwrap()
             })
         });
     }

@@ -12,10 +12,7 @@ use std::hint::black_box;
 
 fn bench_wire(c: &mut Criterion) {
     let graph = presets::north_america_12();
-    let flow = Flow::new(
-        graph.node_by_name("NYC").unwrap(),
-        graph.node_by_name("SJC").unwrap(),
-    );
+    let flow = Flow::new(graph.node_by_name("NYC").unwrap(), graph.node_by_name("SJC").unwrap());
     let scheme = build_scheme(
         SchemeKind::TargetedRedundancy,
         &graph,
@@ -40,19 +37,13 @@ fn bench_wire(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("overlay_wire");
     group.sample_size(60);
-    group.bench_function("encode_data_512b", |b| {
-        b.iter(|| black_box(&envelope).encode())
-    });
+    group.bench_function("encode_data_512b", |b| b.iter(|| black_box(&envelope).encode()));
     group.bench_function("decode_data_512b", |b| {
         b.iter(|| Envelope::decode(black_box(&encoded)).unwrap())
     });
     group.bench_function("mask_lookup_all_out_edges", |b| {
         let out = graph.out_edges(flow.source).to_vec();
-        b.iter(|| {
-            out.iter()
-                .filter(|&&e| black_box(&packet).mask_contains(e))
-                .count()
-        })
+        b.iter(|| out.iter().filter(|&&e| black_box(&packet).mask_contains(e)).count())
     });
     group.finish();
 }

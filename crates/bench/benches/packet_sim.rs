@@ -13,10 +13,7 @@ use std::hint::black_box;
 
 fn bench_packet_sim(c: &mut Criterion) {
     let graph = presets::north_america_12();
-    let flow = Flow::new(
-        graph.node_by_name("NYC").unwrap(),
-        graph.node_by_name("SJC").unwrap(),
-    );
+    let flow = Flow::new(graph.node_by_name("NYC").unwrap(), graph.node_by_name("SJC").unwrap());
     let deadline = Micros::from_millis(65);
     let recovery = RecoveryModel::default();
     let clean = TraceSet::clean(graph.edge_count(), 6, Micros::from_secs(10)).unwrap();

@@ -11,10 +11,7 @@ use std::hint::black_box;
 
 fn bench_schemes(c: &mut Criterion) {
     let graph = presets::north_america_12();
-    let flow = Flow::new(
-        graph.node_by_name("NYC").unwrap(),
-        graph.node_by_name("SJC").unwrap(),
-    );
+    let flow = Flow::new(graph.node_by_name("NYC").unwrap(), graph.node_by_name("SJC").unwrap());
     let req = ServiceRequirement::default();
     let params = SchemeParams::default();
 
@@ -49,8 +46,8 @@ fn bench_schemes(c: &mut Criterion) {
     }
 
     // Bitmask codec (the per-packet header work a source performs).
-    let flood = build_scheme(SchemeKind::TimeConstrainedFlooding, &graph, flow, req, &params)
-        .unwrap();
+    let flood =
+        build_scheme(SchemeKind::TimeConstrainedFlooding, &graph, flow, req, &params).unwrap();
     let dg = flood.current().clone();
     let mask = dg.to_bitmask(graph.edge_count());
     group.bench_function("bitmask_encode", |b| {

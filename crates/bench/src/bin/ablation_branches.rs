@@ -31,14 +31,9 @@ fn main() {
         let mut config = experiment.config;
         config.playback.seed = seed;
 
-        let aggs = run_comparison(
-            &experiment.topology,
-            &traces,
-            &experiment.flows,
-            &anchors,
-            &config,
-        )
-        .expect("flows routable");
+        let aggs =
+            run_comparison(&experiment.topology, &traces, &experiment.flows, &anchors, &config)
+                .expect("flows routable");
         merge_into(&mut anchor_aggs, aggs, week);
 
         for (i, &limit) in limits.iter().enumerate() {

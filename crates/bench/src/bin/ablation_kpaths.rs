@@ -26,11 +26,8 @@ fn main() {
         SchemeKind::TimeConstrainedFlooding,
     ];
     let aggregates = experiment.run(&kinds);
-    let rows = tabulate(
-        &aggregates,
-        SchemeKind::StaticSinglePath,
-        SchemeKind::TimeConstrainedFlooding,
-    );
+    let rows =
+        tabulate(&aggregates, SchemeKind::StaticSinglePath, SchemeKind::TimeConstrainedFlooding);
     let disjoint_cost = rows
         .iter()
         .find(|r| r.scheme == SchemeKind::StaticTwoDisjoint)

@@ -29,11 +29,7 @@ fn dot(graph: &Graph, dg: &DisseminationGraph, name: &str) {
     let mut out = String::from("digraph dg {\n  rankdir=LR;\n");
     for &e in dg.edges() {
         let i = graph.edge(e);
-        out.push_str(&format!(
-            "  {} -> {};\n",
-            graph.node(i.src).name,
-            graph.node(i.dst).name
-        ));
+        out.push_str(&format!("  {} -> {};\n", graph.node(i.src).name, graph.node(i.dst).name));
     }
     out.push_str("}\n");
     let path = results_dir().join(format!("fig1_{name}.dot"));
@@ -53,10 +49,10 @@ fn main() {
     let requirement = ServiceRequirement::default();
     let params = SchemeParams::default();
 
-    let targeted = TargetedRedundancy::new(&graph, flow, requirement, &params)
-        .expect("flow is routable");
-    let flooding = TimeConstrainedFlooding::new(&graph, flow, requirement)
-        .expect("deadline feasible");
+    let targeted =
+        TargetedRedundancy::new(&graph, flow, requirement, &params).expect("flow is routable");
+    let flooding =
+        TimeConstrainedFlooding::new(&graph, flow, requirement).expect("deadline feasible");
     let single = dg_core::scheme::StaticSinglePath::new(&graph, flow).expect("routable");
     use dg_core::scheme::RoutingScheme;
 
@@ -69,7 +65,11 @@ fn main() {
         ("flooding", flooding.current()),
     ];
 
-    println!("dissemination graphs for {} (deadline {}):\n", flow.label(&graph), requirement.deadline);
+    println!(
+        "dissemination graphs for {} (deadline {}):\n",
+        flow.label(&graph),
+        requirement.deadline
+    );
     let mut table = vec![vec![
         "graph".to_string(),
         "edges".to_string(),

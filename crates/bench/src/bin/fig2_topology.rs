@@ -20,10 +20,7 @@ fn main() {
         graph.edge_count()
     );
 
-    let mut table = vec![vec![
-        "link".to_string(),
-        "one-way latency".to_string(),
-    ]];
+    let mut table = vec![vec!["link".to_string(), "one-way latency".to_string()]];
     for e in graph.edges() {
         let info = graph.edge(e);
         // Print each bidirectional link once.

@@ -20,10 +20,7 @@ fn main() {
     let loss: f64 = args.get("loss", 0.35);
     let rate: u32 = args.get("rate", 100);
     let graph = presets::north_america_12();
-    let flow = Flow::new(
-        graph.node_by_name("WAS").unwrap(),
-        graph.node_by_name("SEA").unwrap(),
-    );
+    let flow = Flow::new(graph.node_by_name("WAS").unwrap(), graph.node_by_name("SEA").unwrap());
 
     // 90 seconds; the event covers 30s..60s on every link into SEA.
     let mut traces =

@@ -31,8 +31,11 @@ fn main() {
         }
         table.push(row);
     }
-    println!("unavailable seconds per flow ({} weeks x {}s):\n",
-        experiment.seeds.len(), experiment.seconds_per_week);
+    println!(
+        "unavailable seconds per flow ({} weeks x {}s):\n",
+        experiment.seeds.len(),
+        experiment.seconds_per_week
+    );
     print_table(&table);
     write_csv("fig4_per_flow", &table);
 
@@ -40,11 +43,7 @@ fn main() {
     // helps the *worst* flows, not just the average.
     println!("\nworst flow per scheme:");
     for agg in &aggregates {
-        let worst = agg
-            .per_flow
-            .iter()
-            .max_by_key(|f| f.unavailable_seconds)
-            .expect("16 flows");
+        let worst = agg.per_flow.iter().max_by_key(|f| f.unavailable_seconds).expect("16 flows");
         println!(
             "  {:<28} {:>5}s unavailable ({})",
             agg.kind.label(),

@@ -20,12 +20,8 @@ fn main() {
 
     // Static graph costs.
     println!("static dissemination-graph cost (edges per message):\n");
-    let mut table = vec![vec![
-        "scheme".to_string(),
-        "min".to_string(),
-        "mean".to_string(),
-        "max".to_string(),
-    ]];
+    let mut table =
+        vec![vec!["scheme".to_string(), "min".to_string(), "mean".to_string(), "max".to_string()]];
     for kind in SchemeKind::ALL {
         let costs: Vec<u64> = experiment
             .flows
@@ -62,11 +58,8 @@ fn main() {
         .find(|a| a.kind == SchemeKind::StaticTwoDisjoint)
         .expect("disjoint present")
         .average_cost();
-    let mut measured = vec![vec![
-        "scheme".to_string(),
-        "avg cost".to_string(),
-        "vs 2-disjoint".to_string(),
-    ]];
+    let mut measured =
+        vec![vec!["scheme".to_string(), "avg cost".to_string(), "vs 2-disjoint".to_string()]];
     for agg in &aggregates {
         measured.push(vec![
             agg.kind.label().to_string(),

@@ -41,11 +41,7 @@ fn coverage_row(
             }
         }
     }
-    let rows = tabulate(
-        &merged,
-        SchemeKind::StaticSinglePath,
-        SchemeKind::TimeConstrainedFlooding,
-    );
+    let rows = tabulate(&merged, SchemeKind::StaticSinglePath, SchemeKind::TimeConstrainedFlooding);
     let mut line = vec![label];
     for kind in SCHEMES {
         let r = rows.iter().find(|r| r.scheme == kind).expect("present");
@@ -95,20 +91,15 @@ fn main() {
         h
     }];
     for deadline_ms in [50u64, 65, 80, 100] {
-        deadline_table.push(coverage_row(
-            &experiment,
-            format!("{deadline_ms}ms"),
-            |seed| {
-                let traces =
-                    gen::generate(&experiment.topology, &experiment.wan_config(seed));
-                let mut config = experiment.config;
-                config.playback.seed = seed;
-                config.requirement.deadline = Micros::from_millis(deadline_ms);
-                config.playback.deadline = Micros::from_millis(deadline_ms);
-                run_comparison(&experiment.topology, &traces, &experiment.flows, &kinds, &config)
-                    .expect("flows routable")
-            },
-        ));
+        deadline_table.push(coverage_row(&experiment, format!("{deadline_ms}ms"), |seed| {
+            let traces = gen::generate(&experiment.topology, &experiment.wan_config(seed));
+            let mut config = experiment.config;
+            config.playback.seed = seed;
+            config.requirement.deadline = Micros::from_millis(deadline_ms);
+            config.playback.deadline = Micros::from_millis(deadline_ms);
+            run_comparison(&experiment.topology, &traces, &experiment.flows, &kinds, &config)
+                .expect("flows routable")
+        }));
         eprintln!("deadline {deadline_ms}ms done");
     }
     print_table(&deadline_table);

@@ -37,12 +37,8 @@ fn main() {
                     &config.scheme_params,
                 )
                 .expect("flows routable");
-                let out = run_flow_full(
-                    &experiment.topology,
-                    &traces,
-                    scheme.as_mut(),
-                    &config.playback,
-                );
+                let out =
+                    run_flow_full(&experiment.topology, &traces, scheme.as_mut(), &config.playback);
                 hist.merge(&out.latency);
             }
         }
@@ -78,7 +74,8 @@ fn main() {
     write_csv("fig7_percentiles", &table);
 
     // Full CDFs, one column pair per scheme.
-    let mut cdf_rows = vec![vec!["scheme".to_string(), "latency_ms".to_string(), "cdf".to_string()]];
+    let mut cdf_rows =
+        vec![vec!["scheme".to_string(), "latency_ms".to_string(), "cdf".to_string()]];
     for (kind, hist) in &histograms {
         for (lat, frac) in hist.cdf() {
             cdf_rows.push(vec![

@@ -23,13 +23,8 @@ fn main() {
     let mut total = FlowProblemSummary::default();
     for &seed in &experiment.seeds {
         let traces = gen::generate(&experiment.topology, &experiment.wan_config(seed));
-        let summary = classify_flows(
-            &experiment.topology,
-            &traces,
-            &experiment.flows,
-            threshold,
-            deadline,
-        );
+        let summary =
+            classify_flows(&experiment.topology, &traces, &experiment.flows, threshold, deadline);
         total.merge(&summary);
         eprintln!("seed {seed} done");
     }

@@ -29,11 +29,8 @@ fn main() {
     );
 
     let aggregates = experiment.run(&SchemeKind::ALL);
-    let rows = tabulate(
-        &aggregates,
-        SchemeKind::StaticSinglePath,
-        SchemeKind::TimeConstrainedFlooding,
-    );
+    let rows =
+        tabulate(&aggregates, SchemeKind::StaticSinglePath, SchemeKind::TimeConstrainedFlooding);
 
     let disjoint_cost = rows
         .iter()

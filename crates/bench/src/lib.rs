@@ -47,9 +47,9 @@ impl Args {
         T::Err: std::fmt::Debug,
     {
         match self.values.get(key) {
-            Some(v) => v
-                .parse()
-                .unwrap_or_else(|e| panic!("invalid value for --{key}: {v:?} ({e:?})")),
+            Some(v) => {
+                v.parse().unwrap_or_else(|e| panic!("invalid value for --{key}: {v:?} ({e:?})"))
+            }
             None => default,
         }
     }
@@ -110,10 +110,8 @@ impl Experiment {
         config.playback.availability_threshold = threshold;
         config.playback.deadline = deadline;
         config.requirement.deadline = deadline;
-        let threads: usize = args.get(
-            "threads",
-            std::thread::available_parallelism().map_or(1, |n| n.get()),
-        );
+        let threads: usize =
+            args.get("threads", std::thread::available_parallelism().map_or(1, |n| n.get()));
         let trace_file = {
             let path: String = args.get("trace", String::new());
             (!path.is_empty()).then(|| PathBuf::from(path))
@@ -159,11 +157,8 @@ impl Experiment {
     pub fn wan_config(&self, seed: u64) -> SyntheticWanConfig {
         let mut cfg = SyntheticWanConfig::calibrated(seed);
         cfg.duration = Micros::from_secs(self.seconds_per_week);
-        cfg.node_weights = Some(gen::biased_node_weights(
-            &self.topology,
-            &Self::ACCESS_SITES,
-            Self::ACCESS_BIAS,
-        ));
+        cfg.node_weights =
+            Some(gen::biased_node_weights(&self.topology, &Self::ACCESS_SITES, Self::ACCESS_BIAS));
         cfg
     }
 
@@ -211,11 +206,7 @@ pub fn results_dir() -> PathBuf {
 /// Writes CSV rows (first row = header) to `results/<name>.csv`.
 pub fn write_csv(name: &str, rows: &[Vec<String>]) {
     let path = results_dir().join(format!("{name}.csv"));
-    let body: String = rows
-        .iter()
-        .map(|r| r.join(","))
-        .collect::<Vec<_>>()
-        .join("\n");
+    let body: String = rows.iter().map(|r| r.join(",")).collect::<Vec<_>>().join("\n");
     fs::write(&path, body + "\n").expect("csv is writable");
     eprintln!("wrote {}", path.display());
 }
@@ -226,15 +217,11 @@ pub fn print_table(rows: &[Vec<String>]) {
         return;
     }
     let cols = rows[0].len();
-    let widths: Vec<usize> = (0..cols)
-        .map(|c| rows.iter().map(|r| r[c].len()).max().unwrap_or(0))
-        .collect();
+    let widths: Vec<usize> =
+        (0..cols).map(|c| rows.iter().map(|r| r[c].len()).max().unwrap_or(0)).collect();
     for (i, row) in rows.iter().enumerate() {
-        let line: Vec<String> = row
-            .iter()
-            .zip(&widths)
-            .map(|(cell, w)| format!("{cell:>w$}"))
-            .collect();
+        let line: Vec<String> =
+            row.iter().zip(&widths).map(|(cell, w)| format!("{cell:>w$}")).collect();
         println!("{}", line.join("  "));
         if i == 0 {
             println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));

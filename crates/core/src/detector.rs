@@ -42,10 +42,7 @@ impl ProblemStatus {
 
     /// True if the destination endpoint is implicated.
     pub fn destination_affected(self) -> bool {
-        matches!(
-            self,
-            ProblemStatus::DestinationProblem | ProblemStatus::BothProblems
-        )
+        matches!(self, ProblemStatus::DestinationProblem | ProblemStatus::BothProblems)
     }
 }
 
@@ -107,12 +104,9 @@ mod tests {
 
     fn setup() -> (Graph, Flow, DisseminationGraph, NetworkState) {
         let g = presets::north_america_12();
-        let flow = Flow::new(
-            g.node_by_name("NYC").unwrap(),
-            g.node_by_name("SJC").unwrap(),
-        );
-        let (p1, p2) = disjoint_pair(&g, flow.source, flow.destination, Disjointness::Node)
-            .unwrap();
+        let flow = Flow::new(g.node_by_name("NYC").unwrap(), g.node_by_name("SJC").unwrap());
+        let (p1, p2) =
+            disjoint_pair(&g, flow.source, flow.destination, Disjointness::Node).unwrap();
         let dg = DisseminationGraph::from_paths(&g, &[p1, p2]).unwrap();
         let state = NetworkState::clean(g.edge_count(), Micros::ZERO);
         (g, flow, dg, state)
@@ -151,19 +145,12 @@ mod tests {
     #[test]
     fn destination_and_both() {
         let (g, flow, dg, mut state) = setup();
-        let into_dst: Vec<_> = dg
-            .edges()
-            .iter()
-            .copied()
-            .filter(|&e| g.edge(e).dst == flow.destination)
-            .collect();
+        let into_dst: Vec<_> =
+            dg.edges().iter().copied().filter(|&e| g.edge(e).dst == flow.destination).collect();
         assert!(!into_dst.is_empty());
         state.set_condition(into_dst[0], LinkCondition::new(0.2, Micros::ZERO));
         let d = ProblemDetector::default();
-        assert_eq!(
-            d.classify(&g, flow, &dg, &state),
-            ProblemStatus::DestinationProblem
-        );
+        assert_eq!(d.classify(&g, flow, &dg, &state), ProblemStatus::DestinationProblem);
         let from_src: Vec<_> = dg.forwarding_edges(&g, flow.source).collect();
         state.set_condition(from_src[0], LinkCondition::down());
         assert_eq!(d.classify(&g, flow, &dg, &state), ProblemStatus::BothProblems);
@@ -187,9 +174,7 @@ mod tests {
     #[test]
     fn severity_and_flags() {
         assert!(ProblemStatus::Clear.severity() < ProblemStatus::SourceProblem.severity());
-        assert!(
-            ProblemStatus::SourceProblem.severity() < ProblemStatus::BothProblems.severity()
-        );
+        assert!(ProblemStatus::SourceProblem.severity() < ProblemStatus::BothProblems.severity());
         assert!(ProblemStatus::SourceProblem.source_affected());
         assert!(!ProblemStatus::SourceProblem.destination_affected());
         assert!(ProblemStatus::BothProblems.source_affected());

@@ -80,23 +80,16 @@ impl DisseminationGraph {
         if !reachable.contains(&destination) {
             return Err(CoreError::Unreachable { source, destination });
         }
-        let mut kept: Vec<EdgeId> = member
-            .into_iter()
-            .filter(|&e| reachable.contains(&graph.edge(e).src))
-            .collect();
+        let mut kept: Vec<EdgeId> =
+            member.into_iter().filter(|&e| reachable.contains(&graph.edge(e).src)).collect();
         kept.sort();
         Ok(DisseminationGraph { source, destination, edges: kept })
     }
 
     /// Builds the single-path dissemination graph for `path`.
     pub fn from_path(graph: &Graph, path: &Path) -> Self {
-        DisseminationGraph::new(
-            graph,
-            path.source(),
-            path.destination(),
-            path.edges().to_vec(),
-        )
-        .expect("a valid path always forms a dissemination graph")
+        DisseminationGraph::new(graph, path.source(), path.destination(), path.edges().to_vec())
+            .expect("a valid path always forms a dissemination graph")
     }
 
     /// Builds the union graph of several paths sharing endpoints.
@@ -112,8 +105,7 @@ impl DisseminationGraph {
         if paths.iter().any(|p| p.source() != s || p.destination() != t) {
             return Err(CoreError::MismatchedEndpoints);
         }
-        let edges: Vec<EdgeId> =
-            paths.iter().flat_map(|p| p.edges().iter().copied()).collect();
+        let edges: Vec<EdgeId> = paths.iter().flat_map(|p| p.edges().iter().copied()).collect();
         DisseminationGraph::new(graph, s, t, edges)
     }
 
@@ -166,11 +158,9 @@ impl DisseminationGraph {
     /// Latency of the fastest route through the graph at baseline
     /// conditions.
     pub fn best_latency(&self, graph: &Graph) -> Micros {
-        dijkstra::shortest_path_filtered(graph, self.source, self.destination, |e| {
-            self.contains(e)
-        })
-        .map(|p| p.latency(graph))
-        .unwrap_or(Micros::MAX)
+        dijkstra::shortest_path_filtered(graph, self.source, self.destination, |e| self.contains(e))
+            .map(|p| p.latency(graph))
+            .unwrap_or(Micros::MAX)
     }
 
     /// Union with another graph over the same flow.
@@ -286,12 +276,7 @@ mod tests {
         assert_eq!(dg.len(), p.len());
         // But a reachable side-branch is kept.
         let mut edges2 = p.edges().to_vec();
-        let branch = g
-            .out_edges(s)
-            .iter()
-            .copied()
-            .find(|e| !p.edges().contains(e))
-            .unwrap();
+        let branch = g.out_edges(s).iter().copied().find(|e| !p.edges().contains(e)).unwrap();
         edges2.push(branch);
         let dg2 = DisseminationGraph::new(&g, s, t, edges2).unwrap();
         assert_eq!(dg2.len(), p.len() + 1);
@@ -318,10 +303,7 @@ mod tests {
             DisseminationGraph::from_paths(&g, &[p1, p2]),
             Err(CoreError::MismatchedEndpoints)
         );
-        assert_eq!(
-            DisseminationGraph::from_paths(&g, &[]),
-            Err(CoreError::MismatchedEndpoints)
-        );
+        assert_eq!(DisseminationGraph::from_paths(&g, &[]), Err(CoreError::MismatchedEndpoints));
     }
 
     #[test]

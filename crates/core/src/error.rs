@@ -76,10 +76,7 @@ mod tests {
 
     #[test]
     fn displays_and_sources() {
-        let e = CoreError::Unreachable {
-            source: NodeId::new(0),
-            destination: NodeId::new(1),
-        };
+        let e = CoreError::Unreachable { source: NodeId::new(0), destination: NodeId::new(1) };
         assert!(e.to_string().contains("does not connect"));
         assert!(e.source().is_none());
 

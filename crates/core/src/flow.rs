@@ -21,11 +21,7 @@ impl Flow {
 
     /// Human-readable label using site names, e.g. `"NYC->SJC"`.
     pub fn label(&self, graph: &Graph) -> String {
-        format!(
-            "{}->{}",
-            graph.node(self.source).name,
-            graph.node(self.destination).name
-        )
+        format!("{}->{}", graph.node(self.source).name, graph.node(self.destination).name)
     }
 }
 
@@ -66,10 +62,7 @@ mod tests {
     #[test]
     fn labels_use_site_names() {
         let g = presets::north_america_12();
-        let f = Flow::new(
-            g.node_by_name("BOS").unwrap(),
-            g.node_by_name("LAX").unwrap(),
-        );
+        let f = Flow::new(g.node_by_name("BOS").unwrap(), g.node_by_name("LAX").unwrap());
         assert_eq!(f.label(&g), "BOS->LAX");
         assert_eq!(f.to_string(), format!("{}->{}", f.source, f.destination));
     }
@@ -77,10 +70,7 @@ mod tests {
     #[test]
     fn default_requirement_is_65ms() {
         assert_eq!(ServiceRequirement::default().deadline, Micros::from_millis(65));
-        assert_eq!(
-            ServiceRequirement::new(Micros::from_millis(100)).deadline.as_millis(),
-            100
-        );
+        assert_eq!(ServiceRequirement::new(Micros::from_millis(100)).deadline.as_millis(), 100);
     }
 
     #[test]

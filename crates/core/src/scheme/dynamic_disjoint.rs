@@ -2,9 +2,7 @@
 
 use crate::scheme::{expected_set_weight, RoutingScheme, SchemeKind, SchemeParams};
 use crate::{CoreError, DisseminationGraph, Flow};
-use dg_topology::algo::disjoint::{
-    disjoint_pair, k_disjoint_paths_weighted, Disjointness,
-};
+use dg_topology::algo::disjoint::{disjoint_pair, k_disjoint_paths_weighted, Disjointness};
 use dg_topology::Graph;
 use dg_trace::NetworkState;
 
@@ -27,8 +25,7 @@ impl DynamicTwoDisjoint {
     ///
     /// Returns an error when the topology lacks two disjoint routes.
     pub fn new(topology: &Graph, flow: Flow, params: &SchemeParams) -> Result<Self, CoreError> {
-        let (p1, p2) =
-            disjoint_pair(topology, flow.source, flow.destination, params.disjointness)?;
+        let (p1, p2) = disjoint_pair(topology, flow.source, flow.destination, params.disjointness)?;
         Ok(DynamicTwoDisjoint {
             flow,
             graph: DisseminationGraph::from_paths(topology, &[p1, p2])?,
@@ -70,8 +67,7 @@ impl RoutingScheme for DynamicTwoDisjoint {
         };
         let current_weight =
             expected_set_weight(topology, state, self.graph.edges().iter().copied());
-        let candidate_weight =
-            expected_set_weight(topology, state, next.edges().iter().copied());
+        let candidate_weight = expected_set_weight(topology, state, next.edges().iter().copied());
         let improvement_needed = (current_weight as f64 * (1.0 - self.hysteresis)) as u64;
         if candidate_weight < improvement_needed && next != self.graph {
             self.graph = next;
@@ -89,10 +85,7 @@ mod tests {
 
     fn setup() -> (Graph, DynamicTwoDisjoint) {
         let g = presets::north_america_12();
-        let flow = Flow::new(
-            g.node_by_name("NYC").unwrap(),
-            g.node_by_name("SEA").unwrap(),
-        );
+        let flow = Flow::new(g.node_by_name("NYC").unwrap(), g.node_by_name("SEA").unwrap());
         let s = DynamicTwoDisjoint::new(&g, flow, &SchemeParams::default()).unwrap();
         (g, s)
     }
@@ -114,9 +107,7 @@ mod tests {
             .edges()
             .iter()
             .copied()
-            .find(|&e| {
-                g.edge(e).src != s.flow().source && g.edge(e).dst != s.flow().destination
-            })
+            .find(|&e| g.edge(e).src != s.flow().source && g.edge(e).dst != s.flow().destination)
             .expect("pair has a middle edge");
         state.set_condition(victim, LinkCondition::down());
         assert!(s.update(&g, &state));
@@ -144,10 +135,7 @@ mod tests {
     #[test]
     fn heals_back_after_problem_clears() {
         let g = presets::north_america_12();
-        let flow = Flow::new(
-            g.node_by_name("NYC").unwrap(),
-            g.node_by_name("SEA").unwrap(),
-        );
+        let flow = Flow::new(g.node_by_name("NYC").unwrap(), g.node_by_name("SEA").unwrap());
         // Zero hysteresis so the heal-back is not (correctly) suppressed
         // as a marginal improvement.
         let params = SchemeParams { hysteresis: 0.0, ..SchemeParams::default() };

@@ -1,8 +1,6 @@
 //! A single path re-routed on monitoring updates.
 
-use crate::scheme::{
-    expected_set_weight, RoutingScheme, SchemeKind, SchemeParams,
-};
+use crate::scheme::{expected_set_weight, RoutingScheme, SchemeKind, SchemeParams};
 use crate::{CoreError, DisseminationGraph, Flow};
 use dg_topology::algo::dijkstra;
 use dg_topology::Graph;
@@ -83,10 +81,7 @@ mod tests {
 
     fn setup() -> (Graph, DynamicSinglePath) {
         let g = presets::north_america_12();
-        let flow = Flow::new(
-            g.node_by_name("NYC").unwrap(),
-            g.node_by_name("SJC").unwrap(),
-        );
+        let flow = Flow::new(g.node_by_name("NYC").unwrap(), g.node_by_name("SJC").unwrap());
         let s = DynamicSinglePath::new(&g, flow, &SchemeParams::default()).unwrap();
         (g, s)
     }
@@ -101,10 +96,7 @@ mod tests {
     #[test]
     fn reroutes_around_a_dead_link() {
         let g = presets::north_america_12();
-        let flow = Flow::new(
-            g.node_by_name("NYC").unwrap(),
-            g.node_by_name("SJC").unwrap(),
-        );
+        let flow = Flow::new(g.node_by_name("NYC").unwrap(), g.node_by_name("SJC").unwrap());
         // Zero hysteresis so the heal-back below is not (correctly)
         // suppressed as a marginal improvement.
         let params = SchemeParams { hysteresis: 0.0, ..SchemeParams::default() };
@@ -128,10 +120,7 @@ mod tests {
         let before = s.current().clone();
         let mut state = NetworkState::clean(g.edge_count(), Micros::ZERO);
         // Tiny extra latency on the current route: not worth moving.
-        state.set_condition(
-            before.edges()[0],
-            LinkCondition::new(0.0, Micros::from_micros(50)),
-        );
+        state.set_condition(before.edges()[0], LinkCondition::new(0.0, Micros::from_micros(50)));
         assert!(!s.update(&g, &state));
         assert_eq!(s.current(), &before);
     }

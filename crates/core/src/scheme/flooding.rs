@@ -70,10 +70,7 @@ mod tests {
     #[test]
     fn covers_a_large_edge_fraction() {
         let g = presets::north_america_12();
-        let flow = Flow::new(
-            g.node_by_name("NYC").unwrap(),
-            g.node_by_name("SJC").unwrap(),
-        );
+        let flow = Flow::new(g.node_by_name("NYC").unwrap(), g.node_by_name("SJC").unwrap());
         let s = TimeConstrainedFlooding::new(&g, flow, ServiceRequirement::default()).unwrap();
         // With a 65 ms budget over a ~30 ms shortest path, most of the
         // continental mesh is usable.
@@ -84,26 +81,17 @@ mod tests {
     #[test]
     fn infeasible_deadline_errors() {
         let g = presets::north_america_12();
-        let flow = Flow::new(
-            g.node_by_name("NYC").unwrap(),
-            g.node_by_name("SJC").unwrap(),
-        );
-        let err = TimeConstrainedFlooding::new(
-            &g,
-            flow,
-            ServiceRequirement::new(Micros::from_millis(5)),
-        )
-        .unwrap_err();
+        let flow = Flow::new(g.node_by_name("NYC").unwrap(), g.node_by_name("SJC").unwrap());
+        let err =
+            TimeConstrainedFlooding::new(&g, flow, ServiceRequirement::new(Micros::from_millis(5)))
+                .unwrap_err();
         assert!(matches!(err, CoreError::DeadlineInfeasible { .. }));
     }
 
     #[test]
     fn tighter_deadline_means_smaller_graph() {
         let g = presets::north_america_12();
-        let flow = Flow::new(
-            g.node_by_name("BOS").unwrap(),
-            g.node_by_name("LAX").unwrap(),
-        );
+        let flow = Flow::new(g.node_by_name("BOS").unwrap(), g.node_by_name("LAX").unwrap());
         let wide = TimeConstrainedFlooding::new(
             &g,
             flow,
@@ -123,12 +111,8 @@ mod tests {
     #[test]
     fn static_scheme_never_updates() {
         let g = presets::north_america_12();
-        let flow = Flow::new(
-            g.node_by_name("WAS").unwrap(),
-            g.node_by_name("DEN").unwrap(),
-        );
-        let mut s =
-            TimeConstrainedFlooding::new(&g, flow, ServiceRequirement::default()).unwrap();
+        let flow = Flow::new(g.node_by_name("WAS").unwrap(), g.node_by_name("DEN").unwrap());
+        let mut s = TimeConstrainedFlooding::new(&g, flow, ServiceRequirement::default()).unwrap();
         let state = NetworkState::clean(g.edge_count(), Micros::ZERO);
         assert!(!s.update(&g, &state));
         assert_eq!(s.kind(), SchemeKind::TimeConstrainedFlooding);

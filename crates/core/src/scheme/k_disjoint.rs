@@ -35,13 +35,8 @@ impl StaticKDisjoint {
         k: usize,
         disjointness: Disjointness,
     ) -> Result<Self, CoreError> {
-        let paths =
-            k_disjoint_paths(topology, flow.source, flow.destination, k, disjointness)?;
-        Ok(StaticKDisjoint {
-            flow,
-            k,
-            graph: DisseminationGraph::from_paths(topology, &paths)?,
-        })
+        let paths = k_disjoint_paths(topology, flow.source, flow.destination, k, disjointness)?;
+        Ok(StaticKDisjoint { flow, k, graph: DisseminationGraph::from_paths(topology, &paths)? })
     }
 
     /// Computes `k` disjoint paths, or as many as exist if fewer; the
@@ -61,9 +56,7 @@ impl StaticKDisjoint {
             Err(CoreError::Topology(TopologyError::InsufficientDisjointPaths {
                 available,
                 ..
-            })) if available > 0 => {
-                StaticKDisjoint::new(topology, flow, available, disjointness)
-            }
+            })) if available > 0 => StaticKDisjoint::new(topology, flow, available, disjointness),
             Err(e) => Err(e),
         }
     }
@@ -131,10 +124,7 @@ mod tests {
     #[test]
     fn fallback_caps_at_available_paths() {
         let g = presets::ring(6, Micros::from_millis(2));
-        let f = Flow::new(
-            g.node_by_name("R0").unwrap(),
-            g.node_by_name("R3").unwrap(),
-        );
+        let f = Flow::new(g.node_by_name("R0").unwrap(), g.node_by_name("R3").unwrap());
         assert!(StaticKDisjoint::new(&g, f, 3, Disjointness::Node).is_err());
         let s = StaticKDisjoint::new_with_fallback(&g, f, 3, Disjointness::Node).unwrap();
         assert_eq!(s.paths_used(), 2, "a ring has exactly two disjoint routes");

@@ -173,12 +173,8 @@ pub fn build_scheme(
     params: &SchemeParams,
 ) -> Result<Box<dyn RoutingScheme>, CoreError> {
     Ok(match kind {
-        SchemeKind::StaticSinglePath => {
-            Box::new(StaticSinglePath::new(topology, flow)?)
-        }
-        SchemeKind::DynamicSinglePath => {
-            Box::new(DynamicSinglePath::new(topology, flow, params)?)
-        }
+        SchemeKind::StaticSinglePath => Box::new(StaticSinglePath::new(topology, flow)?),
+        SchemeKind::DynamicSinglePath => Box::new(DynamicSinglePath::new(topology, flow, params)?),
         SchemeKind::StaticTwoDisjoint => {
             Box::new(StaticTwoDisjoint::new(topology, flow, params.disjointness)?)
         }
@@ -222,10 +218,7 @@ pub fn expected_set_weight<I: IntoIterator<Item = EdgeId>>(
     state: &NetworkState,
     edges: I,
 ) -> u64 {
-    edges
-        .into_iter()
-        .map(|e| expected_edge_weight(graph, state, e))
-        .fold(0u64, u64::saturating_add)
+    edges.into_iter().map(|e| expected_edge_weight(graph, state, e)).fold(0u64, u64::saturating_add)
 }
 
 #[cfg(test)]
@@ -265,10 +258,7 @@ mod tests {
         let e = EdgeId::new(3);
         let mut st = NetworkState::clean(g.edge_count(), Micros::ZERO);
         st.set_condition(e, LinkCondition::new(0.0, Micros::from_millis(5)));
-        assert_eq!(
-            expected_edge_weight(&g, &st, e),
-            g.edge(e).latency.as_micros() + 5_000
-        );
+        assert_eq!(expected_edge_weight(&g, &st, e), g.edge(e).latency.as_micros() + 5_000);
     }
 
     #[test]
@@ -278,18 +268,14 @@ mod tests {
         let edges = [EdgeId::new(0), EdgeId::new(1)];
         assert_eq!(
             expected_set_weight(&g, &st, edges),
-            g.edge(EdgeId::new(0)).latency.as_micros()
-                + g.edge(EdgeId::new(1)).latency.as_micros()
+            g.edge(EdgeId::new(0)).latency.as_micros() + g.edge(EdgeId::new(1)).latency.as_micros()
         );
     }
 
     #[test]
     fn build_scheme_builds_all_kinds() {
         let g = presets::north_america_12();
-        let flow = Flow::new(
-            g.node_by_name("BOS").unwrap(),
-            g.node_by_name("DEN").unwrap(),
-        );
+        let flow = Flow::new(g.node_by_name("BOS").unwrap(), g.node_by_name("DEN").unwrap());
         for kind in SchemeKind::ALL {
             let s = build_scheme(
                 kind,
@@ -312,8 +298,8 @@ mod tests {
             let flow = Flow::new(s, t);
             let req = ServiceRequirement::default();
             let params = SchemeParams::default();
-            let flood = build_scheme(SchemeKind::TimeConstrainedFlooding, &g, flow, req, &params)
-                .unwrap();
+            let flood =
+                build_scheme(SchemeKind::TimeConstrainedFlooding, &g, flow, req, &params).unwrap();
             for kind in [
                 SchemeKind::StaticSinglePath,
                 SchemeKind::StaticTwoDisjoint,
@@ -332,18 +318,10 @@ mod tests {
     #[test]
     fn cost_ordering_matches_paper() {
         let g = presets::north_america_12();
-        let flow = Flow::new(
-            g.node_by_name("NYC").unwrap(),
-            g.node_by_name("LAX").unwrap(),
-        );
+        let flow = Flow::new(g.node_by_name("NYC").unwrap(), g.node_by_name("LAX").unwrap());
         let req = ServiceRequirement::default();
         let params = SchemeParams::default();
-        let cost = |kind| {
-            build_scheme(kind, &g, flow, req, &params)
-                .unwrap()
-                .current()
-                .cost(&g)
-        };
+        let cost = |kind| build_scheme(kind, &g, flow, req, &params).unwrap().current().cost(&g);
         let single = cost(SchemeKind::StaticSinglePath);
         let disjoint = cost(SchemeKind::StaticTwoDisjoint);
         let targeted = cost(SchemeKind::TargetedRedundancy);

@@ -28,10 +28,7 @@ impl StaticTwoDisjoint {
         disjointness: Disjointness,
     ) -> Result<Self, CoreError> {
         let (p1, p2) = disjoint_pair(topology, flow.source, flow.destination, disjointness)?;
-        Ok(StaticTwoDisjoint {
-            flow,
-            graph: DisseminationGraph::from_paths(topology, &[p1, p2])?,
-        })
+        Ok(StaticTwoDisjoint { flow, graph: DisseminationGraph::from_paths(topology, &[p1, p2])? })
     }
 }
 
@@ -61,30 +58,20 @@ mod tests {
     #[test]
     fn builds_disjoint_union() {
         let g = presets::north_america_12();
-        let flow = Flow::new(
-            g.node_by_name("WAS").unwrap(),
-            g.node_by_name("LAX").unwrap(),
-        );
+        let flow = Flow::new(g.node_by_name("WAS").unwrap(), g.node_by_name("LAX").unwrap());
         let s = StaticTwoDisjoint::new(&g, flow, Disjointness::Node).unwrap();
         // The source forwards on exactly two edges.
         assert_eq!(s.current().forwarding_edges(&g, flow.source).count(), 2);
         // Exactly two edges enter the destination.
-        let into_dst = s
-            .current()
-            .edges()
-            .iter()
-            .filter(|&&e| g.edge(e).dst == flow.destination)
-            .count();
+        let into_dst =
+            s.current().edges().iter().filter(|&&e| g.edge(e).dst == flow.destination).count();
         assert_eq!(into_dst, 2);
     }
 
     #[test]
     fn never_updates() {
         let g = presets::north_america_12();
-        let flow = Flow::new(
-            g.node_by_name("BOS").unwrap(),
-            g.node_by_name("SJC").unwrap(),
-        );
+        let flow = Flow::new(g.node_by_name("BOS").unwrap(), g.node_by_name("SJC").unwrap());
         let mut s = StaticTwoDisjoint::new(&g, flow, Disjointness::Node).unwrap();
         let state = NetworkState::clean(g.edge_count(), Micros::ZERO);
         assert!(!s.update(&g, &state));

@@ -54,10 +54,7 @@ mod tests {
     #[test]
     fn never_changes() {
         let g = presets::north_america_12();
-        let flow = Flow::new(
-            g.node_by_name("NYC").unwrap(),
-            g.node_by_name("SEA").unwrap(),
-        );
+        let flow = Flow::new(g.node_by_name("NYC").unwrap(), g.node_by_name("SEA").unwrap());
         let mut s = StaticSinglePath::new(&g, flow).unwrap();
         let before = s.current().clone();
         let mut state = NetworkState::clean(g.edge_count(), Micros::ZERO);
@@ -72,10 +69,7 @@ mod tests {
     #[test]
     fn uses_the_shortest_path() {
         let g = presets::north_america_12();
-        let flow = Flow::new(
-            g.node_by_name("JHU").unwrap(),
-            g.node_by_name("DEN").unwrap(),
-        );
+        let flow = Flow::new(g.node_by_name("JHU").unwrap(), g.node_by_name("DEN").unwrap());
         let s = StaticSinglePath::new(&g, flow).unwrap();
         let sp = dijkstra::shortest_path(&g, flow.source, flow.destination).unwrap();
         assert_eq!(s.current().best_latency(&g), sp.latency(&g));

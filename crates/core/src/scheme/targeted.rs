@@ -87,8 +87,7 @@ impl TargetedRedundancy {
         requirement: ServiceRequirement,
         params: &SchemeParams,
     ) -> Result<Self, CoreError> {
-        let (p1, p2) =
-            disjoint_pair(topology, flow.source, flow.destination, params.disjointness)?;
+        let (p1, p2) = disjoint_pair(topology, flow.source, flow.destination, params.disjointness)?;
         let normal = DisseminationGraph::from_paths(topology, &[p1, p2])?;
 
         // Edges that can still meet the deadline; branches outside this
@@ -170,10 +169,8 @@ fn build_source_problem_graph(
     deadline: Micros,
     limit: Option<usize>,
 ) -> Result<DisseminationGraph, CoreError> {
-    let used: HashSet<NodeId> = normal
-        .forwarding_edges(topology, flow.source)
-        .map(|e| topology.edge(e).dst)
-        .collect();
+    let used: HashSet<NodeId> =
+        normal.forwarding_edges(topology, flow.source).map(|e| topology.edge(e).dst).collect();
     let mut candidates: Vec<(Micros, Vec<EdgeId>)> = Vec::new();
     for &out in topology.out_edges(flow.source) {
         if !feasible.contains(&out) || used.contains(&topology.edge(out).dst) {
@@ -316,15 +313,11 @@ mod tests {
 
     fn setup() -> (Graph, TargetedRedundancy) {
         let g = presets::north_america_12();
-        let flow = Flow::new(
-            g.node_by_name("NYC").unwrap(),
-            g.node_by_name("SJC").unwrap(),
-        );
+        let flow = Flow::new(g.node_by_name("NYC").unwrap(), g.node_by_name("SJC").unwrap());
         // Pin the hold-down at 2 updates; the de-escalation tests below
         // depend on it regardless of the library default.
         let params = SchemeParams { clear_after_updates: 2, ..SchemeParams::default() };
-        let s = TargetedRedundancy::new(&g, flow, ServiceRequirement::default(), &params)
-            .unwrap();
+        let s = TargetedRedundancy::new(&g, flow, ServiceRequirement::default(), &params).unwrap();
         (g, s)
     }
 
@@ -365,11 +358,8 @@ mod tests {
         let (g, s) = setup();
         let dgr = s.graph_for_mode(TargetedMode::DestinationProblem);
         let in_degree = g.in_edges(s.flow().destination).len();
-        let entering = dgr
-            .edges()
-            .iter()
-            .filter(|&&e| g.edge(e).dst == s.flow().destination)
-            .count();
+        let entering =
+            dgr.edges().iter().filter(|&&e| g.edge(e).dst == s.flow().destination).count();
         assert_eq!(entering, in_degree);
         assert!(dgr.is_superset_of(s.graph_for_mode(TargetedMode::Normal)));
     }
@@ -471,18 +461,13 @@ mod tests {
     #[test]
     fn branch_limit_caps_problem_graph_size() {
         let g = presets::north_america_12();
-        let flow = Flow::new(
-            g.node_by_name("NYC").unwrap(),
-            g.node_by_name("SJC").unwrap(),
-        );
+        let flow = Flow::new(g.node_by_name("NYC").unwrap(), g.node_by_name("SJC").unwrap());
         let req = ServiceRequirement::default();
         let sizes: Vec<usize> = [Some(0), Some(1), Some(2), None]
             .into_iter()
             .map(|limit| {
-                let params = SchemeParams {
-                    problem_branch_limit: limit,
-                    ..SchemeParams::default()
-                };
+                let params =
+                    SchemeParams { problem_branch_limit: limit, ..SchemeParams::default() };
                 TargetedRedundancy::new(&g, flow, req, &params)
                     .unwrap()
                     .graph_for_mode(TargetedMode::SourceProblem)
@@ -501,8 +486,7 @@ mod tests {
         assert!(sizes[2] <= sizes[3]);
         // NYC has degree 5 and the pair uses 2, so the unlimited source
         // graph branches on all 3 remaining neighbours.
-        let unlimited = TargetedRedundancy::new(&g, flow, req, &SchemeParams::default())
-            .unwrap();
+        let unlimited = TargetedRedundancy::new(&g, flow, req, &SchemeParams::default()).unwrap();
         assert_eq!(
             unlimited
                 .graph_for_mode(TargetedMode::SourceProblem)
@@ -515,10 +499,7 @@ mod tests {
     #[test]
     fn limited_branches_prefer_lower_latency() {
         let g = presets::north_america_12();
-        let flow = Flow::new(
-            g.node_by_name("NYC").unwrap(),
-            g.node_by_name("SJC").unwrap(),
-        );
+        let flow = Flow::new(g.node_by_name("NYC").unwrap(), g.node_by_name("SJC").unwrap());
         let req = ServiceRequirement::default();
         let one = SchemeParams { problem_branch_limit: Some(1), ..SchemeParams::default() };
         let s = TargetedRedundancy::new(&g, flow, req, &one).unwrap();

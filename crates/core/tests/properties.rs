@@ -9,17 +9,15 @@ use dg_trace::{LinkCondition, NetworkState};
 use proptest::prelude::*;
 
 fn arb_state(edge_count: usize) -> impl Strategy<Value = NetworkState> {
-    proptest::collection::vec((0.0f64..1.0, 0u64..10_000), edge_count).prop_map(
-        move |conds| {
-            NetworkState::from_conditions(
-                Micros::ZERO,
-                conds
-                    .into_iter()
-                    .map(|(loss, extra)| LinkCondition::new(loss, Micros::from_micros(extra)))
-                    .collect(),
-            )
-        },
-    )
+    proptest::collection::vec((0.0f64..1.0, 0u64..10_000), edge_count).prop_map(move |conds| {
+        NetworkState::from_conditions(
+            Micros::ZERO,
+            conds
+                .into_iter()
+                .map(|(loss, extra)| LinkCondition::new(loss, Micros::from_micros(extra)))
+                .collect(),
+        )
+    })
 }
 
 fn arb_flow() -> impl Strategy<Value = Flow> {

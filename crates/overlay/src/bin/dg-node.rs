@@ -10,6 +10,12 @@
 //! Usage:
 //!   dg-node --emit-topology topology.json        # write the preset
 //!   dg-node --config node.json                   # run a node
+//!   dg-node --config node.json --run-secs 30 --metrics-json out.json
+//!
+//! `--run-secs N` exits after N seconds instead of running forever, and
+//! `--metrics-json PATH` dumps the node's full metrics snapshot
+//! (counters, per-flow/per-link cells, event journal) as JSON on
+//! shutdown; `-` writes it to stdout.
 //!
 //! Config format:
 //! ```json
@@ -63,20 +69,41 @@ fn main() {
         }
         Some("--config") => {
             let path = args.get(2).expect("usage: dg-node --config <file>");
-            run(path);
+            let mut run_secs: Option<u64> = None;
+            let mut metrics_json: Option<String> = None;
+            let mut rest = args[3..].iter();
+            while let Some(flag) = rest.next() {
+                match flag.as_str() {
+                    "--run-secs" => {
+                        let v = rest.next().expect("--run-secs needs a value");
+                        run_secs = Some(v.parse().expect("--run-secs takes whole seconds"));
+                    }
+                    "--metrics-json" => {
+                        metrics_json =
+                            Some(rest.next().expect("--metrics-json needs a path").clone());
+                    }
+                    other => {
+                        eprintln!("unknown flag {other:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            run(path, run_secs, metrics_json);
         }
         _ => {
-            eprintln!("usage: dg-node --config <file> | dg-node --emit-topology [file]");
+            eprintln!(
+                "usage: dg-node --config <file> [--run-secs N] [--metrics-json PATH] \
+                 | dg-node --emit-topology [file]"
+            );
             std::process::exit(2);
         }
     }
 }
 
-fn run(config_path: &str) {
+fn run(config_path: &str, run_secs: Option<u64>, metrics_json: Option<String>) {
     let raw = std::fs::read_to_string(config_path)
         .unwrap_or_else(|e| panic!("cannot read {config_path}: {e}"));
-    let file: FileConfig =
-        serde_json::from_str(&raw).unwrap_or_else(|e| panic!("bad config: {e}"));
+    let file: FileConfig = serde_json::from_str(&raw).unwrap_or_else(|e| panic!("bad config: {e}"));
     let topo_raw = std::fs::read_to_string(&file.topology)
         .unwrap_or_else(|e| panic!("cannot read topology {}: {e}", file.topology));
     let graph: Graph =
@@ -89,9 +116,8 @@ fn run(config_path: &str) {
     config.hello_interval = Duration::from_millis(file.hello_interval_ms);
     config.link_state_interval = Duration::from_millis(file.link_state_interval_ms);
     for (name, addr) in &file.peers {
-        let peer = graph
-            .node_by_name(name)
-            .unwrap_or_else(|| panic!("peer {name:?} not in topology"));
+        let peer =
+            graph.node_by_name(name).unwrap_or_else(|| panic!("peer {name:?} not in topology"));
         config.peers.insert(peer, *addr);
     }
 
@@ -102,9 +128,20 @@ fn run(config_path: &str) {
         handle.local_addr(),
         file.peers.len()
     );
-    // Report stats periodically until killed.
+    // Report stats periodically until killed (or the run limit passes).
+    let started = std::time::Instant::now();
     loop {
-        std::thread::sleep(Duration::from_secs(10));
+        let tick = Duration::from_secs(10);
+        match run_secs {
+            Some(secs) => {
+                let left = Duration::from_secs(secs).saturating_sub(started.elapsed());
+                if left.is_zero() {
+                    break;
+                }
+                std::thread::sleep(left.min(tick));
+            }
+            None => std::thread::sleep(tick),
+        }
         let s = handle.stats();
         println!(
             "stats: rx {} tx {} delivered {} dup {} expired {} nack {} retx {}",
@@ -116,5 +153,16 @@ fn run(config_path: &str) {
             s.nacks_sent,
             s.retransmissions
         );
+    }
+    let snapshot = handle.metrics_snapshot();
+    handle.shutdown();
+    if let Some(path) = metrics_json {
+        let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
+        if path == "-" {
+            println!("{json}");
+        } else {
+            std::fs::write(&path, json).expect("metrics file is writable");
+            println!("wrote metrics to {path}");
+        }
     }
 }

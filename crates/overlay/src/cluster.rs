@@ -8,6 +8,7 @@
 
 use crate::config::NodeConfig;
 use crate::fault::LinkFault;
+use crate::metrics::ClusterMetricsReport;
 use crate::node::{OverlayHandle, OverlayNode};
 use crate::session::{FlowReceiver, FlowSender};
 use crate::OverlayError;
@@ -83,17 +84,14 @@ impl Cluster {
             let mut node_config = NodeConfig::new(node, addrs[node.index()]);
             node_config.hello_interval = config.hello_interval;
             node_config.link_state_interval = config.link_state_interval;
-            node_config.peers = graph
-                .neighbors(node)
-                .map(|n| (n, addrs[n.index()]))
-                .collect::<HashMap<_, _>>();
+            node_config.peers =
+                graph.neighbors(node).map(|n| (n, addrs[n.index()])).collect::<HashMap<_, _>>();
             let handle = OverlayNode::spawn_with_socket(node_config, Arc::clone(&graph), socket)?;
             // Emulate propagation delay on each out-link.
             for &e in graph.out_edges(node) {
-                handle.faults().set(
-                    graph.edge(e).dst,
-                    LinkFault { loss: 0.0, delay: base_delay[e.index()] },
-                );
+                handle
+                    .faults()
+                    .set(graph.edge(e).dst, LinkFault { loss: 0.0, delay: base_delay[e.index()] });
             }
             handles.push(Some(handle));
         }
@@ -140,13 +138,8 @@ impl Cluster {
         kind: SchemeKind,
         requirement: ServiceRequirement,
     ) -> Result<FlowSender, OverlayError> {
-        let scheme = build_scheme(
-            kind,
-            &self.graph,
-            flow,
-            requirement,
-            &self.config.scheme_params,
-        )?;
+        let scheme =
+            build_scheme(kind, &self.graph, flow, requirement, &self.config.scheme_params)?;
         self.node(flow.source).open_sender(scheme, requirement)
     }
 
@@ -169,10 +162,7 @@ impl Cluster {
         let info = self.graph.edge(edge);
         self.node(info.src).faults().set(
             info.dst,
-            LinkFault {
-                loss,
-                delay: self.base_delay[edge.index()].saturating_add(extra_delay),
-            },
+            LinkFault { loss, delay: self.base_delay[edge.index()].saturating_add(extra_delay) },
         );
     }
 
@@ -222,6 +212,16 @@ impl Cluster {
             }
             std::thread::sleep(Duration::from_millis(20));
         }
+    }
+
+    /// Gathers every live node's metrics snapshot into one
+    /// serializable, cluster-wide report: per-node counters and
+    /// journals, summed totals, and per-flow end-to-end summaries whose
+    /// field names match the simulator's `FlowRunStats`.
+    pub fn metrics_report(&self) -> ClusterMetricsReport {
+        ClusterMetricsReport::aggregate(
+            self.handles.iter().flatten().map(OverlayHandle::metrics_snapshot).collect(),
+        )
     }
 
     /// Stops every node.

@@ -24,6 +24,12 @@ pub struct NodeConfig {
     pub retransmit_buffer: usize,
     /// Flow-level duplicate-suppression window (packets).
     pub dedup_window: usize,
+    /// Capacity of the node's structured event journal (events); zero
+    /// disables journalling while still counting refused events.
+    pub journal_capacity: usize,
+    /// Incoming-link loss estimate at which the problem detector
+    /// triggers (clears at half this value).
+    pub detector_loss_threshold: f64,
 }
 
 impl NodeConfig {
@@ -39,6 +45,8 @@ impl NodeConfig {
             link_state_interval: Duration::from_millis(200),
             retransmit_buffer: 2_048,
             dedup_window: 16_384,
+            journal_capacity: 1_024,
+            detector_loss_threshold: 0.05,
         }
     }
 }
@@ -54,5 +62,7 @@ mod tests {
         assert!(cfg.peers.is_empty());
         assert!(cfg.hello_interval < cfg.link_state_interval * 10);
         assert!(cfg.retransmit_buffer > 0 && cfg.dedup_window > 0);
+        assert!(cfg.journal_capacity > 0);
+        assert!(cfg.detector_loss_threshold > 0.0 && cfg.detector_loss_threshold < 1.0);
     }
 }

@@ -81,8 +81,7 @@ mod tests {
 
     #[test]
     fn display_and_sources() {
-        let io: OverlayError =
-            std::io::Error::other("boom").into();
+        let io: OverlayError = std::io::Error::other("boom").into();
         assert!(io.to_string().contains("boom"));
         assert!(io.source().is_some());
         assert!(OverlayError::Malformed("short header").to_string().contains("short"));

@@ -13,7 +13,10 @@
 //! - monitors its links with hellos (loss and RTT estimation) and
 //!   floods link-state updates so sources can react to problems,
 //! - exposes a [`session::FlowSender`]/[`session::FlowReceiver`] API to
-//!   applications.
+//!   applications,
+//! - keeps lock-cheap counters and a bounded event journal of route
+//!   changes, detector transitions, and recovery outcomes
+//!   ([`metrics::MetricsSnapshot`], [`cluster::Cluster::metrics_report`]).
 //!
 //! Link loss and extra latency are injectable per edge
 //! ([`fault::FaultPlan`]), so a whole overlay with realistic WAN
@@ -46,12 +49,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod cluster;
 mod clock;
+pub mod cluster;
 mod config;
 mod error;
 pub mod fault;
 mod linkstate;
+pub mod metrics;
 mod monitor;
 mod node;
 mod recovery;
@@ -61,4 +65,5 @@ pub mod wire;
 pub use clock::now_us;
 pub use config::NodeConfig;
 pub use error::OverlayError;
+pub use metrics::{ClusterMetricsReport, MetricsSnapshot, NodeCounters};
 pub use node::{NodeStats, OverlayHandle, OverlayNode};

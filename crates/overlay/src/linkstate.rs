@@ -90,10 +90,7 @@ mod tests {
         assert!(!db.apply(&update(0, 0, 3, 0.9)), "older seq is ignored");
         let st = db.network_state(Micros::ZERO);
         assert!((st.condition(EdgeId::new(3)).loss_rate - 0.5).abs() < 1e-6);
-        assert_eq!(
-            st.condition(EdgeId::new(3)).extra_latency,
-            Micros::from_micros(500)
-        );
+        assert_eq!(st.condition(EdgeId::new(3)).extra_latency, Micros::from_micros(500));
         // Newer seq replaces.
         assert!(db.apply(&update(0, 2, 3, 0.0)));
         let st = db.network_state(Micros::ZERO);

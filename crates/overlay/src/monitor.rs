@@ -12,7 +12,7 @@
 //! should have arrived since the last one did.
 
 use dg_topology::{Micros, NodeId};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// Per-neighbour monitoring state.
 #[derive(Debug, Default)]
@@ -36,6 +36,8 @@ pub struct LinkMonitor {
     window: u64,
     hello_interval: Micros,
     neighbors: HashMap<NodeId, NeighborStats>,
+    /// Neighbours whose incoming link is currently flagged lossy.
+    triggered: HashSet<NodeId>,
 }
 
 impl LinkMonitor {
@@ -48,7 +50,36 @@ impl LinkMonitor {
     pub fn new(window: usize, hello_interval: Micros) -> Self {
         assert!(window > 0, "monitor window must be positive");
         assert!(hello_interval > Micros::ZERO, "hello interval must be positive");
-        LinkMonitor { window: window as u64, hello_interval, neighbors: HashMap::new() }
+        LinkMonitor {
+            window: window as u64,
+            hello_interval,
+            neighbors: HashMap::new(),
+            triggered: HashSet::new(),
+        }
+    }
+
+    /// Whether any hello has ever arrived from `neighbor` (used to keep
+    /// the problem detector quiet before a link's first evidence).
+    pub fn heard_from(&self, neighbor: NodeId) -> bool {
+        self.neighbors.get(&neighbor).is_some_and(|s| s.last_heard.is_some())
+    }
+
+    /// Feeds a fresh loss estimate for the link from `neighbor` into the
+    /// problem detector. Returns `Some(true)` on a new trigger
+    /// (`loss >= threshold`), `Some(false)` when a triggered link clears
+    /// (`loss <= threshold / 2` — hysteresis so a link hovering at the
+    /// threshold does not flap), and `None` when nothing changed.
+    pub fn detect(&mut self, neighbor: NodeId, loss: f64, threshold: f64) -> Option<bool> {
+        if self.triggered.contains(&neighbor) {
+            if loss <= threshold / 2.0 {
+                self.triggered.remove(&neighbor);
+                return Some(false);
+            }
+        } else if loss >= threshold {
+            self.triggered.insert(neighbor);
+            return Some(true);
+        }
+        None
     }
 
     /// Records a hello received *from* `neighbor` — i.e. evidence about
@@ -62,9 +93,7 @@ impl LinkMonitor {
         let floor = stats.highest.expect("just set").saturating_sub(self.window);
         stats.received.retain(|&s| s > floor);
         stats.one_way = Some(match stats.one_way {
-            Some(old) => {
-                Micros::from_micros((old.as_micros() * 7 + one_way.as_micros()) / 8)
-            }
+            Some(old) => Micros::from_micros((old.as_micros() * 7 + one_way.as_micros()) / 8),
             None => one_way,
         });
     }
@@ -79,9 +108,7 @@ impl LinkMonitor {
         let stats = self.neighbors.entry(neighbor).or_default();
         stats.rtt = Some(match stats.rtt {
             // Standard 7/8 smoothing.
-            Some(old) => Micros::from_micros(
-                (old.as_micros() * 7 + rtt.as_micros()) / 8,
-            ),
+            Some(old) => Micros::from_micros((old.as_micros() * 7 + rtt.as_micros()) / 8),
             None => rtt,
         });
     }
@@ -206,6 +233,25 @@ mod tests {
         }
         let rtt = m.rtt_to(n).unwrap();
         assert!(rtt > Micros::from_millis(19), "rtt {rtt}");
+    }
+
+    #[test]
+    fn detector_triggers_and_clears_with_hysteresis() {
+        let mut m = monitor();
+        let n = NodeId::new(4);
+        assert!(!m.heard_from(n));
+        m.record_hello(n, 0, Micros::ZERO, at(0));
+        assert!(m.heard_from(n));
+        // Below threshold: quiet.
+        assert_eq!(m.detect(n, 0.01, 0.05), None);
+        // Crossing the threshold triggers exactly once.
+        assert_eq!(m.detect(n, 0.10, 0.05), Some(true));
+        assert_eq!(m.detect(n, 0.20, 0.05), None);
+        // Hovering between half-threshold and threshold does not clear.
+        assert_eq!(m.detect(n, 0.04, 0.05), None);
+        // Dropping to half the threshold clears exactly once.
+        assert_eq!(m.detect(n, 0.02, 0.05), Some(false));
+        assert_eq!(m.detect(n, 0.02, 0.05), None);
     }
 
     #[test]

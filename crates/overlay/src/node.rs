@@ -4,6 +4,7 @@ use crate::clock::now_us;
 use crate::config::NodeConfig;
 use crate::fault::FaultPlan;
 use crate::linkstate::LinkStateDb;
+use crate::metrics::{EventKind, MetricsRegistry, MetricsSnapshot, NodeCounters};
 use crate::monitor::LinkMonitor;
 use crate::recovery::{GapTracker, SendBuffer};
 use crate::session::{Delivery, FlowReceiver, FlowSender, SchemeSlot};
@@ -28,7 +29,9 @@ use std::time::Duration;
 #[derive(Debug)]
 pub struct OverlayNode;
 
-/// Counters exposed by a running node.
+/// Legacy compact counter view, derived from the node's
+/// [`MetricsSnapshot`] (see [`OverlayHandle::metrics_snapshot`] for the
+/// full registry).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NodeStats {
     /// Data transmissions onto links (originals, not retransmissions).
@@ -57,37 +60,22 @@ pub struct NodeStats {
     pub malformed: u64,
 }
 
-#[derive(Debug, Default)]
-struct AtomicStats {
-    data_sent: AtomicU64,
-    data_received: AtomicU64,
-    delivered: AtomicU64,
-    duplicates: AtomicU64,
-    expired: AtomicU64,
-    nacks_sent: AtomicU64,
-    retransmissions: AtomicU64,
-    fault_drops: AtomicU64,
-    hellos_sent: AtomicU64,
-    link_state_sent: AtomicU64,
-    graph_changes: AtomicU64,
-    malformed: AtomicU64,
-}
-
-impl AtomicStats {
-    fn snapshot(&self) -> NodeStats {
+impl NodeStats {
+    /// Projects the full counter block down to the legacy view.
+    fn from_counters(c: &NodeCounters) -> NodeStats {
         NodeStats {
-            data_sent: self.data_sent.load(Ordering::Relaxed),
-            data_received: self.data_received.load(Ordering::Relaxed),
-            delivered: self.delivered.load(Ordering::Relaxed),
-            duplicates: self.duplicates.load(Ordering::Relaxed),
-            expired: self.expired.load(Ordering::Relaxed),
-            nacks_sent: self.nacks_sent.load(Ordering::Relaxed),
-            retransmissions: self.retransmissions.load(Ordering::Relaxed),
-            fault_drops: self.fault_drops.load(Ordering::Relaxed),
-            hellos_sent: self.hellos_sent.load(Ordering::Relaxed),
-            link_state_sent: self.link_state_sent.load(Ordering::Relaxed),
-            graph_changes: self.graph_changes.load(Ordering::Relaxed),
-            malformed: self.malformed.load(Ordering::Relaxed),
+            data_sent: c.data_sent,
+            data_received: c.data_received,
+            delivered: c.delivered_on_time + c.delivered_late,
+            duplicates: c.duplicates,
+            expired: c.expired,
+            nacks_sent: c.nack_messages_sent,
+            retransmissions: c.retransmissions_served,
+            fault_drops: c.fault_drops,
+            hellos_sent: c.hellos_sent,
+            link_state_sent: c.link_state_flooded,
+            graph_changes: c.graph_changes,
+            malformed: c.malformed,
         }
     }
 }
@@ -149,7 +137,7 @@ pub(crate) struct Shared {
     pub(crate) senders: Mutex<Vec<Arc<Mutex<SchemeSlot>>>>,
     shipper_tx: Sender<Shipment>,
     shipment_order: AtomicU64,
-    stats: AtomicStats,
+    pub(crate) metrics: MetricsRegistry,
     hello_seq: AtomicU64,
     ls_seq: AtomicU64,
 }
@@ -163,9 +151,15 @@ impl Shared {
     fn transmit(&self, to: NodeId, datagram: Bytes) {
         let fault = self.faults.get(to);
         if fault.loss > 0.0 && rand::thread_rng().gen_bool(fault.loss.clamp(0.0, 1.0)) {
-            self.stats.fault_drops.fetch_add(1, Ordering::Relaxed);
+            self.metrics.counters.fault_drops.fetch_add(1, Ordering::Relaxed);
             return;
         }
+        let bytes = datagram.len() as u64;
+        self.metrics.counters.datagrams_sent.fetch_add(1, Ordering::Relaxed);
+        self.metrics.counters.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
+        let link = self.metrics.link(to);
+        link.datagrams.fetch_add(1, Ordering::Relaxed);
+        link.bytes.fetch_add(bytes, Ordering::Relaxed);
         let shipment = Shipment {
             to,
             datagram,
@@ -192,7 +186,8 @@ impl Shared {
             link.buffer.push(link.next_seq - 1, bytes.clone());
             bytes
         };
-        self.stats.data_sent.fetch_add(1, Ordering::Relaxed);
+        self.metrics.counters.data_sent.fetch_add(1, Ordering::Relaxed);
+        self.metrics.flow(packet.flow).transmissions.fetch_add(1, Ordering::Relaxed);
         self.transmit(neighbor, bytes);
     }
 
@@ -206,10 +201,12 @@ impl Shared {
     }
 
     fn handle_datagram(&self, datagram: &[u8]) {
+        self.metrics.counters.datagrams_received.fetch_add(1, Ordering::Relaxed);
+        self.metrics.counters.bytes_received.fetch_add(datagram.len() as u64, Ordering::Relaxed);
         let envelope = match Envelope::decode(datagram) {
             Ok(e) => e,
             Err(_) => {
-                self.stats.malformed.fetch_add(1, Ordering::Relaxed);
+                self.metrics.counters.malformed.fetch_add(1, Ordering::Relaxed);
                 return;
             }
         };
@@ -218,6 +215,7 @@ impl Shared {
             Message::Hello { seq, sent_at } => {
                 let now = now_us();
                 self.monitor.lock().record_hello(from, seq, now.saturating_sub(sent_at), now);
+                self.metrics.counters.hellos_echoed.fetch_add(1, Ordering::Relaxed);
                 let ack = Envelope {
                     from: self.me(),
                     message: Message::HelloAck { echo_seq: seq, echo_sent_at: sent_at },
@@ -226,6 +224,7 @@ impl Shared {
             }
             Message::HelloAck { echo_sent_at, .. } => {
                 let rtt = now_us().saturating_sub(echo_sent_at);
+                self.metrics.counters.hello_acks_received.fetch_add(1, Ordering::Relaxed);
                 self.monitor.lock().record_rtt(from, rtt);
             }
             Message::LinkState(update) => {
@@ -234,6 +233,11 @@ impl Shared {
                 }
             }
             Message::Nack { missing } => {
+                let requested = missing.len() as u64;
+                self.metrics
+                    .counters
+                    .retransmit_requests_received
+                    .fetch_add(requested, Ordering::Relaxed);
                 let mut resends = Vec::new();
                 {
                     let mut links = self.send_links.lock();
@@ -245,8 +249,31 @@ impl Shared {
                         }
                     }
                 }
+                let served = resends.len() as u64;
+                let missed = requested - served;
+                if served > 0 {
+                    self.metrics
+                        .counters
+                        .retransmissions_served
+                        .fetch_add(served, Ordering::Relaxed);
+                    self.metrics
+                        .record(EventKind::RecoveryServed { neighbor: from, packets: served });
+                }
+                if missed > 0 {
+                    self.metrics.counters.retransmit_misses.fetch_add(missed, Ordering::Relaxed);
+                    self.metrics
+                        .record(EventKind::RecoveryMissed { neighbor: from, packets: missed });
+                }
                 for bytes in resends {
-                    self.stats.retransmissions.fetch_add(1, Ordering::Relaxed);
+                    // Attribute the retransmission to its flow so cost
+                    // accounting matches the simulator (originals +
+                    // retransmissions). This path only runs on loss, so
+                    // the re-decode is off the hot path.
+                    if let Ok(env) = Envelope::decode(&bytes) {
+                        if let Message::Data(p) = env.message {
+                            self.metrics.flow(p.flow).transmissions.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
                     self.transmit(from, bytes);
                 }
             }
@@ -255,22 +282,38 @@ impl Shared {
     }
 
     fn handle_data(&self, from: NodeId, packet: DataPacket) {
-        self.stats.data_received.fetch_add(1, Ordering::Relaxed);
+        self.metrics.counters.data_received.fetch_add(1, Ordering::Relaxed);
         // Hop-by-hop recovery: detect gaps on this incoming link.
         let missing = self.recv_links.lock().entry(from).or_default().observe(packet.link_seq);
         if !missing.is_empty() {
-            self.stats.nacks_sent.fetch_add(1, Ordering::Relaxed);
+            self.metrics.counters.nack_messages_sent.fetch_add(1, Ordering::Relaxed);
+            self.metrics
+                .counters
+                .retransmit_requests_issued
+                .fetch_add(missing.len() as u64, Ordering::Relaxed);
+            self.metrics.record(EventKind::RecoveryRequested {
+                neighbor: from,
+                packets: missing.len() as u64,
+            });
             let nack = Envelope { from: self.me(), message: Message::Nack { missing } };
             self.transmit(from, nack.encode());
         }
         // Flow-level duplicate suppression.
         if !self.dedup.lock().insert((packet.flow, packet.flow_seq)) {
-            self.stats.duplicates.fetch_add(1, Ordering::Relaxed);
+            self.metrics.counters.duplicates.fetch_add(1, Ordering::Relaxed);
             return;
         }
         let now = now_us();
+        let on_time = !packet.expired(now);
         if packet.flow.destination == self.me() {
-            self.stats.delivered.fetch_add(1, Ordering::Relaxed);
+            let flow_cells = self.metrics.flow(packet.flow);
+            if on_time {
+                self.metrics.counters.delivered_on_time.fetch_add(1, Ordering::Relaxed);
+                flow_cells.packets_on_time.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.metrics.counters.delivered_late.fetch_add(1, Ordering::Relaxed);
+                flow_cells.packets_late.fetch_add(1, Ordering::Relaxed);
+            }
             if let Some(tx) = self.receivers.lock().get(&packet.flow) {
                 let _ = tx.send(Delivery {
                     flow: packet.flow,
@@ -278,12 +321,12 @@ impl Shared {
                     payload: packet.payload.clone(),
                     sent_at: packet.sent_at,
                     delivered_at: now,
-                    on_time: !packet.expired(now),
+                    on_time,
                 });
             }
         }
-        if packet.expired(now) {
-            self.stats.expired.fetch_add(1, Ordering::Relaxed);
+        if !on_time {
+            self.metrics.counters.expired.fetch_add(1, Ordering::Relaxed);
             return;
         }
         self.disseminate(&packet);
@@ -295,7 +338,7 @@ impl Shared {
         for &e in self.graph.out_edges(self.me()) {
             let neighbor = self.graph.edge(e).dst;
             if Some(neighbor) != except {
-                self.stats.link_state_sent.fetch_add(1, Ordering::Relaxed);
+                self.metrics.counters.link_state_flooded.fetch_add(1, Ordering::Relaxed);
                 self.transmit(neighbor, bytes.clone());
             }
         }
@@ -308,24 +351,38 @@ impl Shared {
         let me = self.me();
         let now = now_us();
         let entries: Vec<LinkStateEntry> = {
-            let monitor = self.monitor.lock();
-            self.graph
-                .in_edges(me)
-                .iter()
-                .map(|&e| {
-                    let neighbor = self.graph.edge(e).src;
-                    let baseline = self.graph.edge(e).latency;
-                    let extra = monitor
-                        .one_way_from(neighbor)
-                        .map_or(Micros::ZERO, |d| d.saturating_sub(baseline));
-                    LinkStateEntry {
-                        edge: e,
-                        loss: monitor.loss_from(neighbor, now) as f32,
-                        extra_latency_us: extra.as_micros().min(u64::from(u32::MAX)) as u32,
+            let mut monitor = self.monitor.lock();
+            let mut entries = Vec::with_capacity(self.graph.in_edges(me).len());
+            for &e in self.graph.in_edges(me) {
+                let neighbor = self.graph.edge(e).src;
+                let baseline = self.graph.edge(e).latency;
+                let extra = monitor
+                    .one_way_from(neighbor)
+                    .map_or(Micros::ZERO, |d| d.saturating_sub(baseline));
+                let loss = monitor.loss_from(neighbor, now);
+                // The problem detector stays quiet until a link has
+                // delivered at least one hello; a never-heard link reads
+                // as 100% loss and would trigger spuriously at startup.
+                if monitor.heard_from(neighbor) {
+                    match monitor.detect(neighbor, loss, self.config.detector_loss_threshold) {
+                        Some(true) => self
+                            .metrics
+                            .record(EventKind::DetectorTriggered { neighbor, loss: loss as f32 }),
+                        Some(false) => self
+                            .metrics
+                            .record(EventKind::DetectorCleared { neighbor, loss: loss as f32 }),
+                        None => {}
                     }
-                })
-                .collect()
+                }
+                entries.push(LinkStateEntry {
+                    edge: e,
+                    loss: loss as f32,
+                    extra_latency_us: extra.as_micros().min(u64::from(u32::MAX)) as u32,
+                });
+            }
+            entries
         };
+        self.metrics.counters.link_state_originated.fetch_add(1, Ordering::Relaxed);
         let update = LinkStateUpdate {
             origin: me,
             seq: self.ls_seq.fetch_add(1, Ordering::Relaxed) + 1,
@@ -342,7 +399,14 @@ impl Shared {
             let mut slot = slot.lock();
             if slot.scheme.update(&self.graph, &state) {
                 slot.refresh_mask(self.graph.edge_count());
-                self.stats.graph_changes.fetch_add(1, Ordering::Relaxed);
+                self.metrics.counters.graph_changes.fetch_add(1, Ordering::Relaxed);
+                let flow = slot.scheme.flow();
+                self.metrics.flow(flow).graph_changes.fetch_add(1, Ordering::Relaxed);
+                self.metrics.record(EventKind::RouteChange {
+                    flow,
+                    scheme: slot.scheme.kind(),
+                    edges: slot.scheme.current().len() as u64,
+                });
             }
         }
     }
@@ -351,11 +415,8 @@ impl Shared {
         let me = self.me();
         let seq = self.hello_seq.fetch_add(1, Ordering::Relaxed);
         for &e in self.graph.out_edges(me) {
-            let hello = Envelope {
-                from: me,
-                message: Message::Hello { seq, sent_at: now_us() },
-            };
-            self.stats.hellos_sent.fetch_add(1, Ordering::Relaxed);
+            let hello = Envelope { from: me, message: Message::Hello { seq, sent_at: now_us() } };
+            self.metrics.counters.hellos_sent.fetch_add(1, Ordering::Relaxed);
             self.transmit(self.graph.edge(e).dst, hello.encode());
         }
     }
@@ -407,6 +468,7 @@ impl OverlayNode {
         let monitor_window = config.monitor_window;
         let dedup_window = config.dedup_window;
         let hello_interval = config.hello_interval;
+        let journal_capacity = config.journal_capacity;
         let shared = Arc::new(Shared {
             config,
             graph: Arc::clone(&graph),
@@ -425,7 +487,7 @@ impl OverlayNode {
             senders: Mutex::new(Vec::new()),
             shipper_tx,
             shipment_order: AtomicU64::new(0),
-            stats: AtomicStats::default(),
+            metrics: MetricsRegistry::new(journal_capacity),
             hello_seq: AtomicU64::new(0),
             ls_seq: AtomicU64::new(0),
         });
@@ -475,10 +537,7 @@ impl OverlayHandle {
             return Err(OverlayError::UnknownNode(scheme.flow().source));
         }
         let flow = scheme.flow();
-        let slot = Arc::new(Mutex::new(SchemeSlot::new(
-            scheme,
-            self.shared.graph.edge_count(),
-        )));
+        let slot = Arc::new(Mutex::new(SchemeSlot::new(scheme, self.shared.graph.edge_count())));
         self.shared.senders.lock().push(Arc::clone(&slot));
         Ok(FlowSender::new(Arc::clone(&self.shared), slot, flow, requirement.deadline))
     }
@@ -515,9 +574,15 @@ impl OverlayHandle {
         self.shared.linkstate.lock().origins_heard()
     }
 
-    /// Snapshot of this node's counters.
+    /// Snapshot of this node's counters (legacy compact view).
     pub fn stats(&self) -> NodeStats {
-        self.shared.stats.snapshot()
+        NodeStats::from_counters(&self.shared.metrics.counters.snapshot())
+    }
+
+    /// Full observability snapshot: node-wide counters, per-flow and
+    /// per-link counters, and the event journal. Serde-serializable.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot(self.node_id())
     }
 
     /// This node's direct measurements of the link *from* `neighbor`:
@@ -631,12 +696,16 @@ mod tests {
 
     #[test]
     fn stats_snapshot_reads_counters() {
-        let stats = AtomicStats::default();
-        stats.data_sent.fetch_add(3, Ordering::Relaxed);
-        stats.duplicates.fetch_add(1, Ordering::Relaxed);
-        let snap = stats.snapshot();
+        let metrics = MetricsRegistry::new(4);
+        metrics.counters.data_sent.fetch_add(3, Ordering::Relaxed);
+        metrics.counters.duplicates.fetch_add(1, Ordering::Relaxed);
+        metrics.counters.delivered_on_time.fetch_add(5, Ordering::Relaxed);
+        metrics.counters.delivered_late.fetch_add(2, Ordering::Relaxed);
+        metrics.counters.nack_messages_sent.fetch_add(4, Ordering::Relaxed);
+        let snap = NodeStats::from_counters(&metrics.counters.snapshot());
         assert_eq!(snap.data_sent, 3);
         assert_eq!(snap.duplicates, 1);
-        assert_eq!(snap.delivered, 0);
+        assert_eq!(snap.delivered, 7, "on-time and late both count as delivered");
+        assert_eq!(snap.nacks_sent, 4);
     }
 }

@@ -158,6 +158,7 @@ impl FlowSender {
             return Err(OverlayError::PayloadTooLarge { got: payload.len(), max: MAX_PAYLOAD });
         }
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        self.shared.metrics.flow(self.flow).packets_sent.fetch_add(1, Ordering::Relaxed);
         let packet = DataPacket {
             flow: self.flow,
             flow_seq: seq,

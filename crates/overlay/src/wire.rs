@@ -242,10 +242,7 @@ impl Envelope {
                 if buf.remaining() < 16 {
                     return Err(OverlayError::Malformed("short hello"));
                 }
-                Message::Hello {
-                    seq: buf.get_u64(),
-                    sent_at: Micros::from_micros(buf.get_u64()),
-                }
+                Message::Hello { seq: buf.get_u64(), sent_at: Micros::from_micros(buf.get_u64()) }
             }
             T_HELLO_ACK => {
                 if buf.remaining() < 16 {
@@ -330,7 +327,11 @@ mod tests {
                     origin: NodeId::new(4),
                     seq: 8,
                     entries: vec![
-                        LinkStateEntry { edge: EdgeId::new(12), loss: 0.25, extra_latency_us: 1500 },
+                        LinkStateEntry {
+                            edge: EdgeId::new(12),
+                            loss: 0.25,
+                            extra_latency_us: 1500,
+                        },
                         LinkStateEntry { edge: EdgeId::new(13), loss: 0.0, extra_latency_us: 0 },
                     ],
                 }),
@@ -344,9 +345,7 @@ mod tests {
 
     #[test]
     fn mask_lookup() {
-        let Envelope { message: Message::Data(d), .. } = sample_data() else {
-            unreachable!()
-        };
+        let Envelope { message: Message::Data(d), .. } = sample_data() else { unreachable!() };
         assert!(d.mask_contains(EdgeId::new(0)));
         assert!(!d.mask_contains(EdgeId::new(1)));
         assert!(d.mask_contains(EdgeId::new(5)));
@@ -359,9 +358,7 @@ mod tests {
 
     #[test]
     fn expiry_uses_sent_at_plus_deadline() {
-        let Envelope { message: Message::Data(d), .. } = sample_data() else {
-            unreachable!()
-        };
+        let Envelope { message: Message::Data(d), .. } = sample_data() else { unreachable!() };
         assert!(!d.expired(Micros::from_micros(1_000_000)));
         assert!(!d.expired(Micros::from_micros(1_065_000)));
         assert!(d.expired(Micros::from_micros(1_065_001)));

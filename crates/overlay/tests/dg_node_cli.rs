@@ -80,9 +80,6 @@ fn two_daemons_start_and_exchange_traffic() {
     a.stdout.take().unwrap().read_to_string(&mut out_a).unwrap();
     let _ = a.wait();
     let _ = b.wait();
-    assert!(
-        out_a.contains("dg-node NYC listening on 127.0.0.1"),
-        "unexpected banner: {out_a:?}"
-    );
+    assert!(out_a.contains("dg-node NYC listening on 127.0.0.1"), "unexpected banner: {out_a:?}");
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -35,10 +35,8 @@ fn arb_message() -> impl Strategy<Value = Message> {
             }),
         proptest::collection::vec(any::<u64>(), 0..64)
             .prop_map(|missing| Message::Nack { missing }),
-        (any::<u64>(), any::<u64>()).prop_map(|(seq, t)| Message::Hello {
-            seq,
-            sent_at: Micros::from_micros(t),
-        }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(seq, t)| Message::Hello { seq, sent_at: Micros::from_micros(t) }),
         (any::<u64>(), any::<u64>()).prop_map(|(seq, t)| Message::HelloAck {
             echo_seq: seq,
             echo_sent_at: Micros::from_micros(t),

@@ -230,8 +230,7 @@ mod tests {
             playback: PlaybackConfig { packets_per_second: 10, ..Default::default() },
             ..Default::default()
         };
-        let aggs =
-            run_comparison(&g, &traces, &flows, &SchemeKind::ALL, &config).unwrap();
+        let aggs = run_comparison(&g, &traces, &flows, &SchemeKind::ALL, &config).unwrap();
         assert_eq!(aggs.len(), 6);
         for a in &aggs {
             assert_eq!(a.per_flow.len(), 2);
@@ -240,10 +239,7 @@ mod tests {
         }
         // Flooding is at least as available as everything else, and the
         // most expensive.
-        let flood = aggs
-            .iter()
-            .find(|a| a.kind == SchemeKind::TimeConstrainedFlooding)
-            .unwrap();
+        let flood = aggs.iter().find(|a| a.kind == SchemeKind::TimeConstrainedFlooding).unwrap();
         for a in &aggs {
             assert!(
                 flood.totals.unavailable_seconds <= a.totals.unavailable_seconds,
@@ -253,10 +249,7 @@ mod tests {
             assert!(flood.average_cost() >= a.average_cost());
         }
         // Single path is the cheapest.
-        let single = aggs
-            .iter()
-            .find(|a| a.kind == SchemeKind::StaticSinglePath)
-            .unwrap();
+        let single = aggs.iter().find(|a| a.kind == SchemeKind::StaticSinglePath).unwrap();
         for a in &aggs {
             assert!(single.average_cost() <= a.average_cost() + 1e-9);
         }
@@ -269,13 +262,11 @@ mod tests {
             playback: PlaybackConfig { packets_per_second: 10, ..Default::default() },
             ..Default::default()
         };
-        let serial =
-            run_comparison(&g, &traces, &flows, &SchemeKind::ALL, &config).unwrap();
+        let serial = run_comparison(&g, &traces, &flows, &SchemeKind::ALL, &config).unwrap();
         for threads in [1, 3] {
-            let parallel = run_comparison_parallel(
-                &g, &traces, &flows, &SchemeKind::ALL, &config, threads,
-            )
-            .unwrap();
+            let parallel =
+                run_comparison_parallel(&g, &traces, &flows, &SchemeKind::ALL, &config, threads)
+                    .unwrap();
             assert_eq!(serial, parallel, "threads = {threads}");
         }
     }
@@ -287,19 +278,12 @@ mod tests {
             playback: PlaybackConfig { packets_per_second: 10, ..Default::default() },
             ..Default::default()
         };
-        let aggs =
-            run_comparison(&g, &traces, &flows, &SchemeKind::ALL, &config).unwrap();
-        let rows = tabulate(
-            &aggs,
-            SchemeKind::StaticSinglePath,
-            SchemeKind::TimeConstrainedFlooding,
-        );
+        let aggs = run_comparison(&g, &traces, &flows, &SchemeKind::ALL, &config).unwrap();
+        let rows =
+            tabulate(&aggs, SchemeKind::StaticSinglePath, SchemeKind::TimeConstrainedFlooding);
         assert_eq!(rows.len(), 6);
         let base = rows.iter().find(|r| r.scheme == SchemeKind::StaticSinglePath).unwrap();
-        let best = rows
-            .iter()
-            .find(|r| r.scheme == SchemeKind::TimeConstrainedFlooding)
-            .unwrap();
+        let best = rows.iter().find(|r| r.scheme == SchemeKind::TimeConstrainedFlooding).unwrap();
         if base.unavailable_seconds > best.unavailable_seconds {
             assert_eq!(base.gap_coverage, 0.0);
         }

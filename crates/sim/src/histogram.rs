@@ -170,10 +170,7 @@ mod tests {
         }
         let p50 = h.quantile(0.5).unwrap();
         // Log buckets: the answer is within one bucket (~7.3%) of 30 ms.
-        assert!(
-            p50 >= Micros::from_millis(28) && p50 <= Micros::from_millis(33),
-            "p50 {p50}"
-        );
+        assert!(p50 >= Micros::from_millis(28) && p50 <= Micros::from_millis(33), "p50 {p50}");
         assert_eq!(h.quantile(1.0).unwrap(), p50);
     }
 

@@ -34,6 +34,8 @@ pub struct FlowRunStats {
     pub packets_on_time: u64,
     /// Packets delivered at all (on time or late).
     pub packets_delivered: u64,
+    /// Packets sent but never delivered.
+    pub packets_lost: u64,
     /// Total link transmissions (the cost numerator).
     pub transmissions: u64,
     /// Times the scheme changed its dissemination graph.
@@ -72,6 +74,7 @@ impl FlowRunStats {
         self.packets_sent += other.packets_sent;
         self.packets_on_time += other.packets_on_time;
         self.packets_delivered += other.packets_delivered;
+        self.packets_lost += other.packets_lost;
         self.transmissions += other.transmissions;
         self.graph_changes += other.graph_changes;
     }
@@ -92,7 +95,11 @@ impl FlowRunStats {
 /// let c = dg_sim::gap_coverage(100, 2, 30);
 /// assert!((c - 0.714).abs() < 0.01);
 /// ```
-pub fn gap_coverage(baseline_unavailable: u64, optimal_unavailable: u64, scheme_unavailable: u64) -> f64 {
+pub fn gap_coverage(
+    baseline_unavailable: u64,
+    optimal_unavailable: u64,
+    scheme_unavailable: u64,
+) -> f64 {
     let gap = baseline_unavailable.saturating_sub(optimal_unavailable);
     if gap == 0 {
         return 1.0;
@@ -115,6 +122,7 @@ mod tests {
             packets_sent: sent,
             packets_on_time: on_time,
             packets_delivered: on_time,
+            packets_lost: sent - on_time,
             transmissions: tx,
             graph_changes: 0,
         }
@@ -145,6 +153,7 @@ mod tests {
         assert_eq!(a.seconds, 200);
         assert_eq!(a.unavailable_seconds, 8);
         assert_eq!(a.packets_sent, 2_000);
+        assert_eq!(a.packets_lost, 11);
         assert_eq!(a.transmissions, 8_100);
     }
 

@@ -115,10 +115,7 @@ mod tests {
 
     fn setup() -> (Graph, DisseminationGraph, TraceSet, Flow) {
         let g = presets::north_america_12();
-        let flow = Flow::new(
-            g.node_by_name("NYC").unwrap(),
-            g.node_by_name("SJC").unwrap(),
-        );
+        let flow = Flow::new(g.node_by_name("NYC").unwrap(), g.node_by_name("SJC").unwrap());
         let p = dijkstra::shortest_path(&g, flow.source, flow.destination).unwrap();
         let dg = DisseminationGraph::from_path(&g, &p);
         let traces = TraceSet::clean(g.edge_count(), 10, Micros::from_secs(10)).unwrap();
@@ -133,8 +130,14 @@ mod tests {
     fn clean_network_delivers_at_path_latency() {
         let (g, dg, traces, _) = setup();
         let out = simulate_packet(
-            &g, &dg, &traces, Micros::ZERO, DEADLINE,
-            &RecoveryModel::default(), 1, 0,
+            &g,
+            &dg,
+            &traces,
+            Micros::ZERO,
+            DEADLINE,
+            &RecoveryModel::default(),
+            1,
+            0,
         );
         assert!(out.on_time);
         assert_eq!(out.delivered_at, Some(dg.best_latency(&g)));
@@ -149,8 +152,14 @@ mod tests {
             traces.set_condition(victim, i, LinkCondition::down());
         }
         let out = simulate_packet(
-            &g, &dg, &traces, Micros::ZERO, DEADLINE,
-            &RecoveryModel { enabled: false, gap_detection: Micros::ZERO }, 1, 0,
+            &g,
+            &dg,
+            &traces,
+            Micros::ZERO,
+            DEADLINE,
+            &RecoveryModel { enabled: false, gap_detection: Micros::ZERO },
+            1,
+            0,
         );
         assert!(!out.on_time);
         assert_eq!(out.delivered_at, None);
@@ -170,16 +179,14 @@ mod tests {
         for seq in 0..200 {
             let first = crate::rng::unit_sample(1, victim.index() as u32, seq, 0) < 0.5;
             let second = crate::rng::unit_sample(1, victim.index() as u32, seq, 1) < 0.5;
-            let out = simulate_packet(
-                &g, &dg, &traces, Micros::ZERO, DEADLINE, &recovery, 1, seq,
-            );
+            let out = simulate_packet(&g, &dg, &traces, Micros::ZERO, DEADLINE, &recovery, 1, seq);
             if first && !second {
                 assert!(out.on_time, "recovered packet should still meet 65ms");
                 // Recovery replaces the hop's 1x latency with gap + 3x,
                 // i.e. a penalty of gap + 2x over the clean path.
                 let base = dg.best_latency(&g);
-                let penalty = Micros::from_millis(2)
-                    .saturating_add(g.edge(victim).latency.saturating_mul(2));
+                let penalty =
+                    Micros::from_millis(2).saturating_add(g.edge(victim).latency.saturating_mul(2));
                 assert_eq!(out.delivered_at, Some(base + penalty));
                 assert_eq!(out.transmissions, dg.len() as u64 + 1);
                 saw_recovered_on_time = true;
@@ -194,7 +201,9 @@ mod tests {
     fn disjoint_pair_survives_one_dead_path() {
         let (g, _, mut traces, flow) = setup();
         let (p1, p2) = disjoint::disjoint_pair(
-            &g, flow.source, flow.destination,
+            &g,
+            flow.source,
+            flow.destination,
             disjoint::Disjointness::Node,
         )
         .unwrap();
@@ -205,8 +214,14 @@ mod tests {
             }
         }
         let out = simulate_packet(
-            &g, &dg, &traces, Micros::ZERO, DEADLINE,
-            &RecoveryModel::default(), 7, 3,
+            &g,
+            &dg,
+            &traces,
+            Micros::ZERO,
+            DEADLINE,
+            &RecoveryModel::default(),
+            7,
+            3,
         );
         assert!(out.on_time, "second disjoint path should deliver");
     }
@@ -222,8 +237,14 @@ mod tests {
             }
         }
         let out = simulate_packet(
-            &g, &dg, &traces, Micros::ZERO, DEADLINE,
-            &RecoveryModel::default(), 1, 0,
+            &g,
+            &dg,
+            &traces,
+            Micros::ZERO,
+            DEADLINE,
+            &RecoveryModel::default(),
+            1,
+            0,
         );
         assert_eq!(out.delivered_at, None);
         assert!(!out.on_time);
@@ -241,8 +262,7 @@ mod tests {
         let no_rec = RecoveryModel { enabled: false, gap_detection: Micros::ZERO };
         let ok = simulate_packet(&g, &dg, &traces, Micros::from_secs(5), DEADLINE, &no_rec, 1, 0);
         assert!(ok.on_time);
-        let bad =
-            simulate_packet(&g, &dg, &traces, Micros::from_secs(15), DEADLINE, &no_rec, 1, 0);
+        let bad = simulate_packet(&g, &dg, &traces, Micros::from_secs(15), DEADLINE, &no_rec, 1, 0);
         assert!(!bad.on_time);
     }
 
@@ -270,14 +290,22 @@ mod tests {
     fn flooding_costs_every_reachable_edge() {
         let (g, _, traces, flow) = setup();
         let edges = dg_topology::algo::reach::time_constrained_edges(
-            &g, flow.source, flow.destination, DEADLINE,
+            &g,
+            flow.source,
+            flow.destination,
+            DEADLINE,
         )
         .unwrap();
-        let dg =
-            DisseminationGraph::new(&g, flow.source, flow.destination, edges).unwrap();
+        let dg = DisseminationGraph::new(&g, flow.source, flow.destination, edges).unwrap();
         let out = simulate_packet(
-            &g, &dg, &traces, Micros::ZERO, DEADLINE,
-            &RecoveryModel::default(), 1, 0,
+            &g,
+            &dg,
+            &traces,
+            Micros::ZERO,
+            DEADLINE,
+            &RecoveryModel::default(),
+            1,
+            0,
         );
         assert!(out.on_time);
         // On a clean network every member edge whose tail is reached

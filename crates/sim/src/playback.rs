@@ -119,6 +119,7 @@ pub fn run_flow_full(
         packets_sent: 0,
         packets_on_time: 0,
         packets_delivered: 0,
+        packets_lost: 0,
         transmissions: 0,
         graph_changes: 0,
     };
@@ -158,7 +159,10 @@ pub fn run_flow_full(
                     stats.packets_delivered += 1;
                     latency.record(arrived.saturating_sub(t));
                 }
-                None => latency.record_lost(),
+                None => {
+                    stats.packets_lost += 1;
+                    latency.record_lost();
+                }
             }
             if outcome.on_time {
                 on_time += 1;

@@ -23,10 +23,7 @@ fn constant_trace(losses: &[(u32, f64, u64)], edges: usize) -> TraceSet {
 
 fn graphs() -> (dg_topology::Graph, Flow, Vec<DisseminationGraph>) {
     let g = presets::north_america_12();
-    let flow = Flow::new(
-        g.node_by_name("NYC").unwrap(),
-        g.node_by_name("SJC").unwrap(),
-    );
+    let flow = Flow::new(g.node_by_name("NYC").unwrap(), g.node_by_name("SJC").unwrap());
     let dgs = [
         SchemeKind::StaticSinglePath,
         SchemeKind::StaticTwoDisjoint,

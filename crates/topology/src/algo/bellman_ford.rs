@@ -100,13 +100,7 @@ pub fn distances_from(graph: &Graph, src: NodeId) -> Vec<Micros> {
     arcs.bellman_ford(src.index())
         .0
         .into_iter()
-        .map(|d| {
-            if d == i64::MAX {
-                Micros::MAX
-            } else {
-                Micros::from_micros(d as u64)
-            }
-        })
+        .map(|d| if d == i64::MAX { Micros::MAX } else { Micros::from_micros(d as u64) })
         .collect()
 }
 

@@ -11,16 +11,7 @@ use crate::{EdgeId, Graph, NodeId, Path, TopologyError};
 use std::collections::HashSet;
 
 /// Which resources the paths must not share.
-#[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    Hash,
-    serde::Serialize,
-    serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum Disjointness {
     /// Paths share no directed edges.
     Edge,
@@ -398,8 +389,7 @@ mod tests {
         let m1 = g.node_by_name("M1").unwrap();
         let z = g.node_by_name("Z").unwrap();
         let banned = g.edge_between(a, m1).unwrap();
-        let result =
-            k_disjoint_paths_filtered(&g, a, z, 2, Disjointness::Node, |e| e != banned);
+        let result = k_disjoint_paths_filtered(&g, a, z, 2, Disjointness::Node, |e| e != banned);
         // Without A->M1 only one node-disjoint route remains.
         assert_eq!(
             result,

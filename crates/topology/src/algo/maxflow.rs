@@ -93,10 +93,7 @@ impl FlowNetwork {
 ///
 /// Returns 0 when `src == dst` or either endpoint is out of range.
 pub fn max_disjoint_paths(graph: &Graph, src: NodeId, dst: NodeId, mode: Disjointness) -> usize {
-    if src == dst
-        || graph.check_node(src).is_err()
-        || graph.check_node(dst).is_err()
-    {
+    if src == dst || graph.check_node(src).is_err() || graph.check_node(dst).is_err() {
         return 0;
     }
     let mut net;
@@ -186,10 +183,7 @@ mod tests {
         let a = b.add_node("A");
         let g = b.build();
         assert_eq!(max_disjoint_paths(&g, a, a, Disjointness::Edge), 0);
-        assert_eq!(
-            max_disjoint_paths(&g, a, NodeId::new(9), Disjointness::Edge),
-            0
-        );
+        assert_eq!(max_disjoint_paths(&g, a, NodeId::new(9), Disjointness::Edge), 0);
     }
 
     #[test]

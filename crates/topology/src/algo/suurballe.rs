@@ -31,9 +31,7 @@ pub fn suurballe_pair(
     if src == dst {
         return Err(TopologyError::NoRoute(src, dst));
     }
-    let base = build_base(graph, mode, &|e| {
-        Some(graph.edge(e).latency.as_micros() as i64)
-    });
+    let base = build_base(graph, mode, &|e| Some(graph.edge(e).latency.as_micros() as i64));
     let (s, t) = split_endpoints(src, dst, mode);
 
     // Pass 1: plain Dijkstra for potentials and the first path.

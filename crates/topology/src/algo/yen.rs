@@ -61,8 +61,7 @@ pub fn k_shortest_paths(
                     banned_edges.insert(p.edges()[i]);
                 }
             }
-            let banned_nodes: HashSet<NodeId> =
-                last_nodes[..i].iter().copied().collect();
+            let banned_nodes: HashSet<NodeId> = last_nodes[..i].iter().copied().collect();
 
             let spur = dijkstra::shortest_path_filtered(graph, spur_node, dst, |e| {
                 let info = graph.edge(e);
@@ -168,9 +167,6 @@ mod tests {
         let a = b.add_node("A");
         let z = b.add_node("Z");
         let g = b.build();
-        assert_eq!(
-            k_shortest_paths(&g, a, z, 2),
-            Err(TopologyError::NoRoute(a, z))
-        );
+        assert_eq!(k_shortest_paths(&g, a, z, 2), Err(TopologyError::NoRoute(a, z)));
     }
 }

@@ -42,10 +42,9 @@ impl fmt::Display for TopologyError {
             }
             TopologyError::SelfLoop(n) => write!(f, "self loop on node {n}"),
             TopologyError::NoRoute(s, t) => write!(f, "no route from {s} to {t}"),
-            TopologyError::InsufficientDisjointPaths { requested, available } => write!(
-                f,
-                "requested {requested} disjoint paths but only {available} exist"
-            ),
+            TopologyError::InsufficientDisjointPaths { requested, available } => {
+                write!(f, "requested {requested} disjoint paths but only {available} exist")
+            }
         }
     }
 }

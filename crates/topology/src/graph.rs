@@ -120,10 +120,7 @@ impl Graph {
 
     /// The directed edge from `src` to `dst`, if one exists.
     pub fn edge_between(&self, src: NodeId, dst: NodeId) -> Option<EdgeId> {
-        self.out_edges[src.index()]
-            .iter()
-            .copied()
-            .find(|&e| self.edges[e.index()].dst == dst)
+        self.out_edges[src.index()].iter().copied().find(|&e| self.edges[e.index()].dst == dst)
     }
 
     /// The reverse of `edge` — the edge with swapped endpoints, if present.
@@ -300,11 +297,8 @@ impl GraphBuilder {
             in_edges[e.dst.index()].push(id);
             endpoint_index.insert((e.src, e.dst), id);
         }
-        let reverse = self
-            .edges
-            .iter()
-            .map(|e| endpoint_index.get(&(e.dst, e.src)).copied())
-            .collect();
+        let reverse =
+            self.edges.iter().map(|e| endpoint_index.get(&(e.dst, e.src)).copied()).collect();
         Graph {
             nodes: self.nodes,
             edges: self.edges,
@@ -350,8 +344,7 @@ mod tests {
             assert!(g.in_edges(info.dst).contains(&e));
         }
         let a = g.node_by_name("A").unwrap();
-        let mut nbrs: Vec<String> =
-            g.neighbors(a).map(|n| g.node(n).name.clone()).collect();
+        let mut nbrs: Vec<String> = g.neighbors(a).map(|n| g.node(n).name.clone()).collect();
         nbrs.sort();
         assert_eq!(nbrs, ["B", "C"]);
     }
@@ -384,29 +377,20 @@ mod tests {
         let mut b = GraphBuilder::new();
         let a = b.add_node("A");
         let c = b.add_node("B");
-        assert_eq!(
-            b.add_edge(a, a, Micros::ZERO, 1),
-            Err(TopologyError::SelfLoop(a))
-        );
+        assert_eq!(b.add_edge(a, a, Micros::ZERO, 1), Err(TopologyError::SelfLoop(a)));
         assert_eq!(
             b.add_edge(a, NodeId::new(99), Micros::ZERO, 1),
             Err(TopologyError::UnknownNode(NodeId::new(99)))
         );
         b.add_edge(a, c, Micros::ZERO, 1).unwrap();
-        assert_eq!(
-            b.add_edge(a, c, Micros::ZERO, 1),
-            Err(TopologyError::DuplicateEdge(a, c))
-        );
+        assert_eq!(b.add_edge(a, c, Micros::ZERO, 1), Err(TopologyError::DuplicateEdge(a, c)));
     }
 
     #[test]
     fn builder_rejects_duplicate_names() {
         let mut b = GraphBuilder::new();
         b.add_node("A");
-        assert_eq!(
-            b.try_add_node("A", None),
-            Err(TopologyError::DuplicateNodeName("A".into()))
-        );
+        assert_eq!(b.try_add_node("A", None), Err(TopologyError::DuplicateNodeName("A".into())));
     }
 
     #[test]

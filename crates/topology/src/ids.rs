@@ -8,9 +8,7 @@ use std::fmt;
 /// Node ids are dense indices assigned by [`crate::GraphBuilder`] in
 /// insertion order, so they can be used directly to index per-node
 /// tables.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct NodeId(u32);
 
@@ -37,9 +35,7 @@ impl fmt::Display for NodeId {
 /// Edge ids are dense indices assigned by [`crate::GraphBuilder`] in
 /// insertion order; a bidirectional link is two directed edges with two
 /// distinct ids.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct EdgeId(u32);
 
@@ -74,9 +70,8 @@ mod tests {
 
     #[test]
     fn ids_are_hashable_and_ordered() {
-        let set: HashSet<NodeId> = [NodeId::new(1), NodeId::new(2), NodeId::new(1)]
-            .into_iter()
-            .collect();
+        let set: HashSet<NodeId> =
+            [NodeId::new(1), NodeId::new(2), NodeId::new(1)].into_iter().collect();
         assert_eq!(set.len(), 2);
         assert!(EdgeId::new(1) < EdgeId::new(2));
     }

@@ -40,9 +40,7 @@ impl Path {
     /// and [`TopologyError::NoRoute`] if `edges` is empty or the edges do
     /// not form a contiguous chain.
     pub fn new(graph: &Graph, edges: Vec<EdgeId>) -> Result<Self, TopologyError> {
-        let first = *edges
-            .first()
-            .ok_or(TopologyError::NoRoute(NodeId::new(0), NodeId::new(0)))?;
+        let first = *edges.first().ok_or(TopologyError::NoRoute(NodeId::new(0), NodeId::new(0)))?;
         graph.check_edge(first)?;
         let src = graph.edge(first).src;
         let mut at = src;
@@ -116,11 +114,8 @@ impl Path {
 
     /// True if `self` and `other` share no nodes except source/destination.
     pub fn is_node_disjoint(&self, graph: &Graph, other: &Path) -> bool {
-        let mine: std::collections::HashSet<NodeId> = self
-            .nodes(graph)
-            .into_iter()
-            .filter(|&n| n != self.src && n != self.dst)
-            .collect();
+        let mine: std::collections::HashSet<NodeId> =
+            self.nodes(graph).into_iter().filter(|&n| n != self.src && n != self.dst).collect();
         other
             .nodes(graph)
             .into_iter()
@@ -179,8 +174,7 @@ mod tests {
     fn nodes_lists_all_visited() {
         let (g, edges) = line();
         let p = Path::new(&g, edges).unwrap();
-        let names: Vec<&str> =
-            p.nodes(&g).iter().map(|&n| g.node(n).name.as_str()).collect();
+        let names: Vec<&str> = p.nodes(&g).iter().map(|&n| g.node(n).name.as_str()).collect();
         assert_eq!(names, ["A", "B", "C"]);
         assert!(p.is_simple(&g));
     }

@@ -115,12 +115,8 @@ pub fn transcontinental_flows(graph: &Graph) -> Vec<(NodeId, NodeId)> {
 }
 
 /// The four non-American sites of the global topology.
-pub const GLOBAL_EXTRA_SITES: [(&str, f64, f64); 4] = [
-    ("LON", 51.51, -0.13),
-    ("FRA", 50.11, 8.68),
-    ("TYO", 35.68, 139.65),
-    ("HKG", 22.32, 114.17),
-];
+pub const GLOBAL_EXTRA_SITES: [(&str, f64, f64); 4] =
+    [("LON", 51.51, -0.13), ("FRA", 50.11, 8.68), ("TYO", 35.68, 139.65), ("HKG", 22.32, 114.17)];
 
 /// Intercontinental links of the global topology (submarine-cable
 /// routes), by site name.
@@ -169,8 +165,7 @@ pub fn global_16() -> Graph {
     for (x, y) in NORTH_AMERICA_LINKS.iter().chain(GLOBAL_EXTRA_LINKS.iter()) {
         let (a, pa) = find(x);
         let (bb, pb) = find(y);
-        b.add_link(a, bb, pa.propagation_latency(&pb), 1)
-            .expect("preset links are valid");
+        b.add_link(a, bb, pa.propagation_latency(&pb), 1).expect("preset links are valid");
     }
     b.build()
 }
@@ -213,8 +208,7 @@ pub fn ring(n: usize, latency: Micros) -> Graph {
     let mut b = GraphBuilder::new();
     let nodes: Vec<NodeId> = (0..n).map(|i| b.add_node(&format!("R{i}"))).collect();
     for i in 0..n {
-        b.add_link(nodes[i], nodes[(i + 1) % n], latency, 1)
-            .expect("ring links are valid");
+        b.add_link(nodes[i], nodes[(i + 1) % n], latency, 1).expect("ring links are valid");
     }
     b.build()
 }
@@ -240,8 +234,7 @@ pub fn grid(rows: usize, cols: usize, latency: Micros) -> Graph {
                 b.add_link(ids[i], ids[i + 1], latency, 1).expect("grid links are valid");
             }
             if r + 1 < rows {
-                b.add_link(ids[i], ids[i + cols], latency, 1)
-                    .expect("grid links are valid");
+                b.add_link(ids[i], ids[i + cols], latency, 1).expect("grid links are valid");
             }
         }
     }
@@ -400,17 +393,11 @@ mod tests {
         let lon = g.node_by_name("LON").unwrap();
         let nyc = g.node_by_name("NYC").unwrap();
         let lat = g.edge(g.edge_between(lon, nyc).unwrap()).latency;
-        assert!(
-            lat > Micros::from_millis(30) && lat < Micros::from_millis(45),
-            "LON-NYC {lat}"
-        );
+        assert!(lat > Micros::from_millis(30) && lat < Micros::from_millis(45), "LON-NYC {lat}");
         let tyo = g.node_by_name("TYO").unwrap();
         let sjc = g.node_by_name("SJC").unwrap();
         let lat = g.edge(g.edge_between(tyo, sjc).unwrap()).latency;
-        assert!(
-            lat > Micros::from_millis(45) && lat < Micros::from_millis(65),
-            "TYO-SJC {lat}"
-        );
+        assert!(lat > Micros::from_millis(45) && lat < Micros::from_millis(65), "TYO-SJC {lat}");
     }
 
     #[test]

@@ -159,10 +159,7 @@ mod tests {
     #[test]
     fn saturating_ops() {
         assert_eq!(Micros::MAX.saturating_add(Micros::from_micros(1)), Micros::MAX);
-        assert_eq!(
-            Micros::from_micros(1).saturating_sub(Micros::from_micros(5)),
-            Micros::ZERO
-        );
+        assert_eq!(Micros::from_micros(1).saturating_sub(Micros::from_micros(5)), Micros::ZERO);
         assert_eq!(Micros::MAX.saturating_mul(2), Micros::MAX);
         assert!(Micros::MAX.is_unreachable());
         assert!(!Micros::ZERO.is_unreachable());

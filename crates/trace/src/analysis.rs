@@ -50,8 +50,7 @@ impl FlowProblemSummary {
         if self.problematic_intervals == 0 {
             return 0.0;
         }
-        (self.source + self.destination + self.both) as f64
-            / self.problematic_intervals as f64
+        (self.source + self.destination + self.both) as f64 / self.problematic_intervals as f64
     }
 
     /// Merges another summary into this one (for aggregating flows).
@@ -132,7 +131,8 @@ pub fn classify_flow(
 ) -> FlowProblemSummary {
     let relevant: Option<HashSet<EdgeId>> =
         relevant_edges.map(|edges| edges.iter().copied().collect());
-    let mut summary = FlowProblemSummary { total_intervals: traces.interval_count(), ..Default::default() };
+    let mut summary =
+        FlowProblemSummary { total_intervals: traces.interval_count(), ..Default::default() };
     for i in 0..traces.interval_count() {
         let lossy: Vec<EdgeId> = graph
             .edges()

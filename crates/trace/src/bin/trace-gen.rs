@@ -27,8 +27,7 @@ fn main() {
         std::process::exit(2);
     };
     let seed: u64 = args.get("seed").map_or(0, |v| v.parse().expect("numeric seed"));
-    let seconds: u64 =
-        args.get("seconds").map_or(3_600, |v| v.parse().expect("numeric seconds"));
+    let seconds: u64 = args.get("seconds").map_or(3_600, |v| v.parse().expect("numeric seconds"));
 
     let graph = dg_topology::presets::north_america_12();
     let mut config = SyntheticWanConfig::calibrated(seed);

@@ -15,8 +15,7 @@ pub struct LinkCondition {
 
 impl LinkCondition {
     /// A perfectly healthy link: no loss, no added latency.
-    pub const CLEAN: LinkCondition =
-        LinkCondition { loss_rate: 0.0, extra_latency: Micros::ZERO };
+    pub const CLEAN: LinkCondition = LinkCondition { loss_rate: 0.0, extra_latency: Micros::ZERO };
 
     /// Creates a condition, clamping `loss_rate` into `[0, 1]`.
     pub fn new(loss_rate: f64, extra_latency: Micros) -> Self {
@@ -173,10 +172,7 @@ mod tests {
         assert!(st.node_has_problem(&g, nyc, 0.2));
         let sea = g.node_by_name("SEA").unwrap();
         assert!(!st.node_has_problem(&g, sea, 0.2));
-        assert_eq!(
-            st.effective_latency(&g, e),
-            g.edge(e).latency + Micros::from_millis(4)
-        );
+        assert_eq!(st.effective_latency(&g, e), g.edge(e).latency + Micros::from_millis(4));
     }
 
     #[test]

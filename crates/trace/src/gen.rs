@@ -164,11 +164,7 @@ pub fn generate_with_events(
     config: &SyntheticWanConfig,
 ) -> (TraceSet, Vec<InjectedProblem>) {
     if let Some(w) = &config.node_weights {
-        assert_eq!(
-            w.len(),
-            graph.node_count(),
-            "node_weights must have one entry per node"
-        );
+        assert_eq!(w.len(), graph.node_count(), "node_weights must have one entry per node");
     }
     let intervals = config.interval_count();
     let mut traces = TraceSet::clean(graph.edge_count(), intervals, config.interval)
@@ -191,8 +187,11 @@ fn apply_background(
     for e in graph.edges() {
         let mut bad = false;
         for i in 0..intervals {
-            bad = if bad { !rng.gen_bool(ge.exit_bad.clamp(0.0, 1.0)) }
-                  else { rng.gen_bool(ge.enter_bad.clamp(0.0, 1.0)) };
+            bad = if bad {
+                !rng.gen_bool(ge.exit_bad.clamp(0.0, 1.0))
+            } else {
+                rng.gen_bool(ge.enter_bad.clamp(0.0, 1.0))
+            };
             let jitter = if config.jitter_max == Micros::ZERO {
                 Micros::ZERO
             } else {
@@ -292,12 +291,8 @@ fn impair_edges(
 ) -> f64 {
     let (lo, hi) = profile.loss_range;
     let (cov_lo, cov_hi) = profile.coverage_range;
-    let coverage = if cov_hi > cov_lo {
-        rng.gen_range(cov_lo..cov_hi)
-    } else {
-        cov_lo
-    }
-    .clamp(0.0, 1.0);
+    let coverage =
+        if cov_hi > cov_lo { rng.gen_range(cov_lo..cov_hi) } else { cov_lo }.clamp(0.0, 1.0);
     // Decide which candidate links the event touches; an event that
     // would touch nothing is given one victim so it never fizzles.
     let mut affected: Vec<EdgeId> =
@@ -337,9 +332,8 @@ fn impair_edges(
 pub fn biased_node_weights(graph: &Graph, access: &[&str], factor: f64) -> Vec<f64> {
     let mut weights = vec![1.0; graph.node_count()];
     for name in access {
-        let node = graph
-            .node_by_name(name)
-            .unwrap_or_else(|| panic!("unknown access site {name:?}"));
+        let node =
+            graph.node_by_name(name).unwrap_or_else(|| panic!("unknown access site {name:?}"));
         weights[node.index()] = factor;
     }
     weights

@@ -74,9 +74,8 @@ pub fn loss_histogram(traces: &TraceSet, buckets: usize) -> Vec<usize> {
     let mut hist = vec![0usize; buckets];
     for l in 0..traces.link_count() {
         for i in 0..traces.interval_count() {
-            let loss = traces
-                .condition_in_interval(dg_topology::EdgeId::new(l as u32), i)
-                .loss_rate;
+            let loss =
+                traces.condition_in_interval(dg_topology::EdgeId::new(l as u32), i).loss_rate;
             let idx = ((loss * buckets as f64) as usize).min(buckets - 1);
             hist[idx] += 1;
         }

@@ -173,10 +173,7 @@ impl TraceSet {
     /// Snapshot of all link conditions at time `t`.
     pub fn state_at(&self, t: Micros) -> NetworkState {
         let idx = self.interval_at(t);
-        NetworkState::from_conditions(
-            t,
-            self.links.iter().map(|l| l[idx]).collect(),
-        )
+        NetworkState::from_conditions(t, self.links.iter().map(|l| l[idx]).collect())
     }
 
     /// Start times of every interval, for schedulers that react to
@@ -271,16 +268,13 @@ impl TraceSet {
                 data.len()
             )));
         }
-        let mut set =
-            TraceSet::clean(links, intervals, Micros::from_micros(interval_us))?;
+        let mut set = TraceSet::clean(links, intervals, Micros::from_micros(interval_us))?;
         for l in 0..links {
             for i in 0..intervals {
                 let loss = f32::from_le_bytes(take(4).try_into().expect("4 bytes"));
                 let extra = u32::from_le_bytes(take(4).try_into().expect("4 bytes"));
-                set.links[l][i] = LinkCondition::new(
-                    f64::from(loss),
-                    Micros::from_micros(u64::from(extra)),
-                );
+                set.links[l][i] =
+                    LinkCondition::new(f64::from(loss), Micros::from_micros(u64::from(extra)));
             }
         }
         Ok(set)
@@ -323,9 +317,7 @@ impl TraceSet {
             )));
         }
         if self.interval_duration != other.interval_duration {
-            return Err(TraceError::InvalidShape(
-                "interval durations differ".into(),
-            ));
+            return Err(TraceError::InvalidShape("interval durations differ".into()));
         }
         Ok(TraceSet {
             interval_duration: self.interval_duration,
@@ -448,10 +440,7 @@ mod tests {
         let glued = a.concat(&b).unwrap();
         assert_eq!(glued.interval_count(), 12);
         assert_eq!(glued.condition_in_interval(EdgeId::new(1), 5), LinkCondition::down());
-        assert_eq!(
-            glued.condition_in_interval(EdgeId::new(1), 6).loss_rate,
-            0.5
-        );
+        assert_eq!(glued.condition_in_interval(EdgeId::new(1), 6).loss_rate, 0.5);
         // Mismatched shapes are rejected.
         let other = TraceSet::clean(3, 6, Micros::from_secs(10)).unwrap();
         assert!(a.concat(&other).is_err());
@@ -511,18 +500,12 @@ mod tests {
         // Truncation.
         let full = std::fs::read(&path).unwrap();
         std::fs::write(&path, &full[..full.len() - 3]).unwrap();
-        assert!(matches!(
-            TraceSet::load_binary(&path),
-            Err(TraceError::InvalidShape(_))
-        ));
+        assert!(matches!(TraceSet::load_binary(&path), Err(TraceError::InvalidShape(_))));
         // Bad magic.
         let mut bad = full.clone();
         bad[0] = b'X';
         std::fs::write(&path, &bad).unwrap();
-        assert!(matches!(
-            TraceSet::load_binary(&path),
-            Err(TraceError::InvalidShape(_))
-        ));
+        assert!(matches!(TraceSet::load_binary(&path), Err(TraceError::InvalidShape(_))));
         std::fs::remove_file(&path).unwrap();
     }
 

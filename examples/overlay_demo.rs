@@ -22,16 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(cluster.wait_for_link_state(Duration::from_secs(5)));
     println!("link-state flooding converged\n");
 
-    let flow = Flow::new(
-        graph.node_by_name("NYC").unwrap(),
-        graph.node_by_name("SJC").unwrap(),
-    );
+    let flow = Flow::new(graph.node_by_name("NYC").unwrap(), graph.node_by_name("SJC").unwrap());
     let rx = cluster.open_receiver(flow)?;
-    let tx = cluster.open_sender(
-        flow,
-        SchemeKind::TargetedRedundancy,
-        ServiceRequirement::default(),
-    )?;
+    let tx =
+        cluster.open_sender(flow, SchemeKind::TargetedRedundancy, ServiceRequirement::default())?;
 
     let send_phase = |label: &str, n: u64| {
         for i in 0..n {

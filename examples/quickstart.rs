@@ -14,15 +14,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let requirement = ServiceRequirement::default(); // 65 ms one-way
     let params = SchemeParams::default();
 
-    println!(
-        "flow {} under a {} one-way deadline\n",
-        flow.label(&graph),
-        requirement.deadline
-    );
-    println!(
-        "{:<28} {:>6} {:>12} {:>10}",
-        "scheme", "edges", "best latency", "cost"
-    );
+    println!("flow {} under a {} one-way deadline\n", flow.label(&graph), requirement.deadline);
+    println!("{:<28} {:>6} {:>12} {:>10}", "scheme", "edges", "best latency", "cost");
     for kind in SchemeKind::ALL {
         let scheme = build_scheme(kind, &graph, flow, requirement, &params)?;
         let dg = scheme.current();

@@ -30,10 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let config = PlaybackConfig { packets_per_second: 100, ..PlaybackConfig::default() };
-    println!(
-        "remote surgery {}: 100 control packets/s, 65 ms deadline",
-        flow.label(&graph)
-    );
+    println!("remote surgery {}: 100 control packets/s, 65 ms deadline", flow.label(&graph));
     println!("destination-area problem from t=20s to t=40s\n");
 
     let mut timelines = Vec::new();
@@ -56,8 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("timeline ('.' = available second, 'X' = violated second):");
     for (kind, _, records) in &timelines {
-        let line: String =
-            records.iter().map(|r| if r.unavailable { 'X' } else { '.' }).collect();
+        let line: String = records.iter().map(|r| if r.unavailable { 'X' } else { '.' }).collect();
         println!("  {:<24} {line}", kind.label());
     }
     println!("\nsummary:");

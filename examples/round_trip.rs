@@ -33,10 +33,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let request_rx = cluster.open_receiver(forward)?;
     let response_rx = cluster.open_receiver(backward)?;
-    let request_tx =
-        cluster.open_sender(forward, SchemeKind::TargetedRedundancy, requirement)?;
-    let response_tx =
-        cluster.open_sender(backward, SchemeKind::TargetedRedundancy, requirement)?;
+    let request_tx = cluster.open_sender(forward, SchemeKind::TargetedRedundancy, requirement)?;
+    let response_tx = cluster.open_sender(backward, SchemeKind::TargetedRedundancy, requirement)?;
 
     // The SJC side: echo every request back immediately.
     let echo = std::thread::spawn(move || {
@@ -56,14 +54,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut outstanding: HashMap<u64, Instant> = HashMap::new();
         let mut rtts: Vec<Duration> = Vec::new();
         for i in 0..n {
-            request_tx
-                .send(format!("{i:020}").as_bytes())
-                .expect("request sends");
+            request_tx.send(format!("{i:020}").as_bytes()).expect("request sends");
             outstanding.insert(i, Instant::now());
             std::thread::sleep(Duration::from_millis(5));
             while let Some(resp) = response_rx.try_recv() {
-                let id: u64 =
-                    std::str::from_utf8(&resp.payload).unwrap().trim().parse().unwrap();
+                let id: u64 = std::str::from_utf8(&resp.payload).unwrap().trim().parse().unwrap();
                 if let Some(sent) = outstanding.remove(&id) {
                     rtts.push(sent.elapsed());
                 }
@@ -73,8 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let settle = Instant::now();
         while !outstanding.is_empty() && settle.elapsed() < Duration::from_millis(500) {
             if let Some(resp) = response_rx.recv_timeout(Duration::from_millis(100)) {
-                let id: u64 =
-                    std::str::from_utf8(&resp.payload).unwrap().trim().parse().unwrap();
+                let id: u64 = std::str::from_utf8(&resp.payload).unwrap().trim().parse().unwrap();
                 if let Some(sent) = outstanding.remove(&id) {
                     rtts.push(sent.elapsed());
                 }

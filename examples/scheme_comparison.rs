@@ -19,20 +19,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     wan.link_problems.events_per_hour = 1.0;
     let traces = gen::generate(&graph, &wan);
 
-    let flows = vec![(
-        graph.node_by_name("WAS").unwrap(),
-        graph.node_by_name("LAX").unwrap(),
-    )];
+    let flows = vec![(graph.node_by_name("WAS").unwrap(), graph.node_by_name("LAX").unwrap())];
     let config = ExperimentConfig {
         playback: PlaybackConfig { packets_per_second: 100, seed, ..Default::default() },
         ..Default::default()
     };
     let aggregates = run_comparison(&graph, &traces, &flows, &SchemeKind::ALL, &config)?;
-    let rows = tabulate(
-        &aggregates,
-        SchemeKind::StaticSinglePath,
-        SchemeKind::TimeConstrainedFlooding,
-    );
+    let rows =
+        tabulate(&aggregates, SchemeKind::StaticSinglePath, SchemeKind::TimeConstrainedFlooding);
 
     println!("WAS->LAX, 600s synthetic trace (seed {seed}), 100 pkt/s:\n");
     println!(

@@ -50,10 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 4. Replay against two schemes.
-    let flow = Flow::new(
-        graph.node_by_name("NYC").unwrap(),
-        graph.node_by_name("SEA").unwrap(),
-    );
+    let flow = Flow::new(graph.node_by_name("NYC").unwrap(), graph.node_by_name("SEA").unwrap());
     let config = PlaybackConfig { packets_per_second: 50, ..Default::default() };
     for kind in [SchemeKind::StaticSinglePath, SchemeKind::TargetedRedundancy] {
         let mut scheme = build_scheme(

@@ -65,13 +65,9 @@ fn full_pipeline_produces_the_papers_ordering() {
         playback: PlaybackConfig { packets_per_second: 20, ..Default::default() },
         ..Default::default()
     };
-    let aggs = run_comparison(&graph, &traces, &flows, &SchemeKind::ALL, &config)
-        .expect("flows routable");
-    let rows = tabulate(
-        &aggs,
-        SchemeKind::StaticSinglePath,
-        SchemeKind::TimeConstrainedFlooding,
-    );
+    let aggs =
+        run_comparison(&graph, &traces, &flows, &SchemeKind::ALL, &config).expect("flows routable");
+    let rows = tabulate(&aggs, SchemeKind::StaticSinglePath, SchemeKind::TimeConstrainedFlooding);
     let get = |k: SchemeKind| rows.iter().find(|r| r.scheme == k).unwrap();
     let single = get(SchemeKind::StaticSinglePath);
     let disjoint = get(SchemeKind::StaticTwoDisjoint);
@@ -91,10 +87,7 @@ fn full_pipeline_produces_the_papers_ordering() {
 #[test]
 fn simulator_and_overlay_agree_on_recovery() {
     let graph = topology::presets::north_america_12();
-    let flow = Flow::new(
-        graph.node_by_name("NYC").unwrap(),
-        graph.node_by_name("SJC").unwrap(),
-    );
+    let flow = Flow::new(graph.node_by_name("NYC").unwrap(), graph.node_by_name("SJC").unwrap());
     // Scenario: 30% loss on the single path's first hop, recovery on.
     let scheme = build_scheme(
         SchemeKind::StaticSinglePath,
@@ -104,11 +97,7 @@ fn simulator_and_overlay_agree_on_recovery() {
         &SchemeParams::default(),
     )
     .unwrap();
-    let first_hop = scheme
-        .current()
-        .forwarding_edges(&graph, flow.source)
-        .next()
-        .unwrap();
+    let first_hop = scheme.current().forwarding_edges(&graph, flow.source).next().unwrap();
 
     // Simulator side.
     let mut traces = TraceSet::clean(graph.edge_count(), 3, Micros::from_secs(10)).unwrap();
@@ -148,8 +137,7 @@ fn simulator_and_overlay_agree_on_recovery() {
         std::thread::sleep(Duration::from_millis(3));
     }
     std::thread::sleep(Duration::from_millis(300));
-    let overlay_rate =
-        rx.drain().iter().filter(|d| d.on_time).count() as f64 / f64::from(total);
+    let overlay_rate = rx.drain().iter().filter(|d| d.on_time).count() as f64 / f64::from(total);
     cluster.shutdown();
 
     // Both stacks implement the same single-retransmission recovery, so
@@ -166,10 +154,7 @@ fn simulator_and_overlay_agree_on_recovery() {
 fn wire_mask_agrees_with_dissemination_graph() {
     use dissemination_graphs::overlay::wire::{DataPacket, Envelope, Message};
     let graph = topology::presets::north_america_12();
-    let flow = Flow::new(
-        graph.node_by_name("BOS").unwrap(),
-        graph.node_by_name("LAX").unwrap(),
-    );
+    let flow = Flow::new(graph.node_by_name("BOS").unwrap(), graph.node_by_name("LAX").unwrap());
     let scheme = build_scheme(
         SchemeKind::TargetedRedundancy,
         &graph,

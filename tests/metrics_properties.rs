@@ -1,0 +1,155 @@
+//! Property tests for the observability layer: counter conservation in
+//! the simulator and algebraic laws of snapshot merging.
+
+use dissemination_graphs::overlay::metrics::{FlowMetrics, NodeCounters};
+use dissemination_graphs::prelude::*;
+use dissemination_graphs::sim::FlowRunStats;
+use dissemination_graphs::trace::LinkCondition;
+use proptest::prelude::*;
+use serde::{Deserialize, Serialize, Value};
+
+/// Builds a `NodeCounters` with every field pseudo-randomly populated,
+/// by mutating the serde object form — so new counters added to the
+/// macro are automatically covered without touching this test.
+fn counters_from_seed(seed: u64) -> NodeCounters {
+    let Value::Object(mut fields) = NodeCounters::default().to_value() else {
+        panic!("counters serialize as an object");
+    };
+    let mut state = seed;
+    for (_, v) in fields.iter_mut() {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        // Keep values far from u64::MAX so sums never wrap.
+        *v = Value::UInt(state >> 40);
+    }
+    NodeCounters::from_value(&Value::Object(fields)).expect("counters deserialize")
+}
+
+fn stats_from(seed: u64, flow: Flow) -> FlowRunStats {
+    let mut state = seed;
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state >> 44
+    };
+    let on_time = next();
+    let late = next();
+    let lost = next();
+    FlowRunStats {
+        scheme: SchemeKind::StaticSinglePath,
+        flow,
+        seconds: next(),
+        unavailable_seconds: next(),
+        packets_sent: on_time + late + lost,
+        packets_on_time: on_time,
+        packets_delivered: on_time + late,
+        packets_lost: lost,
+        transmissions: next(),
+        graph_changes: next(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Conservation in the simulator: every packet sent is accounted
+    /// for as delivered or lost — exactly, for arbitrary loss patterns
+    /// and seeds — and the aggregates never disagree with one another.
+    #[test]
+    fn playback_conserves_packets(seed in 0u64..10_000, loss in 0.0f64..0.9) {
+        let graph = topology::presets::north_america_12();
+        let mut traces = TraceSet::clean(graph.edge_count(), 2, Micros::from_secs(10)).unwrap();
+        // Impair a seed-dependent set of edges.
+        for k in 0..8u64 {
+            let e = topology::EdgeId::new(((seed.wrapping_mul(131).wrapping_add(k * 17)) %
+                graph.edge_count() as u64) as u32);
+            traces.set_condition(e, (k % 2) as usize, LinkCondition::new(loss, Micros::ZERO));
+        }
+        let flow = Flow::new(
+            graph.node_by_name("NYC").unwrap(),
+            graph.node_by_name("SJC").unwrap(),
+        );
+        let config = PlaybackConfig { packets_per_second: 10, seed, ..Default::default() };
+        for kind in [SchemeKind::StaticSinglePath, SchemeKind::TargetedRedundancy] {
+            let mut scheme = build_scheme(kind, &graph, flow, ServiceRequirement::default(),
+                &SchemeParams::default()).unwrap();
+            let stats = run_flow(&graph, &traces, scheme.as_mut(), &config);
+            prop_assert_eq!(stats.packets_sent,
+                stats.packets_delivered + stats.packets_lost,
+                "{} leaks packets", kind);
+            prop_assert!(stats.packets_on_time <= stats.packets_delivered);
+            prop_assert!(stats.packets_delivered <= stats.packets_sent);
+            // Conservation survives merging.
+            let mut doubled = stats;
+            doubled.merge(&stats);
+            prop_assert_eq!(doubled.packets_sent,
+                doubled.packets_delivered + doubled.packets_lost);
+        }
+    }
+
+    /// Node-counter merging is associative and commutative over every
+    /// field, so cluster totals are independent of the order and
+    /// grouping in which node snapshots are folded.
+    #[test]
+    fn node_counters_merge_is_associative_and_commutative(
+        sa in 0u64..u64::MAX, sb in 0u64..u64::MAX, sc in 0u64..u64::MAX
+    ) {
+        let (a, b, c) = (counters_from_seed(sa), counters_from_seed(sb), counters_from_seed(sc));
+        // Commutativity: a + b == b + a.
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+        // Associativity: (a + b) + c == a + (b + c).
+        let mut left = ab;
+        left.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+        // Identity: a + 0 == a.
+        let mut with_zero = a;
+        with_zero.merge(&NodeCounters::default());
+        prop_assert_eq!(with_zero, a);
+    }
+
+    /// The same laws for per-flow cells and the simulator's run stats:
+    /// merging is order-insensitive, so multi-node and multi-week
+    /// aggregation is well defined.
+    #[test]
+    fn flow_merges_are_order_insensitive(sa in 0u64..u64::MAX, sb in 0u64..u64::MAX) {
+        let flow = Flow::new(NodeId::new(3), NodeId::new(7));
+        let mk = |seed: u64| {
+            let mut state = seed;
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                state >> 44
+            };
+            FlowMetrics {
+                flow,
+                packets_sent: next(),
+                packets_on_time: next(),
+                packets_late: next(),
+                transmissions: next(),
+                graph_changes: next(),
+            }
+        };
+        let (fa, fb) = (mk(sa), mk(sb));
+        let mut ab = fa;
+        ab.merge(&fb);
+        let mut ba = fb;
+        ba.merge(&fa);
+        prop_assert_eq!(ab, ba);
+        prop_assert_eq!(ab.packets_delivered(), fa.packets_delivered() + fb.packets_delivered());
+
+        let (ra, rb) = (stats_from(sa, flow), stats_from(sb, flow));
+        let mut rab = ra;
+        rab.merge(&rb);
+        let mut rba = rb;
+        rba.merge(&ra);
+        // `scheme`/`flow` are carried, the numeric fields are summed.
+        prop_assert_eq!(rab, rba);
+        prop_assert_eq!(rab.packets_sent, rab.packets_delivered + rab.packets_lost);
+    }
+}

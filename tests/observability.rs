@@ -1,0 +1,252 @@
+//! Observability-layer integration tests: the overlay's metrics report
+//! must tell the same story as the simulator for the same topology and
+//! fault schedule, the two report schemas must stay field-compatible,
+//! and the fixed-seed Table 2 comparison must keep the paper's scheme
+//! ordering.
+
+use dissemination_graphs::overlay::cluster::{Cluster, ClusterConfig};
+use dissemination_graphs::prelude::*;
+use dissemination_graphs::sim::experiment::{run_comparison, tabulate, ExperimentConfig};
+use dissemination_graphs::trace::gen::{self};
+use dissemination_graphs::trace::LinkCondition;
+use std::time::Duration;
+
+fn nyc_sjc(graph: &Graph) -> Flow {
+    Flow::new(graph.node_by_name("NYC").unwrap(), graph.node_by_name("SJC").unwrap())
+}
+
+/// Satellite: the same topology and fault schedule (30% loss on the
+/// static path's first hop), driven once through the playback simulator
+/// and once through the real UDP overlay, must agree on delivery, loss,
+/// and cost within tolerance — and the overlay's own conservation
+/// identity must hold exactly.
+#[test]
+fn overlay_metrics_report_agrees_with_simulator() {
+    let graph = topology::presets::north_america_12();
+    let flow = nyc_sjc(&graph);
+    let scheme = build_scheme(
+        SchemeKind::StaticSinglePath,
+        &graph,
+        flow,
+        ServiceRequirement::default(),
+        &SchemeParams::default(),
+    )
+    .unwrap();
+    let first_hop = scheme.current().forwarding_edges(&graph, flow.source).next().unwrap();
+
+    // Simulator side: 30% loss on the first hop for the whole run.
+    let mut traces = TraceSet::clean(graph.edge_count(), 3, Micros::from_secs(10)).unwrap();
+    for i in 0..3 {
+        traces.set_condition(first_hop, i, LinkCondition::new(0.3, Micros::ZERO));
+    }
+    let mut sim_scheme = build_scheme(
+        SchemeKind::StaticSinglePath,
+        &graph,
+        flow,
+        ServiceRequirement::default(),
+        &SchemeParams::default(),
+    )
+    .unwrap();
+    let sim = dissemination_graphs::sim::run_flow(
+        &graph,
+        &traces,
+        sim_scheme.as_mut(),
+        &PlaybackConfig { packets_per_second: 50, ..Default::default() },
+    );
+    // The simulator's own conservation identity.
+    assert_eq!(sim.packets_sent, sim.packets_delivered + sim.packets_lost);
+
+    // Overlay side: identical fault on the same edge.
+    let cluster = Cluster::launch(
+        &graph,
+        ClusterConfig { hello_interval: Duration::from_millis(25), ..Default::default() },
+    )
+    .unwrap();
+    let rx = cluster.open_receiver(flow).unwrap();
+    let tx = cluster
+        .open_sender(flow, SchemeKind::StaticSinglePath, ServiceRequirement::default())
+        .unwrap();
+    cluster.set_link_fault(first_hop, 0.3, Micros::ZERO);
+    let total = 200u64;
+    for i in 0..total {
+        tx.send(format!("{i}").as_bytes()).unwrap();
+        std::thread::sleep(Duration::from_millis(3));
+    }
+    // Give recovery time to settle, then snapshot before shutdown.
+    std::thread::sleep(Duration::from_millis(500));
+    drop(rx.drain());
+    let report = cluster.metrics_report();
+
+    // The fault schedule must have left its trace in the journals: the
+    // first hop's receiving node saw loss cross the detector threshold.
+    let lossy_dst = graph.edge(first_hop).dst;
+    let dst_snapshot = report.nodes.iter().find(|n| n.node == lossy_dst).unwrap();
+    use dissemination_graphs::overlay::metrics::EventKind;
+    assert!(
+        dst_snapshot
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::DetectorTriggered { neighbor, .. }
+                if neighbor == flow.source)),
+        "detector never triggered on the impaired link"
+    );
+    assert!(
+        dst_snapshot.events.iter().any(|e| matches!(e.kind, EventKind::RecoveryRequested { .. })),
+        "30% loss produced no recovery requests"
+    );
+    cluster.shutdown();
+
+    let fr = *report.flow(flow).expect("flow was active");
+    assert_eq!(fr.packets_sent, total);
+    // Conservation at snapshot time: everything sent is delivered or
+    // counted lost (in-flight included) — exactly, not approximately.
+    assert_eq!(fr.packets_sent, fr.packets_delivered + fr.packets_lost);
+
+    // Agreement within tolerance (both stacks implement the same
+    // single-retransmission recovery; the analytic delivery rate is
+    // 1 - 0.3^2 = 91%).
+    let sim_delivered = sim.packets_delivered as f64 / sim.packets_sent as f64;
+    let overlay_delivered = fr.packets_delivered as f64 / fr.packets_sent as f64;
+    assert!(
+        (sim_delivered - overlay_delivered).abs() < 0.1,
+        "delivery disagrees: sim {sim_delivered:.3} vs overlay {overlay_delivered:.3}"
+    );
+    let sim_lost = sim.packets_lost as f64 / sim.packets_sent as f64;
+    let overlay_lost = fr.packets_lost as f64 / fr.packets_sent as f64;
+    assert!(
+        (sim_lost - overlay_lost).abs() < 0.1,
+        "loss disagrees: sim {sim_lost:.3} vs overlay {overlay_lost:.3}"
+    );
+    // Cost: path length plus ~0.3 retransmissions per packet in both.
+    let (sim_cost, overlay_cost) = (sim.average_cost(), fr.average_cost());
+    assert!(
+        (sim_cost - overlay_cost).abs() / sim_cost < 0.15,
+        "cost disagrees: sim {sim_cost:.3} vs overlay {overlay_cost:.3}"
+    );
+}
+
+/// Satellite: the overlay's per-flow report intentionally reuses the
+/// simulator's `FlowRunStats` field names, so the two JSON encodings
+/// must keep every shared field spelled identically.
+#[test]
+fn flow_report_schema_matches_flow_run_stats() {
+    use dissemination_graphs::overlay::metrics::FlowReport;
+    let flow = Flow::new(NodeId::new(0), NodeId::new(1));
+    let sim_stats = dissemination_graphs::sim::FlowRunStats {
+        scheme: SchemeKind::StaticSinglePath,
+        flow,
+        seconds: 1,
+        unavailable_seconds: 0,
+        packets_sent: 10,
+        packets_on_time: 9,
+        packets_delivered: 9,
+        packets_lost: 1,
+        transmissions: 40,
+        graph_changes: 0,
+    };
+    let report = FlowReport {
+        flow,
+        packets_sent: 10,
+        packets_on_time: 9,
+        packets_late: 0,
+        packets_delivered: 9,
+        packets_lost: 1,
+        transmissions: 40,
+        graph_changes: 0,
+    };
+    let sim_json: serde_json::Value =
+        serde_json::from_str(&serde_json::to_string(&sim_stats).unwrap()).unwrap();
+    let overlay_json: serde_json::Value =
+        serde_json::from_str(&serde_json::to_string(&report).unwrap()).unwrap();
+    let (serde_json::Value::Object(sim_map), serde_json::Value::Object(overlay_map)) =
+        (&sim_json, &overlay_json)
+    else {
+        panic!("both serialize as objects");
+    };
+    // Every field the two schemas share must carry the same value for
+    // the same underlying quantities.
+    let shared: Vec<&str> = sim_map
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .filter(|k| overlay_map.iter().any(|(ok, _)| ok == k))
+        .collect();
+    for key in [
+        "flow",
+        "packets_sent",
+        "packets_on_time",
+        "packets_delivered",
+        "packets_lost",
+        "transmissions",
+        "graph_changes",
+    ] {
+        assert!(shared.contains(&key), "schemas drifted: {key} no longer shared");
+        let sv = sim_map.iter().find(|(k, _)| k == key).map(|(_, v)| v).unwrap();
+        let ov = overlay_map.iter().find(|(k, _)| k == key).map(|(_, v)| v).unwrap();
+        assert_eq!(sv, ov, "field {key} disagrees");
+    }
+}
+
+/// Satellite: fixed-seed Table 2 regression. The exact per-scheme
+/// numbers are pinned for seed 42 — a behaviour change in the schemes,
+/// the playback engine, or the loss sampling shows up here first — and
+/// the paper's qualitative orderings are asserted on top.
+#[test]
+fn golden_table2_ordering_is_stable_for_fixed_seed() {
+    let graph = topology::presets::north_america_12();
+    let mut wan = SyntheticWanConfig::calibrated(42);
+    wan.duration = Micros::from_secs(600);
+    wan.node_problems.events_per_hour = 6.0;
+    let traces = gen::generate(&graph, &wan);
+    let flows = topology::presets::transcontinental_flows(&graph);
+    let config = ExperimentConfig {
+        playback: PlaybackConfig { packets_per_second: 10, seed: 42, ..Default::default() },
+        ..Default::default()
+    };
+    let schemes = [
+        SchemeKind::StaticSinglePath,
+        SchemeKind::StaticTwoDisjoint,
+        SchemeKind::TargetedRedundancy,
+        SchemeKind::TimeConstrainedFlooding,
+    ];
+    let aggs = run_comparison(&graph, &traces, &flows, &schemes, &config).expect("routable");
+    let rows = tabulate(&aggs, SchemeKind::StaticSinglePath, SchemeKind::TimeConstrainedFlooding);
+    let get = |k: SchemeKind| rows.iter().find(|r| r.scheme == k).unwrap();
+    let single = get(SchemeKind::StaticSinglePath);
+    let disjoint = get(SchemeKind::StaticTwoDisjoint);
+    let targeted = get(SchemeKind::TargetedRedundancy);
+    let flooding = get(SchemeKind::TimeConstrainedFlooding);
+
+    // The paper's availability ordering (Table 2): flooding >= targeted
+    // >= two-disjoint >= single path.
+    assert!(flooding.unavailable_seconds <= targeted.unavailable_seconds);
+    assert!(targeted.unavailable_seconds <= disjoint.unavailable_seconds);
+    assert!(disjoint.unavailable_seconds <= single.unavailable_seconds);
+    // And the cost ordering: targeted buys its availability far cheaper
+    // than flooding.
+    assert!(targeted.average_cost < flooding.average_cost);
+    assert!(single.average_cost < disjoint.average_cost);
+
+    // Golden values for seed 42. The playback engine is deterministic,
+    // so any drift here is a real behaviour change — update these only
+    // with an explanation of what changed.
+    let golden: Vec<(SchemeKind, u64)> = vec![
+        (SchemeKind::StaticSinglePath, single.unavailable_seconds),
+        (SchemeKind::StaticTwoDisjoint, disjoint.unavailable_seconds),
+        (SchemeKind::TargetedRedundancy, targeted.unavailable_seconds),
+        (SchemeKind::TimeConstrainedFlooding, flooding.unavailable_seconds),
+    ];
+    let expected: Vec<(SchemeKind, u64)> = vec![
+        (SchemeKind::StaticSinglePath, GOLDEN_SINGLE),
+        (SchemeKind::StaticTwoDisjoint, GOLDEN_DISJOINT),
+        (SchemeKind::TargetedRedundancy, GOLDEN_TARGETED),
+        (SchemeKind::TimeConstrainedFlooding, GOLDEN_FLOODING),
+    ];
+    assert_eq!(golden, expected, "fixed-seed Table 2 numbers drifted");
+}
+
+// Unavailable seconds per scheme for seed 42 / 600 s / 10 pps, summed
+// over the four transcontinental flows.
+const GOLDEN_SINGLE: u64 = 952;
+const GOLDEN_DISJOINT: u64 = 597;
+const GOLDEN_TARGETED: u64 = 66;
+const GOLDEN_FLOODING: u64 = 48;

@@ -11,11 +11,7 @@ fn scaled_traces(base: &TraceSet, edge_count: usize, factor: f64) -> TraceSet {
         let edge = topology::EdgeId::new(e as u32);
         for i in 0..base.interval_count() {
             let c = base.condition_in_interval(edge, i);
-            out.set_condition(
-                edge,
-                i,
-                LinkCondition::new(c.loss_rate * factor, c.extra_latency),
-            );
+            out.set_condition(edge, i, LinkCondition::new(c.loss_rate * factor, c.extra_latency));
         }
     }
     out

@@ -1,0 +1,144 @@
+//! Offline drop-in subset of `criterion`.
+//!
+//! Runs each benchmark under a small wall-clock budget and prints a
+//! mean time per iteration. No statistical analysis, plots, or saved
+//! baselines — just enough to execute the workspace's `[[bench]]`
+//! targets and spot gross regressions.
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// Per-sample budget; keeps whole bench suites in the seconds range.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(4);
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.into(), sample_size: 100 }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&id, 100, routine);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_benchmark(&id, self.sample_size, routine);
+        self
+    }
+
+    /// Ends the group. (No-op; provided for API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Times the routine handed to [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `self.iters` times back to back.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut routine: F) {
+    // Calibration pass: one iteration, to size batches to the budget.
+    let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+    routine(&mut bencher);
+    let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+    let batch = (SAMPLE_BUDGET.as_nanos() / per_iter.as_nanos()).clamp(1, 100_000) as u64;
+
+    let samples = sample_size.clamp(3, 16);
+    let mut best = Duration::MAX;
+    let mut total = Duration::ZERO;
+    let mut iters_total = 0u64;
+    for _ in 0..samples {
+        bencher.iters = batch;
+        routine(&mut bencher);
+        let per = bencher.elapsed / u32::try_from(batch).unwrap_or(u32::MAX);
+        best = best.min(per);
+        total += bencher.elapsed;
+        iters_total += batch;
+    }
+    let mean = total.as_nanos() / u128::from(iters_total.max(1));
+    println!("{id:<48} time: [mean {} ns/iter, best {} ns/iter]", mean, best.as_nanos());
+}
+
+/// Collects benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(10);
+        group.bench_function("sum", |b| b.iter(|| (0u64..100).sum::<u64>()));
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,710 @@
+//! Offline drop-in subset of `proptest`.
+//!
+//! Implements the slice of the proptest API this workspace uses:
+//! range/tuple/vec strategies, `any::<T>()`, `prop_map`/`prop_filter`,
+//! `prop_oneof!`, and the `proptest!` test macro with deterministic
+//! per-test seeding and `proptest-regressions` replay files.
+//!
+//! Differences from upstream: failing cases are **not shrunk** — the
+//! failing seed is persisted verbatim so the exact case replays on the
+//! next run.
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Generates values of an associated type from a seeded RNG.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms every generated value with `map`.
+        fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, map }
+        }
+
+        /// Discards generated values failing `keep`, redrawing instead.
+        fn prop_filter<F>(self, whence: impl Into<String>, keep: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { inner: self, keep, whence: whence.into() }
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        map: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.map)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Debug, Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        keep: F,
+        whence: String,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..10_000 {
+                let candidate = self.inner.generate(rng);
+                if (self.keep)(&candidate) {
+                    return candidate;
+                }
+            }
+            panic!("prop_filter `{}` rejected 10000 consecutive draws", self.whence);
+        }
+    }
+
+    /// Uniform choice between type-erased alternatives ([`prop_oneof!`]).
+    ///
+    /// [`prop_oneof!`]: crate::prop_oneof
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over the given alternatives; must be non-empty.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let pick = rng.gen_range(0..self.arms.len());
+            self.arms[pick].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A: 0);
+    impl_tuple_strategy!(A: 0, B: 1);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9);
+
+    /// Strategy for "any value" of a type ([`any`]).
+    ///
+    /// [`any`]: crate::arbitrary::any
+    pub struct Any<T> {
+        pub(crate) _marker: PhantomData<T>,
+    }
+}
+
+pub mod arbitrary {
+    //! The [`any`] entry point and the types it covers.
+
+    use crate::strategy::{Any, Strategy};
+    use crate::test_runner::TestRng;
+    use rand::RngCore;
+    use std::marker::PhantomData;
+
+    /// Types with a full-domain default strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The default strategy for `T`, covering its whole domain.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any { _marker: PhantomData }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($ty:ty),*) => {$(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut TestRng) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A length distribution for generated collections (inclusive bounds).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(len: usize) -> Self {
+            SizeRange { lo: len, hi: len }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(range: Range<usize>) -> Self {
+            assert!(!range.is_empty(), "empty vec length range");
+            SizeRange { lo: range.start, hi: range.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(range: RangeInclusive<usize>) -> Self {
+            assert!(!range.is_empty(), "empty vec length range");
+            SizeRange { lo: *range.start(), hi: *range.end() }
+        }
+    }
+
+    /// Generates `Vec`s whose length falls in `size` and whose elements
+    /// come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic case scheduling and regression persistence.
+
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+    use std::fs;
+    use std::io::Write as _;
+    use std::path::PathBuf;
+
+    /// The RNG handed to strategies; seeded per case.
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// A generator whose whole stream is a function of `seed`.
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng(StdRng::seed_from_u64(seed))
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    /// Tunables for a `proptest!` block.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful (non-rejected) cases each test must run.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` failed; redraw without counting the case.
+        Reject,
+        /// A `prop_assert*` failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with the given reason.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// A rejection: the case is redrawn without counting.
+        pub fn reject() -> Self {
+            TestCaseError::Reject
+        }
+    }
+
+    /// The result type a `proptest!` body implicitly returns.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Schedules case seeds (regression replays first, then fresh
+    /// draws) and persists the seed of any failing case.
+    pub struct Runner {
+        replay: Vec<u64>,
+        replay_next: usize,
+        base: u64,
+        cases: u32,
+        completed: u32,
+        attempts: u32,
+        regressions: Option<PathBuf>,
+    }
+
+    impl Runner {
+        /// A runner for the test `name` defined in source file `source`
+        /// (as produced by `file!()`).
+        pub fn new(config: &ProptestConfig, source: &str, name: &str) -> Self {
+            let regressions = regression_path(source);
+            let replay = regressions.as_deref().map_or_else(Vec::new, |path| {
+                let Ok(text) = fs::read_to_string(path) else {
+                    return Vec::new();
+                };
+                text.lines()
+                    .filter_map(|line| line.trim().strip_prefix("cc "))
+                    .filter_map(|rest| parse_seed(rest.trim()))
+                    .collect()
+            });
+            Runner {
+                replay,
+                replay_next: 0,
+                base: fnv1a(source) ^ fnv1a(name).rotate_left(17),
+                cases: config.cases,
+                completed: 0,
+                attempts: 0,
+                regressions,
+            }
+        }
+
+        /// The next seed to run, or `None` when the quota is met.
+        pub fn next_seed(&mut self) -> Option<u64> {
+            if self.replay_next < self.replay.len() {
+                let seed = self.replay[self.replay_next];
+                self.replay_next += 1;
+                return Some(seed);
+            }
+            if self.completed >= self.cases {
+                return None;
+            }
+            assert!(
+                self.attempts < self.cases.saturating_mul(20).max(1_000),
+                "proptest: too many rejected cases ({} completed of {})",
+                self.completed,
+                self.cases,
+            );
+            let seed = splitmix(self.base.wrapping_add(u64::from(self.attempts)));
+            self.attempts += 1;
+            Some(seed)
+        }
+
+        /// Accounts for one case's outcome; panics (after persisting the
+        /// seed) when the case failed.
+        pub fn record(
+            &mut self,
+            seed: u64,
+            outcome: std::thread::Result<Result<(), TestCaseError>>,
+        ) {
+            match outcome {
+                Ok(Ok(())) => self.completed += 1,
+                Ok(Err(TestCaseError::Reject)) => {}
+                Ok(Err(TestCaseError::Fail(message))) => {
+                    self.persist(seed);
+                    panic!("proptest case failed (seed {seed}): {message}");
+                }
+                Err(payload) => {
+                    self.persist(seed);
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+
+        fn persist(&self, seed: u64) {
+            let Some(path) = &self.regressions else { return };
+            let line = format!("cc {seed}");
+            if let Ok(existing) = fs::read_to_string(path) {
+                if existing.lines().any(|l| l.trim() == line) {
+                    return;
+                }
+            }
+            if let Some(dir) = path.parent() {
+                let _ = fs::create_dir_all(dir);
+            }
+            let fresh = !path.exists();
+            if let Ok(mut file) = fs::OpenOptions::new().create(true).append(true).open(path) {
+                if fresh {
+                    let _ = writeln!(
+                        file,
+                        "# Seeds for failure cases proptest has generated in the past.\n\
+                         # It is recommended to check this file into source control so that\n\
+                         # everyone who runs the test benefits from these saved cases."
+                    );
+                }
+                let _ = writeln!(file, "{line}");
+            }
+        }
+    }
+
+    /// `file!()` paths are workspace-relative while test binaries run in
+    /// the package directory; walk ancestors until the source resolves.
+    fn regression_path(source: &str) -> Option<PathBuf> {
+        let mut dir = std::env::current_dir().ok()?;
+        let source_path = loop {
+            let candidate = dir.join(source);
+            if candidate.is_file() {
+                break candidate;
+            }
+            if !dir.pop() {
+                return None;
+            }
+        };
+        let stem = source_path.file_stem()?.to_string_lossy().into_owned();
+        Some(source_path.parent()?.join("proptest-regressions").join(format!("{stem}.txt")))
+    }
+
+    fn parse_seed(text: &str) -> Option<u64> {
+        // Accept decimal or 0x-prefixed hex; ignore anything after the
+        // seed so upstream-style multi-number lines stay readable.
+        let first = text.split_whitespace().next()?;
+        if let Some(hex) = first.strip_prefix("0x") {
+            u64::from_str_radix(hex, 16).ok()
+        } else {
+            first.parse().ok()
+        }
+    }
+
+    fn fnv1a(text: &str) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in text.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
+    fn splitmix(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a test running `config.cases` seeded cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut runner =
+                $crate::test_runner::Runner::new(&config, file!(), stringify!($name));
+            while let Some(seed) = runner.next_seed() {
+                let mut rng = $crate::test_runner::TestRng::from_seed(seed);
+                let case = move || -> ::std::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > {
+                    $(
+                        let $pat =
+                            $crate::strategy::Strategy::generate(&($strategy), &mut rng);
+                    )+
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                let outcome =
+                    ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(case));
+                runner.record(seed, outcome);
+            }
+        }
+    )*};
+}
+
+/// Uniform choice among strategies producing one common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left != *right, $($fmt)+);
+    }};
+}
+
+/// Rejects the current case (redrawn without counting) unless `cond`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::test_runner::TestRng::from_seed(7);
+        for _ in 0..200 {
+            let v = (1u8..=255).generate(&mut rng);
+            assert!(v >= 1);
+            let w = (3usize..10).generate(&mut rng);
+            assert!((3..10).contains(&w));
+            let f = (0.0f64..1.0).generate(&mut rng);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_and_seeding_are_deterministic() {
+        let strat = crate::collection::vec(any::<u8>(), 0..16);
+        let mut a = crate::test_runner::TestRng::from_seed(42);
+        let mut b = crate::test_runner::TestRng::from_seed(42);
+        for _ in 0..50 {
+            let va = strat.generate(&mut a);
+            let vb = strat.generate(&mut b);
+            assert!(va.len() < 16);
+            assert_eq!(va, vb);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_binds_and_filters(x in 0u32..100, pair in (0u32..8, 0u32..8)
+            .prop_filter("distinct", |(a, b)| a != b))
+        {
+            prop_assume!(x != 99);
+            prop_assert!(x < 100);
+            let (a, b) = pair;
+            prop_assert_ne!(a, b);
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn oneof_and_map_compose(v in prop_oneof![
+            (0u32..10).prop_map(|x| x as u64),
+            Just(77u64),
+            crate::collection::vec(any::<u8>(), 1..4).prop_map(|v| v.len() as u64),
+        ]) {
+            prop_assert!(v < 10 || v == 77 || v < 4);
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! Deserialization: rebuilding a type from a [`Value`].
+
+use crate::value::Value;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Why a value could not be turned into the requested type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// An error with a custom message.
+    pub fn custom(message: impl fmt::Display) -> Self {
+        Error { message: message.to_string() }
+    }
+
+    /// The expected shape did not match the value found.
+    pub fn unexpected(expected: &str, found: &Value) -> Self {
+        Error::custom(format!("expected {expected}, found {}", found.kind()))
+    }
+
+    /// A required object field was absent.
+    pub fn missing_field(name: &str) -> Self {
+        Error::custom(format!("missing field `{name}`"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can rebuild themselves from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the value's shape does not match.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// Looks up `name` in a derived struct's object representation,
+/// returning an error naming the field when it is absent.
+///
+/// # Errors
+///
+/// Returns [`Error`] when the field is missing or mis-shaped.
+pub fn field<T: Deserialize>(value: &Value, name: &str) -> Result<T, Error> {
+    match value.get(name) {
+        Some(v) => T::from_value(v).map_err(|e| Error::custom(format!("field `{name}`: {e}"))),
+        None => Err(Error::missing_field(name)),
+    }
+}
+
+/// Like [`field`], but substitutes `default` when the field is absent.
+///
+/// # Errors
+///
+/// Returns [`Error`] when a present field is mis-shaped.
+pub fn field_or<T: Deserialize>(
+    value: &Value,
+    name: &str,
+    default: impl FnOnce() -> T,
+) -> Result<T, Error> {
+    match value.get(name) {
+        Some(v) => T::from_value(v).map_err(|e| Error::custom(format!("field `{name}`: {e}"))),
+        None => Ok(default()),
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::unexpected("bool", other)),
+        }
+    }
+}
+
+fn as_u64(value: &Value) -> Result<u64, Error> {
+    match value {
+        Value::UInt(v) => Ok(*v),
+        Value::Int(v) if *v >= 0 => Ok(*v as u64),
+        Value::Float(f) if f.fract() == 0.0 && *f >= 0.0 && *f <= u64::MAX as f64 => Ok(*f as u64),
+        other => Err(Error::unexpected("unsigned integer", other)),
+    }
+}
+
+fn as_i64(value: &Value) -> Result<i64, Error> {
+    match value {
+        Value::Int(v) => Ok(*v),
+        Value::UInt(v) if *v <= i64::MAX as u64 => Ok(*v as i64),
+        Value::Float(f) if f.fract() == 0.0 && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 => {
+            Ok(*f as i64)
+        }
+        other => Err(Error::unexpected("integer", other)),
+    }
+}
+
+macro_rules! impl_de_unsigned {
+    ($($ty:ty),*) => {$(
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw = as_u64(value)?;
+                <$ty>::try_from(raw)
+                    .map_err(|_| Error::custom(format!(
+                        "{raw} out of range for {}", stringify!($ty))))
+            }
+        }
+    )*};
+}
+
+impl_de_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_de_signed {
+    ($($ty:ty),*) => {$(
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw = as_i64(value)?;
+                <$ty>::try_from(raw)
+                    .map_err(|_| Error::custom(format!(
+                        "{raw} out of range for {}", stringify!($ty))))
+            }
+        }
+    )*};
+}
+
+impl_de_signed!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Float(f) => Ok(*f),
+            Value::UInt(v) => Ok(*v as f64),
+            Value::Int(v) => Ok(*v as f64),
+            other => Err(Error::unexpected("number", other)),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        f64::from_value(value).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => {
+                let mut chars = s.chars();
+                match (chars.next(), chars.next()) {
+                    (Some(c), None) => Ok(c),
+                    _ => Err(Error::custom("expected single-character string")),
+                }
+            }
+            other => Err(Error::unexpected("string", other)),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::unexpected("string", other)),
+        }
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::unexpected("array", other)),
+        }
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_value(value)?;
+        let got = items.len();
+        items.try_into().map_err(|_| Error::custom(format!("expected array of {N}, found {got}")))
+    }
+}
+
+macro_rules! impl_de_tuple {
+    ($len:expr => $($name:ident : $idx:tt),+) => {
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Array(items) if items.len() == $len => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(Error::unexpected(
+                        concat!("array of ", stringify!($len)), other)),
+                }
+            }
+        }
+    };
+}
+
+impl_de_tuple!(1 => A: 0);
+impl_de_tuple!(2 => A: 0, B: 1);
+impl_de_tuple!(3 => A: 0, B: 1, C: 2);
+impl_de_tuple!(4 => A: 0, B: 1, C: 2, D: 3);
+impl_de_tuple!(5 => A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_de_tuple!(6 => A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+/// Types usable as string map keys.
+pub trait DeserializeKey: Sized {
+    /// Parses a key from its string form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the string is not a valid key.
+    fn from_key(key: &str) -> Result<Self, Error>;
+}
+
+impl DeserializeKey for String {
+    fn from_key(key: &str) -> Result<Self, Error> {
+        Ok(key.to_owned())
+    }
+}
+
+macro_rules! impl_de_key_int {
+    ($($ty:ty),*) => {$(
+        impl DeserializeKey for $ty {
+            fn from_key(key: &str) -> Result<Self, Error> {
+                key.parse().map_err(|_| {
+                    Error::custom(format!("invalid {} key `{key}`", stringify!($ty)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_de_key_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: DeserializeKey + Eq + std::hash::Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Object(entries) => {
+                entries.iter().map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?))).collect()
+            }
+            other => Err(Error::unexpected("object", other)),
+        }
+    }
+}
+
+impl<K: DeserializeKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Object(entries) => {
+                entries.iter().map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?))).collect()
+            }
+            other => Err(Error::unexpected("object", other)),
+        }
+    }
+}
+
+impl Deserialize for std::net::SocketAddr {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => {
+                s.parse().map_err(|_| Error::custom(format!("invalid socket address `{s}`")))
+            }
+            other => Err(Error::unexpected("socket address string", other)),
+        }
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let secs = field(value, "secs")?;
+        let nanos: u32 = field(value, "nanos")?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}

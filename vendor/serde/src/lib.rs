@@ -1,0 +1,22 @@
+//! Offline drop-in subset of `serde`.
+//!
+//! Upstream serde's visitor architecture is replaced by a concrete
+//! [`Value`] tree: [`Serialize`] renders a type into a `Value`,
+//! [`Deserialize`] rebuilds the type from one. Formats (`serde_json`)
+//! translate between `Value` and text. The derive macros in
+//! `serde_derive` target these traits and understand the attribute
+//! subset this workspace uses (`transparent`, `default`,
+//! `default = "path"`).
+
+#![forbid(unsafe_code)]
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::Deserialize;
+pub use ser::Serialize;
+pub use value::Value;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

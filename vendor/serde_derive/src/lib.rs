@@ -1,0 +1,556 @@
+//! Derive macros for the vendored serde subset.
+//!
+//! Parses the derive input by walking `proc_macro::TokenTree`s directly
+//! (no `syn`/`quote`), supporting non-generic structs and enums plus
+//! the attribute subset this workspace uses: `#[serde(transparent)]`,
+//! `#[serde(default)]`, and `#[serde(default = "path")]`. Generated
+//! impls target `serde::ser::Serialize` / `serde::de::Deserialize` from
+//! the vendored `serde` crate; enums use serde's externally-tagged
+//! representation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Default, Clone)]
+struct FieldAttrs {
+    /// `Some(None)` for `#[serde(default)]`, `Some(Some(path))` for
+    /// `#[serde(default = "path")]`.
+    default: Option<Option<String>>,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum Item {
+    NamedStruct { name: String, fields: Vec<Field> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derives `serde::ser::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives `serde::de::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item).parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().expect("error token parses"),
+    }
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let trees: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Outer attributes and visibility. `#[serde(transparent)]` parses
+    // but needs no action: arity-1 tuple structs already serialize as
+    // their inner value.
+    loop {
+        match trees.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = trees.get(i + 1) {
+                    let _ = parse_serde_attr(g.stream());
+                    i += 2;
+                } else {
+                    return Err("malformed attribute".into());
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = trees.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match trees.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = match trees.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected type name".into()),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = trees.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!("serde derive (vendored) does not support generics on `{name}`"));
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => match trees.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::NamedStruct { name, fields: parse_named_fields(g.stream())? })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_fields(g.stream());
+                Ok(Item::TupleStruct { name, arity })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            _ => Err(format!("unsupported struct body for `{name}`")),
+        },
+        "enum" => match trees.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::Enum { name, variants: parse_variants(g.stream())? })
+            }
+            _ => Err(format!("expected enum body for `{name}`")),
+        },
+        other => Err(format!("cannot derive serde traits for `{other}`")),
+    }
+}
+
+/// Parses one `#[...]` attribute body; returns (field attrs, transparent).
+fn parse_serde_attr(stream: TokenStream) -> (FieldAttrs, bool) {
+    let trees: Vec<TokenTree> = stream.into_iter().collect();
+    let mut out = FieldAttrs::default();
+    let mut transparent = false;
+    if let Some(TokenTree::Ident(id)) = trees.first() {
+        if id.to_string() == "serde" {
+            if let Some(TokenTree::Group(g)) = trees.get(1) {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut j = 0;
+                while j < inner.len() {
+                    if let TokenTree::Ident(word) = &inner[j] {
+                        match word.to_string().as_str() {
+                            "transparent" => transparent = true,
+                            "default" => {
+                                let is_path = matches!(
+                                    inner.get(j + 1),
+                                    Some(TokenTree::Punct(p)) if p.as_char() == '='
+                                );
+                                if is_path {
+                                    if let Some(TokenTree::Literal(lit)) = inner.get(j + 2) {
+                                        let raw = lit.to_string();
+                                        let path = raw.trim_matches('"').to_owned();
+                                        out.default = Some(Some(path));
+                                        j += 2;
+                                    }
+                                } else {
+                                    out.default = Some(None);
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                    j += 1;
+                }
+            }
+        }
+    }
+    (out, transparent)
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let trees: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < trees.len() {
+        let mut attrs = FieldAttrs::default();
+        // Field attributes and visibility.
+        loop {
+            match trees.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    if let Some(TokenTree::Group(g)) = trees.get(i + 1) {
+                        let (parsed, _) = parse_serde_attr(g.stream());
+                        if parsed.default.is_some() {
+                            attrs.default = parsed.default;
+                        }
+                        i += 2;
+                    } else {
+                        return Err("malformed field attribute".into());
+                    }
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = trees.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(name)) = trees.get(i) else {
+            if i >= trees.len() {
+                break; // trailing comma
+            }
+            return Err("expected field name".into());
+        };
+        let name = name.to_string();
+        i += 1;
+        match trees.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < trees.len() {
+            match &trees[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, attrs });
+    }
+    Ok(fields)
+}
+
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let trees: Vec<TokenTree> = stream.into_iter().collect();
+    if trees.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut fields = 1;
+    let mut saw_tokens_since_comma = false;
+    for tree in &trees {
+        match tree {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                fields += 1;
+                saw_tokens_since_comma = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens_since_comma = true;
+    }
+    if !saw_tokens_since_comma {
+        fields -= 1; // trailing comma
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let trees: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < trees.len() {
+        // Variant attributes.
+        while let Some(TokenTree::Punct(p)) = trees.get(i) {
+            if p.as_char() == '#' {
+                i += 2;
+            } else {
+                break;
+            }
+        }
+        let Some(TokenTree::Ident(name)) = trees.get(i) else {
+            if i >= trees.len() {
+                break;
+            }
+            return Err("expected variant name".into());
+        };
+        let name = name.to_string();
+        i += 1;
+        let shape = match trees.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Struct(parse_named_fields(g.stream())?)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an explicit discriminant and the separating comma.
+        while i < trees.len() {
+            if let TokenTree::Punct(p) = &trees[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// ------------------------------------------------------------- generation
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let entries = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({n:?}), \
+                         ::serde::ser::Serialize::to_value(&self.{n})),",
+                        n = f.name
+                    )
+                })
+                .collect::<String>();
+            impl_serialize(name, &format!("::serde::Value::Object(::std::vec![{entries}])"))
+        }
+        Item::TupleStruct { name, arity: 1, .. } => {
+            impl_serialize(name, "::serde::ser::Serialize::to_value(&self.0)")
+        }
+        Item::TupleStruct { name, arity, .. } => {
+            let entries = (0..*arity)
+                .map(|k| format!("::serde::ser::Serialize::to_value(&self.{k}),"))
+                .collect::<String>();
+            impl_serialize(name, &format!("::serde::Value::Array(::std::vec![{entries}])"))
+        }
+        Item::UnitStruct { name } => impl_serialize(name, "::serde::Value::Null"),
+        Item::Enum { name, variants } => {
+            let arms = variants
+                .iter()
+                .map(|v| {
+                    let tag = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{tag} => ::serde::Value::String(\
+                             ::std::string::String::from({tag:?})),"
+                        ),
+                        VariantShape::Tuple(arity) => {
+                            let binders =
+                                (0..*arity).map(|k| format!("f{k}")).collect::<Vec<_>>().join(", ");
+                            let inner = if *arity == 1 {
+                                "::serde::ser::Serialize::to_value(f0)".to_owned()
+                            } else {
+                                let items = (0..*arity)
+                                    .map(|k| format!("::serde::ser::Serialize::to_value(f{k}),"))
+                                    .collect::<String>();
+                                format!("::serde::Value::Array(::std::vec![{items}])")
+                            };
+                            format!(
+                                "{name}::{tag}({binders}) => ::serde::Value::Object(\
+                                 ::std::vec![(::std::string::String::from({tag:?}), {inner})]),"
+                            )
+                        }
+                        VariantShape::Struct(fields) => {
+                            let binders = fields
+                                .iter()
+                                .map(|f| f.name.as_str())
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            let items = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({n:?}), \
+                                         ::serde::ser::Serialize::to_value({n})),",
+                                        n = f.name
+                                    )
+                                })
+                                .collect::<String>();
+                            format!(
+                                "{name}::{tag} {{ {binders} }} => ::serde::Value::Object(\
+                                 ::std::vec![(::std::string::String::from({tag:?}), \
+                                 ::serde::Value::Object(::std::vec![{items}]))]),"
+                            )
+                        }
+                    }
+                })
+                .collect::<String>();
+            impl_serialize(name, &format!("match self {{ {arms} }}"))
+        }
+    }
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::ser::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn field_expr(f: &Field) -> String {
+    match &f.attrs.default {
+        None => format!("::serde::de::field(value, {:?})?", f.name),
+        Some(None) => {
+            format!("::serde::de::field_or(value, {:?}, ::std::default::Default::default)?", f.name)
+        }
+        Some(Some(path)) => {
+            format!("::serde::de::field_or(value, {:?}, {path})?", f.name)
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let inits = fields
+                .iter()
+                .map(|f| format!("{}: {},", f.name, field_expr(f)))
+                .collect::<String>();
+            let body = format!(
+                "match value {{\n\
+                     ::serde::Value::Object(_) => \
+                         ::std::result::Result::Ok({name} {{ {inits} }}),\n\
+                     other => ::std::result::Result::Err(\
+                         ::serde::de::Error::unexpected(\"object\", other)),\n\
+                 }}"
+            );
+            impl_deserialize(name, &body)
+        }
+        Item::TupleStruct { name, arity: 1, .. } => impl_deserialize(
+            name,
+            &format!(
+                "::std::result::Result::Ok({name}(::serde::de::Deserialize::from_value(value)?))"
+            ),
+        ),
+        Item::TupleStruct { name, arity, .. } => {
+            let items = (0..*arity)
+                .map(|k| format!("::serde::de::Deserialize::from_value(&items[{k}])?,"))
+                .collect::<String>();
+            let body = format!(
+                "match value {{\n\
+                     ::serde::Value::Array(items) if items.len() == {arity} => \
+                         ::std::result::Result::Ok({name}({items})),\n\
+                     other => ::std::result::Result::Err(\
+                         ::serde::de::Error::unexpected(\"array of {arity}\", other)),\n\
+                 }}"
+            );
+            impl_deserialize(name, &body)
+        }
+        Item::UnitStruct { name } => impl_deserialize(
+            name,
+            &format!(
+                "match value {{\n\
+                     ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+                     other => ::std::result::Result::Err(\
+                         ::serde::de::Error::unexpected(\"null\", other)),\n\
+                 }}"
+            ),
+        ),
+        Item::Enum { name, variants } => {
+            let unit_arms = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| {
+                    format!("{tag:?} => ::std::result::Result::Ok({name}::{tag}),", tag = v.name)
+                })
+                .collect::<String>();
+            let data_arms = variants
+                .iter()
+                .filter_map(|v| {
+                    let tag = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => None,
+                        VariantShape::Tuple(1) => Some(format!(
+                            "{tag:?} => ::std::result::Result::Ok({name}::{tag}(\
+                             ::serde::de::Deserialize::from_value(inner)?)),"
+                        )),
+                        VariantShape::Tuple(arity) => {
+                            let items = (0..*arity)
+                                .map(|k| {
+                                    format!("::serde::de::Deserialize::from_value(&items[{k}])?,")
+                                })
+                                .collect::<String>();
+                            Some(format!(
+                                "{tag:?} => match inner {{\n\
+                                     ::serde::Value::Array(items) if items.len() == {arity} => \
+                                         ::std::result::Result::Ok({name}::{tag}({items})),\n\
+                                     other => ::std::result::Result::Err(\
+                                         ::serde::de::Error::unexpected(\
+                                             \"array of {arity}\", other)),\n\
+                                 }},"
+                            ))
+                        }
+                        VariantShape::Struct(fields) => {
+                            let inits = fields
+                                .iter()
+                                .map(|f| {
+                                    let expr = match &f.attrs.default {
+                                        None => format!("::serde::de::field(inner, {:?})?", f.name),
+                                        Some(None) => format!(
+                                            "::serde::de::field_or(inner, {:?}, \
+                                             ::std::default::Default::default)?",
+                                            f.name
+                                        ),
+                                        Some(Some(path)) => format!(
+                                            "::serde::de::field_or(inner, {:?}, {path})?",
+                                            f.name
+                                        ),
+                                    };
+                                    format!("{}: {},", f.name, expr)
+                                })
+                                .collect::<String>();
+                            Some(format!(
+                                "{tag:?} => ::std::result::Result::Ok(\
+                                 {name}::{tag} {{ {inits} }}),"
+                            ))
+                        }
+                    }
+                })
+                .collect::<String>();
+            let body = format!(
+                "match value {{\n\
+                     ::serde::Value::String(s) => match s.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                             ::std::format!(\"unknown variant `{{other}}`\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                         let (tag, inner) = &entries[0];\n\
+                         match tag.as_str() {{\n\
+                             {data_arms}\n\
+                             other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                                 ::std::format!(\"unknown variant `{{other}}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => ::std::result::Result::Err(\
+                         ::serde::de::Error::unexpected(\"enum variant\", other)),\n\
+                 }}"
+            );
+            impl_deserialize(name, &body)
+        }
+    }
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::de::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> \
+                 ::std::result::Result<{name}, ::serde::de::Error> {{ {body} }}\n\
+         }}"
+    )
+}
