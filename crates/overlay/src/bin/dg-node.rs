@@ -17,6 +17,13 @@
 //! (counters, per-flow/per-link cells, event journal) as JSON on
 //! shutdown; `-` writes it to stdout.
 //!
+//! `--chaos-json PATH` replays a [`dg_overlay::chaos::ChaosSchedule`]
+//! against this node's own out-links: edge impairments whose source is
+//! this node (and node-wide impairments naming it) are applied at their
+//! scheduled offsets; events aimed at other nodes are skipped, and
+//! crash/restart events are warned about and ignored — killing a
+//! standalone daemon is the operator's job, not its own.
+//!
 //! Config format:
 //! ```json
 //! {
@@ -29,8 +36,9 @@
 //! }
 //! ```
 
-use dg_overlay::{NodeConfig, OverlayNode};
-use dg_topology::Graph;
+use dg_overlay::chaos::{ChaosAction, ChaosEvent, ChaosSchedule};
+use dg_overlay::{NodeConfig, OverlayHandle, OverlayNode};
+use dg_topology::{Graph, NodeId};
 use serde::Deserialize;
 use std::collections::HashMap;
 use std::net::SocketAddr;
@@ -71,6 +79,7 @@ fn main() {
             let path = args.get(2).expect("usage: dg-node --config <file>");
             let mut run_secs: Option<u64> = None;
             let mut metrics_json: Option<String> = None;
+            let mut chaos_json: Option<String> = None;
             let mut rest = args[3..].iter();
             while let Some(flag) = rest.next() {
                 match flag.as_str() {
@@ -82,25 +91,33 @@ fn main() {
                         metrics_json =
                             Some(rest.next().expect("--metrics-json needs a path").clone());
                     }
+                    "--chaos-json" => {
+                        chaos_json = Some(rest.next().expect("--chaos-json needs a path").clone());
+                    }
                     other => {
                         eprintln!("unknown flag {other:?}");
                         std::process::exit(2);
                     }
                 }
             }
-            run(path, run_secs, metrics_json);
+            run(path, run_secs, metrics_json, chaos_json);
         }
         _ => {
             eprintln!(
                 "usage: dg-node --config <file> [--run-secs N] [--metrics-json PATH] \
-                 | dg-node --emit-topology [file]"
+                 [--chaos-json PATH] | dg-node --emit-topology [file]"
             );
             std::process::exit(2);
         }
     }
 }
 
-fn run(config_path: &str, run_secs: Option<u64>, metrics_json: Option<String>) {
+fn run(
+    config_path: &str,
+    run_secs: Option<u64>,
+    metrics_json: Option<String>,
+    chaos_json: Option<String>,
+) {
     let raw = std::fs::read_to_string(config_path)
         .unwrap_or_else(|e| panic!("cannot read {config_path}: {e}"));
     let file: FileConfig = serde_json::from_str(&raw).unwrap_or_else(|e| panic!("bad config: {e}"));
@@ -121,27 +138,60 @@ fn run(config_path: &str, run_secs: Option<u64>, metrics_json: Option<String>) {
         config.peers.insert(peer, *addr);
     }
 
-    let handle = OverlayNode::spawn(config, Arc::new(graph)).expect("node starts");
+    let mut chaos: Vec<ChaosEvent> = chaos_json
+        .map(|path| {
+            let raw = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("cannot read chaos schedule {path}: {e}"));
+            let schedule = ChaosSchedule::from_json(&raw)
+                .unwrap_or_else(|e| panic!("bad chaos schedule: {e}"));
+            let mut events = schedule.events;
+            events.sort_by_key(|e| e.at_ms);
+            events
+        })
+        .unwrap_or_default();
+
+    let graph = Arc::new(graph);
+    let handle = OverlayNode::spawn(config, Arc::clone(&graph)).expect("node starts");
     println!(
         "dg-node {} listening on {} with {} peers",
         file.node,
         handle.local_addr(),
         file.peers.len()
     );
-    // Report stats periodically until killed (or the run limit passes).
+    // Report stats periodically until killed (or the run limit passes);
+    // tick finely while chaos events are still pending.
     let started = std::time::Instant::now();
+    let mut next_stats = Duration::from_secs(10);
     loop {
-        let tick = Duration::from_secs(10);
-        match run_secs {
-            Some(secs) => {
-                let left = Duration::from_secs(secs).saturating_sub(started.elapsed());
-                if left.is_zero() {
-                    break;
+        let stats_due = {
+            let nap = next_stats.saturating_sub(started.elapsed());
+            let nap = match chaos.first() {
+                Some(event) => nap
+                    .min(Duration::from_millis(event.at_ms).saturating_sub(started.elapsed()))
+                    .max(Duration::from_millis(1)),
+                None => nap,
+            };
+            match run_secs {
+                Some(secs) => {
+                    let left = Duration::from_secs(secs).saturating_sub(started.elapsed());
+                    if left.is_zero() {
+                        break;
+                    }
+                    std::thread::sleep(left.min(nap));
                 }
-                std::thread::sleep(left.min(tick));
+                None => std::thread::sleep(nap),
             }
-            None => std::thread::sleep(tick),
+            let elapsed = started.elapsed();
+            let due = chaos.iter().take_while(|e| e.at_ms as u128 <= elapsed.as_millis()).count();
+            for event in chaos.drain(..due) {
+                apply_chaos_to_self(&handle, &graph, me, &event.action);
+            }
+            elapsed >= next_stats
+        };
+        if !stats_due {
+            continue;
         }
+        next_stats += Duration::from_secs(10);
         let s = handle.stats();
         println!(
             "stats: rx {} tx {} delivered {} dup {} expired {} nack {} retx {}",
@@ -163,6 +213,53 @@ fn run(config_path: &str, run_secs: Option<u64>, metrics_json: Option<String>) {
         } else {
             std::fs::write(&path, json).expect("metrics file is writable");
             println!("wrote metrics to {path}");
+        }
+    }
+}
+
+/// Applies the slice of a chaos action this daemon can enact: faults on
+/// its own out-links. Everything else is another node's business (or,
+/// for crash/restart, the operator's) and is skipped with a warning
+/// where that could surprise.
+fn apply_chaos_to_self(handle: &OverlayHandle, graph: &Graph, me: NodeId, action: &ChaosAction) {
+    match *action {
+        ChaosAction::InjectEdge { edge, fault } => {
+            let info = graph.edge(edge);
+            if info.src == me {
+                println!("chaos: impairing link to {}", graph.node(info.dst).name);
+                handle.faults().set(info.dst, fault);
+            }
+        }
+        ChaosAction::HealEdge { edge } => {
+            let info = graph.edge(edge);
+            if info.src == me {
+                println!("chaos: healing link to {}", graph.node(info.dst).name);
+                handle.faults().clear(info.dst);
+            }
+        }
+        ChaosAction::ImpairNode { node, fault } => {
+            if node == me {
+                println!("chaos: impairing all out-links");
+                for &e in graph.out_edges(me) {
+                    handle.faults().set(graph.edge(e).dst, fault);
+                }
+            }
+        }
+        ChaosAction::HealNode { node } => {
+            if node == me {
+                println!("chaos: healing all out-links");
+                for &e in graph.out_edges(me) {
+                    handle.faults().clear(graph.edge(e).dst);
+                }
+            }
+        }
+        ChaosAction::CrashNode { node } | ChaosAction::RestartNode { node } => {
+            if node == me {
+                eprintln!(
+                    "chaos: ignoring crash/restart for this node — \
+                     kill or relaunch the daemon process instead"
+                );
+            }
         }
     }
 }

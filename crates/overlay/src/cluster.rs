@@ -32,6 +32,9 @@ pub struct ClusterConfig {
     pub latency_scale: f64,
     /// Scheme construction tunables used by [`Cluster::open_sender`].
     pub scheme_params: SchemeParams,
+    /// Base seed for the nodes' deterministic fault RNGs; each node
+    /// derives its own stream from this and its index.
+    pub fault_seed: u64,
 }
 
 impl Default for ClusterConfig {
@@ -41,6 +44,7 @@ impl Default for ClusterConfig {
             link_state_interval: Duration::from_millis(200),
             latency_scale: 1.0,
             scheme_params: SchemeParams::default(),
+            fault_seed: 0,
         }
     }
 }
@@ -53,6 +57,9 @@ pub struct Cluster {
     config: ClusterConfig,
     /// Baseline emulated delay per edge, so injected faults compose.
     base_delay: Vec<Micros>,
+    /// Every node's bound address, kept so a killed node can restart on
+    /// the same port and its peers need no reconfiguration.
+    addrs: Vec<std::net::SocketAddr>,
 }
 
 impl Cluster {
@@ -81,21 +88,12 @@ impl Cluster {
 
         let mut handles = Vec::with_capacity(graph.node_count());
         for (socket, node) in sockets.into_iter().zip(graph.nodes()) {
-            let mut node_config = NodeConfig::new(node, addrs[node.index()]);
-            node_config.hello_interval = config.hello_interval;
-            node_config.link_state_interval = config.link_state_interval;
-            node_config.peers =
-                graph.neighbors(node).map(|n| (n, addrs[n.index()])).collect::<HashMap<_, _>>();
+            let node_config = make_node_config(&graph, &addrs, &config, node);
             let handle = OverlayNode::spawn_with_socket(node_config, Arc::clone(&graph), socket)?;
-            // Emulate propagation delay on each out-link.
-            for &e in graph.out_edges(node) {
-                handle
-                    .faults()
-                    .set(graph.edge(e).dst, LinkFault { loss: 0.0, delay: base_delay[e.index()] });
-            }
+            apply_base_delays(&handle, &graph, &base_delay, node);
             handles.push(Some(handle));
         }
-        Ok(Cluster { graph, handles, config, base_delay })
+        Ok(Cluster { graph, handles, config, base_delay, addrs })
     }
 
     /// The topology this cluster runs.
@@ -125,6 +123,29 @@ impl Cluster {
     /// True when `node` has not been killed.
     pub fn is_alive(&self, node: NodeId) -> bool {
         self.handles[node.index()].is_some()
+    }
+
+    /// Restarts a previously killed node on its original port. The
+    /// replacement process mints a fresh link-state epoch, so its reset
+    /// sequence numbers are accepted by peers that remember the old
+    /// incarnation; its emulated link delays are re-applied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::Io`] when the original port cannot be
+    /// re-bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or still alive.
+    pub fn restart_node(&mut self, node: NodeId) -> Result<(), OverlayError> {
+        assert!(self.handles[node.index()].is_none(), "restarting a live node");
+        let socket = UdpSocket::bind(self.addrs[node.index()])?;
+        let node_config = make_node_config(&self.graph, &self.addrs, &self.config, node);
+        let handle = OverlayNode::spawn_with_socket(node_config, Arc::clone(&self.graph), socket)?;
+        apply_base_delays(&handle, &self.graph, &self.base_delay, node);
+        self.handles[node.index()] = Some(handle);
+        Ok(())
     }
 
     /// Opens a sender at the flow's source using a freshly built scheme.
@@ -159,23 +180,38 @@ impl Cluster {
     ///
     /// Panics if `edge` is out of range.
     pub fn set_link_fault(&self, edge: EdgeId, loss: f64, extra_delay: Micros) {
-        let info = self.graph.edge(edge);
-        self.node(info.src).faults().set(
-            info.dst,
-            LinkFault { loss, delay: self.base_delay[edge.index()].saturating_add(extra_delay) },
-        );
+        self.set_link_impairment(edge, LinkFault::lossy(loss, extra_delay));
     }
 
-    /// Restores a directed edge to its emulated baseline.
+    /// Injects an arbitrary impairment on a directed edge — bursty
+    /// loss, jitter, reordering, duplication, corruption, blackhole —
+    /// with the impairment's `delay` composing on top of the emulated
+    /// propagation delay. Killed source nodes are skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is out of range.
+    pub fn set_link_impairment(&self, edge: EdgeId, fault: LinkFault) {
+        let info = self.graph.edge(edge);
+        let Some(handle) = self.handles[info.src.index()].as_ref() else {
+            return;
+        };
+        let composed =
+            LinkFault { delay: self.base_delay[edge.index()].saturating_add(fault.delay), ..fault };
+        handle.faults().set(info.dst, composed);
+    }
+
+    /// Restores a directed edge to its emulated baseline. Killed source
+    /// nodes are skipped.
     ///
     /// # Panics
     ///
     /// Panics if `edge` is out of range.
     pub fn clear_link_fault(&self, edge: EdgeId) {
         let info = self.graph.edge(edge);
-        self.node(info.src)
-            .faults()
-            .set(info.dst, LinkFault { loss: 0.0, delay: self.base_delay[edge.index()] });
+        if let Some(handle) = self.handles[info.src.index()].as_ref() {
+            handle.faults().set(info.dst, LinkFault::delayed(self.base_delay[edge.index()]));
+        }
     }
 
     /// Impairs every link incident to `node` (both directions) — the
@@ -229,5 +265,31 @@ impl Cluster {
         for h in self.handles.into_iter().flatten() {
             h.shutdown();
         }
+    }
+}
+
+/// One node's configuration under cluster-wide settings. Restart uses
+/// the same derivation as launch, so a node's fault-RNG seed and peer
+/// table survive its death.
+fn make_node_config(
+    graph: &Graph,
+    addrs: &[std::net::SocketAddr],
+    config: &ClusterConfig,
+    node: NodeId,
+) -> NodeConfig {
+    let mut node_config = NodeConfig::new(node, addrs[node.index()]);
+    node_config.hello_interval = config.hello_interval;
+    node_config.link_state_interval = config.link_state_interval;
+    node_config.fault_seed =
+        config.fault_seed ^ (node.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    node_config.peers =
+        graph.neighbors(node).map(|n| (n, addrs[n.index()])).collect::<HashMap<_, _>>();
+    node_config
+}
+
+/// Emulates propagation delay on each of `node`'s out-links.
+fn apply_base_delays(handle: &OverlayHandle, graph: &Graph, base_delay: &[Micros], node: NodeId) {
+    for &e in graph.out_edges(node) {
+        handle.faults().set(graph.edge(e).dst, LinkFault::delayed(base_delay[e.index()]));
     }
 }

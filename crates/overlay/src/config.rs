@@ -30,6 +30,20 @@ pub struct NodeConfig {
     /// Incoming-link loss estimate at which the problem detector
     /// triggers (clears at half this value).
     pub detector_loss_threshold: f64,
+    /// Hello silence longer than this many hello intervals declares the
+    /// incoming link down (flooded via link state).
+    pub link_down_intervals: u64,
+    /// Link-state reports older than this expire back to a pessimistic
+    /// default (a crashed origin must not freeze the database).
+    pub link_state_max_age: Duration,
+    /// Bound on the outgoing-shipment queue (datagrams); overflow is
+    /// dropped and counted in `queue_drops`.
+    pub shipper_queue: usize,
+    /// Bound on each receiver session's delivery queue (packets);
+    /// overflow is dropped and counted in `queue_drops`.
+    pub delivery_queue: usize,
+    /// Seed for the node's deterministic fault-injection RNG.
+    pub fault_seed: u64,
 }
 
 impl NodeConfig {
@@ -47,6 +61,11 @@ impl NodeConfig {
             dedup_window: 16_384,
             journal_capacity: 1_024,
             detector_loss_threshold: 0.05,
+            link_down_intervals: 5,
+            link_state_max_age: Duration::from_secs(3),
+            shipper_queue: 16_384,
+            delivery_queue: 16_384,
+            fault_seed: 0,
         }
     }
 }
@@ -64,5 +83,8 @@ mod tests {
         assert!(cfg.retransmit_buffer > 0 && cfg.dedup_window > 0);
         assert!(cfg.journal_capacity > 0);
         assert!(cfg.detector_loss_threshold > 0.0 && cfg.detector_loss_threshold < 1.0);
+        assert!(cfg.link_down_intervals > 0);
+        assert!(cfg.link_state_max_age > cfg.link_state_interval * 2, "aging must outlast refresh");
+        assert!(cfg.shipper_queue > 0 && cfg.delivery_queue > 0);
     }
 }

@@ -1,67 +1,139 @@
 //! The flooded link-state database.
 //!
-//! Every node periodically reports the condition of its out-links; the
-//! reports are flooded with per-origin sequence numbers (newer replaces
-//! older, duplicates are not re-flooded). Each node's database thus
-//! converges to a network-wide [`NetworkState`] — the input the routing
-//! schemes consume.
+//! Every node periodically reports the condition of its in-links; the
+//! reports are flooded with per-origin (epoch, sequence) stamps — newer
+//! replaces older, duplicates are not re-flooded. Each node's database
+//! thus converges to a network-wide [`NetworkState`] — the input the
+//! routing schemes consume.
+//!
+//! Two robustness mechanisms keep the database honest under node
+//! failures:
+//!
+//! - **Epochs.** A node mints a fresh epoch at process start. A
+//!   restarted node's sequence numbers reset to zero, but its higher
+//!   epoch makes its reports strictly newer than anything from the
+//!   previous incarnation, so they are not discarded as stale.
+//! - **Aging.** An origin that stops refreshing (crashed, partitioned)
+//!   would otherwise freeze its last — possibly clean — report in every
+//!   database forever. Reports older than `max_age` expire: the edges
+//!   that origin reported revert to a pessimistic fully-lossy default
+//!   and the origin is forgotten, so even a zero-epoch report from a
+//!   replacement process is accepted.
 
 use crate::wire::LinkStateUpdate;
-use dg_topology::{Graph, Micros};
+use dg_topology::{EdgeId, Graph, Micros};
 use dg_trace::{LinkCondition, NetworkState};
+
+/// The condition assumed for edges whose reporter has gone silent:
+/// fully lossy, so routing schemes steer clear until fresh evidence.
+fn pessimistic() -> LinkCondition {
+    LinkCondition::new(1.0, Micros::ZERO)
+}
+
+#[derive(Debug)]
+struct OriginRecord {
+    epoch: u64,
+    seq: u64,
+    /// When this origin's latest report was applied (local clock).
+    refreshed_at: Micros,
+    /// Every edge this origin has ever reported, so expiry knows what
+    /// to reset.
+    edges: Vec<EdgeId>,
+}
 
 /// Per-node view of every link's reported condition.
 #[derive(Debug)]
 pub struct LinkStateDb {
-    /// Latest sequence seen per origin node.
-    origin_seq: Vec<Option<u64>>,
+    /// Latest (epoch, seq) and coverage per origin node.
+    origins: Vec<Option<OriginRecord>>,
     /// Latest reported condition per edge.
     conditions: Vec<LinkCondition>,
+    /// Reports older than this expire back to [`pessimistic`]; `MAX`
+    /// disables aging.
+    max_age: Micros,
 }
 
 impl LinkStateDb {
-    /// An empty database for `graph` (all links presumed clean).
-    pub fn new(graph: &Graph) -> Self {
+    /// An empty database for `graph` (all links presumed clean), aging
+    /// out origins silent for longer than `max_age`.
+    pub fn new(graph: &Graph, max_age: Micros) -> Self {
         LinkStateDb {
-            origin_seq: vec![None; graph.node_count()],
+            origins: (0..graph.node_count()).map(|_| None).collect(),
             conditions: vec![LinkCondition::CLEAN; graph.edge_count()],
+            max_age,
         }
     }
 
-    /// Applies an update. Returns `true` when the update was new (and
-    /// should therefore be re-flooded to neighbours).
+    /// Applies an update received at local time `now`. Returns `true`
+    /// when the update was new (and should therefore be re-flooded to
+    /// neighbours).
     ///
-    /// Stale or duplicate updates (sequence not newer than what is
-    /// stored for the origin) are ignored. Entries referencing unknown
-    /// edges are skipped rather than erroring: a malformed report from
-    /// one node must not poison the database.
-    pub fn apply(&mut self, update: &LinkStateUpdate) -> bool {
-        let Some(slot) = self.origin_seq.get_mut(update.origin.index()) else {
+    /// Acceptance is by `(epoch, seq)` lexicographic order: a higher
+    /// epoch always wins (restarted origin), within an epoch a higher
+    /// sequence wins. Stale or duplicate updates are ignored. Entries
+    /// referencing unknown edges are skipped rather than erroring: a
+    /// malformed report from one node must not poison the database.
+    pub fn apply(&mut self, update: &LinkStateUpdate, now: Micros) -> bool {
+        let Some(slot) = self.origins.get_mut(update.origin.index()) else {
             return false;
         };
-        if slot.is_some_and(|have| update.seq <= have) {
-            return false;
-        }
-        *slot = Some(update.seq);
-        for entry in &update.entries {
-            if let Some(c) = self.conditions.get_mut(entry.edge.index()) {
-                *c = LinkCondition::new(
-                    f64::from(entry.loss),
-                    Micros::from_micros(u64::from(entry.extra_latency_us)),
-                );
+        if let Some(record) = slot {
+            if (update.epoch, update.seq) <= (record.epoch, record.seq) {
+                return false;
             }
         }
+        let mut edges: Vec<EdgeId> = slot.take().map(|r| r.edges).unwrap_or_default();
+        for entry in &update.entries {
+            if let Some(c) = self.conditions.get_mut(entry.edge.index()) {
+                *c = if entry.down {
+                    pessimistic()
+                } else {
+                    LinkCondition::new(
+                        f64::from(entry.loss),
+                        Micros::from_micros(u64::from(entry.extra_latency_us)),
+                    )
+                };
+                if !edges.contains(&entry.edge) {
+                    edges.push(entry.edge);
+                }
+            }
+        }
+        *slot =
+            Some(OriginRecord { epoch: update.epoch, seq: update.seq, refreshed_at: now, edges });
         true
     }
 
-    /// Snapshot of the database as a [`NetworkState`] stamped `now`.
-    pub fn network_state(&self, now: Micros) -> NetworkState {
+    /// Expires origins that have not refreshed within `max_age` as of
+    /// `now`: their reported edges revert to the pessimistic default
+    /// and the origin is forgotten (any future report is accepted).
+    pub fn expire(&mut self, now: Micros) {
+        if self.max_age.is_unreachable() {
+            return;
+        }
+        for slot in &mut self.origins {
+            let stale =
+                slot.as_ref().is_some_and(|r| now.saturating_sub(r.refreshed_at) > self.max_age);
+            if stale {
+                let record = slot.take().expect("checked above");
+                for edge in record.edges {
+                    if let Some(c) = self.conditions.get_mut(edge.index()) {
+                        *c = pessimistic();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Snapshot of the database as a [`NetworkState`] stamped `now`,
+    /// after expiring silent origins.
+    pub fn network_state(&mut self, now: Micros) -> NetworkState {
+        self.expire(now);
         NetworkState::from_conditions(now, self.conditions.clone())
     }
 
-    /// How many origins have reported at least once.
+    /// How many origins have a live (unexpired) report.
     pub fn origins_heard(&self) -> usize {
-        self.origin_seq.iter().filter(|s| s.is_some()).count()
+        self.origins.iter().filter(|s| s.is_some()).count()
     }
 }
 
@@ -69,49 +141,97 @@ impl LinkStateDb {
 mod tests {
     use super::*;
     use crate::wire::LinkStateEntry;
-    use dg_topology::{presets, EdgeId, NodeId};
+    use dg_topology::{presets, NodeId};
 
-    fn update(origin: u32, seq: u64, edge: u32, loss: f32) -> LinkStateUpdate {
+    fn update(origin: u32, epoch: u64, seq: u64, edge: u32, loss: f32) -> LinkStateUpdate {
         LinkStateUpdate {
             origin: NodeId::new(origin),
+            epoch,
             seq,
-            entries: vec![LinkStateEntry { edge: EdgeId::new(edge), loss, extra_latency_us: 500 }],
+            entries: vec![LinkStateEntry {
+                edge: EdgeId::new(edge),
+                loss,
+                extra_latency_us: 500,
+                down: false,
+            }],
         }
+    }
+
+    fn db() -> LinkStateDb {
+        LinkStateDb::new(&presets::north_america_12(), Micros::from_secs(10))
     }
 
     #[test]
     fn applies_new_and_rejects_stale() {
-        let g = presets::north_america_12();
-        let mut db = LinkStateDb::new(&g);
+        let mut db = db();
         assert_eq!(db.origins_heard(), 0);
-        assert!(db.apply(&update(0, 1, 3, 0.5)));
+        assert!(db.apply(&update(0, 1, 1, 3, 0.5), Micros::ZERO));
         assert_eq!(db.origins_heard(), 1);
-        assert!(!db.apply(&update(0, 1, 3, 0.9)), "duplicate seq is ignored");
-        assert!(!db.apply(&update(0, 0, 3, 0.9)), "older seq is ignored");
+        assert!(!db.apply(&update(0, 1, 1, 3, 0.9), Micros::ZERO), "duplicate seq is ignored");
+        assert!(!db.apply(&update(0, 1, 0, 3, 0.9), Micros::ZERO), "older seq is ignored");
         let st = db.network_state(Micros::ZERO);
         assert!((st.condition(EdgeId::new(3)).loss_rate - 0.5).abs() < 1e-6);
         assert_eq!(st.condition(EdgeId::new(3)).extra_latency, Micros::from_micros(500));
         // Newer seq replaces.
-        assert!(db.apply(&update(0, 2, 3, 0.0)));
+        assert!(db.apply(&update(0, 1, 2, 3, 0.0), Micros::ZERO));
         let st = db.network_state(Micros::ZERO);
         assert_eq!(st.condition(EdgeId::new(3)).loss_rate, 0.0);
     }
 
     #[test]
+    fn restarted_origin_with_reset_seq_is_accepted_via_epoch() {
+        let mut db = db();
+        // First life: epoch 100, sequence climbed to 50.
+        assert!(db.apply(&update(2, 100, 50, 5, 0.4), Micros::ZERO));
+        // Restart resets the sequence to 1 — the old code dropped this
+        // as stale; the higher epoch must win.
+        assert!(db.apply(&update(2, 200, 1, 5, 0.0), Micros::ZERO), "post-restart report rejected");
+        let st = db.network_state(Micros::ZERO);
+        assert_eq!(st.condition(EdgeId::new(5)).loss_rate, 0.0);
+        // But the old life's leftovers are now stale.
+        assert!(!db.apply(&update(2, 100, 60, 5, 0.9), Micros::ZERO));
+    }
+
+    #[test]
+    fn down_entries_read_as_fully_lossy() {
+        let mut db = db();
+        let mut u = update(1, 1, 1, 4, 0.02);
+        u.entries[0].down = true;
+        assert!(db.apply(&u, Micros::ZERO));
+        let st = db.network_state(Micros::ZERO);
+        assert_eq!(st.condition(EdgeId::new(4)).loss_rate, 1.0);
+    }
+
+    #[test]
+    fn silent_origin_expires_to_pessimistic_default() {
+        let mut db = db();
+        assert!(db.apply(&update(0, 1, 1, 3, 0.0), Micros::from_secs(1)));
+        // Still fresh at +5s.
+        let st = db.network_state(Micros::from_secs(6));
+        assert_eq!(st.condition(EdgeId::new(3)).loss_rate, 0.0);
+        assert_eq!(db.origins_heard(), 1);
+        // Silent past max_age: the reported edge turns pessimistic and
+        // the origin is forgotten.
+        let st = db.network_state(Micros::from_secs(12));
+        assert_eq!(st.condition(EdgeId::new(3)).loss_rate, 1.0);
+        assert_eq!(db.origins_heard(), 0);
+        // Any fresh report — even epoch 0, seq 0 — is accepted again.
+        assert!(db.apply(&update(0, 0, 0, 3, 0.1), Micros::from_secs(13)));
+    }
+
+    #[test]
     fn unknown_origin_or_edge_is_harmless() {
-        let g = presets::north_america_12();
-        let mut db = LinkStateDb::new(&g);
-        assert!(!db.apply(&update(99, 1, 3, 0.5)));
+        let mut db = db();
+        assert!(!db.apply(&update(99, 1, 1, 3, 0.5), Micros::ZERO));
         // Known origin, bogus edge id: accepted but entry skipped.
-        assert!(db.apply(&update(1, 1, 9_999, 0.5)));
+        assert!(db.apply(&update(1, 1, 1, 9_999, 0.5), Micros::ZERO));
         let st = db.network_state(Micros::ZERO);
         assert!(st.problematic_edges(0.01).is_empty());
     }
 
     #[test]
     fn state_time_is_stamped() {
-        let g = presets::north_america_12();
-        let db = LinkStateDb::new(&g);
+        let mut db = db();
         assert_eq!(db.network_state(Micros::from_secs(9)).time(), Micros::from_secs(9));
     }
 }

@@ -77,10 +77,20 @@ declare_counters! {
     duplicates,
     /// Packets dropped (not re-forwarded) because their deadline passed.
     expired,
-    /// Datagrams that failed to parse.
+    /// Datagrams that failed to parse (truncated, corrupted, bad
+    /// magic/version/checksum).
     malformed,
     /// Datagrams dropped by injected link faults.
     fault_drops,
+    /// Extra copies transmitted by injected duplication faults.
+    fault_duplicates,
+    /// Datagrams corrupted in flight by injected faults.
+    fault_corruptions,
+    /// Datagrams dropped because a bounded internal queue was full.
+    queue_drops,
+    /// Incoming links this node has declared down on hello timeout
+    /// (counts declarations, not currently-down links).
+    links_declared_down,
     /// Missing link sequences this node has NACKed upstream.
     retransmit_requests_issued,
     /// Missing link sequences neighbours have NACKed to this node.
@@ -232,6 +242,17 @@ pub enum EventKind {
         neighbor: NodeId,
         /// How many sequences could not be served.
         packets: u64,
+    },
+    /// Hello silence exceeded the timeout: the incoming link from
+    /// `neighbor` is declared down and flooded as such.
+    LinkDown {
+        /// The neighbour at the far end of the silent link.
+        neighbor: NodeId,
+    },
+    /// Hellos resumed on a link previously declared down.
+    LinkUp {
+        /// The neighbour whose link recovered.
+        neighbor: NodeId,
     },
 }
 

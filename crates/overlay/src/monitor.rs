@@ -35,26 +35,61 @@ struct NeighborStats {
 pub struct LinkMonitor {
     window: u64,
     hello_interval: Micros,
+    /// Hello silence longer than this many intervals declares the
+    /// incoming link down.
+    down_after: u64,
     neighbors: HashMap<NodeId, NeighborStats>,
     /// Neighbours whose incoming link is currently flagged lossy.
     triggered: HashSet<NodeId>,
+    /// Neighbours whose incoming link is currently declared down.
+    down: HashSet<NodeId>,
 }
 
 impl LinkMonitor {
     /// Creates a monitor estimating loss over the last `window` hellos,
-    /// charging silence as loss at one hello per `hello_interval`.
+    /// charging silence as loss at one hello per `hello_interval` and
+    /// declaring a link down after `down_after` silent intervals.
     ///
     /// # Panics
     ///
-    /// Panics if `window` is zero or `hello_interval` is zero.
-    pub fn new(window: usize, hello_interval: Micros) -> Self {
+    /// Panics if `window`, `hello_interval`, or `down_after` is zero.
+    pub fn new(window: usize, hello_interval: Micros, down_after: u64) -> Self {
         assert!(window > 0, "monitor window must be positive");
         assert!(hello_interval > Micros::ZERO, "hello interval must be positive");
+        assert!(down_after > 0, "down-after must be positive");
         LinkMonitor {
             window: window as u64,
             hello_interval,
+            down_after,
             neighbors: HashMap::new(),
             triggered: HashSet::new(),
+            down: HashSet::new(),
+        }
+    }
+
+    /// Whether the link from `neighbor` has been silent past the
+    /// down-declaration timeout. A neighbour never heard from is not
+    /// "down" — startup silence is not evidence of failure (the loss
+    /// estimate already reads 1.0 for it).
+    pub fn is_down(&self, neighbor: NodeId, now: Micros) -> bool {
+        let Some(last_heard) = self.neighbors.get(&neighbor).and_then(|s| s.last_heard) else {
+            return false;
+        };
+        now.saturating_sub(last_heard) > self.hello_interval.saturating_mul(self.down_after)
+    }
+
+    /// Re-evaluates the down declaration for `neighbor`. Returns
+    /// `Some(true)` when the link is newly declared down, `Some(false)`
+    /// when a down link has come back (hellos resumed), and `None` when
+    /// nothing changed.
+    pub fn down_transition(&mut self, neighbor: NodeId, now: Micros) -> Option<bool> {
+        let down_now = self.is_down(neighbor, now);
+        if down_now && self.down.insert(neighbor) {
+            Some(true)
+        } else if !down_now && self.down.remove(&neighbor) {
+            Some(false)
+        } else {
+            None
         }
     }
 
@@ -148,7 +183,7 @@ mod tests {
     const TICK: Micros = Micros::from_millis(50);
 
     fn monitor() -> LinkMonitor {
-        LinkMonitor::new(10, TICK)
+        LinkMonitor::new(10, TICK, 5)
     }
 
     fn at(i: u64) -> Micros {
@@ -255,14 +290,45 @@ mod tests {
     }
 
     #[test]
+    fn silence_declares_down_and_hellos_bring_it_back() {
+        let mut m = monitor();
+        let n = NodeId::new(7);
+        // Never heard: not down, no transition.
+        assert!(!m.is_down(n, at(100)));
+        assert_eq!(m.down_transition(n, at(100)), None);
+        for seq in 0..5 {
+            m.record_hello(n, seq, Micros::ZERO, at(seq));
+        }
+        // Quiet for fewer than down_after intervals: still up.
+        assert!(!m.is_down(n, at(8)));
+        assert_eq!(m.down_transition(n, at(8)), None);
+        // Past the timeout (down_after = 5 intervals after last hello
+        // at tick 4): declared down exactly once.
+        assert!(m.is_down(n, at(11)));
+        assert_eq!(m.down_transition(n, at(11)), Some(true));
+        assert_eq!(m.down_transition(n, at(12)), None);
+        // Hellos resume: cleared exactly once.
+        m.record_hello(n, 5, Micros::ZERO, at(13));
+        assert!(!m.is_down(n, at(13)));
+        assert_eq!(m.down_transition(n, at(13)), Some(false));
+        assert_eq!(m.down_transition(n, at(13)), None);
+    }
+
+    #[test]
     #[should_panic(expected = "window")]
     fn zero_window_panics() {
-        LinkMonitor::new(0, TICK);
+        LinkMonitor::new(0, TICK, 5);
     }
 
     #[test]
     #[should_panic(expected = "interval")]
     fn zero_interval_panics() {
-        LinkMonitor::new(10, Micros::ZERO);
+        LinkMonitor::new(10, Micros::ZERO, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "down-after")]
+    fn zero_down_after_panics() {
+        LinkMonitor::new(10, TICK, 0);
     }
 }

@@ -2,7 +2,7 @@
 
 use crate::clock::now_us;
 use crate::config::NodeConfig;
-use crate::fault::FaultPlan;
+use crate::fault::{corrupt_in_place, FaultPlan};
 use crate::linkstate::LinkStateDb;
 use crate::metrics::{EventKind, MetricsRegistry, MetricsSnapshot, NodeCounters};
 use crate::monitor::LinkMonitor;
@@ -11,13 +11,12 @@ use crate::session::{Delivery, FlowReceiver, FlowSender, SchemeSlot};
 use crate::wire::{DataPacket, Envelope, LinkStateEntry, LinkStateUpdate, Message};
 use crate::OverlayError;
 use bytes::Bytes;
-use crossbeam::channel::{self, Receiver, Sender, TryRecvError};
+use crossbeam::channel::{self, Receiver, Sender, TryRecvError, TrySendError};
 use dg_core::scheme::RoutingScheme;
 use dg_core::{Flow, ServiceRequirement};
 use dg_topology::{Graph, Micros, NodeId};
 use dg_trace::NetworkState;
 use parking_lot::Mutex;
-use rand::Rng;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::net::UdpSocket;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -140,6 +139,9 @@ pub(crate) struct Shared {
     pub(crate) metrics: MetricsRegistry,
     hello_seq: AtomicU64,
     ls_seq: AtomicU64,
+    /// This node's link-state incarnation, minted from the clock at
+    /// spawn so a restarted node outranks its previous life.
+    ls_epoch: u64,
 }
 
 impl Shared {
@@ -149,11 +151,31 @@ impl Shared {
 
     /// Applies link faults and hands the datagram to the shipper.
     fn transmit(&self, to: NodeId, datagram: Bytes) {
-        let fault = self.faults.get(to);
-        if fault.loss > 0.0 && rand::thread_rng().gen_bool(fault.loss.clamp(0.0, 1.0)) {
+        let verdict = self.faults.decide(to);
+        if verdict.drop {
             self.metrics.counters.fault_drops.fetch_add(1, Ordering::Relaxed);
             return;
         }
+        let payload = if verdict.corrupt {
+            self.metrics.counters.fault_corruptions.fetch_add(1, Ordering::Relaxed);
+            let mut bytes = datagram.to_vec();
+            corrupt_in_place(&mut bytes, verdict.corrupt_seed);
+            Bytes::from(bytes)
+        } else {
+            datagram
+        };
+        let depart_at = now_us().saturating_add(verdict.delay);
+        self.ship(to, payload.clone(), depart_at);
+        if verdict.duplicate {
+            self.metrics.counters.fault_duplicates.fetch_add(1, Ordering::Relaxed);
+            self.ship(to, payload, depart_at);
+        }
+    }
+
+    /// Accounts one wire transmission and queues it on the shipper,
+    /// dropping (and counting) on overflow instead of growing without
+    /// bound.
+    fn ship(&self, to: NodeId, datagram: Bytes, depart_at: Micros) {
         let bytes = datagram.len() as u64;
         self.metrics.counters.datagrams_sent.fetch_add(1, Ordering::Relaxed);
         self.metrics.counters.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
@@ -163,11 +185,17 @@ impl Shared {
         let shipment = Shipment {
             to,
             datagram,
-            depart_at: now_us().saturating_add(fault.delay),
+            depart_at,
             order: self.shipment_order.fetch_add(1, Ordering::Relaxed),
         };
-        // A send on a closed channel only happens during shutdown.
-        let _ = self.shipper_tx.send(shipment);
+        match self.shipper_tx.try_send(shipment) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => {
+                self.metrics.counters.queue_drops.fetch_add(1, Ordering::Relaxed);
+            }
+            // A closed channel only happens during shutdown.
+            Err(TrySendError::Disconnected(_)) => {}
+        }
     }
 
     /// Assigns a per-link sequence, buffers for recovery, and transmits
@@ -228,7 +256,7 @@ impl Shared {
                 self.monitor.lock().record_rtt(from, rtt);
             }
             Message::LinkState(update) => {
-                if self.linkstate.lock().apply(&update) {
+                if self.linkstate.lock().apply(&update, now_us()) {
                     self.flood_link_state(&update, Some(from));
                 }
             }
@@ -315,14 +343,19 @@ impl Shared {
                 flow_cells.packets_late.fetch_add(1, Ordering::Relaxed);
             }
             if let Some(tx) = self.receivers.lock().get(&packet.flow) {
-                let _ = tx.send(Delivery {
+                let delivery = Delivery {
                     flow: packet.flow,
                     flow_seq: packet.flow_seq,
                     payload: packet.payload.clone(),
                     sent_at: packet.sent_at,
                     delivered_at: now,
                     on_time,
-                });
+                };
+                // The delivery queue is bounded: an application that
+                // stops draining sheds load instead of wedging the node.
+                if let Err(TrySendError::Full(_)) = tx.try_send(delivery) {
+                    self.metrics.counters.queue_drops.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
         if !on_time {
@@ -374,10 +407,24 @@ impl Shared {
                         None => {}
                     }
                 }
+                // Hello silence past the configured horizon declares the
+                // link down outright — flooded so every scheme routes
+                // around it rather than waiting for loss estimates to
+                // decay.
+                let down = monitor.is_down(neighbor, now);
+                match monitor.down_transition(neighbor, now) {
+                    Some(true) => {
+                        self.metrics.counters.links_declared_down.fetch_add(1, Ordering::Relaxed);
+                        self.metrics.record(EventKind::LinkDown { neighbor });
+                    }
+                    Some(false) => self.metrics.record(EventKind::LinkUp { neighbor }),
+                    None => {}
+                }
                 entries.push(LinkStateEntry {
                     edge: e,
                     loss: loss as f32,
                     extra_latency_us: extra.as_micros().min(u64::from(u32::MAX)) as u32,
+                    down,
                 });
             }
             entries
@@ -385,10 +432,11 @@ impl Shared {
         self.metrics.counters.link_state_originated.fetch_add(1, Ordering::Relaxed);
         let update = LinkStateUpdate {
             origin: me,
+            epoch: self.ls_epoch,
             seq: self.ls_seq.fetch_add(1, Ordering::Relaxed) + 1,
             entries,
         };
-        self.linkstate.lock().apply(&update);
+        self.linkstate.lock().apply(&update, now);
         self.flood_link_state(&update, None);
     }
 
@@ -464,22 +512,26 @@ impl OverlayNode {
         socket: UdpSocket,
     ) -> Result<OverlayHandle, OverlayError> {
         socket.set_read_timeout(Some(Duration::from_millis(10)))?;
-        let (shipper_tx, shipper_rx) = channel::unbounded();
+        let (shipper_tx, shipper_rx) = channel::bounded(config.shipper_queue);
         let monitor_window = config.monitor_window;
         let dedup_window = config.dedup_window;
         let hello_interval = config.hello_interval;
         let journal_capacity = config.journal_capacity;
+        let link_down_intervals = config.link_down_intervals;
+        let max_age = Micros::from_micros(config.link_state_max_age.as_micros() as u64);
+        let fault_seed = config.fault_seed;
         let shared = Arc::new(Shared {
             config,
             graph: Arc::clone(&graph),
             socket,
             running: AtomicBool::new(true),
-            faults: FaultPlan::new(),
+            faults: FaultPlan::with_seed(fault_seed),
             monitor: Mutex::new(LinkMonitor::new(
                 monitor_window,
                 Micros::from_micros(hello_interval.as_micros() as u64),
+                link_down_intervals,
             )),
-            linkstate: Mutex::new(LinkStateDb::new(&graph)),
+            linkstate: Mutex::new(LinkStateDb::new(&graph, max_age)),
             dedup: Mutex::new(DedupCache::new(dedup_window)),
             send_links: Mutex::new(HashMap::new()),
             recv_links: Mutex::new(HashMap::new()),
@@ -490,6 +542,7 @@ impl OverlayNode {
             metrics: MetricsRegistry::new(journal_capacity),
             hello_seq: AtomicU64::new(0),
             ls_seq: AtomicU64::new(0),
+            ls_epoch: now_us().as_micros(),
         });
 
         let rx_shared = Arc::clone(&shared);
@@ -554,7 +607,7 @@ impl OverlayHandle {
         if flow.destination != self.node_id() {
             return Err(OverlayError::UnknownNode(flow.destination));
         }
-        let (tx, rx) = channel::unbounded();
+        let (tx, rx) = channel::bounded(self.shared.config.delivery_queue);
         self.shared.receivers.lock().insert(flow, tx);
         Ok(FlowReceiver::new(rx))
     }

@@ -1,10 +1,16 @@
 //! Wire format of overlay packets.
 //!
 //! Every datagram is an [`Envelope`]: a fixed prelude (magic, version,
-//! message type, sending node) followed by one [`Message`]. Data
-//! packets carry the flow's dissemination graph as an edge bitmask, so
-//! intermediate nodes forward without any per-flow routing state — the
-//! source alone decides the routing, per the paper's architecture.
+//! message type, sending node, integrity checksum) followed by one
+//! [`Message`]. Data packets carry the flow's dissemination graph as an
+//! edge bitmask, so intermediate nodes forward without any per-flow
+//! routing state — the source alone decides the routing, per the
+//! paper's architecture.
+//!
+//! The prelude checksum (FNV-1a over every byte except the checksum
+//! field itself) turns in-flight corruption into a clean decode error:
+//! a corrupted datagram only ever increments the `malformed` counter,
+//! it can never deliver a flipped payload or poison protocol state.
 
 use crate::OverlayError;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -13,8 +19,9 @@ use dg_topology::{EdgeId, Micros, NodeId};
 
 /// First byte of every overlay datagram.
 pub const MAGIC: u8 = 0xDC;
-/// Wire protocol version.
-pub const VERSION: u8 = 1;
+/// Wire protocol version. Version 2 added the prelude checksum, the
+/// link-state origin epoch, and per-entry link-down flags.
+pub const VERSION: u8 = 2;
 /// Maximum application payload per packet, chosen to keep the whole
 /// datagram under a typical 1500-byte MTU.
 pub const MAX_PAYLOAD: usize = 1200;
@@ -100,6 +107,9 @@ pub struct LinkStateEntry {
     pub loss: f32,
     /// Estimated latency above baseline, in microseconds.
     pub extra_latency_us: u32,
+    /// The origin has declared this link down (hello timeout): treat it
+    /// as fully lossy regardless of the `loss` estimate.
+    pub down: bool,
 }
 
 /// A link-state report flooded through the overlay.
@@ -107,7 +117,11 @@ pub struct LinkStateEntry {
 pub struct LinkStateUpdate {
     /// The node reporting its out-links.
     pub origin: NodeId,
-    /// Monotonic per-origin sequence number (newer replaces older).
+    /// The origin's incarnation, minted at process start. A restarted
+    /// node's sequence numbers reset, but its fresh (higher) epoch
+    /// makes its reports newer than anything from the previous life.
+    pub epoch: u64,
+    /// Monotonic per-origin sequence number within one epoch.
     pub seq: u64,
     /// Conditions of the origin's out-edges.
     pub entries: Vec<LinkStateEntry>,
@@ -118,6 +132,31 @@ const T_NACK: u8 = 1;
 const T_HELLO: u8 = 2;
 const T_HELLO_ACK: u8 = 3;
 const T_LINK_STATE: u8 = 4;
+
+/// Byte offset of the prelude checksum field.
+const CHECKSUM_OFFSET: usize = 7;
+/// Total prelude size: magic, version, type, sender, checksum.
+const PRELUDE_LEN: usize = 11;
+/// Bit 0 of a link-state entry's flags byte: link declared down.
+const FLAG_LINK_DOWN: u8 = 0x01;
+
+/// FNV-1a over every datagram byte except the checksum field itself.
+fn checksum(datagram: &[u8]) -> u32 {
+    let mut hash: u32 = 0x811C_9DC5;
+    let mut step = |byte: u8| {
+        hash ^= u32::from(byte);
+        hash = hash.wrapping_mul(0x0100_0193);
+    };
+    for &b in &datagram[..CHECKSUM_OFFSET.min(datagram.len())] {
+        step(b);
+    }
+    if datagram.len() > PRELUDE_LEN {
+        for &b in &datagram[PRELUDE_LEN..] {
+            step(b);
+        }
+    }
+    hash
+}
 
 impl Envelope {
     /// Serializes the envelope to bytes ready for a datagram.
@@ -133,6 +172,7 @@ impl Envelope {
             Message::LinkState(_) => buf.put_u8(T_LINK_STATE),
         }
         buf.put_u32(self.from.index() as u32);
+        buf.put_u32(0); // checksum placeholder, filled below
         match &self.message {
             Message::Data(d) => {
                 buf.put_u32(d.flow.source.index() as u32);
@@ -163,15 +203,19 @@ impl Envelope {
             }
             Message::LinkState(u) => {
                 buf.put_u32(u.origin.index() as u32);
+                buf.put_u64(u.epoch);
                 buf.put_u64(u.seq);
                 buf.put_u16(u.entries.len() as u16);
                 for e in &u.entries {
                     buf.put_u32(e.edge.index() as u32);
                     buf.put_f32(e.loss);
                     buf.put_u32(e.extra_latency_us);
+                    buf.put_u8(if e.down { FLAG_LINK_DOWN } else { 0 });
                 }
             }
         }
+        let sum = checksum(&buf);
+        buf[CHECKSUM_OFFSET..PRELUDE_LEN].copy_from_slice(&sum.to_be_bytes());
         buf.freeze()
     }
 
@@ -183,7 +227,7 @@ impl Envelope {
     /// an unknown message type.
     pub fn decode(datagram: &[u8]) -> Result<Envelope, OverlayError> {
         let mut buf = datagram;
-        if buf.remaining() < 7 {
+        if buf.remaining() < PRELUDE_LEN {
             return Err(OverlayError::Malformed("short prelude"));
         }
         if buf.get_u8() != MAGIC {
@@ -194,6 +238,10 @@ impl Envelope {
         }
         let msg_type = buf.get_u8();
         let from = NodeId::new(buf.get_u32());
+        let claimed = buf.get_u32();
+        if claimed != checksum(datagram) {
+            return Err(OverlayError::Malformed("bad checksum"));
+        }
         let message = match msg_type {
             T_DATA => {
                 if buf.remaining() < 4 + 4 + 8 + 8 + 8 + 8 + 1 + 2 {
@@ -254,13 +302,14 @@ impl Envelope {
                 }
             }
             T_LINK_STATE => {
-                if buf.remaining() < 14 {
+                if buf.remaining() < 22 {
                     return Err(OverlayError::Malformed("short link state"));
                 }
                 let origin = NodeId::new(buf.get_u32());
+                let epoch = buf.get_u64();
                 let seq = buf.get_u64();
                 let count = buf.get_u16() as usize;
-                if buf.remaining() < count * 12 {
+                if buf.remaining() < count * 13 {
                     return Err(OverlayError::Malformed("short link state entries"));
                 }
                 let entries = (0..count)
@@ -268,9 +317,10 @@ impl Envelope {
                         edge: EdgeId::new(buf.get_u32()),
                         loss: buf.get_f32(),
                         extra_latency_us: buf.get_u32(),
+                        down: buf.get_u8() & FLAG_LINK_DOWN != 0,
                     })
                     .collect();
-                Message::LinkState(LinkStateUpdate { origin, seq, entries })
+                Message::LinkState(LinkStateUpdate { origin, epoch, seq, entries })
             }
             _ => return Err(OverlayError::Malformed("unknown message type")),
         };
@@ -325,14 +375,21 @@ mod tests {
                 from: NodeId::new(4),
                 message: Message::LinkState(LinkStateUpdate {
                     origin: NodeId::new(4),
+                    epoch: 1_722_000_000_000_000,
                     seq: 8,
                     entries: vec![
                         LinkStateEntry {
                             edge: EdgeId::new(12),
                             loss: 0.25,
                             extra_latency_us: 1500,
+                            down: false,
                         },
-                        LinkStateEntry { edge: EdgeId::new(13), loss: 0.0, extra_latency_us: 0 },
+                        LinkStateEntry {
+                            edge: EdgeId::new(13),
+                            loss: 1.0,
+                            extra_latency_us: 0,
+                            down: true,
+                        },
                     ],
                 }),
             },
@@ -371,10 +428,26 @@ mod tests {
         let mut bytes = sample_data().encode().to_vec();
         bytes[2] = 99; // unknown type
         assert!(Envelope::decode(&bytes).is_err());
-        // Truncations never panic.
+        // Truncations never panic and never succeed (the checksum no
+        // longer matches a shortened body).
         let good = sample_data().encode();
         for cut in 0..good.len() {
-            let _ = Envelope::decode(&good[..cut]);
+            assert!(Envelope::decode(&good[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn single_byte_corruption_is_always_detected() {
+        let good = sample_data().encode();
+        for pos in 0..good.len() {
+            for xor in [0x01u8, 0x80, 0xFF] {
+                let mut bytes = good.to_vec();
+                bytes[pos] ^= xor;
+                assert!(
+                    Envelope::decode(&bytes).is_err(),
+                    "flip {xor:#04x} at byte {pos} went undetected"
+                );
+            }
         }
     }
 }

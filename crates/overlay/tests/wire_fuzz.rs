@@ -44,18 +44,21 @@ fn arb_message() -> impl Strategy<Value = Message> {
         (
             0u32..64,
             any::<u64>(),
-            proptest::collection::vec((0u32..256, 0.0f32..1.0, any::<u32>()), 0..32),
+            any::<u64>(),
+            proptest::collection::vec((0u32..256, 0.0f32..1.0, any::<u32>(), any::<bool>()), 0..32),
         )
-            .prop_map(|(origin, seq, entries)| {
+            .prop_map(|(origin, epoch, seq, entries)| {
                 Message::LinkState(LinkStateUpdate {
                     origin: NodeId::new(origin),
+                    epoch,
                     seq,
                     entries: entries
                         .into_iter()
-                        .map(|(e, loss, extra)| LinkStateEntry {
+                        .map(|(e, loss, extra, down)| LinkStateEntry {
                             edge: EdgeId::new(e),
                             loss,
                             extra_latency_us: extra,
+                            down,
                         })
                         .collect(),
                 })
@@ -82,22 +85,23 @@ proptest! {
     }
 
     /// Truncating a valid datagram at any point yields an error, never
-    /// a panic or a bogus success that reads past the buffer.
+    /// a panic, a bogus success, or a read past the buffer — the
+    /// checksum covers the whole datagram, so no proper prefix decodes.
     #[test]
-    fn truncation_is_safe(from in 0u32..64, message in arb_message(), cut_frac in 0.0f64..1.0) {
+    fn truncation_is_rejected(from in 0u32..64, message in arb_message(), cut_frac in 0.0f64..1.0) {
         let env = Envelope { from: NodeId::new(from), message };
         let encoded = env.encode();
         let cut = ((encoded.len() as f64) * cut_frac) as usize;
         if cut < encoded.len() {
-            // Either a clean error or (for cuts landing after all
-            // payload bytes were consumed) a structurally valid prefix.
-            let _ = Envelope::decode(&encoded[..cut]);
+            prop_assert!(Envelope::decode(&encoded[..cut]).is_err());
         }
     }
 
-    /// Flipping one byte never panics the decoder.
+    /// Flipping one byte never panics the decoder, and the checksum
+    /// catches every single-byte flip — corruption yields malformed,
+    /// never a silently altered message.
     #[test]
-    fn corruption_is_safe(
+    fn corruption_is_detected(
         from in 0u32..64,
         message in arb_message(),
         pos_frac in 0.0f64..1.0,
@@ -108,7 +112,7 @@ proptest! {
         let pos = ((bytes.len() as f64) * pos_frac) as usize % bytes.len().max(1);
         if !bytes.is_empty() {
             bytes[pos] ^= xor;
+            prop_assert!(Envelope::decode(&bytes).is_err());
         }
-        let _ = Envelope::decode(&bytes);
     }
 }

@@ -1,0 +1,414 @@
+//! Chaos soak: seeded fault storms against the real UDP overlay.
+//!
+//! The tentpole robustness claims under test:
+//! - the fault model is deterministic for a fixed seed, so a chaos run
+//!   is reproducible;
+//! - a storm of bursty loss, reordering, duplication, corruption,
+//!   blackholes, and a node crash/restart never panics the overlay,
+//!   never delivers a corrupted payload (corrupt datagrams only ever
+//!   surface as `malformed`), and keeps the conservation identity;
+//! - once the storm heals, delivery recovers to ≥99% on-time within a
+//!   settle window;
+//! - a crashed-then-restarted node's link-state reports are accepted
+//!   again via its fresh epoch, well before aging would have bailed the
+//!   database out;
+//! - hello-timeout link-down declarations let adaptive schemes reroute
+//!   around a killed node while the static baseline loses its flow.
+
+use dissemination_graphs::overlay::chaos::{
+    ChaosAction, ChaosEvent, ChaosProfile, ChaosRunner, ChaosSchedule,
+};
+use dissemination_graphs::overlay::cluster::{Cluster, ClusterConfig};
+use dissemination_graphs::overlay::fault::{BurstLoss, FaultPlan, LinkFault};
+use dissemination_graphs::overlay::metrics::EventKind;
+use dissemination_graphs::prelude::*;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+fn by_name(graph: &Graph, name: &str) -> NodeId {
+    graph.node_by_name(name).unwrap()
+}
+
+/// Every fault decision a storm makes, folded into comparable totals.
+#[derive(Debug, PartialEq, Eq)]
+struct VerdictTotals {
+    drops: u64,
+    duplicates: u64,
+    corruptions: u64,
+    delay_sum_us: u64,
+    corrupt_seed_hash: u64,
+}
+
+/// Replays a fixed decision sequence — including a mid-run heal and
+/// re-inject — against a seeded plan and tallies the verdicts.
+fn run_verdict_stream(seed: u64) -> VerdictTotals {
+    let plan = FaultPlan::with_seed(seed);
+    let storm = LinkFault {
+        loss: 0.1,
+        burst: Some(BurstLoss { p_enter: 0.08, p_exit: 0.3, good_loss: 0.01, bad_loss: 0.8 }),
+        jitter: Micros::from_millis(2),
+        reorder: 0.2,
+        duplicate: 0.15,
+        corrupt: 0.1,
+        ..LinkFault::default()
+    };
+    plan.set(NodeId::new(1), LinkFault::lossy(0.3, Micros::from_millis(1)));
+    plan.set(NodeId::new(2), storm);
+    let mut totals = VerdictTotals {
+        drops: 0,
+        duplicates: 0,
+        corruptions: 0,
+        delay_sum_us: 0,
+        corrupt_seed_hash: 0,
+    };
+    for step in 0..10_000u64 {
+        if step == 5_000 {
+            // Heal and re-inject: the per-link RNG stream must carry on
+            // where it left off, not restart.
+            plan.clear(NodeId::new(2));
+            plan.set(NodeId::new(2), storm);
+        }
+        for neighbor in [NodeId::new(1), NodeId::new(2)] {
+            let v = plan.decide(neighbor);
+            totals.drops += u64::from(v.drop);
+            totals.duplicates += u64::from(v.duplicate);
+            totals.corruptions += u64::from(v.corrupt);
+            totals.delay_sum_us += v.delay.as_micros();
+            totals.corrupt_seed_hash ^= v.corrupt_seed.rotate_left((step % 63) as u32);
+        }
+    }
+    totals
+}
+
+/// Acceptance criterion: the chaos fault model is bit-deterministic for
+/// a fixed seed — two runs produce identical drop/duplicate/corruption
+/// totals — and a different seed produces a different storm.
+#[test]
+fn seeded_chaos_is_deterministic() {
+    let first = run_verdict_stream(0xDEAD_BEEF);
+    let second = run_verdict_stream(0xDEAD_BEEF);
+    assert_eq!(first, second, "same seed must replay the same storm");
+    let other = run_verdict_stream(0xFEED_FACE);
+    assert_ne!(first, other, "different seeds must differ");
+
+    let graph = topology::presets::north_america_12();
+    let profile = ChaosProfile::default();
+    let a = ChaosSchedule::generate(7, graph.edge_count(), graph.node_count(), &[], &profile);
+    let b = ChaosSchedule::generate(7, graph.edge_count(), graph.node_count(), &[], &profile);
+    assert_eq!(a, b, "schedule generation must be deterministic");
+}
+
+/// The tentpole soak: a scripted storm covering every impairment mode
+/// plus a node crash/restart, replayed against the live overlay while a
+/// targeted-redundancy flow keeps sending. Invariants: conservation,
+/// corrupt datagrams never reach a receiver intact-looking, and
+/// post-heal delivery recovers to ≥99% on-time.
+#[test]
+fn chaos_storm_soak_holds_invariants_and_recovers() {
+    let graph = topology::presets::north_america_12();
+    let flow = Flow::new(by_name(&graph, "NYC"), by_name(&graph, "SJC"));
+    let mut cluster = Cluster::launch(
+        &graph,
+        ClusterConfig {
+            hello_interval: Duration::from_millis(25),
+            link_state_interval: Duration::from_millis(100),
+            fault_seed: 42,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let rx = cluster.open_receiver(flow).unwrap();
+    let tx = cluster
+        .open_sender(flow, SchemeKind::TargetedRedundancy, ServiceRequirement::default())
+        .unwrap();
+    assert!(cluster.wait_for_link_state(Duration::from_secs(5)), "no link-state convergence");
+
+    // The storm: every failure mode in the model, all healed by 1300 ms,
+    // with DEN crashed and restarted (DEN is on neither coast, so the
+    // flow's endpoints stay up).
+    let nyc_out: Vec<_> = graph.out_edges(flow.source).to_vec();
+    let schedule = ChaosSchedule {
+        seed: 42,
+        events: vec![
+            ChaosEvent {
+                at_ms: 100,
+                action: ChaosAction::InjectEdge {
+                    edge: nyc_out[0],
+                    fault: LinkFault { corrupt: 0.3, ..LinkFault::default() },
+                },
+            },
+            ChaosEvent {
+                at_ms: 150,
+                action: ChaosAction::InjectEdge {
+                    edge: nyc_out[1],
+                    fault: LinkFault {
+                        burst: Some(BurstLoss {
+                            p_enter: 0.1,
+                            p_exit: 0.25,
+                            good_loss: 0.02,
+                            bad_loss: 0.9,
+                        }),
+                        duplicate: 0.2,
+                        ..LinkFault::default()
+                    },
+                },
+            },
+            ChaosEvent {
+                at_ms: 200,
+                action: ChaosAction::ImpairNode {
+                    node: by_name(&graph, "CHI"),
+                    fault: LinkFault {
+                        jitter: Micros::from_millis(4),
+                        reorder: 0.3,
+                        loss: 0.1,
+                        ..LinkFault::default()
+                    },
+                },
+            },
+            ChaosEvent {
+                at_ms: 300,
+                action: ChaosAction::InjectEdge {
+                    edge: nyc_out[2],
+                    fault: LinkFault { blackhole: true, ..LinkFault::default() },
+                },
+            },
+            ChaosEvent {
+                at_ms: 400,
+                action: ChaosAction::CrashNode { node: by_name(&graph, "DEN") },
+            },
+            ChaosEvent { at_ms: 1000, action: ChaosAction::HealEdge { edge: nyc_out[0] } },
+            ChaosEvent { at_ms: 1050, action: ChaosAction::HealEdge { edge: nyc_out[1] } },
+            ChaosEvent {
+                at_ms: 1100,
+                action: ChaosAction::HealNode { node: by_name(&graph, "CHI") },
+            },
+            ChaosEvent { at_ms: 1150, action: ChaosAction::HealEdge { edge: nyc_out[2] } },
+            ChaosEvent {
+                at_ms: 1300,
+                action: ChaosAction::RestartNode { node: by_name(&graph, "DEN") },
+            },
+        ],
+    };
+    let mut runner = ChaosRunner::new(&schedule);
+
+    // Send through the storm, polling chaos events between packets.
+    let mut sent: HashMap<u64, Vec<u8>> = HashMap::new();
+    let started = Instant::now();
+    let mut i = 0u64;
+    while !runner.finished() || started.elapsed() < Duration::from_millis(1500) {
+        runner.poll(&mut cluster, started.elapsed()).unwrap();
+        let payload = format!("storm-{i}");
+        let seq = tx.send(payload.as_bytes()).unwrap();
+        sent.insert(seq, payload.into_bytes());
+        i += 1;
+        std::thread::sleep(Duration::from_millis(3));
+    }
+    assert!(runner.finished(), "schedule did not complete");
+    assert!(cluster.is_alive(by_name(&graph, "DEN")), "DEN was not restarted");
+
+    // Settle, then measure post-heal recovery on a fresh batch.
+    std::thread::sleep(Duration::from_millis(1200));
+    drop(rx.drain());
+    let recovery_total = 300u64;
+    let mut recovery_seqs = std::collections::HashSet::new();
+    for i in 0..recovery_total {
+        let payload = format!("recovery-{i}");
+        let seq = tx.send(payload.as_bytes()).unwrap();
+        sent.insert(seq, payload.into_bytes());
+        recovery_seqs.insert(seq);
+        std::thread::sleep(Duration::from_millis(3));
+    }
+    std::thread::sleep(Duration::from_millis(700));
+    let deliveries = rx.drain();
+
+    // Corrupted datagrams must never surface as deliveries: every
+    // delivered payload is byte-identical to what was sent.
+    for d in &deliveries {
+        let expected = sent.get(&d.flow_seq).expect("delivered an unknown sequence");
+        assert_eq!(
+            &d.payload[..],
+            &expected[..],
+            "corrupted payload delivered for seq {}",
+            d.flow_seq
+        );
+    }
+    let on_time_recovered =
+        deliveries.iter().filter(|d| recovery_seqs.contains(&d.flow_seq) && d.on_time).count()
+            as u64;
+    assert!(
+        on_time_recovered as f64 >= 0.99 * recovery_total as f64,
+        "post-heal recovery too weak: {on_time_recovered}/{recovery_total} on time"
+    );
+
+    let report = cluster.metrics_report();
+    cluster.shutdown();
+
+    // The storm actually exercised the new fault modes...
+    let corruptions: u64 = report.nodes.iter().map(|n| n.counters.fault_corruptions).sum();
+    let dup_injected: u64 = report.nodes.iter().map(|n| n.counters.fault_duplicates).sum();
+    let malformed: u64 = report.nodes.iter().map(|n| n.counters.malformed).sum();
+    assert!(corruptions > 0, "corruption fault never fired");
+    assert!(dup_injected > 0, "duplication fault never fired");
+    // ...and every corruption that reached a live receiver was caught
+    // by the checksum, not parsed: corrupt datagrams only ever increment
+    // `malformed`. (Some corrupted datagrams can vanish entirely when
+    // their target crashed mid-storm, so malformed ≤ corruptions.)
+    assert!(malformed > 0, "no corrupted datagram was counted malformed");
+    assert!(malformed <= corruptions, "malformed exceeds injected corruptions");
+
+    // Conservation: everything sent is delivered or counted lost.
+    let fr = *report.flow(flow).expect("flow was active");
+    assert_eq!(fr.packets_sent, fr.packets_delivered + fr.packets_lost);
+    assert_eq!(fr.packets_sent, sent.len() as u64);
+}
+
+/// A crashed-then-restarted node's reports must be re-accepted through
+/// its fresh epoch — observably faster than the 3 s database aging that
+/// would eventually bail out a stale-sequence deadlock.
+#[test]
+fn restarted_node_link_state_is_reaccepted_via_epoch() {
+    let graph = topology::presets::north_america_12();
+    let mut cluster = Cluster::launch(
+        &graph,
+        ClusterConfig {
+            hello_interval: Duration::from_millis(25),
+            link_state_interval: Duration::from_millis(100),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(cluster.wait_for_link_state(Duration::from_secs(5)), "no link-state convergence");
+
+    // DEN reports the condition of its in-links. Impair one and wait
+    // until a far-away observer (NYC) sees DEN's report of it.
+    let den = by_name(&graph, "DEN");
+    let observer = cluster.node(by_name(&graph, "NYC"));
+    let watched = graph.in_edges(den)[0];
+    cluster.set_link_fault(watched, 0.9, Micros::ZERO);
+    let deadline = Instant::now() + Duration::from_secs(4);
+    loop {
+        if observer.network_state().condition(watched).loss_rate > 0.5 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "observer never saw the impairment");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // Crash DEN, heal the link while it is down, and restart it. The
+    // old incarnation's report (high sequence) says the link is lossy;
+    // only the new incarnation — reset sequence, fresh epoch — knows it
+    // healed.
+    cluster.kill_node(den);
+    std::thread::sleep(Duration::from_millis(400));
+    cluster.clear_link_fault(watched);
+    cluster.restart_node(den).unwrap();
+    let restarted_at = Instant::now();
+
+    // The observer must see the healed condition well before the 3 s
+    // aging fallback could explain it — i.e. the restarted node's fresh
+    // epoch outranked the stale high-sequence record.
+    let deadline = restarted_at + Duration::from_millis(2200);
+    loop {
+        if cluster.node(by_name(&graph, "NYC")).network_state().condition(watched).loss_rate < 0.5 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "restarted node's link-state reports were not re-accepted via epoch"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    cluster.shutdown();
+}
+
+/// Kill a node mid-flow: hello silence declares its links down within
+/// the detector window, the declarations flood, and adaptive schemes
+/// reroute — while the static single path, pinned through the corpse,
+/// loses its flow.
+#[test]
+fn link_down_declarations_let_adaptive_schemes_survive_a_node_kill() {
+    let graph = topology::presets::north_america_12();
+    let nyc = by_name(&graph, "NYC");
+    let sjc = by_name(&graph, "SJC");
+    let static_flow = Flow::new(nyc, sjc);
+    let dynamic_flow = Flow::new(sjc, nyc);
+
+    // Find the static path's first intermediate node — the victim.
+    let scheme = build_scheme(
+        SchemeKind::StaticSinglePath,
+        &graph,
+        static_flow,
+        ServiceRequirement::default(),
+        &SchemeParams::default(),
+    )
+    .unwrap();
+    let first_hop = scheme.current().forwarding_edges(&graph, nyc).next().unwrap();
+    let victim = graph.edge(first_hop).dst;
+    assert_ne!(victim, sjc, "static path must be multi-hop for this test");
+
+    let mut cluster = Cluster::launch(
+        &graph,
+        ClusterConfig {
+            hello_interval: Duration::from_millis(25),
+            link_state_interval: Duration::from_millis(100),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let static_rx = cluster.open_receiver(static_flow).unwrap();
+    let static_tx = cluster
+        .open_sender(static_flow, SchemeKind::StaticSinglePath, ServiceRequirement::default())
+        .unwrap();
+    let dynamic_rx = cluster.open_receiver(dynamic_flow).unwrap();
+    let dynamic_tx = cluster
+        .open_sender(dynamic_flow, SchemeKind::TargetedRedundancy, ServiceRequirement::default())
+        .unwrap();
+    assert!(cluster.wait_for_link_state(Duration::from_secs(5)), "no link-state convergence");
+
+    // Warm both flows, then kill the victim.
+    for _ in 0..50 {
+        static_tx.send(b"warm").unwrap();
+        dynamic_tx.send(b"warm").unwrap();
+        std::thread::sleep(Duration::from_millis(3));
+    }
+    cluster.kill_node(victim);
+    // Detector window: 5 hello intervals of silence (125 ms) declares
+    // the links down, plus flood and route recomputation time.
+    std::thread::sleep(Duration::from_millis(800));
+    drop(static_rx.drain());
+    drop(dynamic_rx.drain());
+
+    let total = 200u64;
+    for i in 0..total {
+        static_tx.send(format!("s{i}").as_bytes()).unwrap();
+        dynamic_tx.send(format!("d{i}").as_bytes()).unwrap();
+        std::thread::sleep(Duration::from_millis(3));
+    }
+    std::thread::sleep(Duration::from_millis(600));
+    let static_after = static_rx.drain().len() as u64;
+    let dynamic_after = dynamic_rx.drain().iter().filter(|d| d.on_time).count() as u64;
+
+    // The declarations must be visible in the metrics...
+    let report = cluster.metrics_report();
+    cluster.shutdown();
+    let declared: u64 = report.nodes.iter().map(|n| n.counters.links_declared_down).sum();
+    assert!(declared > 0, "no link was declared down after the kill");
+    assert!(
+        report
+            .nodes
+            .iter()
+            .flat_map(|n| &n.events)
+            .any(|e| matches!(e.kind, EventKind::LinkDown { neighbor } if neighbor == victim)),
+        "no LinkDown event named the killed node"
+    );
+    // ...and the service outcome must split: the adaptive flow survives,
+    // the static flow through the corpse starves.
+    assert!(
+        dynamic_after as f64 >= 0.95 * total as f64,
+        "adaptive flow did not survive the kill: {dynamic_after}/{total} on time"
+    );
+    assert!(
+        static_after as f64 <= 0.2 * total as f64,
+        "static single path somehow delivered {static_after}/{total} through a dead node"
+    );
+}

@@ -16,17 +16,34 @@ pub mod channel {
     /// Creates an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
-        (Sender { inner: tx }, Receiver { inner: Arc::new(Mutex::new(rx)) })
+        (Sender { inner: SenderKind::Unbounded(tx) }, Receiver { inner: Arc::new(Mutex::new(rx)) })
+    }
+
+    /// Creates a channel holding at most `capacity` queued messages;
+    /// `send` blocks when full, `try_send` fails with
+    /// [`TrySendError::Full`]. Capacity zero is a rendezvous channel.
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(capacity);
+        (Sender { inner: SenderKind::Bounded(tx) }, Receiver { inner: Arc::new(Mutex::new(rx)) })
+    }
+
+    enum SenderKind<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
     }
 
     /// The sending half of a channel.
     pub struct Sender<T> {
-        inner: mpsc::Sender<T>,
+        inner: SenderKind<T>,
     }
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Sender { inner: self.inner.clone() }
+            let inner = match &self.inner {
+                SenderKind::Unbounded(tx) => SenderKind::Unbounded(tx.clone()),
+                SenderKind::Bounded(tx) => SenderKind::Bounded(tx.clone()),
+            };
+            Sender { inner }
         }
     }
 
@@ -37,9 +54,31 @@ pub mod channel {
     }
 
     impl<T> Sender<T> {
-        /// Sends a message, failing only when all receivers are gone.
+        /// Sends a message, blocking while a bounded channel is full;
+        /// fails only when all receivers are gone.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.inner.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+            match &self.inner {
+                SenderKind::Unbounded(tx) => {
+                    tx.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+                }
+                SenderKind::Bounded(tx) => {
+                    tx.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+                }
+            }
+        }
+
+        /// Sends without blocking: on a full bounded channel the value
+        /// comes back in [`TrySendError::Full`] instead of waiting.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            match &self.inner {
+                SenderKind::Unbounded(tx) => {
+                    tx.send(value).map_err(|mpsc::SendError(v)| TrySendError::Disconnected(v))
+                }
+                SenderKind::Bounded(tx) => tx.try_send(value).map_err(|e| match e {
+                    mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                    mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+                }),
+            }
         }
     }
 
@@ -90,6 +129,15 @@ pub mod channel {
     /// The channel is disconnected: the value could not be delivered.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
+
+    /// Why a non-blocking send failed; carries the undelivered value.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The bounded channel is at capacity.
+        Full(T),
+        /// All receivers disconnected.
+        Disconnected(T),
+    }
 
     /// All senders disconnected and the queue is drained.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -182,5 +230,17 @@ mod tests {
         assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Empty));
         drop(tx);
         assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn bounded_try_send_reports_full_then_drains() {
+        let (tx, rx) = channel::bounded(2);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert_eq!(tx.try_send(2), Ok(()));
+        assert_eq!(tx.try_send(3), Err(channel::TrySendError::Full(3)));
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(tx.try_send(3), Ok(()));
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(channel::TrySendError::Disconnected(4)));
     }
 }
