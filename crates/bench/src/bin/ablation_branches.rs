@@ -9,15 +9,19 @@
 //! Usage: `cargo run --release -p dg-bench --bin ablation_branches --
 //! [--seconds N] [--weeks N] [--rate N]`
 
-use dg_bench::{print_table, write_csv, Args, Experiment};
+use dg_bench::{print_table, write_csv, Experiment};
 use dg_core::scheme::SchemeKind;
 use dg_sim::experiment::{run_comparison, SchemeAggregate};
 use dg_sim::gap_coverage;
 use dg_trace::gen;
 
 fn main() {
-    let args = Args::from_env();
-    let experiment = Experiment::from_args(&args);
+    let cli = Experiment::cli(
+        "ablation_branches",
+        "ablation: coverage vs cost as targeted branch caps vary",
+    );
+    let matches = cli.parse_env();
+    let experiment = Experiment::from_matches(&matches).unwrap_or_else(|e| cli.exit_with(&e));
 
     // Baseline + optimal anchors, then targeted at each branch cap.
     let anchors = [SchemeKind::StaticSinglePath, SchemeKind::TimeConstrainedFlooding];

@@ -10,13 +10,17 @@
 //! Usage: `cargo run --release -p dg-bench --bin ablation_kpaths --
 //! [--seconds N] [--weeks N] [--rate N]`
 
-use dg_bench::{print_table, write_csv, Args, Experiment};
+use dg_bench::{print_table, write_csv, Experiment};
 use dg_core::scheme::SchemeKind;
 use dg_sim::experiment::tabulate;
 
 fn main() {
-    let args = Args::from_env();
-    let experiment = Experiment::from_args(&args);
+    let cli = Experiment::cli(
+        "ablation_kpaths",
+        "ablation: k-disjoint-path schemes vs targeted redundancy",
+    );
+    let matches = cli.parse_env();
+    let experiment = Experiment::from_matches(&matches).unwrap_or_else(|e| cli.exit_with(&e));
     let kinds = [
         SchemeKind::StaticSinglePath,
         SchemeKind::StaticTwoDisjoint,

@@ -1,0 +1,308 @@
+//! `dg-bench` — the repo's performance harness.
+//!
+//! Two hot paths, one stable JSON schema per result so CI can diff
+//! runs:
+//!
+//! * **forwarding** — a two-node loopback overlay cluster forwarding
+//!   batched application traffic; reports sustained delivered packets
+//!   per second, Gbps, and p50/p99/p999 end-to-end latency.
+//! * **sim** — trace playback of the two most expensive routing schemes
+//!   over the evaluation topology; reports simulated packets per
+//!   wall-clock second.
+//!
+//! Each bench writes `BENCH_<name>.json` under `results/` (or `--out`).
+//! `--quick` shrinks the runs for CI smoke tests; `--check DIR`
+//! compares the fresh numbers against committed baseline JSONs and
+//! exits non-zero when throughput regresses by more than `--tolerance`
+//! (default 0.2 = 20%).
+//!
+//! Usage: `cargo run --release -p dg-bench --bin dg-bench --
+//! [--quick] [--only forwarding|sim] [--check docs/bench_baseline]`
+
+use dg_bench::cli::Cli;
+use dg_core::scheme::{build_scheme, SchemeKind, SchemeParams};
+use dg_core::{Flow, ServiceRequirement};
+use dg_overlay::cluster::{Cluster, ClusterConfig};
+use dg_sim::{run_flow, LatencyHistogram, PlaybackConfig};
+use dg_topology::{GraphBuilder, Micros};
+use dg_trace::gen::{self, SyntheticWanConfig};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Schema version stamped into every result file; bump when a field
+/// changes meaning so baseline comparisons fail loudly instead of
+/// silently comparing different quantities.
+const SCHEMA_VERSION: u32 = 1;
+
+#[derive(Debug, Serialize, Deserialize)]
+struct ForwardingResult {
+    bench: String,
+    schema_version: u32,
+    mode: String,
+    seconds: u64,
+    payload_bytes: usize,
+    batch: usize,
+    sent: u64,
+    delivered: u64,
+    pps: f64,
+    gbps: f64,
+    latency_us: LatencyQuantiles,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct LatencyQuantiles {
+    p50: Option<u64>,
+    p99: Option<u64>,
+    p999: Option<u64>,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct SimResult {
+    bench: String,
+    schema_version: u32,
+    mode: String,
+    trace_seconds: u64,
+    rate: u32,
+    packets: u64,
+    wall_secs: f64,
+    packets_per_sec: f64,
+}
+
+fn forwarding_bench(secs: u64, payload_len: usize, batch: usize, mode: &str) -> ForwardingResult {
+    let mut b = GraphBuilder::new();
+    let a = b.add_node("A");
+    let z = b.add_node("B");
+    b.add_link(a, z, Micros::from_millis(1), 1).expect("two-node link");
+    let graph = b.build();
+
+    let config = ClusterConfig {
+        // Loopback: measure the forwarding path itself, not emulated
+        // propagation delay, and coalesce aggressively (the loopback
+        // MTU is 64 KiB, not a WAN's 1500 B).
+        latency_scale: 0.0,
+        max_batch_bytes: 60_000,
+        ..ClusterConfig::default()
+    };
+    let cluster = Cluster::launch(&graph, config).expect("cluster launches");
+    let flow = Flow::new(a, z);
+    let rx = cluster.open_receiver(flow).expect("receiver opens");
+    let tx = cluster
+        .open_sender(flow, SchemeKind::StaticSinglePath, ServiceRequirement::default())
+        .expect("sender opens");
+
+    let payload = vec![0xABu8; payload_len];
+    let burst: Vec<&[u8]> = (0..batch).map(|_| payload.as_slice()).collect();
+    let mut hist = LatencyHistogram::new();
+    let mut sent = 0u64;
+    let mut delivered = 0u64;
+    let start = Instant::now();
+    let deadline = start + Duration::from_secs(secs);
+    while Instant::now() < deadline {
+        tx.send_batch(&burst).expect("batch send succeeds");
+        sent += batch as u64;
+        while let Some(d) = rx.try_recv() {
+            delivered += 1;
+            hist.record(d.latency());
+        }
+        // Cap outstanding so we measure sustainable throughput, not
+        // queue growth.
+        while sent - delivered > 1024 {
+            match rx.recv_timeout(Duration::from_millis(5)) {
+                Some(d) => {
+                    delivered += 1;
+                    hist.record(d.latency());
+                }
+                None => break,
+            }
+        }
+    }
+    let drain_deadline = Instant::now() + Duration::from_millis(500);
+    while Instant::now() < drain_deadline && delivered < sent {
+        match rx.recv_timeout(Duration::from_millis(20)) {
+            Some(d) => {
+                delivered += 1;
+                hist.record(d.latency());
+            }
+            None => break,
+        }
+    }
+    let wall = start.elapsed().as_secs_f64();
+    cluster.shutdown();
+
+    let pps = delivered as f64 / wall;
+    let quantile = |q| hist.quantile(q).map(|v| v.as_micros());
+    ForwardingResult {
+        bench: "forwarding".to_string(),
+        schema_version: SCHEMA_VERSION,
+        mode: mode.to_string(),
+        seconds: secs,
+        payload_bytes: payload_len,
+        batch,
+        sent,
+        delivered,
+        pps,
+        gbps: pps * payload_len as f64 * 8.0 / 1e9,
+        latency_us: LatencyQuantiles {
+            p50: quantile(0.5),
+            p99: quantile(0.99),
+            p999: quantile(0.999),
+        },
+    }
+}
+
+fn sim_bench(trace_secs: u64, rate: u32, mode: &str) -> SimResult {
+    let g = dg_topology::presets::north_america_12();
+    let mut cfg = SyntheticWanConfig::calibrated(2017);
+    cfg.duration = Micros::from_secs(trace_secs);
+    let traces = gen::generate(&g, &cfg);
+    let flow = Flow::new(g.node_by_name("NYC").unwrap(), g.node_by_name("SJC").unwrap());
+    let mut packets = 0u64;
+    let start = Instant::now();
+    // The two most expensive schemes: the paper's recommended policy
+    // and the flooding upper bound.
+    for kind in [SchemeKind::TargetedRedundancy, SchemeKind::TimeConstrainedFlooding] {
+        let mut scheme =
+            build_scheme(kind, &g, flow, ServiceRequirement::default(), &SchemeParams::default())
+                .expect("flow is routable");
+        let config = PlaybackConfig { packets_per_second: rate, ..PlaybackConfig::default() };
+        let stats = run_flow(&g, &traces, scheme.as_mut(), &config);
+        packets += stats.packets_sent;
+    }
+    let wall = start.elapsed().as_secs_f64();
+    SimResult {
+        bench: "sim".to_string(),
+        schema_version: SCHEMA_VERSION,
+        mode: mode.to_string(),
+        trace_seconds: trace_secs,
+        rate,
+        packets,
+        wall_secs: wall,
+        packets_per_sec: packets as f64 / wall,
+    }
+}
+
+fn write_result<T: Serialize>(dir: &Path, name: &str, result: &T) -> PathBuf {
+    std::fs::create_dir_all(dir).expect("output directory is creatable");
+    let path = dir.join(format!("BENCH_{name}.json"));
+    let json = serde_json::to_string_pretty(result).expect("result serializes");
+    std::fs::write(&path, json + "\n").expect("result file is writable");
+    eprintln!("wrote {}", path.display());
+    path
+}
+
+/// One throughput comparison: fails (returns an error line) when
+/// `current` falls more than `tolerance` below `baseline`.
+fn check_metric(name: &str, baseline: f64, current: f64, tolerance: f64) -> Result<String, String> {
+    let floor = baseline * (1.0 - tolerance);
+    let line = format!(
+        "{name}: baseline {baseline:.0}, current {current:.0} ({:+.1}%)",
+        (current / baseline - 1.0) * 100.0
+    );
+    if current < floor {
+        Err(format!("{line} — below the {:.0}% floor", (1.0 - tolerance) * 100.0))
+    } else {
+        Ok(line)
+    }
+}
+
+fn load_json<T: Deserialize>(path: &Path) -> Option<T> {
+    let raw = std::fs::read_to_string(path).ok()?;
+    serde_json::from_str(&raw).ok()
+}
+
+fn main() {
+    let cli = Cli::new("dg-bench", "hot-path performance harness (forwarding + sim)")
+        .switch("quick", "abbreviated CI-smoke run (1s forwarding, 20s trace)")
+        .flag_default("seconds", "N", "forwarding bench duration", "5")
+        .flag_default("payload", "BYTES", "application payload size", "512")
+        .flag_default("batch", "N", "application packets per send_batch call", "32")
+        .flag_default("sim-seconds", "N", "simulated trace duration", "60")
+        .flag_default("rate", "PPS", "sim application packet rate", "2000")
+        .flag("only", "forwarding|sim", "run a single bench")
+        .flag("out", "DIR", "output directory (default: results/)")
+        .flag("check", "DIR", "compare against baseline BENCH_*.json in DIR")
+        .flag_default("tolerance", "F", "allowed throughput regression for --check", "0.2");
+    let matches = cli.parse_env();
+    let quick = matches.is_set("quick");
+    let mode = if quick { "quick" } else { "full" };
+    let secs: u64 =
+        if quick { 1 } else { matches.get_or("seconds", 5).unwrap_or_else(|e| cli.exit_with(&e)) };
+    let sim_secs: u64 = if quick {
+        20
+    } else {
+        matches.get_or("sim-seconds", 60).unwrap_or_else(|e| cli.exit_with(&e))
+    };
+    let payload: usize = matches.get_or("payload", 512).unwrap_or_else(|e| cli.exit_with(&e));
+    let batch: usize = matches.get_or("batch", 32).unwrap_or_else(|e| cli.exit_with(&e));
+    let rate: u32 = matches.get_or("rate", 2_000).unwrap_or_else(|e| cli.exit_with(&e));
+    let tolerance: f64 = matches.get_or("tolerance", 0.2).unwrap_or_else(|e| cli.exit_with(&e));
+    let only = matches.value("only");
+    if let Some(o) = only {
+        if o != "forwarding" && o != "sim" {
+            cli.exit_with(&dg_bench::cli::CliError::BadValue {
+                flag: "only".to_string(),
+                value: o.to_string(),
+                expected: "forwarding or sim",
+            });
+        }
+    }
+    let out_dir = matches.value("out").map_or_else(dg_bench::results_dir, PathBuf::from);
+
+    let forwarding = (only != Some("sim")).then(|| {
+        let r = forwarding_bench(secs, payload, batch, mode);
+        println!(
+            "forwarding: {} delivered / {} sent in {}s -> {:.0} pps, {:.4} Gbps (p50 {:?} p99 {:?} p999 {:?} us)",
+            r.delivered, r.sent, r.seconds, r.pps, r.gbps,
+            r.latency_us.p50, r.latency_us.p99, r.latency_us.p999
+        );
+        write_result(&out_dir, "forwarding", &r);
+        r
+    });
+    let sim = (only != Some("forwarding")).then(|| {
+        let r = sim_bench(sim_secs, rate, mode);
+        println!(
+            "sim: {} packets in {:.2}s -> {:.0} packets/sec",
+            r.packets, r.wall_secs, r.packets_per_sec
+        );
+        write_result(&out_dir, "sim", &r);
+        r
+    });
+
+    let Some(baseline_dir) = matches.value("check") else { return };
+    let baseline_dir = PathBuf::from(baseline_dir);
+    let mut failures = Vec::new();
+    if let Some(current) = forwarding {
+        match load_json::<ForwardingResult>(&baseline_dir.join("BENCH_forwarding.json")) {
+            Some(base) => match check_metric("forwarding pps", base.pps, current.pps, tolerance) {
+                Ok(line) => println!("check {line}"),
+                Err(line) => failures.push(line),
+            },
+            None => failures.push(format!(
+                "no readable baseline at {}/BENCH_forwarding.json",
+                baseline_dir.display()
+            )),
+        }
+    }
+    if let Some(current) = sim {
+        match load_json::<SimResult>(&baseline_dir.join("BENCH_sim.json")) {
+            Some(base) => match check_metric(
+                "sim packets/sec",
+                base.packets_per_sec,
+                current.packets_per_sec,
+                tolerance,
+            ) {
+                Ok(line) => println!("check {line}"),
+                Err(line) => failures.push(line),
+            },
+            None => failures
+                .push(format!("no readable baseline at {}/BENCH_sim.json", baseline_dir.display())),
+        }
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("REGRESSION {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -9,7 +9,8 @@
 //! Usage: `cargo run --release -p dg-bench --bin fig1_graphs --
 //! [--src NYC] [--dst SJC]`
 
-use dg_bench::{print_table, results_dir, Args};
+use dg_bench::cli::Cli;
+use dg_bench::{print_table, results_dir};
 use dg_core::scheme::{SchemeParams, TargetedMode, TargetedRedundancy, TimeConstrainedFlooding};
 use dg_core::{DisseminationGraph, Flow, ServiceRequirement};
 use dg_topology::{presets, Graph};
@@ -38,10 +39,13 @@ fn dot(graph: &Graph, dg: &DisseminationGraph, name: &str) {
 }
 
 fn main() {
-    let args = Args::from_env();
+    let cli = Cli::new("fig1_graphs", "example dissemination graphs for one flow")
+        .flag_default("src", "SITE", "flow source site", "NYC")
+        .flag_default("dst", "SITE", "flow destination site", "SJC");
+    let matches = cli.parse_env();
     let graph = presets::north_america_12();
-    let src: String = args.get("src", "NYC".to_string());
-    let dst: String = args.get("dst", "SJC".to_string());
+    let src = matches.value("src").unwrap_or("NYC").to_string();
+    let dst = matches.value("dst").unwrap_or("SJC").to_string();
     let flow = Flow::new(
         graph.node_by_name(&src).expect("known source site"),
         graph.node_by_name(&dst).expect("known destination site"),

@@ -13,6 +13,9 @@ use dg_topology::algo::{dijkstra, reach};
 use dg_topology::{presets, Micros};
 
 fn main() {
+    // No tunables, but the shared parser still rejects stray flags and
+    // answers --help like every other binary.
+    dg_bench::cli::Cli::new("fig2_topology", "the evaluation overlay topology").parse_env();
     let graph = presets::north_america_12();
     println!(
         "evaluation topology: {} sites, {} directed edges\n",

@@ -8,7 +8,8 @@
 //! Usage: `cargo run --release -p dg-bench --bin fig3_case_study --
 //! [--loss F] [--rate N]`
 
-use dg_bench::{write_csv, Args};
+use dg_bench::cli::Cli;
+use dg_bench::write_csv;
 use dg_core::scheme::{build_scheme, SchemeKind, SchemeParams};
 use dg_core::{Flow, ServiceRequirement};
 use dg_sim::{run_flow_detailed, PlaybackConfig};
@@ -16,9 +17,12 @@ use dg_topology::{presets, Micros};
 use dg_trace::{LinkCondition, TraceSet};
 
 fn main() {
-    let args = Args::from_env();
-    let loss: f64 = args.get("loss", 0.35);
-    let rate: u32 = args.get("rate", 100);
+    let cli = Cli::new("fig3_case_study", "per-second delivery across one problem event")
+        .flag_default("loss", "F", "loss fraction on the destination's links", "0.35")
+        .flag_default("rate", "PPS", "application packets per second", "100");
+    let matches = cli.parse_env();
+    let loss: f64 = matches.get_or("loss", 0.35).unwrap_or_else(|e| cli.exit_with(&e));
+    let rate: u32 = matches.get_or("rate", 100).unwrap_or_else(|e| cli.exit_with(&e));
     let graph = presets::north_america_12();
     let flow = Flow::new(graph.node_by_name("WAS").unwrap(), graph.node_by_name("SEA").unwrap());
 

@@ -7,12 +7,13 @@
 //! Usage: `cargo run --release -p dg-bench --bin fig4_per_flow --
 //! [--seconds N] [--weeks N] [--rate N]`
 
-use dg_bench::{print_table, write_csv, Args, Experiment};
+use dg_bench::{print_table, write_csv, Experiment};
 use dg_core::scheme::SchemeKind;
 
 fn main() {
-    let args = Args::from_env();
-    let experiment = Experiment::from_args(&args);
+    let cli = Experiment::cli("fig4_per_flow", "per-flow availability comparison across schemes");
+    let matches = cli.parse_env();
+    let experiment = Experiment::from_matches(&matches).unwrap_or_else(|e| cli.exit_with(&e));
     let aggregates = experiment.run(&SchemeKind::ALL);
 
     let mut table = vec![{

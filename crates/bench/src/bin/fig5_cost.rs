@@ -9,13 +9,14 @@
 //! Usage: `cargo run --release -p dg-bench --bin fig5_cost --
 //! [--seconds N] [--weeks N] [--rate N]`
 
-use dg_bench::{print_table, write_csv, Args, Experiment};
+use dg_bench::{print_table, write_csv, Experiment};
 use dg_core::scheme::{build_scheme, SchemeKind};
 use dg_core::Flow;
 
 fn main() {
-    let args = Args::from_env();
-    let experiment = Experiment::from_args(&args);
+    let cli = Experiment::cli("fig5_cost", "cost (packets per message) comparison across schemes");
+    let matches = cli.parse_env();
+    let experiment = Experiment::from_matches(&matches).unwrap_or_else(|e| cli.exit_with(&e));
     let graph = &experiment.topology;
 
     // Static graph costs.

@@ -10,7 +10,7 @@
 //! Usage: `cargo run --release -p dg-bench --bin fig6_sensitivity --
 //! [--seconds N] [--rate N]`
 
-use dg_bench::{print_table, write_csv, Args, Experiment};
+use dg_bench::{print_table, write_csv, Experiment};
 use dg_core::scheme::SchemeKind;
 use dg_sim::experiment::{run_comparison, tabulate};
 use dg_topology::Micros;
@@ -51,8 +51,9 @@ fn coverage_row(
 }
 
 fn main() {
-    let args = Args::from_env();
-    let experiment = Experiment::from_args(&args);
+    let cli = Experiment::cli("fig6_sensitivity", "sensitivity sweep over generator problem rates");
+    let matches = cli.parse_env();
+    let experiment = Experiment::from_matches(&matches).unwrap_or_else(|e| cli.exit_with(&e));
 
     let mut kinds = vec![SchemeKind::StaticSinglePath];
     kinds.extend(SCHEMES);

@@ -10,15 +10,16 @@
 //! Usage: `cargo run --release -p dg-bench --bin fig7_latency_cdf --
 //! [--seconds N] [--weeks N] [--rate N] [--topology us|global]`
 
-use dg_bench::{print_table, write_csv, Args, Experiment};
+use dg_bench::{print_table, write_csv, Experiment};
 use dg_core::scheme::{build_scheme, SchemeKind};
 use dg_core::Flow;
 use dg_sim::{run_flow_full, LatencyHistogram};
 use dg_trace::gen;
 
 fn main() {
-    let args = Args::from_env();
-    let experiment = Experiment::from_args(&args);
+    let cli = Experiment::cli("fig7_latency_cdf", "latency distribution (CDF) per scheme");
+    let matches = cli.parse_env();
+    let experiment = Experiment::from_matches(&matches).unwrap_or_else(|e| cli.exit_with(&e));
 
     let mut histograms: Vec<(SchemeKind, LatencyHistogram)> =
         SchemeKind::ALL.iter().map(|&k| (k, LatencyHistogram::new())).collect();

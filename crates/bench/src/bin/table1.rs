@@ -7,17 +7,25 @@
 //! links inside its time-constrained flooding region).
 //!
 //! Usage: `cargo run --release -p dg-bench --bin table1 --
-//! [--seconds N] [--weeks N] [--threshold F]`
+//! [--seconds N] [--weeks N] [--loss-threshold F]`
 
-use dg_bench::{print_table, write_csv, Args, Experiment};
+use dg_bench::{print_table, write_csv, Experiment};
 use dg_topology::Micros;
 use dg_trace::analysis::{classify_flows, FlowProblemSummary};
 use dg_trace::gen;
 
 fn main() {
-    let args = Args::from_env();
-    let experiment = Experiment::from_args(&args);
-    let threshold: f64 = args.get("threshold", 0.05);
+    let cli = Experiment::cli("table1", "problem classification by location relative to each flow")
+        .flag_default(
+            "loss-threshold",
+            "F",
+            "loss rate above which an interval counts as problematic",
+            "0.05",
+        );
+    let matches = cli.parse_env();
+    let experiment = Experiment::from_matches(&matches).unwrap_or_else(|e| cli.exit_with(&e));
+    let threshold: f64 =
+        matches.get_or("loss-threshold", 0.05).unwrap_or_else(|e| cli.exit_with(&e));
     let deadline = Micros::from_millis(65);
 
     let mut total = FlowProblemSummary::default();

@@ -13,13 +13,14 @@
 //! Usage: `cargo run --release -p dg-bench --bin table2 --
 //! [--seconds N] [--weeks N] [--rate N] [--seed N]`
 
-use dg_bench::{print_table, write_csv, Args, Experiment};
+use dg_bench::{print_table, write_csv, Experiment};
 use dg_core::scheme::SchemeKind;
 use dg_sim::experiment::tabulate;
 
 fn main() {
-    let args = Args::from_env();
-    let experiment = Experiment::from_args(&args);
+    let cli = Experiment::cli("table2", "the headline availability/cost comparison table");
+    let matches = cli.parse_env();
+    let experiment = Experiment::from_matches(&matches).unwrap_or_else(|e| cli.exit_with(&e));
     eprintln!(
         "table2: {} flows x {} weeks x {}s at {} pkt/s",
         experiment.flows.len(),

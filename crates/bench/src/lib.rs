@@ -8,6 +8,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use dg_cli::{Cli, CliError, Matches};
 use dg_core::scheme::SchemeKind;
 use dg_sim::experiment::{ExperimentConfig, SchemeAggregate};
 use dg_topology::{Graph, Micros, NodeId};
@@ -16,12 +17,22 @@ use std::collections::HashMap;
 use std::fs;
 use std::path::PathBuf;
 
+/// The shared command-line toolkit (re-exported so binaries depend on
+/// one crate): [`cli::Cli`], [`cli::Matches`], [`cli::CliError`].
+pub use dg_cli as cli;
+
 /// Simple `--key value` argument parser for the experiment binaries.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the shared declarative parser: `Experiment::cli(..)` / `dg_bench::cli::Cli` \
+            give uniform --help and typed errors instead of panics"
+)]
 #[derive(Debug, Clone)]
 pub struct Args {
     values: HashMap<String, String>,
 }
 
+#[allow(deprecated)]
 impl Args {
     /// Parses the process arguments; `--key value` pairs only.
     pub fn from_env() -> Self {
@@ -77,14 +88,88 @@ pub struct Experiment {
 }
 
 impl Experiment {
-    /// Builds the standard experiment from CLI arguments:
-    /// `--seconds` (per week, default 1800), `--weeks` (default 4),
-    /// `--rate` (packets/s, default 100), `--seed` (base, default
-    /// 2017), `--threshold` (per-second availability threshold, default
-    /// 1.0 = any miss), and `--topology` (`us`, the default 12-site
-    /// overlay with 16 transcontinental flows at a 65 ms deadline, or
-    /// `global`, the 16-site three-continent overlay with 8
-    /// intercontinental flows at 110 ms).
+    /// The declarative CLI shared by every experiment binary: the
+    /// standard flags (`--seconds`, `--weeks`, `--rate`, `--seed`,
+    /// `--threshold`, `--topology`, `--threads`, `--trace`) plus
+    /// whatever extras a binary chains on afterwards.
+    pub fn cli(name: &'static str, about: &'static str) -> Cli {
+        Cli::new(name, about)
+            .flag_default("seconds", "N", "simulated seconds per week", "1800")
+            .flag_default("weeks", "N", "number of simulated weeks", "4")
+            .flag_default("rate", "PPS", "application packets per second", "100")
+            .flag_default("seed", "N", "base seed (week w uses seed+w)", "2017")
+            .flag_default("threshold", "F", "per-second availability threshold", "1.0")
+            .flag_default("topology", "us|global", "evaluation topology", "us")
+            .flag("threads", "N", "playback worker threads (default: all cores)")
+            .flag("trace", "PATH", "replay a recorded trace instead of generating weeks")
+    }
+
+    /// Builds the standard experiment from parsed [`Matches`]: `us` is
+    /// the 12-site overlay with 16 transcontinental flows at a 65 ms
+    /// deadline, `global` the 16-site three-continent overlay with 8
+    /// intercontinental flows at 110 ms.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CliError`] for unparsable or out-of-range values —
+    /// render it with [`Cli::exit_with`].
+    pub fn from_matches(matches: &Matches) -> Result<Self, CliError> {
+        let seconds_per_week: u64 = matches.get_or("seconds", 1_800)?;
+        let weeks: u64 = matches.get_or("weeks", 4)?;
+        let base_seed: u64 = matches.get_or("seed", 2_017)?;
+        let rate: u32 = matches.get_or("rate", 100)?;
+        let threshold: f64 = matches.get_or("threshold", 1.0)?;
+        let which = matches.value("topology").unwrap_or("us");
+        let (topology, flows, deadline) = match which {
+            "us" => {
+                let t = dg_topology::presets::north_america_12();
+                let f = dg_topology::presets::transcontinental_flows(&t);
+                (t, f, Micros::from_millis(65))
+            }
+            "global" => {
+                let t = dg_topology::presets::global_16();
+                let f = dg_topology::presets::intercontinental_flows(&t);
+                (t, f, Micros::from_millis(110))
+            }
+            other => {
+                return Err(CliError::BadValue {
+                    flag: "topology".to_string(),
+                    value: other.to_string(),
+                    expected: "us or global",
+                })
+            }
+        };
+        let config = ExperimentConfig::builder()
+            .packets_per_second(rate)
+            .availability_threshold(threshold)
+            .deadline(deadline)
+            .build()
+            .map_err(|e| CliError::BadValue {
+                flag: "rate/threshold".to_string(),
+                value: e.0.to_string(),
+                expected: "a consistent experiment configuration",
+            })?;
+        let threads: usize = matches
+            .get_or("threads", std::thread::available_parallelism().map_or(1, |n| n.get()))?;
+        let trace_file = matches.value("trace").map(PathBuf::from);
+        Ok(Experiment {
+            topology,
+            flows,
+            seconds_per_week,
+            seeds: (0..weeks).map(|w| base_seed + w).collect(),
+            config,
+            threads,
+            trace_file,
+        })
+    }
+
+    /// Builds the standard experiment from the legacy [`Args`] parser.
+    #[deprecated(
+        since = "0.2.0",
+        note = "declare flags with `Experiment::cli(..)` and build with \
+                `Experiment::from_matches(&cli.parse_env())`"
+    )]
+    #[allow(deprecated)]
     pub fn from_args(args: &Args) -> Self {
         let seconds_per_week: u64 = args.get("seconds", 1_800);
         let weeks: u64 = args.get("weeks", 4);
@@ -233,23 +318,28 @@ pub fn print_table(rows: &[Vec<String>]) {
 mod tests {
     use super::*;
 
-    #[test]
-    fn args_parse_defaults_and_values() {
-        let args = Args { values: HashMap::from([("rate".into(), "50".into())]) };
-        assert_eq!(args.get("rate", 100u32), 50);
-        assert_eq!(args.get("weeks", 4u64), 4);
+    fn matches(args: &[&str]) -> Matches {
+        Experiment::cli("test", "test harness")
+            .parse(args.iter().map(|s| s.to_string()))
+            .expect("test arguments parse")
     }
 
     #[test]
-    #[should_panic(expected = "invalid value")]
-    fn bad_arg_panics() {
-        let args = Args { values: HashMap::from([("rate".into(), "abc".into())]) };
-        let _: u32 = args.get("rate", 100);
+    #[allow(deprecated)]
+    fn deprecated_args_shim_still_works() {
+        let args = Args { values: HashMap::from([("rate".into(), "50".into())]) };
+        assert_eq!(args.get("rate", 100u32), 50);
+        assert_eq!(args.get("weeks", 4u64), 4);
+        let exp = Experiment::from_args(&Args { values: HashMap::new() });
+        let new = Experiment::from_matches(&matches(&[])).unwrap();
+        assert_eq!(exp.topology.node_count(), new.topology.node_count());
+        assert_eq!(exp.seeds, new.seeds);
+        assert_eq!(exp.config, new.config);
     }
 
     #[test]
     fn experiment_setup_is_standard() {
-        let exp = Experiment::from_args(&Args { values: HashMap::new() });
+        let exp = Experiment::from_matches(&matches(&[])).unwrap();
         assert_eq!(exp.topology.node_count(), 12);
         assert_eq!(exp.flows.len(), 16);
         assert_eq!(exp.seeds.len(), 4);
@@ -261,9 +351,7 @@ mod tests {
 
     #[test]
     fn global_topology_option() {
-        let exp = Experiment::from_args(&Args {
-            values: HashMap::from([("topology".into(), "global".into())]),
-        });
+        let exp = Experiment::from_matches(&matches(&["--topology", "global"])).unwrap();
         assert_eq!(exp.topology.node_count(), 16);
         assert_eq!(exp.flows.len(), 8);
         assert_eq!(exp.config.playback.deadline, Micros::from_millis(110));
@@ -276,9 +364,8 @@ mod tests {
         let path = dir.join("t.dgtrace");
         let trace = dg_trace::TraceSet::clean(60, 5, Micros::from_secs(10)).unwrap();
         trace.save_binary(&path).unwrap();
-        let exp = Experiment::from_args(&Args {
-            values: HashMap::from([("trace".into(), path.display().to_string())]),
-        });
+        let exp =
+            Experiment::from_matches(&matches(&["--trace", &path.display().to_string()])).unwrap();
         let loaded = exp.traces_for(123);
         assert_eq!(loaded.interval_count(), 5);
         assert_eq!(loaded.link_count(), 60);
@@ -286,10 +373,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown --topology")]
-    fn bad_topology_panics() {
-        Experiment::from_args(&Args {
-            values: HashMap::from([("topology".into(), "mars".into())]),
-        });
+    fn bad_values_are_errors_not_panics() {
+        let err = Experiment::from_matches(&matches(&["--topology", "mars"])).unwrap_err();
+        assert!(err.to_string().contains("mars"));
+        let err = Experiment::from_matches(&matches(&["--rate", "fast"])).unwrap_err();
+        assert!(matches!(err, CliError::BadValue { .. }));
+        let err = Experiment::from_matches(&matches(&["--rate", "0"])).unwrap_err();
+        assert!(err.to_string().contains("packets_per_second"));
     }
 }

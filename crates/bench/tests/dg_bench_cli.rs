@@ -1,0 +1,107 @@
+//! End-to-end smoke tests of the `dg-bench` harness: the quick mode
+//! must emit schema-valid JSON results, and the CLI must behave like
+//! every other binary (uniform --help, errors instead of panics).
+
+use serde::Value;
+use std::path::Path;
+use std::process::Command;
+
+fn dg_bench() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dg-bench"))
+}
+
+fn read_json(path: &Path) -> Value {
+    let raw = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    serde_json::from_str(&raw).unwrap_or_else(|e| panic!("bad JSON in {}: {e}", path.display()))
+}
+
+fn field<'a>(v: &'a Value, key: &str) -> &'a Value {
+    v.get(key).unwrap_or_else(|| panic!("missing field {key:?} in {v:?}"))
+}
+
+fn as_num(v: &Value) -> Option<f64> {
+    match *v {
+        Value::Int(n) => Some(n as f64),
+        Value::UInt(n) => Some(n as f64),
+        Value::Float(n) => Some(n),
+        _ => None,
+    }
+}
+
+#[test]
+fn quick_run_emits_schema_valid_results() {
+    let dir = std::env::temp_dir().join(format!("dg_bench_smoke_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let output = dg_bench()
+        .args(["--quick", "--out", dir.to_str().unwrap()])
+        .output()
+        .expect("dg-bench runs");
+    assert!(
+        output.status.success(),
+        "dg-bench --quick failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    let fwd = read_json(&dir.join("BENCH_forwarding.json"));
+    assert_eq!(field(&fwd, "bench"), &Value::String("forwarding".into()));
+    assert_eq!(field(&fwd, "schema_version"), &Value::UInt(1));
+    assert_eq!(field(&fwd, "mode"), &Value::String("quick".into()));
+    for key in ["seconds", "payload_bytes", "batch", "sent", "delivered", "pps", "gbps"] {
+        assert!(as_num(field(&fwd, key)).is_some(), "{key} must be numeric");
+    }
+    assert!(as_num(field(&fwd, "pps")).unwrap() > 0.0, "no packets forwarded");
+    let latency = field(&fwd, "latency_us");
+    for q in ["p50", "p99", "p999"] {
+        assert!(latency.get(q).is_some(), "latency_us.{q} missing");
+    }
+
+    let sim = read_json(&dir.join("BENCH_sim.json"));
+    assert_eq!(field(&sim, "bench"), &Value::String("sim".into()));
+    assert_eq!(field(&sim, "schema_version"), &Value::UInt(1));
+    for key in ["trace_seconds", "rate", "packets", "wall_secs", "packets_per_sec"] {
+        assert!(as_num(field(&sim, key)).is_some(), "{key} must be numeric");
+    }
+    assert!(as_num(field(&sim, "packets_per_sec")).unwrap() > 0.0);
+
+    // A self-check against the numbers just produced always passes.
+    let check = dg_bench()
+        .args([
+            "--quick",
+            "--only",
+            "sim",
+            "--out",
+            dir.to_str().unwrap(),
+            "--check",
+            dir.to_str().unwrap(),
+            "--tolerance",
+            "0.9",
+        ])
+        .output()
+        .expect("dg-bench runs");
+    assert!(
+        check.status.success(),
+        "self-check regressed:\n{}",
+        String::from_utf8_lossy(&check.stderr)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn help_and_errors_are_uniform() {
+    let help = dg_bench().arg("--help").output().expect("dg-bench runs");
+    assert!(help.status.success());
+    let text = String::from_utf8_lossy(&help.stdout);
+    assert!(text.contains("--quick"), "help lists --quick:\n{text}");
+    assert!(text.contains("--check"), "help lists --check:\n{text}");
+
+    let bad = dg_bench().args(["--bogus", "1"]).output().expect("dg-bench runs");
+    assert_eq!(bad.status.code(), Some(2), "unknown flags exit 2");
+    let err = String::from_utf8_lossy(&bad.stderr);
+    assert!(err.contains("unknown flag"), "uniform error text:\n{err}");
+
+    let bad_only = dg_bench().args(["--only", "everything"]).output().expect("dg-bench runs");
+    assert_eq!(bad_only.status.code(), Some(2), "bad --only exits 2");
+}

@@ -11,6 +11,7 @@
 //!   dg-node --emit-topology topology.json        # write the preset
 //!   dg-node --config node.json                   # run a node
 //!   dg-node --config node.json --run-secs 30 --metrics-json out.json
+//!   dg-node --help                               # full flag reference
 //!
 //! `--run-secs N` exits after N seconds instead of running forever, and
 //! `--metrics-json PATH` dumps the node's full metrics snapshot
@@ -36,6 +37,7 @@
 //! }
 //! ```
 
+use dg_cli::Cli;
 use dg_overlay::chaos::{ChaosAction, ChaosEvent, ChaosSchedule};
 use dg_overlay::{NodeConfig, OverlayHandle, OverlayNode};
 use dg_topology::{Graph, NodeId};
@@ -65,51 +67,36 @@ fn default_ls_ms() -> u64 {
     200
 }
 
+fn cli() -> Cli {
+    Cli::new("dg-node", "standalone overlay transport daemon")
+        .flag("config", "FILE", "JSON node configuration to run")
+        .flag("emit-topology", "FILE", "write the 12-node preset topology and exit")
+        .flag("run-secs", "N", "exit after N seconds instead of running forever")
+        .flag("metrics-json", "PATH", "dump the metrics snapshot on shutdown ('-' for stdout)")
+        .flag("chaos-json", "PATH", "replay a chaos schedule against this node's out-links")
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    match args.get(1).map(String::as_str) {
-        Some("--emit-topology") => {
-            let path = args.get(2).map(String::as_str).unwrap_or("topology.json");
-            let graph = dg_topology::presets::north_america_12();
-            let json = serde_json::to_string_pretty(&graph).expect("graph serializes");
-            std::fs::write(path, json).expect("topology file is writable");
-            println!("wrote {path}");
-        }
-        Some("--config") => {
-            let path = args.get(2).expect("usage: dg-node --config <file>");
-            let mut run_secs: Option<u64> = None;
-            let mut metrics_json: Option<String> = None;
-            let mut chaos_json: Option<String> = None;
-            let mut rest = args[3..].iter();
-            while let Some(flag) = rest.next() {
-                match flag.as_str() {
-                    "--run-secs" => {
-                        let v = rest.next().expect("--run-secs needs a value");
-                        run_secs = Some(v.parse().expect("--run-secs takes whole seconds"));
-                    }
-                    "--metrics-json" => {
-                        metrics_json =
-                            Some(rest.next().expect("--metrics-json needs a path").clone());
-                    }
-                    "--chaos-json" => {
-                        chaos_json = Some(rest.next().expect("--chaos-json needs a path").clone());
-                    }
-                    other => {
-                        eprintln!("unknown flag {other:?}");
-                        std::process::exit(2);
-                    }
-                }
-            }
-            run(path, run_secs, metrics_json, chaos_json);
-        }
-        _ => {
-            eprintln!(
-                "usage: dg-node --config <file> [--run-secs N] [--metrics-json PATH] \
-                 [--chaos-json PATH] | dg-node --emit-topology [file]"
-            );
-            std::process::exit(2);
-        }
+    let cli = cli();
+    let matches = cli.parse_env();
+    if let Some(path) = matches.value("emit-topology") {
+        let graph = dg_topology::presets::north_america_12();
+        let json = serde_json::to_string_pretty(&graph).expect("graph serializes");
+        std::fs::write(path, json).expect("topology file is writable");
+        println!("wrote {path}");
+        return;
     }
+    let Some(config_path) = matches.value("config") else {
+        eprintln!("dg-node: either --config or --emit-topology is required\n\n{}", cli.usage());
+        std::process::exit(2);
+    };
+    let run_secs = match matches.get::<u64>("run-secs") {
+        Ok(v) => v,
+        Err(e) => cli.exit_with(&e),
+    };
+    let metrics_json = matches.value("metrics-json").map(str::to_string);
+    let chaos_json = matches.value("chaos-json").map(str::to_string);
+    run(config_path, run_secs, metrics_json, chaos_json);
 }
 
 fn run(
@@ -129,14 +116,18 @@ fn run(
     let me = graph
         .node_by_name(&file.node)
         .unwrap_or_else(|| panic!("node {:?} not in topology", file.node));
-    let mut config = NodeConfig::new(me, file.listen);
-    config.hello_interval = Duration::from_millis(file.hello_interval_ms);
-    config.link_state_interval = Duration::from_millis(file.link_state_interval_ms);
+    let mut peers = HashMap::new();
     for (name, addr) in &file.peers {
         let peer =
             graph.node_by_name(name).unwrap_or_else(|| panic!("peer {name:?} not in topology"));
-        config.peers.insert(peer, *addr);
+        peers.insert(peer, *addr);
     }
+    let config = NodeConfig::builder(me, file.listen)
+        .hello_interval(Duration::from_millis(file.hello_interval_ms))
+        .link_state_interval(Duration::from_millis(file.link_state_interval_ms))
+        .peers(peers)
+        .build()
+        .unwrap_or_else(|e| panic!("bad config: {e}"));
 
     let mut chaos: Vec<ChaosEvent> = chaos_json
         .map(|path| {
@@ -192,16 +183,16 @@ fn run(
             continue;
         }
         next_stats += Duration::from_secs(10);
-        let s = handle.stats();
+        let c = handle.metrics_snapshot().counters;
         println!(
             "stats: rx {} tx {} delivered {} dup {} expired {} nack {} retx {}",
-            s.data_received,
-            s.data_sent,
-            s.delivered,
-            s.duplicates,
-            s.expired,
-            s.nacks_sent,
-            s.retransmissions
+            c.data_received,
+            c.data_sent,
+            c.delivered_on_time + c.delivered_late,
+            c.duplicates,
+            c.expired,
+            c.nack_messages_sent,
+            c.retransmissions_served
         );
     }
     let snapshot = handle.metrics_snapshot();

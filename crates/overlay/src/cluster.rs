@@ -35,6 +35,10 @@ pub struct ClusterConfig {
     /// Base seed for the nodes' deterministic fault RNGs; each node
     /// derives its own stream from this and its index.
     pub fault_seed: u64,
+    /// Largest wire datagram built when coalescing sends (see
+    /// [`crate::NodeConfigBuilder::max_batch_bytes`]); loopback
+    /// clusters can raise it well past the WAN-safe default.
+    pub max_batch_bytes: usize,
 }
 
 impl Default for ClusterConfig {
@@ -45,6 +49,7 @@ impl Default for ClusterConfig {
             latency_scale: 1.0,
             scheme_params: SchemeParams::default(),
             fault_seed: 0,
+            max_batch_bytes: 1_400,
         }
     }
 }
@@ -277,14 +282,14 @@ fn make_node_config(
     config: &ClusterConfig,
     node: NodeId,
 ) -> NodeConfig {
-    let mut node_config = NodeConfig::new(node, addrs[node.index()]);
-    node_config.hello_interval = config.hello_interval;
-    node_config.link_state_interval = config.link_state_interval;
-    node_config.fault_seed =
-        config.fault_seed ^ (node.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    node_config.peers =
-        graph.neighbors(node).map(|n| (n, addrs[n.index()])).collect::<HashMap<_, _>>();
-    node_config
+    NodeConfig::builder(node, addrs[node.index()])
+        .hello_interval(config.hello_interval)
+        .link_state_interval(config.link_state_interval)
+        .fault_seed(config.fault_seed ^ (node.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .max_batch_bytes(config.max_batch_bytes)
+        .peers(graph.neighbors(node).map(|n| (n, addrs[n.index()])).collect::<HashMap<_, _>>())
+        .build()
+        .expect("cluster node configuration validates")
 }
 
 /// Emulates propagation delay on each of `node`'s out-links.

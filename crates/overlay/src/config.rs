@@ -1,11 +1,15 @@
 //! Per-node configuration.
 
+use crate::OverlayError;
 use dg_topology::NodeId;
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::time::Duration;
 
 /// Configuration for one overlay node.
+///
+/// Construct with [`NodeConfig::builder`], which validates the knobs
+/// against each other before the node spawns.
 #[derive(Debug, Clone)]
 pub struct NodeConfig {
     /// This node's identity in the topology.
@@ -44,12 +48,43 @@ pub struct NodeConfig {
     pub delivery_queue: usize,
     /// Seed for the node's deterministic fault-injection RNG.
     pub fault_seed: u64,
+    /// Budget for coalescing batched sends into one wire datagram
+    /// (bytes of packet bodies). The WAN-safe default stays near a
+    /// common 1500-byte MTU; loopback benchmarks raise it to pack more
+    /// packets per syscall.
+    pub max_batch_bytes: usize,
 }
 
 impl NodeConfig {
     /// A configuration with the defaults used by localhost clusters:
     /// 50 ms hellos, 20-hello loss windows, 200 ms link-state refresh.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use NodeConfig::builder(node, listen), which validates the \
+                configuration before the node spawns"
+    )]
     pub fn new(node: NodeId, listen: SocketAddr) -> Self {
+        NodeConfigBuilder::defaults(node, listen)
+    }
+
+    /// Starts a validated builder from the localhost-cluster defaults.
+    pub fn builder(node: NodeId, listen: SocketAddr) -> NodeConfigBuilder {
+        NodeConfigBuilder { config: NodeConfigBuilder::defaults(node, listen) }
+    }
+}
+
+/// Builder for [`NodeConfig`]; see [`NodeConfig::builder`].
+///
+/// Every setter overrides one default; [`NodeConfigBuilder::build`]
+/// checks the result for internal consistency so a bad knob fails fast
+/// instead of spawning a node that can never converge.
+#[derive(Debug, Clone)]
+pub struct NodeConfigBuilder {
+    config: NodeConfig,
+}
+
+impl NodeConfigBuilder {
+    fn defaults(node: NodeId, listen: SocketAddr) -> NodeConfig {
         NodeConfig {
             node,
             listen,
@@ -66,7 +101,145 @@ impl NodeConfig {
             shipper_queue: 16_384,
             delivery_queue: 16_384,
             fault_seed: 0,
+            max_batch_bytes: 1_400,
         }
+    }
+
+    /// Socket addresses of every overlay neighbour, by node id.
+    pub fn peers(mut self, peers: HashMap<NodeId, SocketAddr>) -> Self {
+        self.config.peers = peers;
+        self
+    }
+
+    /// How often hellos probe each out-link.
+    pub fn hello_interval(mut self, interval: Duration) -> Self {
+        self.config.hello_interval = interval;
+        self
+    }
+
+    /// Hellos per loss-estimation window.
+    pub fn monitor_window(mut self, window: usize) -> Self {
+        self.config.monitor_window = window;
+        self
+    }
+
+    /// How often this node originates a link-state update.
+    pub fn link_state_interval(mut self, interval: Duration) -> Self {
+        self.config.link_state_interval = interval;
+        self
+    }
+
+    /// Per-neighbour retransmission buffer capacity (packets).
+    pub fn retransmit_buffer(mut self, packets: usize) -> Self {
+        self.config.retransmit_buffer = packets;
+        self
+    }
+
+    /// Flow-level duplicate-suppression window (packets).
+    pub fn dedup_window(mut self, packets: usize) -> Self {
+        self.config.dedup_window = packets;
+        self
+    }
+
+    /// Capacity of the node's structured event journal (events).
+    pub fn journal_capacity(mut self, events: usize) -> Self {
+        self.config.journal_capacity = events;
+        self
+    }
+
+    /// Incoming-link loss estimate that triggers the problem detector.
+    pub fn detector_loss_threshold(mut self, threshold: f64) -> Self {
+        self.config.detector_loss_threshold = threshold;
+        self
+    }
+
+    /// Hello-silence horizon, in hello intervals, for declaring a link
+    /// down.
+    pub fn link_down_intervals(mut self, intervals: u64) -> Self {
+        self.config.link_down_intervals = intervals;
+        self
+    }
+
+    /// Expiry age for remote link-state reports.
+    pub fn link_state_max_age(mut self, age: Duration) -> Self {
+        self.config.link_state_max_age = age;
+        self
+    }
+
+    /// Bound on the outgoing-shipment queue (datagrams).
+    pub fn shipper_queue(mut self, datagrams: usize) -> Self {
+        self.config.shipper_queue = datagrams;
+        self
+    }
+
+    /// Bound on each receiver session's delivery queue (packets).
+    pub fn delivery_queue(mut self, packets: usize) -> Self {
+        self.config.delivery_queue = packets;
+        self
+    }
+
+    /// Seed for the node's deterministic fault-injection RNG.
+    pub fn fault_seed(mut self, seed: u64) -> Self {
+        self.config.fault_seed = seed;
+        self
+    }
+
+    /// Byte budget for coalescing batched sends into one datagram.
+    pub fn max_batch_bytes(mut self, bytes: usize) -> Self {
+        self.config.max_batch_bytes = bytes;
+        self
+    }
+
+    /// Validates the configuration and returns it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::InvalidConfig`] naming the first rule the
+    /// configuration violates.
+    pub fn build(self) -> Result<NodeConfig, OverlayError> {
+        let c = &self.config;
+        if c.hello_interval.is_zero() {
+            return Err(OverlayError::InvalidConfig("hello_interval must be positive"));
+        }
+        if c.link_state_interval.is_zero() {
+            return Err(OverlayError::InvalidConfig("link_state_interval must be positive"));
+        }
+        if c.hello_interval >= c.link_state_interval * 10 {
+            return Err(OverlayError::InvalidConfig(
+                "hello_interval must be well under 10x link_state_interval",
+            ));
+        }
+        if c.link_state_max_age <= c.link_state_interval * 2 {
+            return Err(OverlayError::InvalidConfig(
+                "link_state_max_age must outlast at least two link-state refreshes",
+            ));
+        }
+        if c.monitor_window == 0 {
+            return Err(OverlayError::InvalidConfig("monitor_window must be positive"));
+        }
+        if c.retransmit_buffer == 0 {
+            return Err(OverlayError::InvalidConfig("retransmit_buffer must be positive"));
+        }
+        if c.dedup_window == 0 {
+            return Err(OverlayError::InvalidConfig("dedup_window must be positive"));
+        }
+        if !(c.detector_loss_threshold > 0.0 && c.detector_loss_threshold < 1.0) {
+            return Err(OverlayError::InvalidConfig(
+                "detector_loss_threshold must be strictly between 0 and 1",
+            ));
+        }
+        if c.link_down_intervals == 0 {
+            return Err(OverlayError::InvalidConfig("link_down_intervals must be positive"));
+        }
+        if c.shipper_queue == 0 || c.delivery_queue == 0 {
+            return Err(OverlayError::InvalidConfig(
+                "shipper_queue and delivery_queue must be positive",
+            ));
+        }
+        if c.max_batch_bytes == 0 {
+            return Err(OverlayError::InvalidConfig("max_batch_bytes must be positive"));
+        }
+        Ok(self.config)
     }
 }
 
@@ -76,7 +249,9 @@ mod tests {
 
     #[test]
     fn defaults_are_sane() {
-        let cfg = NodeConfig::new(NodeId::new(1), "127.0.0.1:0".parse().unwrap());
+        let cfg = NodeConfig::builder(NodeId::new(1), "127.0.0.1:0".parse().unwrap())
+            .build()
+            .expect("defaults validate");
         assert_eq!(cfg.node, NodeId::new(1));
         assert!(cfg.peers.is_empty());
         assert!(cfg.hello_interval < cfg.link_state_interval * 10);
@@ -86,5 +261,48 @@ mod tests {
         assert!(cfg.link_down_intervals > 0);
         assert!(cfg.link_state_max_age > cfg.link_state_interval * 2, "aging must outlast refresh");
         assert!(cfg.shipper_queue > 0 && cfg.delivery_queue > 0);
+        assert!(cfg.max_batch_bytes > 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructor_matches_builder_defaults() {
+        let listen: SocketAddr = "127.0.0.1:0".parse().unwrap();
+        let old = NodeConfig::new(NodeId::new(2), listen);
+        let new = NodeConfig::builder(NodeId::new(2), listen).build().unwrap();
+        assert_eq!(old.hello_interval, new.hello_interval);
+        assert_eq!(old.retransmit_buffer, new.retransmit_buffer);
+        assert_eq!(old.max_batch_bytes, new.max_batch_bytes);
+    }
+
+    #[test]
+    fn builder_rejects_inconsistent_knobs() {
+        let listen: SocketAddr = "127.0.0.1:0".parse().unwrap();
+        let bad = NodeConfig::builder(NodeId::new(3), listen)
+            .link_state_max_age(Duration::from_millis(100))
+            .build();
+        assert!(matches!(bad, Err(OverlayError::InvalidConfig(_))), "max age must outlast refresh");
+        let bad = NodeConfig::builder(NodeId::new(3), listen).dedup_window(0).build();
+        assert!(matches!(bad, Err(OverlayError::InvalidConfig(_))));
+        let bad = NodeConfig::builder(NodeId::new(3), listen).detector_loss_threshold(1.5).build();
+        assert!(matches!(bad, Err(OverlayError::InvalidConfig(_))));
+        let bad = NodeConfig::builder(NodeId::new(3), listen).max_batch_bytes(0).build();
+        assert!(matches!(bad, Err(OverlayError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn builder_setters_apply() {
+        let listen: SocketAddr = "127.0.0.1:0".parse().unwrap();
+        let cfg = NodeConfig::builder(NodeId::new(4), listen)
+            .hello_interval(Duration::from_millis(25))
+            .retransmit_buffer(512)
+            .fault_seed(42)
+            .max_batch_bytes(60_000)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.hello_interval, Duration::from_millis(25));
+        assert_eq!(cfg.retransmit_buffer, 512);
+        assert_eq!(cfg.fault_seed, 42);
+        assert_eq!(cfg.max_batch_bytes, 60_000);
     }
 }

@@ -28,6 +28,8 @@ pub enum OverlayError {
         /// Maximum allowed.
         max: usize,
     },
+    /// A configuration builder was given internally inconsistent knobs.
+    InvalidConfig(&'static str),
 }
 
 impl fmt::Display for OverlayError {
@@ -42,6 +44,7 @@ impl fmt::Display for OverlayError {
             OverlayError::PayloadTooLarge { got, max } => {
                 write!(f, "payload too large: {got} bytes exceeds {max}")
             }
+            OverlayError::InvalidConfig(rule) => write!(f, "invalid configuration: {rule}"),
         }
     }
 }

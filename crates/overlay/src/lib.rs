@@ -59,12 +59,16 @@ mod linkstate;
 pub mod metrics;
 mod monitor;
 mod node;
+pub mod pool;
 mod recovery;
 pub mod session;
+pub mod shard;
 pub mod wire;
 
 pub use clock::now_us;
-pub use config::NodeConfig;
+pub use config::{NodeConfig, NodeConfigBuilder};
 pub use error::OverlayError;
 pub use metrics::{ClusterMetricsReport, MetricsSnapshot, NodeCounters};
-pub use node::{NodeStats, OverlayHandle, OverlayNode};
+#[allow(deprecated)]
+pub use node::NodeStats;
+pub use node::{OverlayHandle, OverlayNode};

@@ -14,6 +14,7 @@
 //! compared field-for-field.
 
 use crate::clock::now_us;
+use crate::shard::ShardedMap;
 use dg_core::scheme::SchemeKind;
 use dg_core::Flow;
 use dg_topology::{Micros, NodeId};
@@ -296,11 +297,15 @@ impl EventJournal {
 }
 
 /// One node's full observability state.
+///
+/// The flow and link tables are sharded ([`crate::shard::ShardedMap`])
+/// because the data path resolves cells per packet; unrelated flows
+/// must not serialize on one registry lock.
 #[derive(Debug)]
 pub(crate) struct MetricsRegistry {
     pub(crate) counters: AtomicCounters,
-    flows: Mutex<HashMap<Flow, Arc<FlowCells>>>,
-    links: Mutex<HashMap<NodeId, Arc<LinkCells>>>,
+    flows: ShardedMap<Flow, Arc<FlowCells>>,
+    links: ShardedMap<NodeId, Arc<LinkCells>>,
     journal: EventJournal,
 }
 
@@ -308,22 +313,22 @@ impl MetricsRegistry {
     pub(crate) fn new(journal_capacity: usize) -> Self {
         MetricsRegistry {
             counters: AtomicCounters::default(),
-            flows: Mutex::new(HashMap::new()),
-            links: Mutex::new(HashMap::new()),
+            flows: ShardedMap::new(),
+            links: ShardedMap::new(),
             journal: EventJournal::new(journal_capacity),
         }
     }
 
-    /// The counter cell for `flow` (created on first use). The map lock
-    /// is held only for the lookup; increments happen on the returned
-    /// cell without any lock.
+    /// The counter cell for `flow` (created on first use). Only the
+    /// flow's shard locks for the lookup; increments happen on the
+    /// returned cell without any lock.
     pub(crate) fn flow(&self, flow: Flow) -> Arc<FlowCells> {
-        Arc::clone(self.flows.lock().entry(flow).or_default())
+        self.flows.get_or_insert_with(&flow, Arc::default)
     }
 
     /// The counter cell for the out-link toward `neighbor`.
     pub(crate) fn link(&self, neighbor: NodeId) -> Arc<LinkCells> {
-        Arc::clone(self.links.lock().entry(neighbor).or_default())
+        self.links.get_or_insert_with(&neighbor, Arc::default)
     }
 
     /// Records a journal event stamped with the current overlay clock.
@@ -336,9 +341,9 @@ impl MetricsRegistry {
     pub(crate) fn snapshot(&self, node: NodeId) -> MetricsSnapshot {
         let mut flows: Vec<FlowMetrics> = self
             .flows
-            .lock()
-            .iter()
-            .map(|(&flow, cells)| FlowMetrics {
+            .entries()
+            .into_iter()
+            .map(|(flow, cells)| FlowMetrics {
                 flow,
                 packets_sent: cells.packets_sent.load(Ordering::Relaxed),
                 packets_on_time: cells.packets_on_time.load(Ordering::Relaxed),
@@ -350,9 +355,9 @@ impl MetricsRegistry {
         flows.sort_by_key(|f| (f.flow.source.index(), f.flow.destination.index()));
         let mut links: Vec<LinkMetrics> = self
             .links
-            .lock()
-            .iter()
-            .map(|(&neighbor, cells)| LinkMetrics {
+            .entries()
+            .into_iter()
+            .map(|(neighbor, cells)| LinkMetrics {
                 neighbor,
                 datagrams: cells.datagrams.load(Ordering::Relaxed),
                 bytes: cells.bytes.load(Ordering::Relaxed),

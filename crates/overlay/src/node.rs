@@ -6,9 +6,11 @@ use crate::fault::{corrupt_in_place, FaultPlan};
 use crate::linkstate::LinkStateDb;
 use crate::metrics::{EventKind, MetricsRegistry, MetricsSnapshot, NodeCounters};
 use crate::monitor::LinkMonitor;
+use crate::pool::BufferPool;
 use crate::recovery::{GapTracker, SendBuffer};
 use crate::session::{Delivery, FlowReceiver, FlowSender, SchemeSlot};
-use crate::wire::{DataPacket, Envelope, LinkStateEntry, LinkStateUpdate, Message};
+use crate::shard::ShardedMap;
+use crate::wire::{self, DataPacket, Envelope, LinkStateEntry, LinkStateUpdate, Message};
 use crate::OverlayError;
 use bytes::Bytes;
 use crossbeam::channel::{self, Receiver, Sender, TryRecvError, TrySendError};
@@ -31,6 +33,11 @@ pub struct OverlayNode;
 /// Legacy compact counter view, derived from the node's
 /// [`MetricsSnapshot`] (see [`OverlayHandle::metrics_snapshot`] for the
 /// full registry).
+#[deprecated(
+    since = "0.2.0",
+    note = "use OverlayHandle::metrics_snapshot(); every NodeStats field maps to a \
+            MetricsSnapshot counter (delivered = delivered_on_time + delivered_late)"
+)]
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NodeStats {
     /// Data transmissions onto links (originals, not retransmissions).
@@ -59,6 +66,7 @@ pub struct NodeStats {
     pub malformed: u64,
 }
 
+#[allow(deprecated)]
 impl NodeStats {
     /// Projects the full counter block down to the legacy view.
     fn from_counters(c: &NodeCounters) -> NodeStats {
@@ -111,7 +119,11 @@ impl DedupCache {
 
 struct SendLink {
     next_seq: u64,
-    buffer: SendBuffer,
+    /// Recently sent packets, kept decoded: clones are cheap
+    /// (reference-counted mask/payload) and the NACK path re-encodes on
+    /// demand, so the hot path never clones an encoded frame just for
+    /// the buffer.
+    buffer: SendBuffer<DataPacket>,
 }
 
 struct Shipment {
@@ -120,6 +132,28 @@ struct Shipment {
     depart_at: Micros,
     order: u64,
 }
+
+// Ordered so a max-heap pops the *earliest* shipment first, FIFO within
+// one departure instant.
+impl Ord for Shipment {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.depart_at.cmp(&self.depart_at).then(other.order.cmp(&self.order))
+    }
+}
+
+impl PartialOrd for Shipment {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for Shipment {
+    fn eq(&self, other: &Self) -> bool {
+        self.depart_at == other.depart_at && self.order == other.order
+    }
+}
+
+impl Eq for Shipment {}
 
 pub(crate) struct Shared {
     pub(crate) config: NodeConfig,
@@ -132,8 +166,12 @@ pub(crate) struct Shared {
     dedup: Mutex<DedupCache>,
     send_links: Mutex<HashMap<NodeId, SendLink>>,
     recv_links: Mutex<HashMap<NodeId, GapTracker>>,
-    receivers: Mutex<HashMap<Flow, Sender<Delivery>>>,
+    /// Sharded so concurrent deliveries for unrelated flows don't
+    /// serialize on one lock.
+    receivers: ShardedMap<Flow, Sender<Delivery>>,
     pub(crate) senders: Mutex<Vec<Arc<Mutex<SchemeSlot>>>>,
+    /// Reusable encode buffers for the transmit path.
+    frame_pool: Mutex<BufferPool>,
     shipper_tx: Sender<Shipment>,
     shipment_order: AtomicU64,
     pub(crate) metrics: MetricsRegistry,
@@ -149,7 +187,10 @@ impl Shared {
         self.config.node
     }
 
-    /// Applies link faults and hands the datagram to the shipper.
+    /// Applies link faults and sends the datagram: immediately on the
+    /// calling thread when the verdict carries no delay (the hot path —
+    /// no queue, no context switch), or via the shipper when the fault
+    /// plan wants it held back.
     fn transmit(&self, to: NodeId, datagram: Bytes) {
         let verdict = self.faults.decide(to);
         if verdict.drop {
@@ -164,6 +205,16 @@ impl Shared {
         } else {
             datagram
         };
+        if verdict.delay == Micros::ZERO && !verdict.duplicate {
+            self.account_send(to, payload.len());
+            if let Some(addr) = self.config.peers.get(&to) {
+                let _ = self.socket.send_to(&payload, addr);
+            }
+            // The frame is usually uniquely owned by now; recover its
+            // allocation for the next encode.
+            self.frame_pool.lock().recycle(payload);
+            return;
+        }
         let depart_at = now_us().saturating_add(verdict.delay);
         self.ship(to, payload.clone(), depart_at);
         if verdict.duplicate {
@@ -172,16 +223,21 @@ impl Shared {
         }
     }
 
-    /// Accounts one wire transmission and queues it on the shipper,
-    /// dropping (and counting) on overflow instead of growing without
-    /// bound.
-    fn ship(&self, to: NodeId, datagram: Bytes, depart_at: Micros) {
-        let bytes = datagram.len() as u64;
+    /// Accounts one wire transmission in the node and per-link counters.
+    fn account_send(&self, to: NodeId, len: usize) {
+        let bytes = len as u64;
         self.metrics.counters.datagrams_sent.fetch_add(1, Ordering::Relaxed);
         self.metrics.counters.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
         let link = self.metrics.link(to);
         link.datagrams.fetch_add(1, Ordering::Relaxed);
         link.bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Accounts one wire transmission and queues it on the shipper,
+    /// dropping (and counting) on overflow instead of growing without
+    /// bound.
+    fn ship(&self, to: NodeId, datagram: Bytes, depart_at: Micros) {
+        self.account_send(to, datagram.len());
         let shipment = Shipment {
             to,
             datagram,
@@ -198,25 +254,82 @@ impl Shared {
         }
     }
 
+    /// Draws a pooled buffer, encodes with `fill`, and transmits the
+    /// resulting frame toward `neighbor`.
+    fn transmit_pooled(&self, neighbor: NodeId, fill: impl FnOnce(&mut Vec<u8>)) {
+        let mut buf = self.frame_pool.lock().get();
+        fill(&mut buf);
+        self.transmit(neighbor, Bytes::from(buf));
+    }
+
     /// Assigns a per-link sequence, buffers for recovery, and transmits
     /// a data packet toward `neighbor`.
     pub(crate) fn send_data(&self, neighbor: NodeId, packet: &DataPacket) {
-        let bytes = {
+        let link_seq = {
             let mut links = self.send_links.lock();
             let link = links.entry(neighbor).or_insert_with(|| SendLink {
                 next_seq: 0,
                 buffer: SendBuffer::new(self.config.retransmit_buffer),
             });
-            let mut own = packet.clone();
-            own.link_seq = link.next_seq;
+            let seq = link.next_seq;
             link.next_seq += 1;
-            let bytes = Envelope { from: self.me(), message: Message::Data(own) }.encode();
-            link.buffer.push(link.next_seq - 1, bytes.clone());
-            bytes
+            link.buffer.push(seq, packet.clone());
+            seq
         };
         self.metrics.counters.data_sent.fetch_add(1, Ordering::Relaxed);
         self.metrics.flow(packet.flow).transmissions.fetch_add(1, Ordering::Relaxed);
-        self.transmit(neighbor, bytes);
+        self.transmit_pooled(neighbor, |buf| wire::encode_data(self.me(), packet, link_seq, buf));
+    }
+
+    /// Like [`Shared::send_data`] for a run of packets: assigns them
+    /// consecutive per-link sequences and coalesces them into as few
+    /// datagrams as [`NodeConfig::max_batch_bytes`] allows — one
+    /// syscall, one checksum, one fault verdict per wire datagram
+    /// instead of per packet.
+    ///
+    /// All packets must belong to the same flow (callers batch within
+    /// one sending session).
+    pub(crate) fn send_data_batch(&self, neighbor: NodeId, packets: &[DataPacket]) {
+        if packets.is_empty() {
+            return;
+        }
+        let first_seq = {
+            let mut links = self.send_links.lock();
+            let link = links.entry(neighbor).or_insert_with(|| SendLink {
+                next_seq: 0,
+                buffer: SendBuffer::new(self.config.retransmit_buffer),
+            });
+            let first = link.next_seq;
+            link.next_seq += packets.len() as u64;
+            for (i, p) in packets.iter().enumerate() {
+                link.buffer.push(first + i as u64, p.clone());
+            }
+            first
+        };
+        let n = packets.len() as u64;
+        self.metrics.counters.data_sent.fetch_add(n, Ordering::Relaxed);
+        self.metrics.flow(packets[0].flow).transmissions.fetch_add(n, Ordering::Relaxed);
+        let seqs: Vec<u64> = (first_seq..first_seq + n).collect();
+        // Chunk so no datagram exceeds the configured batch budget
+        // (always at least one packet per datagram).
+        let budget = self.config.max_batch_bytes;
+        let mut start = 0;
+        while start < packets.len() {
+            let mut end = start + 1;
+            let mut size = wire::data_body_len(&packets[start]);
+            while end < packets.len() {
+                let next = wire::data_body_len(&packets[end]);
+                if size + next > budget {
+                    break;
+                }
+                size += next;
+                end += 1;
+            }
+            self.transmit_pooled(neighbor, |buf| {
+                wire::encode_data_batch(self.me(), &packets[start..end], &seqs[start..end], buf);
+            });
+            start = end;
+        }
     }
 
     /// Disseminates a packet from this node along its mask's out-edges.
@@ -228,10 +341,30 @@ impl Shared {
         }
     }
 
+    /// Disseminates a run of same-flow packets sharing one mask,
+    /// batching the per-neighbor sends.
+    pub(crate) fn disseminate_batch(&self, packets: &[DataPacket]) {
+        let Some(first) = packets.first() else { return };
+        for &e in self.graph.out_edges(self.me()) {
+            if first.mask_contains(e) {
+                self.send_data_batch(self.graph.edge(e).dst, packets);
+            }
+        }
+    }
+
     fn handle_datagram(&self, datagram: &[u8]) {
         self.metrics.counters.datagrams_received.fetch_add(1, Ordering::Relaxed);
         self.metrics.counters.bytes_received.fetch_add(datagram.len() as u64, Ordering::Relaxed);
-        let envelope = match Envelope::decode(datagram) {
+        // Data frames are copied once out of the receive scratch buffer
+        // into a shared frame, and their masks/payloads decode as
+        // zero-copy slices of it; control frames decode straight off the
+        // scratch buffer with no allocation at all.
+        let decoded = if wire::is_data_frame(datagram) {
+            Envelope::decode_shared(&Bytes::copy_from_slice(datagram))
+        } else {
+            Envelope::decode(datagram)
+        };
+        let envelope = match decoded {
             Ok(e) => e,
             Err(_) => {
                 self.metrics.counters.malformed.fetch_add(1, Ordering::Relaxed);
@@ -266,13 +399,13 @@ impl Shared {
                     .counters
                     .retransmit_requests_received
                     .fetch_add(requested, Ordering::Relaxed);
-                let mut resends = Vec::new();
+                let mut resends: Vec<(u64, DataPacket)> = Vec::new();
                 {
                     let mut links = self.send_links.lock();
                     if let Some(link) = links.get_mut(&from) {
                         for seq in missing {
-                            if let Some(bytes) = link.buffer.take(seq) {
-                                resends.push(bytes);
+                            if let Some(packet) = link.buffer.take(seq) {
+                                resends.push((seq, packet));
                             }
                         }
                     }
@@ -292,20 +425,26 @@ impl Shared {
                     self.metrics
                         .record(EventKind::RecoveryMissed { neighbor: from, packets: missed });
                 }
-                for bytes in resends {
+                for (seq, packet) in resends {
                     // Attribute the retransmission to its flow so cost
                     // accounting matches the simulator (originals +
                     // retransmissions). This path only runs on loss, so
-                    // the re-decode is off the hot path.
-                    if let Ok(env) = Envelope::decode(&bytes) {
-                        if let Message::Data(p) = env.message {
-                            self.metrics.flow(p.flow).transmissions.fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
-                    self.transmit(from, bytes);
+                    // re-encoding here keeps the hot path free of frame
+                    // clones.
+                    self.metrics.flow(packet.flow).transmissions.fetch_add(1, Ordering::Relaxed);
+                    self.transmit_pooled(from, |buf| {
+                        wire::encode_data(self.me(), &packet, seq, buf);
+                    });
                 }
             }
             Message::Data(packet) => self.handle_data(from, packet),
+            Message::DataBatch(packets) => {
+                // Un-batch: every packet runs the exact per-packet path
+                // (gap tracking, dedup, delivery, forwarding).
+                for packet in packets {
+                    self.handle_data(from, packet);
+                }
+            }
         }
     }
 
@@ -342,7 +481,7 @@ impl Shared {
                 self.metrics.counters.delivered_late.fetch_add(1, Ordering::Relaxed);
                 flow_cells.packets_late.fetch_add(1, Ordering::Relaxed);
             }
-            if let Some(tx) = self.receivers.lock().get(&packet.flow) {
+            if let Some(tx) = self.receivers.get(&packet.flow) {
                 let delivery = Delivery {
                     flow: packet.flow,
                     flow_seq: packet.flow_seq,
@@ -535,8 +674,9 @@ impl OverlayNode {
             dedup: Mutex::new(DedupCache::new(dedup_window)),
             send_links: Mutex::new(HashMap::new()),
             recv_links: Mutex::new(HashMap::new()),
-            receivers: Mutex::new(HashMap::new()),
+            receivers: ShardedMap::new(),
             senders: Mutex::new(Vec::new()),
+            frame_pool: Mutex::new(BufferPool::default()),
             shipper_tx,
             shipment_order: AtomicU64::new(0),
             metrics: MetricsRegistry::new(journal_capacity),
@@ -608,7 +748,7 @@ impl OverlayHandle {
             return Err(OverlayError::UnknownNode(flow.destination));
         }
         let (tx, rx) = channel::bounded(self.shared.config.delivery_queue);
-        self.shared.receivers.lock().insert(flow, tx);
+        self.shared.receivers.insert(flow, tx);
         Ok(FlowReceiver::new(rx))
     }
 
@@ -628,6 +768,12 @@ impl OverlayHandle {
     }
 
     /// Snapshot of this node's counters (legacy compact view).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use metrics_snapshot(), which carries every NodeStats field plus \
+                per-flow/per-link counters and the event journal"
+    )]
+    #[allow(deprecated)]
     pub fn stats(&self) -> NodeStats {
         NodeStats::from_counters(&self.shared.metrics.counters.snapshot())
     }
@@ -660,45 +806,62 @@ impl OverlayHandle {
     }
 }
 
+/// Most datagrams the receive thread drains per socket wakeup before
+/// re-arming the blocking wait, so a burst costs one timeout cycle.
+const RX_BATCH: usize = 32;
+
 fn receive_loop(shared: &Shared) {
     let mut buf = vec![0u8; 65_536];
     while shared.running.load(Ordering::SeqCst) {
+        // Block (bounded by the socket read timeout) for the first
+        // datagram of a burst...
         match shared.socket.recv_from(&mut buf) {
             Ok((len, _addr)) => shared.handle_datagram(&buf[..len]),
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
             Err(_) => break,
+        }
+        // ...then opportunistically drain the rest of it without
+        // blocking. The read timeout only applies in blocking mode, so
+        // toggling non-blocking on and off preserves it.
+        if shared.socket.set_nonblocking(true).is_err() {
+            continue;
+        }
+        for _ in 1..RX_BATCH {
+            match shared.socket.recv_from(&mut buf) {
+                Ok((len, _addr)) => shared.handle_datagram(&buf[..len]),
+                Err(_) => break,
+            }
+        }
+        if shared.socket.set_nonblocking(false).is_err() {
+            break;
         }
     }
 }
 
 fn shipper_loop(shared: &Shared, rx: &Receiver<Shipment>) {
-    use std::cmp::Reverse;
-    let mut heap: std::collections::BinaryHeap<Reverse<(Micros, u64)>> =
-        std::collections::BinaryHeap::new();
-    let mut pending: HashMap<u64, Shipment> = HashMap::new();
+    let mut heap: std::collections::BinaryHeap<Shipment> = std::collections::BinaryHeap::new();
     loop {
         // Drain whatever has been queued.
         loop {
             match rx.try_recv() {
-                Ok(s) => {
-                    heap.push(Reverse((s.depart_at, s.order)));
-                    pending.insert(s.order, s);
-                }
+                Ok(s) => heap.push(s),
                 Err(TryRecvError::Empty) => break,
                 Err(TryRecvError::Disconnected) => break,
             }
         }
         // Send everything due.
         let now = now_us();
-        while heap.peek().is_some_and(|Reverse((due, _))| *due <= now) {
-            let Reverse((_, order)) = heap.pop().expect("peeked");
-            if let Some(s) = pending.remove(&order) {
-                if let Some(addr) = shared.config.peers.get(&s.to) {
-                    let _ = shared.socket.send_to(&s.datagram, addr);
-                }
+        while heap.peek().is_some_and(|s| s.depart_at <= now) {
+            let s = heap.pop().expect("peeked");
+            if let Some(addr) = shared.config.peers.get(&s.to) {
+                let _ = shared.socket.send_to(&s.datagram, addr);
             }
+            shared.frame_pool.lock().recycle(s.datagram);
         }
         if !shared.running.load(Ordering::SeqCst) && heap.is_empty() {
             return;
@@ -706,13 +869,12 @@ fn shipper_loop(shared: &Shared, rx: &Receiver<Shipment>) {
         // Sleep until the next due shipment or a short poll.
         let nap = heap
             .peek()
-            .map(|Reverse((due, _))| {
-                Duration::from_micros(due.saturating_sub(now_us()).as_micros().min(5_000))
+            .map(|s| {
+                Duration::from_micros(s.depart_at.saturating_sub(now_us()).as_micros().min(5_000))
             })
             .unwrap_or(Duration::from_millis(2));
         if let Ok(s) = rx.recv_timeout(nap) {
-            heap.push(Reverse((s.depart_at, s.order)));
-            pending.insert(s.order, s);
+            heap.push(s);
         }
     }
 }
@@ -748,6 +910,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn stats_snapshot_reads_counters() {
         let metrics = MetricsRegistry::new(4);
         metrics.counters.data_sent.fetch_add(3, Ordering::Relaxed);

@@ -8,7 +8,6 @@
 //! the paper's single-retransmission discipline, which bounds the
 //! latency a recovered packet can accumulate.
 
-use bytes::Bytes;
 use std::collections::{HashSet, VecDeque};
 
 /// Cap on how many sequences one gap can NACK; a bigger gap means the
@@ -16,13 +15,17 @@ use std::collections::{HashSet, VecDeque};
 const MAX_NACK: u64 = 64;
 
 /// Sender side: recent transmissions kept for possible retransmission.
+///
+/// Generic over the stored representation: the node keeps decoded
+/// packets (cheap reference-counted clones, re-encoded only on the rare
+/// NACK path) while tests may store raw frames.
 #[derive(Debug)]
-pub struct SendBuffer {
+pub struct SendBuffer<T> {
     capacity: usize,
-    entries: VecDeque<(u64, Bytes)>,
+    entries: VecDeque<(u64, T)>,
 }
 
-impl SendBuffer {
+impl<T> SendBuffer<T> {
     /// A buffer holding up to `capacity` recent datagrams.
     ///
     /// # Panics
@@ -34,7 +37,7 @@ impl SendBuffer {
     }
 
     /// Stores a transmitted datagram under its link sequence number.
-    pub fn push(&mut self, link_seq: u64, datagram: Bytes) {
+    pub fn push(&mut self, link_seq: u64, datagram: T) {
         if self.entries.len() == self.capacity {
             self.entries.pop_front();
         }
@@ -43,7 +46,7 @@ impl SendBuffer {
 
     /// Takes the datagram for `link_seq`, removing it so a second NACK
     /// for the same sequence cannot trigger a second retransmission.
-    pub fn take(&mut self, link_seq: u64) -> Option<Bytes> {
+    pub fn take(&mut self, link_seq: u64) -> Option<T> {
         let idx = self.entries.iter().position(|(s, _)| *s == link_seq)?;
         self.entries.remove(idx).map(|(_, d)| d)
     }
@@ -108,6 +111,7 @@ impl GapTracker {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::Bytes;
 
     #[test]
     fn buffer_stores_and_takes_once() {
@@ -165,6 +169,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "capacity")]
     fn zero_capacity_panics() {
-        SendBuffer::new(0);
+        SendBuffer::<Bytes>::new(0);
     }
 }

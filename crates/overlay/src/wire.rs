@@ -7,10 +7,18 @@
 //! routing state — the source alone decides the routing, per the
 //! paper's architecture.
 //!
-//! The prelude checksum (FNV-1a over every byte except the checksum
-//! field itself) turns in-flight corruption into a clean decode error:
-//! a corrupted datagram only ever increments the `malformed` counter,
-//! it can never deliver a flipped payload or poison protocol state.
+//! The prelude checksum (a word-at-a-time 64-bit FNV-1a over every
+//! byte except the checksum field itself, folded to 32 bits) turns
+//! in-flight corruption into a clean decode error: a corrupted
+//! datagram only ever increments the `malformed` counter, it can never
+//! deliver a flipped payload or poison protocol state.
+//!
+//! Two encode/decode surfaces exist: the classic allocating pair
+//! ([`Envelope::encode`]/[`Envelope::decode`]) and the pooled-buffer
+//! pair ([`Envelope::encode_into`]/[`Envelope::decode_shared`]). The
+//! latter appends into a caller-supplied buffer and parses data packets
+//! as zero-copy slices of the received frame, so the forwarding hot
+//! path performs no per-packet copies of mask or payload bytes.
 
 use crate::OverlayError;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -20,8 +28,9 @@ use dg_topology::{EdgeId, Micros, NodeId};
 /// First byte of every overlay datagram.
 pub const MAGIC: u8 = 0xDC;
 /// Wire protocol version. Version 2 added the prelude checksum, the
-/// link-state origin epoch, and per-entry link-down flags.
-pub const VERSION: u8 = 2;
+/// link-state origin epoch, and per-entry link-down flags; version 3
+/// added batched data frames and the word-folded checksum.
+pub const VERSION: u8 = 3;
 /// Maximum application payload per packet, chosen to keep the whole
 /// datagram under a typical 1500-byte MTU.
 pub const MAX_PAYLOAD: usize = 1200;
@@ -40,6 +49,10 @@ pub struct Envelope {
 pub enum Message {
     /// An application packet being disseminated.
     Data(DataPacket),
+    /// Several application packets coalesced into one datagram (one
+    /// syscall, one checksum). Each item keeps its own per-link
+    /// sequence number, so hop-by-hop recovery still works per packet.
+    DataBatch(Vec<DataPacket>),
     /// A hop-by-hop recovery request for lost link sequence numbers.
     Nack {
         /// The link sequence numbers the receiver never saw.
@@ -132,6 +145,12 @@ const T_NACK: u8 = 1;
 const T_HELLO: u8 = 2;
 const T_HELLO_ACK: u8 = 3;
 const T_LINK_STATE: u8 = 4;
+const T_DATA_BATCH: u8 = 5;
+
+/// Fixed part of a data body: flow (8), flow_seq (8), sent_at (8),
+/// deadline (8), link_seq (8), retransmission flag (1), mask length
+/// (2), payload length (2).
+const DATA_FIXED_LEN: usize = 45;
 
 /// Byte offset of the prelude checksum field.
 const CHECKSUM_OFFSET: usize = 7;
@@ -140,52 +159,302 @@ const PRELUDE_LEN: usize = 11;
 /// Bit 0 of a link-state entry's flags byte: link declared down.
 const FLAG_LINK_DOWN: u8 = 0x01;
 
-/// FNV-1a over every datagram byte except the checksum field itself.
+/// Integrity checksum over every datagram byte except the checksum
+/// field itself: 64-bit FNV-1a consumed eight bytes per step (short
+/// tails are zero-padded and length-tagged), folded to 32 bits. The
+/// word-wise walk breaks FNV's one-multiply-per-byte dependency chain,
+/// which matters now that batching produces multi-kilobyte datagrams
+/// that are checksummed twice per hop (seal + verify).
 fn checksum(datagram: &[u8]) -> u32 {
-    let mut hash: u32 = 0x811C_9DC5;
-    let mut step = |byte: u8| {
-        hash ^= u32::from(byte);
-        hash = hash.wrapping_mul(0x0100_0193);
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            hash ^= u64::from_le_bytes(chunk.try_into().expect("exact chunk"));
+            hash = hash.wrapping_mul(PRIME);
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            // Tag the pad with the tail length so trailing zero bytes
+            // and an absent tail cannot alias.
+            tail[7] = rem.len() as u8;
+            hash ^= u64::from_le_bytes(tail);
+            hash = hash.wrapping_mul(PRIME);
+        }
     };
-    for &b in &datagram[..CHECKSUM_OFFSET.min(datagram.len())] {
-        step(b);
-    }
+    eat(&datagram[..CHECKSUM_OFFSET.min(datagram.len())]);
     if datagram.len() > PRELUDE_LEN {
-        for &b in &datagram[PRELUDE_LEN..] {
-            step(b);
+        eat(&datagram[PRELUDE_LEN..]);
+    }
+    (hash ^ (hash >> 32)) as u32
+}
+
+/// Whether a raw datagram is a data or data-batch frame (peeks the
+/// type byte). The receive path copies only these into shared frames
+/// for zero-copy decoding; control traffic decodes straight off the
+/// scratch buffer without an allocation.
+pub(crate) fn is_data_frame(datagram: &[u8]) -> bool {
+    matches!(datagram.get(2), Some(&T_DATA) | Some(&T_DATA_BATCH))
+}
+
+/// Appends the prelude with a zeroed checksum; returns the offset the
+/// envelope starts at (so the checksum can be patched after the body).
+fn put_prelude<B: BufMut + std::ops::DerefMut<Target = [u8]>>(
+    buf: &mut B,
+    msg_type: u8,
+    from: NodeId,
+) -> usize {
+    let base = buf.len();
+    buf.put_u8(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u8(msg_type);
+    buf.put_u32(from.index() as u32);
+    buf.put_u32(0); // checksum placeholder, patched by seal()
+    base
+}
+
+/// Computes and patches the checksum of the envelope starting at `base`.
+fn seal(buf: &mut [u8], base: usize) {
+    let sum = checksum(&buf[base..]);
+    buf[base + CHECKSUM_OFFSET..base + PRELUDE_LEN].copy_from_slice(&sum.to_be_bytes());
+}
+
+/// Serialized size of one data body (without the prelude).
+pub(crate) fn data_body_len(d: &DataPacket) -> usize {
+    DATA_FIXED_LEN + d.mask.len() + d.payload.len()
+}
+
+fn put_data_body<B: BufMut>(buf: &mut B, d: &DataPacket, link_seq: u64) {
+    buf.put_u32(d.flow.source.index() as u32);
+    buf.put_u32(d.flow.destination.index() as u32);
+    buf.put_u64(d.flow_seq);
+    buf.put_u64(d.sent_at.as_micros());
+    buf.put_u64(d.deadline.as_micros());
+    buf.put_u64(link_seq);
+    buf.put_u8(u8::from(d.retransmission));
+    buf.put_u16(d.mask.len() as u16);
+    buf.put_slice(&d.mask);
+    buf.put_u16(d.payload.len() as u16);
+    buf.put_slice(&d.payload);
+}
+
+/// Appends one `T_DATA` frame for `packet` with its per-link sequence
+/// overridden to `link_seq`, without cloning the packet. The node's
+/// transmit path pairs this with a pooled buffer.
+pub(crate) fn encode_data(from: NodeId, packet: &DataPacket, link_seq: u64, buf: &mut Vec<u8>) {
+    buf.reserve(PRELUDE_LEN + data_body_len(packet));
+    let base = put_prelude(buf, T_DATA, from);
+    put_data_body(buf, packet, link_seq);
+    seal(buf, base);
+}
+
+/// Appends one `T_DATA_BATCH` frame carrying `packets[start..end]`,
+/// whose per-link sequences are `link_seqs[start..end]`.
+pub(crate) fn encode_data_batch(
+    from: NodeId,
+    packets: &[DataPacket],
+    link_seqs: &[u64],
+    buf: &mut Vec<u8>,
+) {
+    debug_assert_eq!(packets.len(), link_seqs.len());
+    let body: usize = packets.iter().map(data_body_len).sum();
+    buf.reserve(PRELUDE_LEN + 2 + body);
+    let base = put_prelude(buf, T_DATA_BATCH, from);
+    buf.put_u16(packets.len() as u16);
+    for (d, &seq) in packets.iter().zip(link_seqs) {
+        put_data_body(buf, d, seq);
+    }
+    seal(buf, base);
+}
+
+/// How `decode` materializes mask/payload bytes: by copying out of the
+/// datagram, or by slicing a shared receive frame (zero-copy).
+enum Materialize<'a> {
+    Copy,
+    Share(&'a Bytes),
+}
+
+impl Materialize<'_> {
+    fn take(&self, datagram: &[u8], offset: usize, len: usize) -> Bytes {
+        match self {
+            Materialize::Copy => Bytes::copy_from_slice(&datagram[offset..offset + len]),
+            Materialize::Share(frame) => frame.slice(offset..offset + len),
         }
     }
-    hash
+}
+
+fn decode_data_body(
+    datagram: &[u8],
+    buf: &mut &[u8],
+    materialize: &Materialize<'_>,
+) -> Result<DataPacket, OverlayError> {
+    if buf.remaining() < DATA_FIXED_LEN {
+        return Err(OverlayError::Malformed("short data header"));
+    }
+    let flow = Flow::new(NodeId::new(buf.get_u32()), NodeId::new(buf.get_u32()));
+    let flow_seq = buf.get_u64();
+    let sent_at = Micros::from_micros(buf.get_u64());
+    let deadline = Micros::from_micros(buf.get_u64());
+    let link_seq = buf.get_u64();
+    let retransmission = buf.get_u8() != 0;
+    let mask_len = buf.get_u16() as usize;
+    if buf.remaining() < mask_len + 2 {
+        return Err(OverlayError::Malformed("short mask"));
+    }
+    let mask = materialize.take(datagram, datagram.len() - buf.remaining(), mask_len);
+    buf.advance(mask_len);
+    let payload_len = buf.get_u16() as usize;
+    if buf.remaining() < payload_len {
+        return Err(OverlayError::Malformed("short payload"));
+    }
+    let payload = materialize.take(datagram, datagram.len() - buf.remaining(), payload_len);
+    buf.advance(payload_len);
+    Ok(DataPacket { flow, flow_seq, sent_at, deadline, link_seq, retransmission, mask, payload })
+}
+
+fn decode_with(datagram: &[u8], materialize: Materialize<'_>) -> Result<Envelope, OverlayError> {
+    let mut buf = datagram;
+    if buf.remaining() < PRELUDE_LEN {
+        return Err(OverlayError::Malformed("short prelude"));
+    }
+    if buf.get_u8() != MAGIC {
+        return Err(OverlayError::Malformed("bad magic"));
+    }
+    if buf.get_u8() != VERSION {
+        return Err(OverlayError::Malformed("unsupported version"));
+    }
+    let msg_type = buf.get_u8();
+    let from = NodeId::new(buf.get_u32());
+    let claimed = buf.get_u32();
+    if claimed != checksum(datagram) {
+        return Err(OverlayError::Malformed("bad checksum"));
+    }
+    let message = match msg_type {
+        T_DATA => Message::Data(decode_data_body(datagram, &mut buf, &materialize)?),
+        T_DATA_BATCH => {
+            if buf.remaining() < 2 {
+                return Err(OverlayError::Malformed("short batch"));
+            }
+            let count = buf.get_u16() as usize;
+            if count == 0 {
+                return Err(OverlayError::Malformed("empty batch"));
+            }
+            if buf.remaining() < count * DATA_FIXED_LEN {
+                return Err(OverlayError::Malformed("short batch body"));
+            }
+            let mut packets = Vec::with_capacity(count);
+            for _ in 0..count {
+                packets.push(decode_data_body(datagram, &mut buf, &materialize)?);
+            }
+            Message::DataBatch(packets)
+        }
+        T_NACK => {
+            if buf.remaining() < 2 {
+                return Err(OverlayError::Malformed("short nack"));
+            }
+            let count = buf.get_u16() as usize;
+            if buf.remaining() < count * 8 {
+                return Err(OverlayError::Malformed("short nack list"));
+            }
+            let missing = (0..count).map(|_| buf.get_u64()).collect();
+            Message::Nack { missing }
+        }
+        T_HELLO => {
+            if buf.remaining() < 16 {
+                return Err(OverlayError::Malformed("short hello"));
+            }
+            Message::Hello { seq: buf.get_u64(), sent_at: Micros::from_micros(buf.get_u64()) }
+        }
+        T_HELLO_ACK => {
+            if buf.remaining() < 16 {
+                return Err(OverlayError::Malformed("short hello ack"));
+            }
+            Message::HelloAck {
+                echo_seq: buf.get_u64(),
+                echo_sent_at: Micros::from_micros(buf.get_u64()),
+            }
+        }
+        T_LINK_STATE => {
+            if buf.remaining() < 22 {
+                return Err(OverlayError::Malformed("short link state"));
+            }
+            let origin = NodeId::new(buf.get_u32());
+            let epoch = buf.get_u64();
+            let seq = buf.get_u64();
+            let count = buf.get_u16() as usize;
+            if buf.remaining() < count * 13 {
+                return Err(OverlayError::Malformed("short link state entries"));
+            }
+            let entries = (0..count)
+                .map(|_| LinkStateEntry {
+                    edge: EdgeId::new(buf.get_u32()),
+                    loss: buf.get_f32(),
+                    extra_latency_us: buf.get_u32(),
+                    down: buf.get_u8() & FLAG_LINK_DOWN != 0,
+                })
+                .collect();
+            Message::LinkState(LinkStateUpdate { origin, epoch, seq, entries })
+        }
+        _ => return Err(OverlayError::Malformed("unknown message type")),
+    };
+    Ok(Envelope { from, message })
 }
 
 impl Envelope {
+    /// Exact serialized size of this envelope, so callers can reserve
+    /// buffer space once instead of growing incrementally.
+    pub fn encoded_len(&self) -> usize {
+        PRELUDE_LEN
+            + match &self.message {
+                Message::Data(d) => data_body_len(d),
+                Message::DataBatch(ps) => 2 + ps.iter().map(data_body_len).sum::<usize>(),
+                Message::Nack { missing } => 2 + 8 * missing.len(),
+                Message::Hello { .. } | Message::HelloAck { .. } => 16,
+                Message::LinkState(u) => 22 + 13 * u.entries.len(),
+            }
+    }
+
     /// Serializes the envelope to bytes ready for a datagram.
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(64);
-        buf.put_u8(MAGIC);
-        buf.put_u8(VERSION);
+        let mut buf = Vec::with_capacity(self.encoded_len());
+        self.encode_into_vec(&mut buf);
+        Bytes::from(buf)
+    }
+
+    /// Appends the serialized envelope to a caller-supplied buffer
+    /// (e.g. one drawn from a [`crate::pool::BufferPool`]), avoiding a
+    /// fresh allocation per datagram.
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        buf.reserve(self.encoded_len());
+        self.encode_append(buf);
+    }
+
+    /// Like [`Envelope::encode_into`] for a plain `Vec<u8>` buffer.
+    pub fn encode_into_vec(&self, buf: &mut Vec<u8>) {
+        buf.reserve(self.encoded_len());
+        self.encode_append(buf);
+    }
+
+    fn encode_append<B: BufMut + std::ops::DerefMut<Target = [u8]>>(&self, buf: &mut B) {
+        let msg_type = match &self.message {
+            Message::Data(_) => T_DATA,
+            Message::DataBatch(_) => T_DATA_BATCH,
+            Message::Nack { .. } => T_NACK,
+            Message::Hello { .. } => T_HELLO,
+            Message::HelloAck { .. } => T_HELLO_ACK,
+            Message::LinkState(_) => T_LINK_STATE,
+        };
+        let base = put_prelude(buf, msg_type, self.from);
         match &self.message {
-            Message::Data(_) => buf.put_u8(T_DATA),
-            Message::Nack { .. } => buf.put_u8(T_NACK),
-            Message::Hello { .. } => buf.put_u8(T_HELLO),
-            Message::HelloAck { .. } => buf.put_u8(T_HELLO_ACK),
-            Message::LinkState(_) => buf.put_u8(T_LINK_STATE),
-        }
-        buf.put_u32(self.from.index() as u32);
-        buf.put_u32(0); // checksum placeholder, filled below
-        match &self.message {
-            Message::Data(d) => {
-                buf.put_u32(d.flow.source.index() as u32);
-                buf.put_u32(d.flow.destination.index() as u32);
-                buf.put_u64(d.flow_seq);
-                buf.put_u64(d.sent_at.as_micros());
-                buf.put_u64(d.deadline.as_micros());
-                buf.put_u64(d.link_seq);
-                buf.put_u8(u8::from(d.retransmission));
-                buf.put_u16(d.mask.len() as u16);
-                buf.put_slice(&d.mask);
-                buf.put_u16(d.payload.len() as u16);
-                buf.put_slice(&d.payload);
+            Message::Data(d) => put_data_body(buf, d, d.link_seq),
+            Message::DataBatch(ps) => {
+                buf.put_u16(ps.len() as u16);
+                for d in ps {
+                    put_data_body(buf, d, d.link_seq);
+                }
             }
             Message::Nack { missing } => {
                 buf.put_u16(missing.len() as u16);
@@ -214,117 +483,29 @@ impl Envelope {
                 }
             }
         }
-        let sum = checksum(&buf);
-        buf[CHECKSUM_OFFSET..PRELUDE_LEN].copy_from_slice(&sum.to_be_bytes());
-        buf.freeze()
+        seal(buf, base);
     }
 
-    /// Parses an envelope from a received datagram.
+    /// Parses an envelope from a received datagram, copying mask and
+    /// payload bytes out of it.
     ///
     /// # Errors
     ///
     /// Returns [`OverlayError::Malformed`] on truncation, bad magic, or
     /// an unknown message type.
     pub fn decode(datagram: &[u8]) -> Result<Envelope, OverlayError> {
-        let mut buf = datagram;
-        if buf.remaining() < PRELUDE_LEN {
-            return Err(OverlayError::Malformed("short prelude"));
-        }
-        if buf.get_u8() != MAGIC {
-            return Err(OverlayError::Malformed("bad magic"));
-        }
-        if buf.get_u8() != VERSION {
-            return Err(OverlayError::Malformed("unsupported version"));
-        }
-        let msg_type = buf.get_u8();
-        let from = NodeId::new(buf.get_u32());
-        let claimed = buf.get_u32();
-        if claimed != checksum(datagram) {
-            return Err(OverlayError::Malformed("bad checksum"));
-        }
-        let message = match msg_type {
-            T_DATA => {
-                if buf.remaining() < 4 + 4 + 8 + 8 + 8 + 8 + 1 + 2 {
-                    return Err(OverlayError::Malformed("short data header"));
-                }
-                let flow = Flow::new(NodeId::new(buf.get_u32()), NodeId::new(buf.get_u32()));
-                let flow_seq = buf.get_u64();
-                let sent_at = Micros::from_micros(buf.get_u64());
-                let deadline = Micros::from_micros(buf.get_u64());
-                let link_seq = buf.get_u64();
-                let retransmission = buf.get_u8() != 0;
-                let mask_len = buf.get_u16() as usize;
-                if buf.remaining() < mask_len + 2 {
-                    return Err(OverlayError::Malformed("short mask"));
-                }
-                let mask = Bytes::copy_from_slice(&buf[..mask_len]);
-                buf.advance(mask_len);
-                let payload_len = buf.get_u16() as usize;
-                if buf.remaining() < payload_len {
-                    return Err(OverlayError::Malformed("short payload"));
-                }
-                let payload = Bytes::copy_from_slice(&buf[..payload_len]);
-                Message::Data(DataPacket {
-                    flow,
-                    flow_seq,
-                    sent_at,
-                    deadline,
-                    link_seq,
-                    retransmission,
-                    mask,
-                    payload,
-                })
-            }
-            T_NACK => {
-                if buf.remaining() < 2 {
-                    return Err(OverlayError::Malformed("short nack"));
-                }
-                let count = buf.get_u16() as usize;
-                if buf.remaining() < count * 8 {
-                    return Err(OverlayError::Malformed("short nack list"));
-                }
-                let missing = (0..count).map(|_| buf.get_u64()).collect();
-                Message::Nack { missing }
-            }
-            T_HELLO => {
-                if buf.remaining() < 16 {
-                    return Err(OverlayError::Malformed("short hello"));
-                }
-                Message::Hello { seq: buf.get_u64(), sent_at: Micros::from_micros(buf.get_u64()) }
-            }
-            T_HELLO_ACK => {
-                if buf.remaining() < 16 {
-                    return Err(OverlayError::Malformed("short hello ack"));
-                }
-                Message::HelloAck {
-                    echo_seq: buf.get_u64(),
-                    echo_sent_at: Micros::from_micros(buf.get_u64()),
-                }
-            }
-            T_LINK_STATE => {
-                if buf.remaining() < 22 {
-                    return Err(OverlayError::Malformed("short link state"));
-                }
-                let origin = NodeId::new(buf.get_u32());
-                let epoch = buf.get_u64();
-                let seq = buf.get_u64();
-                let count = buf.get_u16() as usize;
-                if buf.remaining() < count * 13 {
-                    return Err(OverlayError::Malformed("short link state entries"));
-                }
-                let entries = (0..count)
-                    .map(|_| LinkStateEntry {
-                        edge: EdgeId::new(buf.get_u32()),
-                        loss: buf.get_f32(),
-                        extra_latency_us: buf.get_u32(),
-                        down: buf.get_u8() & FLAG_LINK_DOWN != 0,
-                    })
-                    .collect();
-                Message::LinkState(LinkStateUpdate { origin, epoch, seq, entries })
-            }
-            _ => return Err(OverlayError::Malformed("unknown message type")),
-        };
-        Ok(Envelope { from, message })
+        decode_with(datagram, Materialize::Copy)
+    }
+
+    /// Parses an envelope from a shared receive frame. Data packets'
+    /// mask and payload become zero-copy slices of `frame`, so one
+    /// batched receive buffer backs every packet it carried.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::Malformed`] exactly as [`Envelope::decode`].
+    pub fn decode_shared(frame: &Bytes) -> Result<Envelope, OverlayError> {
+        decode_with(frame, Materialize::Share(frame))
     }
 }
 
@@ -448,6 +629,93 @@ mod tests {
                     "flip {xor:#04x} at byte {pos} went undetected"
                 );
             }
+        }
+    }
+
+    fn sample_batch(n: usize) -> Envelope {
+        let packets = (0..n)
+            .map(|i| DataPacket {
+                flow: Flow::new(NodeId::new(0), NodeId::new(7)),
+                flow_seq: 100 + i as u64,
+                sent_at: Micros::from_micros(2_000_000 + i as u64),
+                deadline: Micros::from_millis(65),
+                link_seq: 500 + i as u64,
+                retransmission: i % 2 == 1,
+                mask: Bytes::from_static(&[0b0000_0011]),
+                payload: Bytes::copy_from_slice(format!("payload-{i}").as_bytes()),
+            })
+            .collect();
+        Envelope { from: NodeId::new(3), message: Message::DataBatch(packets) }
+    }
+
+    #[test]
+    fn batch_round_trips_through_both_decode_paths() {
+        for n in [1, 2, 7] {
+            let env = sample_batch(n);
+            let bytes = env.encode();
+            assert_eq!(Envelope::decode(&bytes).unwrap(), env, "copying decode, n={n}");
+            assert_eq!(Envelope::decode_shared(&bytes).unwrap(), env, "shared decode, n={n}");
+        }
+    }
+
+    #[test]
+    fn batch_matches_sequential_singles() {
+        // A batch frame must carry exactly the packets that n single
+        // frames would, with per-item link sequences preserved.
+        let env = sample_batch(3);
+        let Message::DataBatch(packets) = &env.message else { unreachable!() };
+        let bytes = env.encode();
+        let Envelope { message: Message::DataBatch(back), .. } = Envelope::decode(&bytes).unwrap()
+        else {
+            panic!("batch decodes as a batch")
+        };
+        assert_eq!(&back, packets);
+        assert_eq!(back[0].link_seq, 500);
+        assert_eq!(back[2].link_seq, 502);
+    }
+
+    #[test]
+    fn batch_corruption_and_truncation_are_detected() {
+        let good = sample_batch(4).encode();
+        for pos in 0..good.len() {
+            let mut bytes = good.to_vec();
+            bytes[pos] ^= 0x40;
+            assert!(Envelope::decode(&bytes).is_err(), "flip at byte {pos} went undetected");
+        }
+        for cut in 0..good.len() {
+            assert!(Envelope::decode(&good[..cut]).is_err(), "cut at {cut}");
+            assert!(Envelope::decode_shared(&good.slice(0..cut)).is_err(), "shared cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn shared_decode_matches_copying_decode_for_all_types() {
+        let mut envs = vec![sample_data(), sample_batch(2)];
+        envs.push(Envelope {
+            from: NodeId::new(1),
+            message: Message::Nack { missing: vec![5, 6, 9] },
+        });
+        for env in envs {
+            let bytes = env.encode();
+            assert_eq!(
+                Envelope::decode(&bytes).unwrap(),
+                Envelope::decode_shared(&bytes).unwrap(),
+                "{env:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn encode_into_matches_encode() {
+        for env in [sample_data(), sample_batch(3)] {
+            let freestanding = env.encode();
+            let mut buf = BytesMut::with_capacity(env.encoded_len());
+            env.encode_into(&mut buf);
+            assert_eq!(&freestanding[..], &buf[..]);
+            let mut vec = Vec::new();
+            env.encode_into_vec(&mut vec);
+            assert_eq!(&freestanding[..], &vec[..]);
+            assert_eq!(freestanding.len(), env.encoded_len());
         }
     }
 }

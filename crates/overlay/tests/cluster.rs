@@ -86,10 +86,10 @@ fn recovery_rescues_moderate_loss() {
     // Without recovery ~30% would vanish; with one retransmission the
     // expected residual loss is ~9%.
     assert!(got.len() as u64 >= total * 80 / 100, "only {}/{total} delivered", got.len());
-    let nyc_stats = cluster.node(flow.source).stats();
-    assert!(nyc_stats.retransmissions > 0, "recovery never fired");
-    let chi_like = cluster.node(graph.edge(first_hop).dst).stats();
-    assert!(chi_like.nacks_sent > 0, "receiver never detected gaps");
+    let nyc = cluster.node(flow.source).metrics_snapshot().counters;
+    assert!(nyc.retransmissions_served > 0, "recovery never fired");
+    let chi_like = cluster.node(graph.edge(first_hop).dst).metrics_snapshot().counters;
+    assert!(chi_like.nack_messages_sent > 0, "receiver never detected gaps");
     cluster.shutdown();
 }
 
@@ -231,7 +231,8 @@ fn expired_packets_are_not_delivered() {
     }
     assert!(rx.recv_timeout(Duration::from_millis(500)).is_none());
     // Some node along the path dropped them as expired.
-    let total_expired: u64 = cluster.graph().nodes().map(|n| cluster.node(n).stats().expired).sum();
+    let total_expired: u64 =
+        cluster.graph().nodes().map(|n| cluster.node(n).metrics_snapshot().counters.expired).sum();
     assert!(total_expired > 0);
     cluster.shutdown();
 }
@@ -262,8 +263,10 @@ fn flooding_reaches_most_of_the_network() {
     // Network-wide transmissions reflect flooding's cost; duplicates
     // were suppressed at joins.
     let graph = cluster.graph().clone();
-    let total_sent: u64 = graph.nodes().map(|n| cluster.node(n).stats().data_sent).sum();
-    let total_dups: u64 = graph.nodes().map(|n| cluster.node(n).stats().duplicates).sum();
+    let total_sent: u64 =
+        graph.nodes().map(|n| cluster.node(n).metrics_snapshot().counters.data_sent).sum();
+    let total_dups: u64 =
+        graph.nodes().map(|n| cluster.node(n).metrics_snapshot().counters.duplicates).sum();
     assert!(total_sent >= 10 * (graph_size / 2), "sent {total_sent}");
     assert!(total_dups > 0, "flooding must produce suppressed duplicates");
     cluster.shutdown();

@@ -2,37 +2,41 @@
 //! no unbounded allocation) on arbitrary input, and encode/decode must
 //! round-trip arbitrary well-formed messages.
 
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 use dg_core::Flow;
+use dg_overlay::pool::BufferPool;
 use dg_overlay::wire::{DataPacket, Envelope, LinkStateEntry, LinkStateUpdate, Message};
 use dg_topology::{EdgeId, Micros, NodeId};
 use proptest::prelude::*;
 
+fn arb_packet() -> impl Strategy<Value = DataPacket> {
+    (
+        0u32..64,
+        0u32..64,
+        any::<u64>(),
+        any::<u64>(),
+        0u64..1_000_000_000,
+        any::<u64>(),
+        any::<bool>(),
+        proptest::collection::vec(any::<u8>(), 0..16),
+        proptest::collection::vec(any::<u8>(), 0..64),
+    )
+        .prop_map(|(s, d, seq, sent, dl, lseq, retx, mask, payload)| DataPacket {
+            flow: Flow::new(NodeId::new(s), NodeId::new(d)),
+            flow_seq: seq,
+            sent_at: Micros::from_micros(sent),
+            deadline: Micros::from_micros(dl),
+            link_seq: lseq,
+            retransmission: retx,
+            mask: Bytes::from(mask),
+            payload: Bytes::from(payload),
+        })
+}
+
 fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
-        (
-            0u32..64,
-            0u32..64,
-            any::<u64>(),
-            any::<u64>(),
-            0u64..1_000_000_000,
-            any::<u64>(),
-            any::<bool>(),
-            proptest::collection::vec(any::<u8>(), 0..16),
-            proptest::collection::vec(any::<u8>(), 0..64),
-        )
-            .prop_map(|(s, d, seq, sent, dl, lseq, retx, mask, payload)| {
-                Message::Data(DataPacket {
-                    flow: Flow::new(NodeId::new(s), NodeId::new(d)),
-                    flow_seq: seq,
-                    sent_at: Micros::from_micros(sent),
-                    deadline: Micros::from_micros(dl),
-                    link_seq: lseq,
-                    retransmission: retx,
-                    mask: Bytes::from(mask),
-                    payload: Bytes::from(payload),
-                })
-            }),
+        arb_packet().prop_map(Message::Data),
+        proptest::collection::vec(arb_packet(), 1..8).prop_map(Message::DataBatch),
         proptest::collection::vec(any::<u64>(), 0..64)
             .prop_map(|missing| Message::Nack { missing }),
         (any::<u64>(), any::<u64>())
@@ -84,6 +88,39 @@ proptest! {
         prop_assert_eq!(env, decoded);
     }
 
+    /// Encoding into a pooled (reused, dirty) buffer produces bytes
+    /// identical to a fresh allocating encode, and both zero-copy and
+    /// copying decodes of either reproduce the original envelope.
+    #[test]
+    fn pooled_encode_is_byte_identical_to_allocating(
+        from in 0u32..64,
+        message in arb_message(),
+        garbage in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let env = Envelope { from: NodeId::new(from), message };
+        let allocating = env.encode();
+
+        // Dirty a pooled buffer first so stale contents would show up.
+        let mut pool = BufferPool::new(4);
+        let mut buf = pool.get();
+        buf.extend_from_slice(&garbage);
+        pool.put(buf);
+        let mut pooled = pool.get();
+        env.encode_into_vec(&mut pooled);
+        prop_assert_eq!(&allocating[..], &pooled[..]);
+
+        let mut via_bytes_mut = BytesMut::with_capacity(env.encoded_len());
+        env.encode_into(&mut via_bytes_mut);
+        prop_assert_eq!(&allocating[..], &via_bytes_mut[..]);
+
+        let shared = Bytes::from(pooled);
+        prop_assert_eq!(&env, &Envelope::decode(&shared).expect("pooled encoding decodes"));
+        prop_assert_eq!(
+            &env,
+            &Envelope::decode_shared(&shared).expect("pooled encoding decodes zero-copy")
+        );
+    }
+
     /// Truncating a valid datagram at any point yields an error, never
     /// a panic, a bogus success, or a read past the buffer — the
     /// checksum covers the whole datagram, so no proper prefix decodes.
@@ -98,8 +135,9 @@ proptest! {
     }
 
     /// Flipping one byte never panics the decoder, and the checksum
-    /// catches every single-byte flip — corruption yields malformed,
-    /// never a silently altered message.
+    /// catches the flip (a fold collision has 2^-32 odds, far below
+    /// what 256 cases could hit) — corruption yields malformed, never
+    /// a silently altered message.
     #[test]
     fn corruption_is_detected(
         from in 0u32..64,

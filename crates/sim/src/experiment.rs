@@ -19,6 +19,119 @@ pub struct ExperimentConfig {
     pub playback: PlaybackConfig,
 }
 
+/// A validation failure from [`ExperimentConfigBuilder::build`]: the
+/// violated rule, in prose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidExperiment(pub &'static str);
+
+impl std::fmt::Display for InvalidExperiment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid experiment configuration: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidExperiment {}
+
+impl ExperimentConfig {
+    /// Starts a builder seeded with the paper's defaults.
+    ///
+    /// Prefer this over struct-literal construction: [`build`] rejects
+    /// internally inconsistent knobs (a zero packet rate, a threshold
+    /// outside `(0, 1]`, a zero deadline) instead of letting them
+    /// surface as panics or nonsense mid-run.
+    ///
+    /// [`build`]: ExperimentConfigBuilder::build
+    pub fn builder() -> ExperimentConfigBuilder {
+        ExperimentConfigBuilder { config: ExperimentConfig::default() }
+    }
+}
+
+/// Builder for [`ExperimentConfig`] with validated defaults.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfigBuilder {
+    config: ExperimentConfig,
+}
+
+impl ExperimentConfigBuilder {
+    /// Sets the scheme construction tunables.
+    #[must_use]
+    pub fn scheme_params(mut self, params: SchemeParams) -> Self {
+        self.config.scheme_params = params;
+        self
+    }
+
+    /// Sets the flows' timeliness contract.
+    #[must_use]
+    pub fn requirement(mut self, requirement: ServiceRequirement) -> Self {
+        self.config.requirement = requirement;
+        self
+    }
+
+    /// Sets the full playback parameter block.
+    #[must_use]
+    pub fn playback(mut self, playback: PlaybackConfig) -> Self {
+        self.config.playback = playback;
+        self
+    }
+
+    /// Sets the application packet rate.
+    #[must_use]
+    pub fn packets_per_second(mut self, rate: u32) -> Self {
+        self.config.playback.packets_per_second = rate;
+        self
+    }
+
+    /// Sets the one-way delivery deadline (both the playback cutoff
+    /// and the schemes' timeliness contract).
+    #[must_use]
+    pub fn deadline(mut self, deadline: dg_topology::Micros) -> Self {
+        self.config.playback.deadline = deadline;
+        self.config.requirement.deadline = deadline;
+        self
+    }
+
+    /// Sets the per-second availability threshold.
+    #[must_use]
+    pub fn availability_threshold(mut self, threshold: f64) -> Self {
+        self.config.playback.availability_threshold = threshold;
+        self
+    }
+
+    /// Sets the seed for the deterministic loss draws.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.playback.seed = seed;
+        self
+    }
+
+    /// Validates the knobs and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidExperiment`] naming the first violated rule.
+    pub fn build(self) -> Result<ExperimentConfig, InvalidExperiment> {
+        let p = &self.config.playback;
+        if p.packets_per_second == 0 {
+            return Err(InvalidExperiment("packets_per_second must be positive"));
+        }
+        if p.deadline == dg_topology::Micros::ZERO {
+            return Err(InvalidExperiment("deadline must be positive"));
+        }
+        if !(p.availability_threshold > 0.0 && p.availability_threshold <= 1.0) {
+            return Err(InvalidExperiment("availability_threshold must be in (0, 1]"));
+        }
+        if self.config.requirement.deadline == dg_topology::Micros::ZERO {
+            return Err(InvalidExperiment("requirement deadline must be positive"));
+        }
+        if p.deadline < self.config.requirement.deadline {
+            return Err(InvalidExperiment(
+                "playback deadline must not be tighter than the schemes' requirement",
+            ));
+        }
+        Ok(self.config)
+    }
+}
+
 /// One scheme's aggregate over all flows (one row of Table 2).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SchemeAggregate {
@@ -269,6 +382,37 @@ mod tests {
                     .unwrap();
             assert_eq!(serial, parallel, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn builder_defaults_match_default_and_validate() {
+        let built = ExperimentConfig::builder().build().unwrap();
+        assert_eq!(built, ExperimentConfig::default());
+    }
+
+    #[test]
+    fn builder_rejects_inconsistent_knobs() {
+        assert!(ExperimentConfig::builder().packets_per_second(0).build().is_err());
+        assert!(ExperimentConfig::builder().availability_threshold(0.0).build().is_err());
+        assert!(ExperimentConfig::builder().availability_threshold(1.5).build().is_err());
+        assert!(ExperimentConfig::builder().deadline(Micros::ZERO).build().is_err());
+        let err = ExperimentConfig::builder().packets_per_second(0).build().unwrap_err();
+        assert!(err.to_string().contains("packets_per_second"));
+    }
+
+    #[test]
+    fn builder_setters_apply() {
+        let cfg = ExperimentConfig::builder()
+            .packets_per_second(250)
+            .deadline(Micros::from_millis(80))
+            .availability_threshold(0.999)
+            .seed(42)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.playback.packets_per_second, 250);
+        assert_eq!(cfg.playback.deadline, Micros::from_millis(80));
+        assert_eq!(cfg.requirement.deadline, Micros::from_millis(80));
+        assert_eq!(cfg.playback.seed, 42);
     }
 
     #[test]

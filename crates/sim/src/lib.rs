@@ -46,5 +46,5 @@ mod rng;
 
 pub use histogram::LatencyHistogram;
 pub use metrics::{gap_coverage, FlowRunStats, SecondRecord};
-pub use packet::{simulate_packet, PacketOutcome, RecoveryModel};
+pub use packet::{simulate_packet, simulate_packet_with, PacketOutcome, RecoveryModel, SimScratch};
 pub use playback::{run_flow, run_flow_detailed, run_flow_full, PlaybackConfig, PlaybackOutput};

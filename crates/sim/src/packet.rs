@@ -41,6 +41,58 @@ pub struct PacketOutcome {
     pub transmissions: u64,
 }
 
+/// Reusable per-flow simulation state, so replaying millions of packets
+/// allocates nothing per packet.
+///
+/// Holds the event heap, a generation-stamped arrival table (cleared in
+/// O(1) by bumping the generation), and a per-node index of the current
+/// dissemination graph's forwarding edges — computed once per graph
+/// instead of scanning every member edge at every node visit.
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    heap: BinaryHeap<Reverse<(Micros, dg_topology::NodeId)>>,
+    arrival: Vec<(u64, Micros)>,
+    generation: u64,
+    /// `out[node] = ` the dissemination graph's edges leaving `node`.
+    out: Vec<Vec<dg_topology::EdgeId>>,
+}
+
+impl SimScratch {
+    /// Fresh scratch state; sized lazily on first use.
+    pub fn new() -> Self {
+        SimScratch::default()
+    }
+
+    /// Rebuilds the per-node forwarding index for `dgraph`. Call once
+    /// per dissemination graph (and again whenever the scheme reroutes);
+    /// [`simulate_packet_with`] then does O(out-degree) work per visit.
+    pub fn index_graph(&mut self, topology: &Graph, dgraph: &DisseminationGraph) {
+        let n = topology.node_count();
+        self.out.iter_mut().for_each(Vec::clear);
+        self.out.resize(n, Vec::new());
+        for &e in dgraph.edges() {
+            self.out[topology.edge(e).src.index()].push(e);
+        }
+    }
+
+    fn begin(&mut self, n: usize) {
+        self.heap.clear();
+        self.generation += 1;
+        if self.arrival.len() < n {
+            self.arrival.resize(n, (0, Micros::ZERO));
+        }
+    }
+
+    fn arrived(&self, node: usize) -> Option<Micros> {
+        let (generation, at) = self.arrival[node];
+        (generation == self.generation).then_some(at)
+    }
+
+    fn mark(&mut self, node: usize, at: Micros) {
+        self.arrival[node] = (self.generation, at);
+    }
+}
+
 /// Simulates one packet sent at `send_time` over `dgraph`.
 ///
 /// Every node receiving the packet for the first time forwards it once
@@ -49,6 +101,10 @@ pub struct PacketOutcome {
 /// deadline-aware service never forwards useless data). Loss draws are
 /// deterministic in `(seed, edge, seq, attempt)`, making scheme
 /// comparisons paired rather than noisy.
+///
+/// This convenience wrapper builds fresh scratch state per call; bulk
+/// replays should hold a [`SimScratch`] and call
+/// [`simulate_packet_with`].
 #[allow(clippy::too_many_arguments)] // a flat hot-path signature beats a builder here
 pub fn simulate_packet(
     topology: &Graph,
@@ -60,28 +116,57 @@ pub fn simulate_packet(
     seed: u64,
     seq: u64,
 ) -> PacketOutcome {
-    let expiry = send_time.saturating_add(deadline);
-    let n = topology.node_count();
-    let mut arrival: Vec<Option<Micros>> = vec![None; n];
-    let mut transmissions = 0u64;
-    let mut heap = BinaryHeap::new();
-    heap.push(Reverse((send_time, dgraph.source())));
+    let mut scratch = SimScratch::new();
+    scratch.index_graph(topology, dgraph);
+    simulate_packet_with(
+        &mut scratch,
+        topology,
+        dgraph,
+        traces,
+        send_time,
+        deadline,
+        recovery,
+        seed,
+        seq,
+    )
+}
 
-    while let Some(Reverse((t, u))) = heap.pop() {
-        if arrival[u.index()].is_some() {
+/// [`simulate_packet`] against caller-held [`SimScratch`] — the
+/// allocation-free bulk-replay path. The scratch must have been indexed
+/// for `dgraph` via [`SimScratch::index_graph`].
+#[allow(clippy::too_many_arguments)] // a flat hot-path signature beats a builder here
+pub fn simulate_packet_with(
+    scratch: &mut SimScratch,
+    topology: &Graph,
+    dgraph: &DisseminationGraph,
+    traces: &TraceSet,
+    send_time: Micros,
+    deadline: Micros,
+    recovery: &RecoveryModel,
+    seed: u64,
+    seq: u64,
+) -> PacketOutcome {
+    let expiry = send_time.saturating_add(deadline);
+    let mut transmissions = 0u64;
+    scratch.begin(topology.node_count());
+    scratch.heap.push(Reverse((send_time, dgraph.source())));
+
+    while let Some(Reverse((t, u))) = scratch.heap.pop() {
+        if scratch.arrived(u.index()).is_some() {
             continue;
         }
-        arrival[u.index()] = Some(t);
+        scratch.mark(u.index(), t);
         if t > expiry {
             // Expired packets are not forwarded further.
             continue;
         }
-        for e in dgraph.forwarding_edges(topology, u) {
+        for i in 0..scratch.out[u.index()].len() {
+            let e = scratch.out[u.index()][i];
             let cond = traces.condition_at(e, t);
             let latency = topology.edge(e).latency.saturating_add(cond.extra_latency);
             transmissions += 1;
             if unit_sample(seed, e.index() as u32, seq, 0) >= cond.loss_rate {
-                heap.push(Reverse((t.saturating_add(latency), topology.edge(e).dst)));
+                scratch.heap.push(Reverse((t.saturating_add(latency), topology.edge(e).dst)));
             } else if recovery.enabled {
                 // Lost: receiver detects the gap one inter-packet spacing
                 // after the packet would have arrived, NACKs back, and the
@@ -91,13 +176,13 @@ pub fn simulate_packet(
                     let recovered = t
                         .saturating_add(recovery.gap_detection)
                         .saturating_add(latency.saturating_mul(3));
-                    heap.push(Reverse((recovered, topology.edge(e).dst)));
+                    scratch.heap.push(Reverse((recovered, topology.edge(e).dst)));
                 }
             }
         }
     }
 
-    let delivered_at = arrival[dgraph.destination().index()];
+    let delivered_at = scratch.arrived(dgraph.destination().index());
     PacketOutcome {
         delivered_at,
         on_time: delivered_at.is_some_and(|t| t <= expiry),

@@ -2,7 +2,7 @@
 
 use crate::histogram::LatencyHistogram;
 use crate::metrics::{FlowRunStats, SecondRecord};
-use crate::packet::{simulate_packet, RecoveryModel};
+use crate::packet::{simulate_packet_with, RecoveryModel, SimScratch};
 use dg_core::scheme::RoutingScheme;
 use dg_topology::{Graph, Micros};
 use dg_trace::TraceSet;
@@ -126,6 +126,11 @@ pub fn run_flow_full(
     let mut records = Vec::with_capacity(total_seconds as usize);
     let mut latency = LatencyHistogram::new();
     let mut seq = 0u64;
+    // One scratch for the whole run: the forwarding index is rebuilt
+    // only when the scheme actually reroutes, and the event heap and
+    // arrival table are reused across every packet.
+    let mut scratch = SimScratch::new();
+    scratch.index_graph(topology, scheme.current());
 
     for second in 0..total_seconds {
         let mut sent = 0u64;
@@ -138,9 +143,11 @@ pub fn run_flow_full(
                 let state = traces.state_at(interval_start);
                 if scheme.update(topology, &state) {
                     stats.graph_changes += 1;
+                    scratch.index_graph(topology, scheme.current());
                 }
             }
-            let outcome = simulate_packet(
+            let outcome = simulate_packet_with(
+                &mut scratch,
                 topology,
                 scheme.current(),
                 traces,

@@ -54,10 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     std::thread::sleep(Duration::from_millis(500));
     send_phase("healed", 100);
 
-    let stats = cluster.node(flow.source).stats();
+    let counters = cluster.node(flow.source).metrics_snapshot().counters;
     println!(
         "\nNYC stats: {} data sent, {} retransmissions, {} graph changes",
-        stats.data_sent, stats.retransmissions, stats.graph_changes
+        counters.data_sent, counters.retransmissions_served, counters.graph_changes
     );
     cluster.shutdown();
     Ok(())

@@ -44,10 +44,21 @@ pub use dg_sim as sim;
 pub use dg_topology as topology;
 pub use dg_trace as trace;
 
+// The workhorse types, liftable without spelling out the sub-crate.
+pub use dg_core::scheme::SchemeKind;
+pub use dg_overlay::chaos::ChaosSchedule;
+pub use dg_overlay::cluster::Cluster;
+pub use dg_overlay::metrics::MetricsSnapshot;
+pub use dg_overlay::{NodeConfig, NodeConfigBuilder, OverlayHandle};
+
 /// The types most programs need, importable in one line.
 pub mod prelude {
     pub use dg_core::scheme::{build_scheme, RoutingScheme, SchemeKind, SchemeParams};
     pub use dg_core::{DisseminationGraph, Flow, ServiceRequirement};
+    pub use dg_overlay::chaos::ChaosSchedule;
+    pub use dg_overlay::cluster::{Cluster, ClusterConfig};
+    pub use dg_overlay::metrics::MetricsSnapshot;
+    pub use dg_overlay::{NodeConfig, NodeConfigBuilder, OverlayHandle};
     pub use dg_sim::{run_flow, PlaybackConfig};
     pub use dg_topology::{self as topology, Graph, Micros, NodeId};
     pub use dg_trace::gen::SyntheticWanConfig;

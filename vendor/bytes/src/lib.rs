@@ -69,6 +69,24 @@ impl Bytes {
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_slice().to_vec()
     }
+
+    /// Recovers the backing allocation when this handle is the only
+    /// owner and views the whole buffer; otherwise returns the buffer
+    /// unchanged. Lets buffer pools recycle allocations without unsafe
+    /// code (upstream has no equivalent; offline extension).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(self)` when the allocation is shared or trimmed.
+    pub fn try_reclaim(self) -> Result<Vec<u8>, Bytes> {
+        if self.start != 0 || self.end != self.data.len() {
+            return Err(self);
+        }
+        Arc::try_unwrap(self.data).map_err(|data| {
+            let end = data.len();
+            Bytes { data, start: 0, end }
+        })
+    }
 }
 
 impl Deref for Bytes {
@@ -191,6 +209,38 @@ impl BytesMut {
     /// Converts the accumulated bytes into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
+    }
+
+    /// Empties the buffer, keeping its allocation.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Shortens the buffer to `len` bytes (no-op when already shorter).
+    pub fn truncate(&mut self, len: usize) {
+        self.data.truncate(len);
+    }
+
+    /// Resizes to `len` bytes, filling any growth with `value`.
+    pub fn resize(&mut self, len: usize, value: u8) {
+        self.data.resize(len, value);
+    }
+
+    /// Ensures space for `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(data: Vec<u8>) -> Self {
+        BytesMut { data }
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(buf: BytesMut) -> Self {
+        buf.data
     }
 }
 
@@ -361,5 +411,35 @@ mod tests {
         assert_eq!(b.len(), 5);
         let c = b.clone();
         assert_eq!(b, c);
+    }
+
+    #[test]
+    fn reclaim_unique_untrimmed_only() {
+        let b = Bytes::from(vec![1, 2, 3]);
+        let v = b.try_reclaim().expect("unique owner reclaims");
+        assert_eq!(v, vec![1, 2, 3]);
+
+        let b = Bytes::from(vec![1, 2, 3]);
+        let clone = b.clone();
+        let b = b.try_reclaim().expect_err("shared buffer is not reclaimed");
+        assert_eq!(b, clone);
+        drop(clone);
+        assert!(b.try_reclaim().is_ok(), "last owner reclaims");
+
+        let s = Bytes::from(vec![1, 2, 3]).slice(0..2);
+        assert!(s.try_reclaim().is_err(), "trimmed view is not reclaimed");
+    }
+
+    #[test]
+    fn bytes_mut_vec_conversions() {
+        let mut buf = BytesMut::from(vec![9u8; 4]);
+        buf.truncate(2);
+        buf.resize(3, 7);
+        assert_eq!(&buf[..], &[9, 9, 7]);
+        buf.reserve(100);
+        buf.clear();
+        assert!(buf.is_empty());
+        let v: Vec<u8> = BytesMut::from(vec![1, 2]).into();
+        assert_eq!(v, vec![1, 2]);
     }
 }
