@@ -252,5 +252,11 @@ fn apply_chaos_to_self(handle: &OverlayHandle, graph: &Graph, me: NodeId, action
                 );
             }
         }
+        ChaosAction::PanicThread { node, thread } => {
+            if node == me {
+                println!("chaos: injecting panic into {thread:?} thread");
+                handle.inject_thread_panic(thread);
+            }
+        }
     }
 }

@@ -9,6 +9,7 @@
 
 use crate::cluster::Cluster;
 use crate::fault::{splitmix64, unit, BurstLoss, LinkFault};
+use crate::metrics::NodeThread;
 use crate::OverlayError;
 use dg_topology::{EdgeId, Micros, NodeId};
 use serde::{Deserialize, Serialize};
@@ -55,6 +56,15 @@ pub enum ChaosAction {
     RestartNode {
         /// The node to restart.
         node: NodeId,
+    },
+    /// Make one of a node's protocol threads panic; its supervisor
+    /// catches the panic, journals it, and restarts the thread. A
+    /// no-op if the node is crashed.
+    PanicThread {
+        /// The node whose thread panics.
+        node: NodeId,
+        /// Which protocol thread to crash.
+        thread: NodeThread,
     },
 }
 
@@ -273,6 +283,7 @@ fn apply(cluster: &mut Cluster, action: &ChaosAction) -> Result<(), OverlayError
                 cluster.restart_node(node)?;
             }
         }
+        ChaosAction::PanicThread { node, thread } => cluster.panic_thread(node, thread),
     }
     Ok(())
 }

@@ -8,9 +8,10 @@
 
 use crate::config::NodeConfig;
 use crate::fault::LinkFault;
-use crate::metrics::ClusterMetricsReport;
+use crate::metrics::{ClusterMetricsReport, NodeThread};
 use crate::node::{OverlayHandle, OverlayNode};
 use crate::session::{FlowReceiver, FlowSender};
+use crate::wire::DigestEntry;
 use crate::OverlayError;
 use dg_core::scheme::{build_scheme, SchemeKind, SchemeParams};
 use dg_core::{Flow, ServiceRequirement};
@@ -39,6 +40,15 @@ pub struct ClusterConfig {
     /// [`crate::NodeConfigBuilder::max_batch_bytes`]); loopback
     /// clusters can raise it well past the WAN-safe default.
     pub max_batch_bytes: usize,
+    /// Anti-entropy digest interval for every node (see
+    /// [`crate::NodeConfigBuilder::digest_interval`]).
+    pub digest_interval: Duration,
+    /// Flap-damper hold-down for every node (see
+    /// [`crate::NodeConfigBuilder::flap_hold_down`]).
+    pub flap_hold_down: Duration,
+    /// Watchdog staleness horizon for every node (see
+    /// [`crate::NodeConfigBuilder::watchdog_stale_after`]).
+    pub watchdog_stale_after: Duration,
 }
 
 impl Default for ClusterConfig {
@@ -50,6 +60,9 @@ impl Default for ClusterConfig {
             scheme_params: SchemeParams::default(),
             fault_seed: 0,
             max_batch_bytes: 1_400,
+            digest_interval: Duration::from_secs(1),
+            flap_hold_down: Duration::from_millis(500),
+            watchdog_stale_after: Duration::from_secs(1),
         }
     }
 }
@@ -128,6 +141,23 @@ impl Cluster {
     /// True when `node` has not been killed.
     pub fn is_alive(&self, node: NodeId) -> bool {
         self.handles[node.index()].is_some()
+    }
+
+    /// Makes one protocol thread of `node` panic at its next checkpoint
+    /// — the supervisor catches it, journals the crash, and restarts
+    /// the thread. A no-op if the node has been killed.
+    pub fn panic_thread(&self, node: NodeId, thread: NodeThread) {
+        if let Some(handle) = &self.handles[node.index()] {
+            handle.inject_thread_panic(thread);
+        }
+    }
+
+    /// The per-origin `(epoch, seq)` link-state digest of one node, or
+    /// an empty digest for a killed node. Two nodes with identical
+    /// digests hold identical link-state databases — the convergence
+    /// check partition tests poll.
+    pub fn link_state_digest(&self, node: NodeId) -> Vec<DigestEntry> {
+        self.handles[node.index()].as_ref().map_or_else(Vec::new, OverlayHandle::link_state_digest)
     }
 
     /// Restarts a previously killed node on its original port. The
@@ -287,6 +317,9 @@ fn make_node_config(
         .link_state_interval(config.link_state_interval)
         .fault_seed(config.fault_seed ^ (node.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
         .max_batch_bytes(config.max_batch_bytes)
+        .digest_interval(config.digest_interval)
+        .flap_hold_down(config.flap_hold_down)
+        .watchdog_stale_after(config.watchdog_stale_after)
         .peers(graph.neighbors(node).map(|n| (n, addrs[n.index()])).collect::<HashMap<_, _>>())
         .build()
         .expect("cluster node configuration validates")

@@ -53,6 +53,31 @@ pub struct NodeConfig {
     /// common 1500-byte MTU; loopback benchmarks raise it to pack more
     /// packets per syscall.
     pub max_batch_bytes: usize,
+    /// How long to wait for a neighbour's link-state ack before
+    /// retransmitting the report (doubles per retry).
+    pub lsa_retransmit_timeout: Duration,
+    /// Retransmission budget per (neighbour, origin) link-state report;
+    /// an exhausted report is abandoned and left to anti-entropy.
+    pub lsa_max_retransmits: u32,
+    /// How often anti-entropy digests summarize the link-state database
+    /// to each neighbour.
+    pub digest_interval: Duration,
+    /// Minimum spacing between admitted link-state transitions for one
+    /// neighbour (route-flap damping hold-down); zero disables the
+    /// hold-down.
+    pub flap_hold_down: Duration,
+    /// Half-life of the route-flap damper's instability penalty.
+    pub flap_penalty_half_life: Duration,
+    /// Penalty above which a link is considered flapping and its
+    /// transitions stay suppressed until the penalty decays.
+    pub flap_suppress_threshold: f64,
+    /// How long a NACKed sequence may stay silent before the NACK is
+    /// re-issued (once).
+    pub nack_rerequest_after: Duration,
+    /// A supervised thread whose heartbeat is older than this marks the
+    /// node degraded; it is also how long the degraded flag lingers
+    /// after a thread restart.
+    pub watchdog_stale_after: Duration,
 }
 
 impl NodeConfig {
@@ -102,6 +127,14 @@ impl NodeConfigBuilder {
             delivery_queue: 16_384,
             fault_seed: 0,
             max_batch_bytes: 1_400,
+            lsa_retransmit_timeout: Duration::from_millis(100),
+            lsa_max_retransmits: 4,
+            digest_interval: Duration::from_secs(1),
+            flap_hold_down: Duration::from_millis(500),
+            flap_penalty_half_life: Duration::from_secs(2),
+            flap_suppress_threshold: 3.0,
+            nack_rerequest_after: Duration::from_millis(250),
+            watchdog_stale_after: Duration::from_secs(1),
         }
     }
 
@@ -190,6 +223,54 @@ impl NodeConfigBuilder {
         self
     }
 
+    /// Ack-timeout before a link-state report is retransmitted.
+    pub fn lsa_retransmit_timeout(mut self, timeout: Duration) -> Self {
+        self.config.lsa_retransmit_timeout = timeout;
+        self
+    }
+
+    /// Retransmission budget per (neighbour, origin) link-state report.
+    pub fn lsa_max_retransmits(mut self, retries: u32) -> Self {
+        self.config.lsa_max_retransmits = retries;
+        self
+    }
+
+    /// How often anti-entropy digests are exchanged.
+    pub fn digest_interval(mut self, interval: Duration) -> Self {
+        self.config.digest_interval = interval;
+        self
+    }
+
+    /// Route-flap damping hold-down window (zero disables it).
+    pub fn flap_hold_down(mut self, hold_down: Duration) -> Self {
+        self.config.flap_hold_down = hold_down;
+        self
+    }
+
+    /// Half-life of the flap damper's instability penalty.
+    pub fn flap_penalty_half_life(mut self, half_life: Duration) -> Self {
+        self.config.flap_penalty_half_life = half_life;
+        self
+    }
+
+    /// Penalty above which a flapping link stays suppressed.
+    pub fn flap_suppress_threshold(mut self, threshold: f64) -> Self {
+        self.config.flap_suppress_threshold = threshold;
+        self
+    }
+
+    /// Silence horizon after which a NACK is re-issued once.
+    pub fn nack_rerequest_after(mut self, silence: Duration) -> Self {
+        self.config.nack_rerequest_after = silence;
+        self
+    }
+
+    /// Heartbeat staleness horizon for the thread watchdog.
+    pub fn watchdog_stale_after(mut self, horizon: Duration) -> Self {
+        self.config.watchdog_stale_after = horizon;
+        self
+    }
+
     /// Validates the configuration and returns it.
     ///
     /// # Errors
@@ -238,6 +319,29 @@ impl NodeConfigBuilder {
         }
         if c.max_batch_bytes == 0 {
             return Err(OverlayError::InvalidConfig("max_batch_bytes must be positive"));
+        }
+        if c.lsa_retransmit_timeout.is_zero() {
+            return Err(OverlayError::InvalidConfig("lsa_retransmit_timeout must be positive"));
+        }
+        if c.digest_interval.is_zero() {
+            return Err(OverlayError::InvalidConfig("digest_interval must be positive"));
+        }
+        if c.flap_penalty_half_life.is_zero() {
+            return Err(OverlayError::InvalidConfig("flap_penalty_half_life must be positive"));
+        }
+        if c.flap_suppress_threshold <= 1.0 {
+            return Err(OverlayError::InvalidConfig(
+                "flap_suppress_threshold must exceed 1 so a first transition is admissible",
+            ));
+        }
+        if c.nack_rerequest_after.is_zero() {
+            return Err(OverlayError::InvalidConfig("nack_rerequest_after must be positive"));
+        }
+        if c.watchdog_stale_after <= c.hello_interval * 2 {
+            return Err(OverlayError::InvalidConfig(
+                "watchdog_stale_after must comfortably outlast the hello interval \
+                 (heartbeats are stamped at most once per tick)",
+            ));
         }
         Ok(self.config)
     }
@@ -288,6 +392,49 @@ mod tests {
         assert!(matches!(bad, Err(OverlayError::InvalidConfig(_))));
         let bad = NodeConfig::builder(NodeId::new(3), listen).max_batch_bytes(0).build();
         assert!(matches!(bad, Err(OverlayError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn builder_rejects_bad_resilience_knobs() {
+        let listen: SocketAddr = "127.0.0.1:0".parse().unwrap();
+        let bad =
+            NodeConfig::builder(NodeId::new(5), listen).lsa_retransmit_timeout(Duration::ZERO);
+        assert!(matches!(bad.build(), Err(OverlayError::InvalidConfig(_))));
+        let bad = NodeConfig::builder(NodeId::new(5), listen).digest_interval(Duration::ZERO);
+        assert!(matches!(bad.build(), Err(OverlayError::InvalidConfig(_))));
+        let bad = NodeConfig::builder(NodeId::new(5), listen).flap_suppress_threshold(1.0);
+        assert!(matches!(bad.build(), Err(OverlayError::InvalidConfig(_))));
+        let bad =
+            NodeConfig::builder(NodeId::new(5), listen).flap_penalty_half_life(Duration::ZERO);
+        assert!(matches!(bad.build(), Err(OverlayError::InvalidConfig(_))));
+        let bad = NodeConfig::builder(NodeId::new(5), listen).nack_rerequest_after(Duration::ZERO);
+        assert!(matches!(bad.build(), Err(OverlayError::InvalidConfig(_))));
+        let bad = NodeConfig::builder(NodeId::new(5), listen)
+            .watchdog_stale_after(Duration::from_millis(60));
+        assert!(
+            matches!(bad.build(), Err(OverlayError::InvalidConfig(_))),
+            "watchdog horizon must outlast hello ticks"
+        );
+        // A hold-down of zero is legal: it disables damping's window.
+        let ok = NodeConfig::builder(NodeId::new(5), listen).flap_hold_down(Duration::ZERO).build();
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn resilience_defaults_validate_and_apply() {
+        let listen: SocketAddr = "127.0.0.1:0".parse().unwrap();
+        let cfg = NodeConfig::builder(NodeId::new(6), listen)
+            .lsa_max_retransmits(7)
+            .digest_interval(Duration::from_millis(400))
+            .flap_hold_down(Duration::from_millis(900))
+            .build()
+            .unwrap();
+        assert_eq!(cfg.lsa_max_retransmits, 7);
+        assert_eq!(cfg.digest_interval, Duration::from_millis(400));
+        assert_eq!(cfg.flap_hold_down, Duration::from_millis(900));
+        assert!(cfg.lsa_retransmit_timeout > Duration::ZERO);
+        assert!(cfg.flap_suppress_threshold > 1.0);
+        assert!(cfg.watchdog_stale_after > cfg.hello_interval * 2);
     }
 
     #[test]

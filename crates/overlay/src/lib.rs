@@ -60,7 +60,7 @@ pub mod metrics;
 mod monitor;
 mod node;
 pub mod pool;
-mod recovery;
+pub mod recovery;
 pub mod session;
 pub mod shard;
 pub mod wire;
@@ -68,7 +68,7 @@ pub mod wire;
 pub use clock::now_us;
 pub use config::{NodeConfig, NodeConfigBuilder};
 pub use error::OverlayError;
-pub use metrics::{ClusterMetricsReport, MetricsSnapshot, NodeCounters};
+pub use metrics::{ClusterMetricsReport, MetricsSnapshot, NodeCounters, NodeThread};
 #[allow(deprecated)]
 pub use node::NodeStats;
 pub use node::{OverlayHandle, OverlayNode};

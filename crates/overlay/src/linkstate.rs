@@ -20,7 +20,7 @@
 //!   and the origin is forgotten, so even a zero-epoch report from a
 //!   replacement process is accepted.
 
-use crate::wire::LinkStateUpdate;
+use crate::wire::{DigestEntry, LinkStateUpdate};
 use dg_topology::{EdgeId, Graph, Micros};
 use dg_trace::{LinkCondition, NetworkState};
 
@@ -39,6 +39,9 @@ struct OriginRecord {
     /// Every edge this origin has ever reported, so expiry knows what
     /// to reset.
     edges: Vec<EdgeId>,
+    /// The latest report itself, kept verbatim so anti-entropy repair
+    /// (§ digest exchange) can re-send it to a neighbour that missed it.
+    latest: LinkStateUpdate,
 }
 
 /// Per-node view of every link's reported condition.
@@ -98,8 +101,13 @@ impl LinkStateDb {
                 }
             }
         }
-        *slot =
-            Some(OriginRecord { epoch: update.epoch, seq: update.seq, refreshed_at: now, edges });
+        *slot = Some(OriginRecord {
+            epoch: update.epoch,
+            seq: update.seq,
+            refreshed_at: now,
+            edges,
+            latest: update.clone(),
+        });
         true
     }
 
@@ -134,6 +142,44 @@ impl LinkStateDb {
     /// How many origins have a live (unexpired) report.
     pub fn origins_heard(&self) -> usize {
         self.origins.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Anti-entropy summary of the database: the latest `(epoch, seq)`
+    /// stamp per live origin, in ascending origin order (so two equal
+    /// databases produce byte-identical digests).
+    pub fn digest(&self) -> Vec<DigestEntry> {
+        self.origins
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| {
+                slot.as_ref().map(|r| DigestEntry {
+                    origin: dg_topology::NodeId::new(i as u32),
+                    epoch: r.epoch,
+                    seq: r.seq,
+                })
+            })
+            .collect()
+    }
+
+    /// The stored reports a peer advertising `remote` is missing: every
+    /// origin whose local stamp is strictly newer than the peer's, or
+    /// that the peer does not know at all. Pushing these back closes the
+    /// gap a healed partition left, without waiting for each origin's
+    /// next periodic refresh to happen to traverse the healed cut.
+    pub fn updates_newer_than(&self, remote: &[DigestEntry]) -> Vec<LinkStateUpdate> {
+        self.origins
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| {
+                let r = slot.as_ref()?;
+                let theirs =
+                    remote.iter().find(|e| e.origin.index() == i).map(|e| (e.epoch, e.seq));
+                match theirs {
+                    Some(stamp) if (r.epoch, r.seq) <= stamp => None,
+                    _ => Some(r.latest.clone()),
+                }
+            })
+            .collect()
     }
 }
 
@@ -233,5 +279,60 @@ mod tests {
     fn state_time_is_stamped() {
         let mut db = db();
         assert_eq!(db.network_state(Micros::from_secs(9)).time(), Micros::from_secs(9));
+    }
+
+    #[test]
+    fn digest_summarizes_live_origins_in_order() {
+        let mut db = db();
+        assert!(db.digest().is_empty());
+        assert!(db.apply(&update(3, 10, 2, 4, 0.1), Micros::ZERO));
+        assert!(db.apply(&update(1, 7, 9, 2, 0.2), Micros::ZERO));
+        let d = db.digest();
+        assert_eq!(d.len(), 2);
+        assert_eq!((d[0].origin, d[0].epoch, d[0].seq), (NodeId::new(1), 7, 9));
+        assert_eq!((d[1].origin, d[1].epoch, d[1].seq), (NodeId::new(3), 10, 2));
+    }
+
+    #[test]
+    fn expired_origins_leave_the_digest() {
+        let mut db = db();
+        assert!(db.apply(&update(0, 1, 1, 3, 0.0), Micros::ZERO));
+        db.expire(Micros::from_secs(20));
+        assert!(db.digest().is_empty());
+    }
+
+    #[test]
+    fn repair_covers_missing_and_stale_origins_only() {
+        let mut a = db();
+        let mut b = db();
+        // a knows origins 0 (newer than b) and 2 (unknown to b); both
+        // know origin 5 at the same stamp.
+        assert!(a.apply(&update(0, 1, 4, 3, 0.1), Micros::ZERO));
+        assert!(a.apply(&update(2, 3, 1, 5, 0.2), Micros::ZERO));
+        assert!(a.apply(&update(5, 2, 2, 7, 0.3), Micros::ZERO));
+        assert!(b.apply(&update(0, 1, 2, 3, 0.9), Micros::ZERO));
+        assert!(b.apply(&update(5, 2, 2, 7, 0.3), Micros::ZERO));
+        let repairs = a.updates_newer_than(&b.digest());
+        let mut origins: Vec<u32> = repairs.iter().map(|u| u.origin.index() as u32).collect();
+        origins.sort_unstable();
+        assert_eq!(origins, vec![0, 2]);
+        // Applying the repairs converges b's digest to a's.
+        for u in &repairs {
+            assert!(b.apply(u, Micros::ZERO));
+        }
+        assert_eq!(a.digest(), b.digest());
+        // Nothing further to repair, in either direction.
+        assert!(a.updates_newer_than(&b.digest()).is_empty());
+        assert!(b.updates_newer_than(&a.digest()).is_empty());
+    }
+
+    #[test]
+    fn repair_ignores_origins_where_peer_is_newer() {
+        let mut a = db();
+        let mut b = db();
+        assert!(a.apply(&update(4, 1, 1, 6, 0.1), Micros::ZERO));
+        assert!(b.apply(&update(4, 2, 0, 6, 0.0), Micros::ZERO), "higher epoch wins");
+        assert!(a.updates_newer_than(&b.digest()).is_empty());
+        assert_eq!(b.updates_newer_than(&a.digest()).len(), 1);
     }
 }

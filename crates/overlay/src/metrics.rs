@@ -114,6 +114,34 @@ declare_counters! {
     link_state_flooded,
     /// Dissemination-graph changes across local sender sessions.
     graph_changes,
+    /// Link-state transmissions retransmitted because a neighbour's ack
+    /// did not arrive in time.
+    lsa_retransmits,
+    /// Per-neighbour acknowledgements sent for received link-state
+    /// reports.
+    lsa_acks_sent,
+    /// Acknowledgements received for link-state reports this node sent.
+    lsa_acks_received,
+    /// Link-state reports dropped after exhausting their retransmit
+    /// budget toward some neighbour (anti-entropy repairs them later).
+    lsa_retransmits_abandoned,
+    /// Anti-entropy digests sent to neighbours.
+    digests_sent,
+    /// Anti-entropy digests received from neighbours.
+    digests_received,
+    /// Link-state reports pushed to a neighbour whose digest showed it
+    /// was missing or stale.
+    lsa_repairs_sent,
+    /// Link-state transitions (detector or down declarations) withheld
+    /// by the route-flap damper.
+    flap_suppressions,
+    /// NACKed retransmissions skipped because they could no longer
+    /// arrive within the packet's deadline.
+    retransmits_suppressed,
+    /// NACKs re-issued after the first request stayed silent.
+    nack_rerequests,
+    /// Supervised node threads restarted after a panic.
+    thread_crashes,
 }
 
 /// Per-flow atomic cells; field names mirror `dg-sim`'s `FlowRunStats`.
@@ -255,6 +283,34 @@ pub enum EventKind {
         /// The neighbour whose link recovered.
         neighbor: NodeId,
     },
+    /// The route-flap damper withheld a link-state transition for
+    /// `neighbor` (hold-down still active or penalty above threshold).
+    /// The transition is re-attempted on every origination until
+    /// admitted.
+    FlapSuppressed {
+        /// The neighbour whose transition was withheld.
+        neighbor: NodeId,
+        /// The damper's penalty at suppression time.
+        penalty: f32,
+    },
+    /// A supervised node thread panicked and was restarted by its
+    /// supervisor; the node runs degraded until heartbeats look
+    /// healthy again.
+    ThreadCrash {
+        /// Which loop crashed.
+        thread: NodeThread,
+    },
+}
+
+/// The supervised long-running loops of one overlay node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeThread {
+    /// The socket receive/dispatch loop.
+    Receive,
+    /// The delayed-shipment scheduler loop.
+    Shipper,
+    /// The hello/link-state/housekeeping ticker loop.
+    Ticker,
 }
 
 /// Bounded ring buffer of [`Event`]s.
@@ -372,6 +428,7 @@ impl MetricsRegistry {
             links,
             events,
             events_dropped,
+            degraded: false,
         }
     }
 }
@@ -391,6 +448,12 @@ pub struct MetricsSnapshot {
     pub events: Vec<Event>,
     /// Events evicted from (or refused by) the bounded journal.
     pub events_dropped: u64,
+    /// True while the node runs in degraded mode: a supervised thread
+    /// recently crashed and was restarted, or a thread's heartbeat is
+    /// stale past the watchdog horizon. Forwarding continues, but
+    /// operators should treat the node's estimates with suspicion.
+    #[serde(default)]
+    pub degraded: bool,
 }
 
 /// A cluster-wide flow summary aggregated across every live node.

@@ -99,6 +99,12 @@ impl LinkMonitor {
         self.neighbors.get(&neighbor).is_some_and(|s| s.last_heard.is_some())
     }
 
+    /// Whether the problem detector currently flags the link from
+    /// `neighbor` as lossy.
+    pub fn is_triggered(&self, neighbor: NodeId) -> bool {
+        self.triggered.contains(&neighbor)
+    }
+
     /// Feeds a fresh loss estimate for the link from `neighbor` into the
     /// problem detector. Returns `Some(true)` on a new trigger
     /// (`loss >= threshold`), `Some(false)` when a triggered link clears
@@ -173,6 +179,104 @@ impl LinkMonitor {
     /// Smoothed RTT to `neighbor`, if any echo has returned.
     pub fn rtt_to(&self, neighbor: NodeId) -> Option<Micros> {
         self.neighbors.get(&neighbor).and_then(|s| s.rtt)
+    }
+}
+
+/// Per-neighbour route-flap damping state.
+#[derive(Debug, Default)]
+struct FlapState {
+    /// Accumulated instability penalty (decays exponentially).
+    penalty: f64,
+    /// When the penalty was last decayed.
+    touched: Micros,
+    /// When a transition for this neighbour was last admitted.
+    last_admitted: Option<Micros>,
+}
+
+/// Route-flap damper: rate-limits how often a link's advertised state
+/// (detector trigger/clear, link down/up) may change.
+///
+/// Two mechanisms, both per neighbour, in the style of BGP route-flap
+/// damping:
+///
+/// - **Hold-down** — after an admitted transition, further transitions
+///   are suppressed until `hold_down` elapses, so one detector blip
+///   costs at most one dissemination-graph recomputation per window.
+/// - **Penalty** — every *admitted* transition adds one unit of
+///   penalty, which decays exponentially with `half_life`. When the
+///   penalty exceeds `suppress_threshold`, the link is considered
+///   flapping and transitions stay suppressed (even outside the
+///   hold-down) until the penalty decays back under the threshold.
+///
+/// Suppression delays advertisement but never loses it: the caller
+/// re-attempts on every origination while its advertised state differs
+/// from the measured one, so the last stable state is always admitted
+/// eventually.
+#[derive(Debug)]
+pub struct FlapDamper {
+    hold_down: Micros,
+    half_life: Micros,
+    suppress_threshold: f64,
+    states: HashMap<NodeId, FlapState>,
+}
+
+impl FlapDamper {
+    /// Creates a damper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `half_life` is zero or `suppress_threshold` is not
+    /// greater than one (the first transition must always be
+    /// admissible).
+    pub fn new(hold_down: Micros, half_life: Micros, suppress_threshold: f64) -> Self {
+        assert!(half_life > Micros::ZERO, "penalty half-life must be positive");
+        assert!(suppress_threshold > 1.0, "suppress threshold must exceed one");
+        FlapDamper { hold_down, half_life, suppress_threshold, states: HashMap::new() }
+    }
+
+    fn decay(&self, state: &mut FlapState, now: Micros) {
+        let elapsed = now.saturating_sub(state.touched).as_micros() as f64;
+        state.penalty *= 0.5f64.powf(elapsed / self.half_life.as_micros() as f64);
+        state.touched = now;
+    }
+
+    /// Asks to admit a state transition for the link from `neighbor` at
+    /// time `now`. Returns `true` when the transition may be advertised
+    /// (charging one penalty unit and starting a hold-down window), or
+    /// `false` when it must be suppressed for now.
+    pub fn admit(&mut self, neighbor: NodeId, now: Micros) -> bool {
+        let mut state = self.states.remove(&neighbor).unwrap_or_default();
+        self.decay(&mut state, now);
+        let held = state.last_admitted.is_some_and(|t| now.saturating_sub(t) < self.hold_down);
+        let admitted = !held && state.penalty <= self.suppress_threshold;
+        if admitted {
+            state.penalty += 1.0;
+            state.last_admitted = Some(now);
+        }
+        self.states.insert(neighbor, state);
+        admitted
+    }
+
+    /// Records a transition as admitted regardless of hold-down or
+    /// penalty — the fail-fast path for down declarations, which must
+    /// never wait on damping. The transition still charges a penalty
+    /// unit and starts a hold-down window, so the *recovery* (link-up)
+    /// side of a flapping link stays damped.
+    pub fn record_forced(&mut self, neighbor: NodeId, now: Micros) {
+        let mut state = self.states.remove(&neighbor).unwrap_or_default();
+        self.decay(&mut state, now);
+        state.penalty += 1.0;
+        state.last_admitted = Some(now);
+        self.states.insert(neighbor, state);
+    }
+
+    /// The neighbour's current penalty (decayed to `now`); zero for a
+    /// neighbour with no damping history.
+    pub fn penalty(&self, neighbor: NodeId, now: Micros) -> f64 {
+        self.states.get(&neighbor).map_or(0.0, |s| {
+            let elapsed = now.saturating_sub(s.touched).as_micros() as f64;
+            s.penalty * 0.5f64.powf(elapsed / self.half_life.as_micros() as f64)
+        })
     }
 }
 
@@ -330,5 +434,108 @@ mod tests {
     #[should_panic(expected = "down-after")]
     fn zero_down_after_panics() {
         LinkMonitor::new(10, TICK, 0);
+    }
+
+    #[test]
+    fn triggered_accessor_tracks_detector_state() {
+        let mut m = monitor();
+        let n = NodeId::new(4);
+        assert!(!m.is_triggered(n));
+        assert_eq!(m.detect(n, 0.10, 0.05), Some(true));
+        assert!(m.is_triggered(n));
+        assert_eq!(m.detect(n, 0.01, 0.05), Some(false));
+        assert!(!m.is_triggered(n));
+    }
+
+    #[test]
+    fn damper_admits_first_transition_immediately() {
+        let mut d = FlapDamper::new(Micros::from_millis(500), Micros::from_secs(2), 3.0);
+        let n = NodeId::new(1);
+        assert_eq!(d.penalty(n, Micros::ZERO), 0.0);
+        assert!(d.admit(n, Micros::ZERO));
+        assert!(d.penalty(n, Micros::ZERO) > 0.9);
+    }
+
+    #[test]
+    fn hold_down_admits_at_most_one_transition_per_window() {
+        let hold = Micros::from_millis(500);
+        let mut d = FlapDamper::new(hold, Micros::from_secs(60), 100.0);
+        let n = NodeId::new(1);
+        // An oscillating signal attempts a transition every 100 ms over
+        // 3 seconds; with a huge threshold only the hold-down gates.
+        let mut admitted: Vec<Micros> = Vec::new();
+        for i in 0..30u64 {
+            let now = Micros::from_millis(i * 100);
+            if d.admit(n, now) {
+                admitted.push(now);
+            }
+        }
+        assert!(!admitted.is_empty());
+        for pair in admitted.windows(2) {
+            assert!(
+                pair[1].saturating_sub(pair[0]) >= hold,
+                "two admissions {} and {} inside one hold-down window",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    #[test]
+    fn sustained_flapping_builds_penalty_and_suppresses_entirely() {
+        let mut d = FlapDamper::new(Micros::from_millis(100), Micros::from_secs(2), 3.0);
+        let n = NodeId::new(2);
+        // Flap hard: an attempt every 100 ms for 4 seconds. The penalty
+        // climbs past the threshold and admissions stop.
+        let mut last_admit = Micros::ZERO;
+        for i in 0..40u64 {
+            let now = Micros::from_millis(i * 100);
+            if d.admit(n, now) {
+                last_admit = now;
+            }
+        }
+        assert!(
+            last_admit < Micros::from_millis(3_900),
+            "sustained flapping was never suppressed (last admit {last_admit})"
+        );
+        assert!(d.penalty(n, Micros::from_millis(4_000)) > 3.0);
+        // Quiet period: the penalty decays and the link is forgiven.
+        let later = Micros::from_secs(30);
+        assert!(d.penalty(n, later) < 0.1);
+        assert!(d.admit(n, later), "a calmed link must be admitted again");
+    }
+
+    #[test]
+    fn damper_state_is_per_neighbor() {
+        let mut d = FlapDamper::new(Micros::from_millis(500), Micros::from_secs(2), 3.0);
+        assert!(d.admit(NodeId::new(1), Micros::ZERO));
+        // A different neighbour is unaffected by node 1's hold-down.
+        assert!(d.admit(NodeId::new(2), Micros::from_millis(1)));
+        assert!(!d.admit(NodeId::new(1), Micros::from_millis(2)));
+    }
+
+    #[test]
+    fn forced_admission_bypasses_hold_down_but_still_charges() {
+        let n = NodeId::new(3);
+        let mut d = FlapDamper::new(Micros::from_millis(500), Micros::from_secs(2), 3.0);
+        assert!(d.admit(n, Micros::ZERO));
+        // A down declaration inside the hold-down goes through anyway...
+        d.record_forced(n, Micros::from_millis(100));
+        assert!(d.penalty(n, Micros::from_millis(100)) > 1.5, "forced admission must charge");
+        // ...and restarts the hold-down, so the recovery side is damped.
+        assert!(!d.admit(n, Micros::from_millis(550)));
+        assert!(d.admit(n, Micros::from_millis(650)));
+    }
+
+    #[test]
+    #[should_panic(expected = "half-life")]
+    fn zero_half_life_panics() {
+        FlapDamper::new(Micros::from_millis(500), Micros::ZERO, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn tiny_threshold_panics() {
+        FlapDamper::new(Micros::from_millis(500), Micros::from_secs(2), 1.0);
     }
 }

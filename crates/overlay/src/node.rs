@@ -4,13 +4,15 @@ use crate::clock::now_us;
 use crate::config::NodeConfig;
 use crate::fault::{corrupt_in_place, FaultPlan};
 use crate::linkstate::LinkStateDb;
-use crate::metrics::{EventKind, MetricsRegistry, MetricsSnapshot, NodeCounters};
-use crate::monitor::LinkMonitor;
+use crate::metrics::{EventKind, MetricsRegistry, MetricsSnapshot, NodeCounters, NodeThread};
+use crate::monitor::{FlapDamper, LinkMonitor};
 use crate::pool::BufferPool;
-use crate::recovery::{GapTracker, SendBuffer};
+use crate::recovery::{retransmit_worthwhile, GapTracker, SendBuffer};
 use crate::session::{Delivery, FlowReceiver, FlowSender, SchemeSlot};
 use crate::shard::ShardedMap;
-use crate::wire::{self, DataPacket, Envelope, LinkStateEntry, LinkStateUpdate, Message};
+use crate::wire::{
+    self, DataPacket, DigestEntry, Envelope, LinkStateEntry, LinkStateUpdate, Message,
+};
 use crate::OverlayError;
 use bytes::Bytes;
 use crossbeam::channel::{self, Receiver, Sender, TryRecvError, TrySendError};
@@ -21,6 +23,7 @@ use dg_trace::NetworkState;
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::net::UdpSocket;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -155,6 +158,63 @@ impl PartialEq for Shipment {
 
 impl Eq for Shipment {}
 
+/// A link-state update one neighbour has not yet acknowledged.
+struct PendingLsa {
+    update: LinkStateUpdate,
+    next_retry: Micros,
+    backoff: Micros,
+    retries_left: u32,
+}
+
+/// The last link state actually advertised for one in-edge, held
+/// across flap-damped suppressions so an oscillating link keeps
+/// advertising its previous stable state.
+#[derive(Clone, Copy, Default)]
+struct AdvertisedLink {
+    down: bool,
+    triggered: bool,
+    loss: f32,
+    extra_latency_us: u32,
+}
+
+/// Thread supervision state: per-thread heartbeats, pending panic
+/// injections (for tests and chaos), and the degradation horizon set
+/// by the most recent crash.
+struct Supervision {
+    /// Last heartbeat per supervised thread, in microseconds on the
+    /// [`now_us`] clock; zero means the thread has not started.
+    heartbeats: [AtomicU64; 3],
+    /// Set to make the matching thread panic at its next checkpoint.
+    panic_requests: [AtomicBool; 3],
+    /// The node reports itself degraded until this instant after a
+    /// thread crash, giving operators a visible window even when the
+    /// restart is instant.
+    degraded_until: AtomicU64,
+}
+
+fn thread_index(thread: NodeThread) -> usize {
+    match thread {
+        NodeThread::Receive => 0,
+        NodeThread::Shipper => 1,
+        NodeThread::Ticker => 2,
+    }
+}
+
+impl Supervision {
+    fn new(now: Micros) -> Self {
+        let t = now.as_micros();
+        Supervision {
+            heartbeats: [AtomicU64::new(t), AtomicU64::new(t), AtomicU64::new(t)],
+            panic_requests: [
+                AtomicBool::new(false),
+                AtomicBool::new(false),
+                AtomicBool::new(false),
+            ],
+            degraded_until: AtomicU64::new(0),
+        }
+    }
+}
+
 pub(crate) struct Shared {
     pub(crate) config: NodeConfig,
     pub(crate) graph: Arc<Graph>,
@@ -163,6 +223,16 @@ pub(crate) struct Shared {
     pub(crate) faults: FaultPlan,
     monitor: Mutex<LinkMonitor>,
     linkstate: Mutex<LinkStateDb>,
+    /// Link-state updates awaiting per-neighbour acknowledgement,
+    /// keyed by neighbour then origin (only the newest stamp per
+    /// origin is worth retransmitting).
+    pending_lsa: Mutex<HashMap<NodeId, HashMap<NodeId, PendingLsa>>>,
+    /// Route-flap damper for this node's own advertisements.
+    damper: Mutex<FlapDamper>,
+    /// What each in-edge currently advertises (held across damped
+    /// suppressions).
+    advertised: Mutex<HashMap<NodeId, AdvertisedLink>>,
+    supervision: Supervision,
     dedup: Mutex<DedupCache>,
     send_links: Mutex<HashMap<NodeId, SendLink>>,
     recv_links: Mutex<HashMap<NodeId, GapTracker>>,
@@ -185,6 +255,39 @@ pub(crate) struct Shared {
 impl Shared {
     fn me(&self) -> NodeId {
         self.config.node
+    }
+
+    /// Stamps the calling supervised thread's heartbeat.
+    fn beat(&self, thread: NodeThread) {
+        self.supervision.heartbeats[thread_index(thread)]
+            .store(now_us().as_micros(), Ordering::Relaxed);
+    }
+
+    /// Panics if a panic was injected for `thread` (fault injection for
+    /// supervision tests); consumes the request either way.
+    fn maybe_injected_panic(&self, thread: NodeThread) {
+        if self.supervision.panic_requests[thread_index(thread)].swap(false, Ordering::Relaxed) {
+            panic!("injected panic in {thread:?} thread");
+        }
+    }
+
+    /// True while the node is running without a full complement of
+    /// healthy threads: either a crash happened recently (within the
+    /// watchdog horizon) or some supervised thread has stopped
+    /// heartbeating entirely.
+    pub(crate) fn degraded(&self) -> bool {
+        let now = now_us().as_micros();
+        if now < self.supervision.degraded_until.load(Ordering::Relaxed) {
+            return true;
+        }
+        if !self.running.load(Ordering::SeqCst) {
+            return false;
+        }
+        let stale = self.config.watchdog_stale_after.as_micros() as u64;
+        self.supervision.heartbeats.iter().any(|h| {
+            let t = h.load(Ordering::Relaxed);
+            t != 0 && now.saturating_sub(t) > stale
+        })
     }
 
     /// Applies link faults and sends the datagram: immediately on the
@@ -389,8 +492,53 @@ impl Shared {
                 self.monitor.lock().record_rtt(from, rtt);
             }
             Message::LinkState(update) => {
+                // Ack unconditionally — even a stale or duplicate update
+                // must stop the sender's retransmissions.
+                let ack = Envelope {
+                    from: self.me(),
+                    message: Message::LsaAck {
+                        origin: update.origin,
+                        epoch: update.epoch,
+                        seq: update.seq,
+                    },
+                };
+                self.metrics.counters.lsa_acks_sent.fetch_add(1, Ordering::Relaxed);
+                self.transmit(from, ack.encode());
                 if self.linkstate.lock().apply(&update, now_us()) {
                     self.flood_link_state(&update, Some(from));
+                }
+            }
+            Message::LsaAck { origin, epoch, seq } => {
+                self.metrics.counters.lsa_acks_received.fetch_add(1, Ordering::Relaxed);
+                let mut pending = self.pending_lsa.lock();
+                if let Some(per_origin) = pending.get_mut(&from) {
+                    // An ack for a newer stamp covers the pending one;
+                    // an ack for an older stamp does not.
+                    if per_origin
+                        .get(&origin)
+                        .is_some_and(|p| (p.update.epoch, p.update.seq) <= (epoch, seq))
+                    {
+                        per_origin.remove(&origin);
+                    }
+                    if per_origin.is_empty() {
+                        pending.remove(&from);
+                    }
+                }
+            }
+            Message::Digest { entries } => {
+                self.metrics.counters.digests_received.fetch_add(1, Ordering::Relaxed);
+                // Anti-entropy push repair: send back every origin we
+                // know more about than the digesting neighbour.
+                let repairs = self.linkstate.lock().updates_newer_than(&entries);
+                if !repairs.is_empty() {
+                    let now = now_us();
+                    self.metrics
+                        .counters
+                        .lsa_repairs_sent
+                        .fetch_add(repairs.len() as u64, Ordering::Relaxed);
+                    for update in &repairs {
+                        self.send_link_state_to(from, update, now);
+                    }
                 }
             }
             Message::Nack { missing } => {
@@ -410,8 +558,29 @@ impl Shared {
                         }
                     }
                 }
+                // Deadline-aware recovery: a retransmission that cannot
+                // reach the neighbour before the packet's deadline only
+                // burns bandwidth. Suppressed packets stay consumed from
+                // the buffer — the NACK was their one recovery chance.
+                let rtt = self.monitor.lock().rtt_to(from);
+                let now = now_us();
+                let mut suppressed = 0u64;
+                resends.retain(|(_, packet)| {
+                    if retransmit_worthwhile(packet.sent_at, packet.deadline, now, rtt) {
+                        true
+                    } else {
+                        suppressed += 1;
+                        false
+                    }
+                });
+                if suppressed > 0 {
+                    self.metrics
+                        .counters
+                        .retransmits_suppressed
+                        .fetch_add(suppressed, Ordering::Relaxed);
+                }
                 let served = resends.len() as u64;
-                let missed = requested - served;
+                let missed = requested - served - suppressed;
                 if served > 0 {
                     self.metrics
                         .counters
@@ -450,8 +619,9 @@ impl Shared {
 
     fn handle_data(&self, from: NodeId, packet: DataPacket) {
         self.metrics.counters.data_received.fetch_add(1, Ordering::Relaxed);
+        let now = now_us();
         // Hop-by-hop recovery: detect gaps on this incoming link.
-        let missing = self.recv_links.lock().entry(from).or_default().observe(packet.link_seq);
+        let missing = self.recv_links.lock().entry(from).or_default().observe(packet.link_seq, now);
         if !missing.is_empty() {
             self.metrics.counters.nack_messages_sent.fetch_add(1, Ordering::Relaxed);
             self.metrics
@@ -470,7 +640,6 @@ impl Shared {
             self.metrics.counters.duplicates.fetch_add(1, Ordering::Relaxed);
             return;
         }
-        let now = now_us();
         let on_time = !packet.expired(now);
         if packet.flow.destination == self.me() {
             let flow_cells = self.metrics.flow(packet.flow);
@@ -507,12 +676,125 @@ impl Shared {
     fn flood_link_state(&self, update: &LinkStateUpdate, except: Option<NodeId>) {
         let bytes =
             Envelope { from: self.me(), message: Message::LinkState(update.clone()) }.encode();
+        let now = now_us();
         for &e in self.graph.out_edges(self.me()) {
             let neighbor = self.graph.edge(e).dst;
             if Some(neighbor) != except {
+                self.register_pending(neighbor, update, now);
                 self.metrics.counters.link_state_flooded.fetch_add(1, Ordering::Relaxed);
                 self.transmit(neighbor, bytes.clone());
             }
+        }
+    }
+
+    /// Records that `neighbor` owes an ack for `update`, superseding
+    /// any older pending advertisement from the same origin.
+    fn register_pending(&self, neighbor: NodeId, update: &LinkStateUpdate, now: Micros) {
+        let timeout = Micros::from_micros(self.config.lsa_retransmit_timeout.as_micros() as u64);
+        let mut pending = self.pending_lsa.lock();
+        let per_origin = pending.entry(neighbor).or_default();
+        if per_origin
+            .get(&update.origin)
+            .is_some_and(|p| (p.update.epoch, p.update.seq) >= (update.epoch, update.seq))
+        {
+            return;
+        }
+        per_origin.insert(
+            update.origin,
+            PendingLsa {
+                update: update.clone(),
+                next_retry: now.saturating_add(timeout),
+                backoff: timeout,
+                retries_left: self.config.lsa_max_retransmits,
+            },
+        );
+    }
+
+    /// Sends one link-state update to a single neighbour (the digest
+    /// repair path), tracked for acknowledgement like a flood.
+    fn send_link_state_to(&self, neighbor: NodeId, update: &LinkStateUpdate, now: Micros) {
+        self.register_pending(neighbor, update, now);
+        let bytes =
+            Envelope { from: self.me(), message: Message::LinkState(update.clone()) }.encode();
+        self.transmit(neighbor, bytes);
+    }
+
+    /// Retransmits every pending link-state update whose ack timer has
+    /// expired, with exponential backoff; updates out of retries are
+    /// abandoned (the periodic digest exchange repairs whatever was
+    /// lost for good).
+    fn retransmit_pending_lsas(&self, now: Micros) {
+        let mut resends: Vec<(NodeId, LinkStateUpdate)> = Vec::new();
+        let mut abandoned = 0u64;
+        {
+            let mut pending = self.pending_lsa.lock();
+            for (&neighbor, per_origin) in pending.iter_mut() {
+                per_origin.retain(|_, p| {
+                    if p.next_retry > now {
+                        return true;
+                    }
+                    if p.retries_left == 0 {
+                        abandoned += 1;
+                        return false;
+                    }
+                    p.retries_left -= 1;
+                    p.backoff = p.backoff.saturating_add(p.backoff);
+                    p.next_retry = now.saturating_add(p.backoff);
+                    resends.push((neighbor, p.update.clone()));
+                    true
+                });
+            }
+            pending.retain(|_, per_origin| !per_origin.is_empty());
+        }
+        if abandoned > 0 {
+            self.metrics.counters.lsa_retransmits_abandoned.fetch_add(abandoned, Ordering::Relaxed);
+        }
+        for (neighbor, update) in resends {
+            self.metrics.counters.lsa_retransmits.fetch_add(1, Ordering::Relaxed);
+            let bytes = Envelope { from: self.me(), message: Message::LinkState(update) }.encode();
+            self.transmit(neighbor, bytes);
+        }
+    }
+
+    /// Advertises this node's per-origin link-state summary to every
+    /// neighbour. Sent even when the database is empty: a fresh node's
+    /// empty digest makes every neighbour push its full database back.
+    fn send_digests(&self) {
+        let entries = self.linkstate.lock().digest();
+        let bytes = Envelope { from: self.me(), message: Message::Digest { entries } }.encode();
+        for &e in self.graph.out_edges(self.me()) {
+            self.metrics.counters.digests_sent.fetch_add(1, Ordering::Relaxed);
+            self.transmit(self.graph.edge(e).dst, bytes.clone());
+        }
+    }
+
+    /// Re-requests gaps whose NACK has gone unanswered: exactly one
+    /// extra chance per gap, covering the case where the NACK itself
+    /// was lost while the neighbour's buffer still holds the packet.
+    fn rerequest_nacks(&self, now: Micros) {
+        let silence = Micros::from_micros(self.config.nack_rerequest_after.as_micros() as u64);
+        let due: Vec<(NodeId, Vec<u64>)> = {
+            let mut links = self.recv_links.lock();
+            links
+                .iter_mut()
+                .filter_map(|(&neighbor, tracker)| {
+                    let due = tracker.due_rerequests(now, silence);
+                    if due.is_empty() {
+                        None
+                    } else {
+                        Some((neighbor, due))
+                    }
+                })
+                .collect()
+        };
+        for (neighbor, missing) in due {
+            self.metrics
+                .counters
+                .nack_rerequests
+                .fetch_add(missing.len() as u64, Ordering::Relaxed);
+            self.metrics.counters.nack_messages_sent.fetch_add(1, Ordering::Relaxed);
+            let nack = Envelope { from: self.me(), message: Message::Nack { missing } };
+            self.transmit(neighbor, nack.encode());
         }
     }
 
@@ -524,6 +806,8 @@ impl Shared {
         let now = now_us();
         let entries: Vec<LinkStateEntry> = {
             let mut monitor = self.monitor.lock();
+            let mut damper = self.damper.lock();
+            let mut advertised = self.advertised.lock();
             let mut entries = Vec::with_capacity(self.graph.in_edges(me).len());
             for &e in self.graph.in_edges(me) {
                 let neighbor = self.graph.edge(e).src;
@@ -536,34 +820,78 @@ impl Shared {
                 // delivered at least one hello; a never-heard link reads
                 // as 100% loss and would trigger spuriously at startup.
                 if monitor.heard_from(neighbor) {
-                    match monitor.detect(neighbor, loss, self.config.detector_loss_threshold) {
-                        Some(true) => self
-                            .metrics
-                            .record(EventKind::DetectorTriggered { neighbor, loss: loss as f32 }),
-                        Some(false) => self
-                            .metrics
-                            .record(EventKind::DetectorCleared { neighbor, loss: loss as f32 }),
-                        None => {}
-                    }
+                    let _ = monitor.detect(neighbor, loss, self.config.detector_loss_threshold);
                 }
                 // Hello silence past the configured horizon declares the
                 // link down outright — flooded so every scheme routes
                 // around it rather than waiting for loss estimates to
                 // decay.
-                let down = monitor.is_down(neighbor, now);
-                match monitor.down_transition(neighbor, now) {
-                    Some(true) => {
-                        self.metrics.counters.links_declared_down.fetch_add(1, Ordering::Relaxed);
-                        self.metrics.record(EventKind::LinkDown { neighbor });
+                let _ = monitor.down_transition(neighbor, now);
+                let raw = AdvertisedLink {
+                    down: monitor.is_down(neighbor, now),
+                    triggered: monitor.is_triggered(neighbor),
+                    loss: loss as f32,
+                    extra_latency_us: extra.as_micros().min(u64::from(u32::MAX)) as u32,
+                };
+                let adv = advertised.entry(neighbor).or_default();
+                if raw.down != adv.down || raw.triggered != adv.triggered {
+                    // A down declaration is fail-fast: it bypasses the
+                    // damper (but still charges it, so the up side of a
+                    // flapping link stays held). Everything else asks.
+                    let admitted = if raw.down && !adv.down {
+                        damper.record_forced(neighbor, now);
+                        true
+                    } else {
+                        damper.admit(neighbor, now)
+                    };
+                    if admitted {
+                        if raw.down != adv.down {
+                            if raw.down {
+                                self.metrics
+                                    .counters
+                                    .links_declared_down
+                                    .fetch_add(1, Ordering::Relaxed);
+                                self.metrics.record(EventKind::LinkDown { neighbor });
+                            } else {
+                                self.metrics.record(EventKind::LinkUp { neighbor });
+                            }
+                        }
+                        if raw.triggered != adv.triggered {
+                            if raw.triggered {
+                                self.metrics.record(EventKind::DetectorTriggered {
+                                    neighbor,
+                                    loss: raw.loss,
+                                });
+                            } else {
+                                self.metrics.record(EventKind::DetectorCleared {
+                                    neighbor,
+                                    loss: raw.loss,
+                                });
+                            }
+                        }
+                        *adv = raw;
+                    } else {
+                        // Suppressed: keep the previous advertisement
+                        // wholesale — flags *and* measurements — so an
+                        // oscillating link cannot thrash every scheme
+                        // in the network.
+                        self.metrics.counters.flap_suppressions.fetch_add(1, Ordering::Relaxed);
+                        self.metrics.record(EventKind::FlapSuppressed {
+                            neighbor,
+                            penalty: damper.penalty(neighbor, now) as f32,
+                        });
                     }
-                    Some(false) => self.metrics.record(EventKind::LinkUp { neighbor }),
-                    None => {}
+                } else {
+                    // Flags are steady: measured loss and latency drift
+                    // through untouched.
+                    adv.loss = raw.loss;
+                    adv.extra_latency_us = raw.extra_latency_us;
                 }
                 entries.push(LinkStateEntry {
                     edge: e,
-                    loss: loss as f32,
-                    extra_latency_us: extra.as_micros().min(u64::from(u32::MAX)) as u32,
-                    down,
+                    loss: adv.loss,
+                    extra_latency_us: adv.extra_latency_us,
+                    down: adv.down,
                 });
             }
             entries
@@ -659,6 +987,9 @@ impl OverlayNode {
         let link_down_intervals = config.link_down_intervals;
         let max_age = Micros::from_micros(config.link_state_max_age.as_micros() as u64);
         let fault_seed = config.fault_seed;
+        let flap_hold_down = Micros::from_micros(config.flap_hold_down.as_micros() as u64);
+        let flap_half_life = Micros::from_micros(config.flap_penalty_half_life.as_micros() as u64);
+        let flap_threshold = config.flap_suppress_threshold;
         let shared = Arc::new(Shared {
             config,
             graph: Arc::clone(&graph),
@@ -671,6 +1002,10 @@ impl OverlayNode {
                 link_down_intervals,
             )),
             linkstate: Mutex::new(LinkStateDb::new(&graph, max_age)),
+            pending_lsa: Mutex::new(HashMap::new()),
+            damper: Mutex::new(FlapDamper::new(flap_hold_down, flap_half_life, flap_threshold)),
+            advertised: Mutex::new(HashMap::new()),
+            supervision: Supervision::new(now_us()),
             dedup: Mutex::new(DedupCache::new(dedup_window)),
             send_links: Mutex::new(HashMap::new()),
             recv_links: Mutex::new(HashMap::new()),
@@ -688,17 +1023,25 @@ impl OverlayNode {
         let rx_shared = Arc::clone(&shared);
         let rx_thread = std::thread::Builder::new()
             .name(format!("dg-rx-{}", rx_shared.config.node))
-            .spawn(move || receive_loop(&rx_shared))?;
+            .spawn(move || {
+                run_supervised(&rx_shared, NodeThread::Receive, || receive_loop(&rx_shared));
+            })?;
 
         let ship_shared = Arc::clone(&shared);
         let ship_thread = std::thread::Builder::new()
             .name(format!("dg-ship-{}", ship_shared.config.node))
-            .spawn(move || shipper_loop(&ship_shared, &shipper_rx))?;
+            .spawn(move || {
+                run_supervised(&ship_shared, NodeThread::Shipper, || {
+                    shipper_loop(&ship_shared, &shipper_rx);
+                });
+            })?;
 
         let tick_shared = Arc::clone(&shared);
         let tick_thread = std::thread::Builder::new()
             .name(format!("dg-tick-{}", tick_shared.config.node))
-            .spawn(move || ticker_loop(&tick_shared))?;
+            .spawn(move || {
+                run_supervised(&tick_shared, NodeThread::Ticker, || ticker_loop(&tick_shared));
+            })?;
 
         Ok(OverlayHandle { shared, threads: vec![rx_thread, ship_thread, tick_thread] })
     }
@@ -779,9 +1122,32 @@ impl OverlayHandle {
     }
 
     /// Full observability snapshot: node-wide counters, per-flow and
-    /// per-link counters, and the event journal. Serde-serializable.
+    /// per-link counters, the event journal, and the degradation flag.
+    /// Serde-serializable.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
-        self.shared.metrics.snapshot(self.node_id())
+        let mut snap = self.shared.metrics.snapshot(self.node_id());
+        snap.degraded = self.shared.degraded();
+        snap
+    }
+
+    /// True while the node runs without a full complement of healthy
+    /// protocol threads — a supervised thread recently crashed or has
+    /// stopped heartbeating.
+    pub fn is_degraded(&self) -> bool {
+        self.shared.degraded()
+    }
+
+    /// Makes the named protocol thread panic at its next checkpoint
+    /// (fault injection for supervision tests; the supervisor catches
+    /// the panic, journals it, and restarts the thread).
+    pub fn inject_thread_panic(&self, thread: NodeThread) {
+        self.shared.supervision.panic_requests[thread_index(thread)].store(true, Ordering::Relaxed);
+    }
+
+    /// Per-origin `(epoch, seq)` summary of this node's link-state
+    /// database — the same digest the anti-entropy exchange advertises.
+    pub fn link_state_digest(&self) -> Vec<DigestEntry> {
+        self.shared.linkstate.lock().digest()
     }
 
     /// This node's direct measurements of the link *from* `neighbor`:
@@ -810,9 +1176,37 @@ impl OverlayHandle {
 /// re-arming the blocking wait, so a burst costs one timeout cycle.
 const RX_BATCH: usize = 32;
 
+/// Runs `body` under panic supervision: a panic is caught, counted,
+/// journaled, flagged as degradation, and the body restarted; a clean
+/// return is a shutdown.
+fn run_supervised(shared: &Shared, thread: NodeThread, body: impl Fn()) {
+    loop {
+        if catch_unwind(AssertUnwindSafe(&body)).is_ok() {
+            return;
+        }
+        if !shared.running.load(Ordering::SeqCst) {
+            return;
+        }
+        shared.metrics.counters.thread_crashes.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.record(EventKind::ThreadCrash { thread });
+        let until = now_us()
+            .as_micros()
+            .saturating_add(shared.config.watchdog_stale_after.as_micros() as u64);
+        shared.supervision.degraded_until.fetch_max(until, Ordering::Relaxed);
+        // The crash instant counts as a heartbeat: the restart below is
+        // immediate, so the thread is degraded (window above), not dead.
+        shared.beat(thread);
+    }
+}
+
 fn receive_loop(shared: &Shared) {
     let mut buf = vec![0u8; 65_536];
+    // A panic mid-drain can leave the socket non-blocking; restore
+    // blocking mode so a restarted loop does not spin.
+    let _ = shared.socket.set_nonblocking(false);
     while shared.running.load(Ordering::SeqCst) {
+        shared.beat(NodeThread::Receive);
+        shared.maybe_injected_panic(NodeThread::Receive);
         // Block (bounded by the socket read timeout) for the first
         // datagram of a burst...
         match shared.socket.recv_from(&mut buf) {
@@ -846,6 +1240,8 @@ fn receive_loop(shared: &Shared) {
 fn shipper_loop(shared: &Shared, rx: &Receiver<Shipment>) {
     let mut heap: std::collections::BinaryHeap<Shipment> = std::collections::BinaryHeap::new();
     loop {
+        shared.beat(NodeThread::Shipper);
+        shared.maybe_injected_panic(NodeThread::Shipper);
         // Drain whatever has been queued.
         loop {
             match rx.try_recv() {
@@ -882,13 +1278,24 @@ fn shipper_loop(shared: &Shared, rx: &Receiver<Shipment>) {
 fn ticker_loop(shared: &Shared) {
     let hello_every = shared.config.hello_interval;
     let ls_every = shared.config.link_state_interval;
+    let digest_every = shared.config.digest_interval;
     let mut last_ls = std::time::Instant::now();
+    let mut last_digest = std::time::Instant::now();
     while shared.running.load(Ordering::SeqCst) {
+        shared.beat(NodeThread::Ticker);
+        shared.maybe_injected_panic(NodeThread::Ticker);
         shared.send_hellos();
+        let now = now_us();
+        shared.retransmit_pending_lsas(now);
+        shared.rerequest_nacks(now);
         if last_ls.elapsed() >= ls_every {
             last_ls = std::time::Instant::now();
             shared.originate_link_state();
             shared.update_schemes();
+        }
+        if last_digest.elapsed() >= digest_every {
+            last_digest = std::time::Instant::now();
+            shared.send_digests();
         }
         std::thread::sleep(hello_every);
     }

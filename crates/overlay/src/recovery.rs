@@ -7,8 +7,20 @@
 //! recent datagrams in a ring buffer and retransmits each **once** —
 //! the paper's single-retransmission discipline, which bounds the
 //! latency a recovered packet can accumulate.
+//!
+//! Two deadline-awareness refinements on top of the basic discipline:
+//!
+//! - The serving side consults [`retransmit_worthwhile`] before
+//!   answering a NACK — a retransmission that cannot arrive inside the
+//!   packet's deadline is pure cost (CASPR's observation) and is
+//!   skipped (counted `retransmits_suppressed`).
+//! - A NACK itself rides an unreliable datagram. If the requested
+//!   sequences stay silent past a timeout, [`GapTracker::due_rerequests`]
+//!   re-issues the request exactly once, so a lost NACK does not
+//!   silently forfeit the recovery.
 
-use std::collections::{HashSet, VecDeque};
+use dg_topology::Micros;
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Cap on how many sequences one gap can NACK; a bigger gap means the
 /// link was effectively down and recovery would be useless anyway.
@@ -37,7 +49,14 @@ impl<T> SendBuffer<T> {
     }
 
     /// Stores a transmitted datagram under its link sequence number.
+    /// Sequences must be pushed in increasing order (the per-link
+    /// counter guarantees it), which is what lets [`SendBuffer::take`]
+    /// binary-search instead of scanning.
     pub fn push(&mut self, link_seq: u64, datagram: T) {
+        debug_assert!(
+            self.entries.back().is_none_or(|(s, _)| *s < link_seq),
+            "link sequences must be pushed in increasing order"
+        );
         if self.entries.len() == self.capacity {
             self.entries.pop_front();
         }
@@ -46,8 +65,11 @@ impl<T> SendBuffer<T> {
 
     /// Takes the datagram for `link_seq`, removing it so a second NACK
     /// for the same sequence cannot trigger a second retransmission.
+    /// Binary search over the sequence-sorted ring: O(log n) against a
+    /// 2048-deep default buffer, where the old linear scan made a burst
+    /// NACK O(n) per requested sequence.
     pub fn take(&mut self, link_seq: u64) -> Option<T> {
-        let idx = self.entries.iter().position(|(s, _)| *s == link_seq)?;
+        let idx = self.entries.binary_search_by_key(&link_seq, |(s, _)| *s).ok()?;
         self.entries.remove(idx).map(|(_, d)| d)
     }
 
@@ -57,7 +79,6 @@ impl<T> SendBuffer<T> {
     }
 
     /// True when nothing is buffered.
-    #[cfg(test)]
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
@@ -69,20 +90,26 @@ pub struct GapTracker {
     next_expected: Option<u64>,
     /// Sequences already NACKed, so reordering cannot double-request.
     requested: HashSet<u64>,
+    /// Outstanding NACKed sequences, by request time, awaiting either
+    /// the retransmission or a timed re-request.
+    pending: HashMap<u64, Micros>,
+    /// Sequences already re-requested once; a still-silent sequence is
+    /// then abandoned (the deadline could not survive a third round
+    /// trip anyway).
+    rerequested: HashSet<u64>,
 }
 
 impl GapTracker {
     /// A tracker that synchronizes on the first observed sequence
     /// (equivalent to `GapTracker::default()`).
-    #[cfg(test)]
     pub fn new() -> Self {
         GapTracker::default()
     }
 
-    /// Observes an arriving link sequence number and returns the gap of
-    /// missing sequences to NACK (empty for in-order, duplicate, or
-    /// retransmitted arrivals).
-    pub fn observe(&mut self, link_seq: u64) -> Vec<u64> {
+    /// Observes an arriving link sequence number at local time `now`
+    /// and returns the gap of missing sequences to NACK (empty for
+    /// in-order, duplicate, or retransmitted arrivals).
+    pub fn observe(&mut self, link_seq: u64, now: Micros) -> Vec<u64> {
         let Some(expected) = self.next_expected else {
             // First packet on this link: synchronize, nothing to recover
             // (anything earlier predates our knowledge of the link).
@@ -90,22 +117,75 @@ impl GapTracker {
             return Vec::new();
         };
         if link_seq < expected {
-            // A retransmission or reordering; no new information.
+            // A retransmission or reordering; no new information, and
+            // the sequence is no longer outstanding.
             self.requested.remove(&link_seq);
+            self.pending.remove(&link_seq);
+            self.rerequested.remove(&link_seq);
             return Vec::new();
         }
         let gap_start = expected.max(link_seq.saturating_sub(MAX_NACK));
         let missing: Vec<u64> =
             (gap_start..link_seq).filter(|s| !self.requested.contains(s)).collect();
         self.requested.extend(missing.iter().copied());
-        // Bound the memory of the requested set.
+        for &s in &missing {
+            self.pending.insert(s, now);
+        }
+        // Bound the memory of the bookkeeping sets.
         if self.requested.len() > 4 * MAX_NACK as usize {
             let floor = link_seq.saturating_sub(2 * MAX_NACK);
             self.requested.retain(|&s| s >= floor);
+            self.pending.retain(|&s, _| s >= floor);
+            self.rerequested.retain(|&s| s >= floor);
         }
         self.next_expected = Some(link_seq + 1);
         missing
     }
+
+    /// Sequences NACKed at least `silence` ago that have still not
+    /// arrived, each eligible for exactly one re-request (a NACK rides
+    /// an unreliable datagram too). Returned sequences move to the
+    /// re-requested set and are never offered again.
+    pub fn due_rerequests(&mut self, now: Micros, silence: Micros) -> Vec<u64> {
+        let mut due: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|&(_, &asked_at)| now.saturating_sub(asked_at) >= silence)
+            .map(|(&s, _)| s)
+            .collect();
+        due.sort_unstable();
+        for &s in &due {
+            self.pending.remove(&s);
+            self.rerequested.insert(s);
+        }
+        due
+    }
+
+    /// Outstanding NACKed sequences awaiting retransmission or
+    /// re-request (bookkeeping-bound diagnostics).
+    pub fn outstanding(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+/// Whether retransmitting a packet can still beat its deadline.
+///
+/// The packet was stamped `sent_at` at its source with a one-way
+/// `deadline` budget; the retransmission costs (at least) half the
+/// link's smoothed RTT to reach the NACKing neighbour, plus whatever
+/// downstream hops remain. If even the optimistic bound
+/// `now + rtt/2 > sent_at + deadline` fails, the copy would arrive
+/// expired and be dropped on arrival — sending it is pure cost, so the
+/// serving side skips it (counted `retransmits_suppressed`). With no
+/// RTT estimate yet the check degrades to plain expiry.
+pub fn retransmit_worthwhile(
+    sent_at: Micros,
+    deadline: Micros,
+    now: Micros,
+    rtt: Option<Micros>,
+) -> bool {
+    let hop = rtt.map_or(Micros::ZERO, |r| Micros::from_micros(r.as_micros() / 2));
+    now.saturating_add(hop) <= sent_at.saturating_add(deadline)
 }
 
 #[cfg(test)]
@@ -139,36 +219,112 @@ mod tests {
     #[test]
     fn tracker_synchronizes_then_detects_gaps() {
         let mut t = GapTracker::new();
-        assert!(t.observe(10).is_empty(), "first packet synchronizes");
-        assert!(t.observe(11).is_empty(), "in order");
-        assert_eq!(t.observe(14), vec![12, 13]);
-        assert!(t.observe(15).is_empty());
+        assert!(t.observe(10, Micros::ZERO).is_empty(), "first packet synchronizes");
+        assert!(t.observe(11, Micros::ZERO).is_empty(), "in order");
+        assert_eq!(t.observe(14, Micros::ZERO), vec![12, 13]);
+        assert!(t.observe(15, Micros::ZERO).is_empty());
     }
 
     #[test]
     fn duplicates_and_retransmissions_do_not_renack() {
         let mut t = GapTracker::new();
-        t.observe(0);
-        assert_eq!(t.observe(3), vec![1, 2]);
+        t.observe(0, Micros::ZERO);
+        assert_eq!(t.observe(3, Micros::ZERO), vec![1, 2]);
         // The retransmission of 1 arrives late.
-        assert!(t.observe(1).is_empty());
+        assert!(t.observe(1, Micros::ZERO).is_empty());
         // A later gap does not re-request 2 (already asked).
-        assert_eq!(t.observe(5), vec![4]);
+        assert_eq!(t.observe(5, Micros::ZERO), vec![4]);
     }
 
     #[test]
     fn huge_gaps_are_capped() {
         let mut t = GapTracker::new();
-        t.observe(0);
-        let missing = t.observe(10_000);
+        t.observe(0, Micros::ZERO);
+        let missing = t.observe(10_000, Micros::ZERO);
         assert_eq!(missing.len() as u64, MAX_NACK);
         assert_eq!(*missing.first().unwrap(), 10_000 - MAX_NACK);
         assert_eq!(*missing.last().unwrap(), 9_999);
     }
 
     #[test]
+    fn silent_nacks_are_rerequested_exactly_once() {
+        let mut t = GapTracker::new();
+        let silence = Micros::from_millis(250);
+        t.observe(0, Micros::ZERO);
+        assert_eq!(t.observe(3, Micros::from_millis(10)), vec![1, 2]);
+        assert_eq!(t.outstanding(), 2);
+        // Too early: nothing is due yet.
+        assert!(t.due_rerequests(Micros::from_millis(100), silence).is_empty());
+        // Sequence 1's retransmission lands; it is no longer pending.
+        assert!(t.observe(1, Micros::from_millis(150)).is_empty());
+        assert_eq!(t.outstanding(), 1);
+        // Past the silence horizon, 2 is re-requested — once.
+        assert_eq!(t.due_rerequests(Micros::from_millis(300), silence), vec![2]);
+        assert!(t.due_rerequests(Micros::from_millis(600), silence).is_empty());
+        assert_eq!(t.outstanding(), 0);
+        // A late arrival of 2 is still passed through harmlessly.
+        assert!(t.observe(2, Micros::from_millis(700)).is_empty());
+    }
+
+    #[test]
+    fn rerequest_bookkeeping_is_bounded() {
+        let mut t = GapTracker::new();
+        t.observe(0, Micros::ZERO);
+        // Many separated gaps, never recovered, never re-requested.
+        for i in 1..500u64 {
+            t.observe(i * 2, Micros::from_micros(i));
+        }
+        assert!(
+            t.outstanding() <= 4 * MAX_NACK as usize,
+            "pending set grew to {}",
+            t.outstanding()
+        );
+    }
+
+    #[test]
+    fn worthwhile_weighs_remaining_budget_against_link_rtt() {
+        let sent = Micros::from_secs(1);
+        let deadline = Micros::from_millis(65);
+        // Plenty of slack.
+        assert!(retransmit_worthwhile(sent, deadline, Micros::from_millis(1_020), None));
+        assert!(retransmit_worthwhile(
+            sent,
+            deadline,
+            Micros::from_millis(1_020),
+            Some(Micros::from_millis(20))
+        ));
+        // The budget expires in 5 ms but the hop alone costs 10 ms.
+        assert!(!retransmit_worthwhile(
+            sent,
+            deadline,
+            Micros::from_millis(1_060),
+            Some(Micros::from_millis(20))
+        ));
+        // Without an RTT estimate the check degrades to plain expiry.
+        assert!(retransmit_worthwhile(sent, deadline, Micros::from_millis(1_065), None));
+        assert!(!retransmit_worthwhile(sent, deadline, Micros::from_millis(1_066), None));
+    }
+
+    #[test]
     #[should_panic(expected = "capacity")]
     fn zero_capacity_panics() {
         SendBuffer::<Bytes>::new(0);
+    }
+
+    #[test]
+    fn take_binary_search_finds_wrapped_entries() {
+        // Exercise take() after the ring has wrapped (pop_front +
+        // push_back), where the deque's internal layout is split.
+        let mut b = SendBuffer::new(8);
+        for seq in 0..20u64 {
+            b.push(seq, Bytes::from(seq.to_be_bytes().to_vec()));
+        }
+        assert_eq!(b.len(), 8);
+        assert_eq!(b.take(11), None, "evicted");
+        for seq in (12..20).rev() {
+            assert!(b.take(seq).is_some(), "seq {seq} present");
+            assert!(b.take(seq).is_none(), "seq {seq} single-shot");
+        }
+        assert!(b.is_empty());
     }
 }

@@ -67,12 +67,15 @@ impl DeliveryStats {
         stats
     }
 
-    /// Fraction of delivered packets that met their deadline.
-    pub fn on_time_fraction(&self) -> f64 {
+    /// Fraction of delivered packets that met their deadline, or
+    /// `None` for an empty batch. A batch with no deliveries carries
+    /// no timeliness evidence — a total blackhole must not read as a
+    /// perfect on-time rate.
+    pub fn on_time_fraction(&self) -> Option<f64> {
         if self.delivered == 0 {
-            1.0
+            None
         } else {
-            self.on_time as f64 / self.delivered as f64
+            Some(self.on_time as f64 / self.delivered as f64)
         }
     }
 
@@ -293,10 +296,11 @@ mod tests {
         assert_eq!(stats.on_time, 2);
         assert_eq!(stats.max_latency, Micros::from_micros(800));
         assert_eq!(stats.mean_latency(), Micros::from_micros(400));
-        assert!((stats.on_time_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        let fraction = stats.on_time_fraction().expect("non-empty batch has a fraction");
+        assert!((fraction - 2.0 / 3.0).abs() < 1e-12);
 
         let empty = DeliveryStats::from_deliveries([]);
-        assert_eq!(empty.on_time_fraction(), 1.0);
+        assert_eq!(empty.on_time_fraction(), None, "no deliveries is not evidence of timeliness");
         assert_eq!(empty.mean_latency(), Micros::ZERO);
     }
 }

@@ -74,6 +74,42 @@ pub enum Message {
     },
     /// A flooded link-state report.
     LinkState(LinkStateUpdate),
+    /// Per-neighbour acknowledgement of a received link-state report.
+    ///
+    /// Flooding is hop-by-hop reliable: every [`Message::LinkState`]
+    /// transmission is acked by the receiving neighbour, and the sender
+    /// retransmits unacked reports with exponential backoff. The ack
+    /// names the report's origin stamp, so a newer report for the same
+    /// origin implicitly supersedes the pending older one.
+    LsaAck {
+        /// The acknowledged report's originating node.
+        origin: NodeId,
+        /// The acknowledged report's origin epoch.
+        epoch: u64,
+        /// The acknowledged report's origin sequence.
+        seq: u64,
+    },
+    /// An anti-entropy summary of the sender's link-state database:
+    /// the latest `(epoch, seq)` stamp it holds per origin. A receiver
+    /// holding strictly newer state for any origin (or state for an
+    /// origin absent from the digest) pushes those reports back, so two
+    /// sides of a healed partition reconcile deterministically instead
+    /// of waiting for the next periodic refresh to happen to survive.
+    Digest {
+        /// The sender's per-origin database summary.
+        entries: Vec<DigestEntry>,
+    },
+}
+
+/// One origin's latest `(epoch, seq)` stamp inside a [`Message::Digest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DigestEntry {
+    /// The origin summarized.
+    pub origin: NodeId,
+    /// The latest epoch held for this origin.
+    pub epoch: u64,
+    /// The latest sequence held within that epoch.
+    pub seq: u64,
 }
 
 /// An application packet in flight.
@@ -146,6 +182,8 @@ const T_HELLO: u8 = 2;
 const T_HELLO_ACK: u8 = 3;
 const T_LINK_STATE: u8 = 4;
 const T_DATA_BATCH: u8 = 5;
+const T_LSA_ACK: u8 = 6;
+const T_DIGEST: u8 = 7;
 
 /// Fixed part of a data body: flow (8), flow_seq (8), sent_at (8),
 /// deadline (8), link_seq (8), retransmission flag (1), mask length
@@ -398,6 +436,33 @@ fn decode_with(datagram: &[u8], materialize: Materialize<'_>) -> Result<Envelope
                 .collect();
             Message::LinkState(LinkStateUpdate { origin, epoch, seq, entries })
         }
+        T_LSA_ACK => {
+            if buf.remaining() < 20 {
+                return Err(OverlayError::Malformed("short lsa ack"));
+            }
+            Message::LsaAck {
+                origin: NodeId::new(buf.get_u32()),
+                epoch: buf.get_u64(),
+                seq: buf.get_u64(),
+            }
+        }
+        T_DIGEST => {
+            if buf.remaining() < 2 {
+                return Err(OverlayError::Malformed("short digest"));
+            }
+            let count = buf.get_u16() as usize;
+            if buf.remaining() < count * 20 {
+                return Err(OverlayError::Malformed("short digest entries"));
+            }
+            let entries = (0..count)
+                .map(|_| DigestEntry {
+                    origin: NodeId::new(buf.get_u32()),
+                    epoch: buf.get_u64(),
+                    seq: buf.get_u64(),
+                })
+                .collect();
+            Message::Digest { entries }
+        }
         _ => return Err(OverlayError::Malformed("unknown message type")),
     };
     Ok(Envelope { from, message })
@@ -414,6 +479,8 @@ impl Envelope {
                 Message::Nack { missing } => 2 + 8 * missing.len(),
                 Message::Hello { .. } | Message::HelloAck { .. } => 16,
                 Message::LinkState(u) => 22 + 13 * u.entries.len(),
+                Message::LsaAck { .. } => 20,
+                Message::Digest { entries } => 2 + 20 * entries.len(),
             }
     }
 
@@ -446,6 +513,8 @@ impl Envelope {
             Message::Hello { .. } => T_HELLO,
             Message::HelloAck { .. } => T_HELLO_ACK,
             Message::LinkState(_) => T_LINK_STATE,
+            Message::LsaAck { .. } => T_LSA_ACK,
+            Message::Digest { .. } => T_DIGEST,
         };
         let base = put_prelude(buf, msg_type, self.from);
         match &self.message {
@@ -480,6 +549,19 @@ impl Envelope {
                     buf.put_f32(e.loss);
                     buf.put_u32(e.extra_latency_us);
                     buf.put_u8(if e.down { FLAG_LINK_DOWN } else { 0 });
+                }
+            }
+            Message::LsaAck { origin, epoch, seq } => {
+                buf.put_u32(origin.index() as u32);
+                buf.put_u64(*epoch);
+                buf.put_u64(*seq);
+            }
+            Message::Digest { entries } => {
+                buf.put_u16(entries.len() as u16);
+                for e in entries {
+                    buf.put_u32(e.origin.index() as u32);
+                    buf.put_u64(e.epoch);
+                    buf.put_u64(e.seq);
                 }
             }
         }
@@ -574,10 +656,56 @@ mod tests {
                     ],
                 }),
             },
+            Envelope {
+                from: NodeId::new(5),
+                message: Message::LsaAck {
+                    origin: NodeId::new(4),
+                    epoch: 1_722_000_000_000_000,
+                    seq: 8,
+                },
+            },
+            Envelope { from: NodeId::new(6), message: Message::Digest { entries: vec![] } },
+            Envelope {
+                from: NodeId::new(6),
+                message: Message::Digest {
+                    entries: vec![
+                        DigestEntry { origin: NodeId::new(0), epoch: 7, seq: 3 },
+                        DigestEntry { origin: NodeId::new(9), epoch: u64::MAX, seq: u64::MAX },
+                    ],
+                },
+            },
         ];
         for env in envs {
             let bytes = env.encode();
+            assert_eq!(bytes.len(), env.encoded_len(), "{env:?}");
             assert_eq!(Envelope::decode(&bytes).unwrap(), env, "{env:?}");
+        }
+    }
+
+    #[test]
+    fn control_frame_corruption_and_truncation_are_detected() {
+        let envs = [
+            Envelope {
+                from: NodeId::new(5),
+                message: Message::LsaAck { origin: NodeId::new(4), epoch: 12, seq: 8 },
+            },
+            Envelope {
+                from: NodeId::new(6),
+                message: Message::Digest {
+                    entries: vec![DigestEntry { origin: NodeId::new(1), epoch: 2, seq: 3 }],
+                },
+            },
+        ];
+        for env in envs {
+            let good = env.encode();
+            for cut in 0..good.len() {
+                assert!(Envelope::decode(&good[..cut]).is_err(), "cut at {cut}");
+            }
+            for pos in 0..good.len() {
+                let mut bytes = good.to_vec();
+                bytes[pos] ^= 0x20;
+                assert!(Envelope::decode(&bytes).is_err(), "flip at byte {pos} went undetected");
+            }
         }
     }
 

@@ -1,0 +1,143 @@
+//! Property tests for the hop-by-hop recovery primitives under random
+//! reorder, duplication, and loss.
+//!
+//! Invariants under test:
+//! - **Single-retransmission discipline**: across any arrival pattern,
+//!   [`GapTracker::observe`] NACKs each sequence at most once, and
+//!   [`GapTracker::due_rerequests`] re-offers each at most once more —
+//!   so no sequence is ever requested more than twice in total.
+//! - **Bounded memory**: the tracker's bookkeeping stays bounded no
+//!   matter how long or how lossy the stream is.
+//! - **Buffer agreement**: [`SendBuffer::take`] (a binary search over
+//!   the sequence-sorted ring) agrees exactly with a naive model, and
+//!   never serves the same sequence twice.
+
+use dg_overlay::recovery::{GapTracker, SendBuffer};
+use dg_topology::Micros;
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+/// Turns a loss/dup/reorder plan into an arrival stream of link seqs.
+fn arrivals(n: u64, lost: &HashSet<u64>, dup: &HashSet<u64>, swaps: &[(usize, usize)]) -> Vec<u64> {
+    let mut stream: Vec<u64> = (0..n).filter(|s| !lost.contains(s)).collect();
+    let dupped: Vec<u64> = stream.iter().copied().filter(|s| dup.contains(s)).collect();
+    stream.extend(dupped);
+    for &(a, b) in swaps {
+        if !stream.is_empty() {
+            let (a, b) = (a % stream.len(), b % stream.len());
+            stream.swap(a, b);
+        }
+    }
+    stream
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// No sequence is NACKed twice by `observe`, and a re-request adds
+    /// at most one more, regardless of reordering and duplication.
+    #[test]
+    fn each_sequence_is_requested_at_most_twice(
+        n in 1u64..300,
+        lost in proptest::collection::vec(0u64..300, 0..40),
+        dup in proptest::collection::vec(0u64..300, 0..20),
+        swaps in proptest::collection::vec((0usize..300, 0usize..300), 0..30),
+        rerequest_every in 1u64..20,
+    ) {
+        let lost: HashSet<u64> = lost.into_iter().collect();
+        let dup: HashSet<u64> = dup.into_iter().collect();
+        let stream = arrivals(n, &lost, &dup, &swaps);
+        let mut tracker = GapTracker::new();
+        let mut requests: HashMap<u64, u32> = HashMap::new();
+        for (i, &seq) in stream.iter().enumerate() {
+            let now = Micros::from_micros(i as u64 * 1_000);
+            for s in tracker.observe(seq, now) {
+                *requests.entry(s).or_default() += 1;
+            }
+            // Periodically fire the re-request timer with a silence
+            // horizon short enough to actually re-offer something.
+            if (i as u64).is_multiple_of(rerequest_every) {
+                for s in tracker.due_rerequests(now, Micros::from_micros(2_000)) {
+                    *requests.entry(s).or_default() += 1;
+                }
+            }
+        }
+        // Drain the timer once more, far in the future, then verify it
+        // never offers anything a third time.
+        let end = Micros::from_micros((stream.len() as u64 + 10) * 1_000);
+        for s in tracker.due_rerequests(end, Micros::ZERO) {
+            *requests.entry(s).or_default() += 1;
+        }
+        prop_assert!(tracker.due_rerequests(end, Micros::ZERO).is_empty());
+        for (&seq, &count) in &requests {
+            prop_assert!(
+                count <= 2,
+                "seq {seq} requested {count} times — single NACK plus one re-request is the cap"
+            );
+        }
+        // The final zero-silence drain moved every pending entry to the
+        // re-requested set, so nothing is left outstanding.
+        prop_assert_eq!(tracker.outstanding(), 0);
+    }
+
+    /// Bookkeeping memory stays bounded even across an arbitrarily long
+    /// and lossy stream (the tracker prunes below a sliding floor).
+    #[test]
+    fn tracker_memory_is_bounded(
+        stride in 2u64..9,
+        rounds in 100u64..2_000,
+    ) {
+        let mut tracker = GapTracker::new();
+        // Deliver only every `stride`-th sequence: maximal sustained
+        // gappiness without ever healing.
+        for i in 0..rounds {
+            let now = Micros::from_micros(i * 1_000);
+            tracker.observe(i * stride, now);
+        }
+        // `requested` prunes at 4 * MAX_NACK (256); `pending` can only
+        // be smaller. Allow one unpruned batch of slack.
+        prop_assert!(
+            tracker.outstanding() <= 320,
+            "outstanding grew to {} — bookkeeping is unbounded",
+            tracker.outstanding()
+        );
+    }
+
+    /// Binary-search take agrees with a naive model and enforces the
+    /// single-retransmission discipline, including across capacity
+    /// eviction and sparse (gappy) sequence numbers.
+    #[test]
+    fn send_buffer_matches_model(
+        capacity in 1usize..64,
+        gaps in proptest::collection::vec(1u64..5, 1..200),
+        takes in proptest::collection::vec((0usize..220, any::<bool>()), 0..300),
+    ) {
+        let mut buffer: SendBuffer<u64> = SendBuffer::new(capacity);
+        let mut model: Vec<u64> = Vec::new();
+        let mut seq = 0u64;
+        let mut pushed: Vec<u64> = Vec::new();
+        for &g in &gaps {
+            seq += g;
+            buffer.push(seq, seq);
+            model.push(seq);
+            if model.len() > capacity {
+                model.remove(0);
+            }
+            pushed.push(seq);
+        }
+        for &(idx, second_take) in &takes {
+            let target = pushed[idx % pushed.len()];
+            let expected = model.iter().position(|&s| s == target).map(|i| model.remove(i));
+            prop_assert_eq!(buffer.take(target), expected);
+            if second_take {
+                prop_assert_eq!(
+                    buffer.take(target),
+                    None,
+                    "a taken sequence must not be served twice"
+                );
+            }
+        }
+        prop_assert_eq!(buffer.len(), model.len());
+        prop_assert_eq!(buffer.is_empty(), model.is_empty());
+    }
+}

@@ -5,7 +5,9 @@
 use bytes::{Bytes, BytesMut};
 use dg_core::Flow;
 use dg_overlay::pool::BufferPool;
-use dg_overlay::wire::{DataPacket, Envelope, LinkStateEntry, LinkStateUpdate, Message};
+use dg_overlay::wire::{
+    DataPacket, DigestEntry, Envelope, LinkStateEntry, LinkStateUpdate, Message,
+};
 use dg_topology::{EdgeId, Micros, NodeId};
 use proptest::prelude::*;
 
@@ -67,6 +69,23 @@ fn arb_message() -> impl Strategy<Value = Message> {
                         .collect(),
                 })
             }),
+        (0u32..64, any::<u64>(), any::<u64>()).prop_map(|(origin, epoch, seq)| Message::LsaAck {
+            origin: NodeId::new(origin),
+            epoch,
+            seq,
+        }),
+        proptest::collection::vec((0u32..64, any::<u64>(), any::<u64>()), 0..32).prop_map(
+            |entries| Message::Digest {
+                entries: entries
+                    .into_iter()
+                    .map(|(origin, epoch, seq)| DigestEntry {
+                        origin: NodeId::new(origin),
+                        epoch,
+                        seq,
+                    })
+                    .collect(),
+            }
+        ),
     ]
 }
 
