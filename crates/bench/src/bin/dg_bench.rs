@@ -17,13 +17,20 @@
 //! (default 0.2 = 20%).
 //!
 //! Usage: `cargo run --release -p dg-bench --bin dg-bench --
-//! [--quick] [--only forwarding|sim] [--check docs/bench_baseline]`
+//! [--quick] [--only forwarding|sim] [--topo us|global|ring|waxman]
+//! [--nodes N] [--check docs/bench_baseline]`
+//!
+//! `--topo`/`--nodes` swap the sim bench's topology for a generated
+//! overlay (see `dg_topology::generate`); the forwarding bench is
+//! topology-independent.
 
 use dg_bench::cli::Cli;
+use dg_bench::{topo_cli, topo_from_matches};
 use dg_core::scheme::{build_scheme, SchemeKind, SchemeParams};
 use dg_core::{Flow, ServiceRequirement};
 use dg_overlay::cluster::{Cluster, ClusterConfig};
 use dg_sim::{run_flow, LatencyHistogram, PlaybackConfig};
+use dg_topology::generate::TopoSpec;
 use dg_topology::{GraphBuilder, Micros};
 use dg_trace::gen::{self, SyntheticWanConfig};
 use serde::{Deserialize, Serialize};
@@ -62,6 +69,8 @@ struct SimResult {
     bench: String,
     schema_version: u32,
     mode: String,
+    #[serde(default)]
+    topo: String,
     trace_seconds: u64,
     rate: u32,
     packets: u64,
@@ -151,21 +160,33 @@ fn forwarding_bench(secs: u64, payload_len: usize, batch: usize, mode: &str) -> 
     }
 }
 
-fn sim_bench(trace_secs: u64, rate: u32, mode: &str) -> SimResult {
-    let g = dg_topology::presets::north_america_12();
+fn sim_bench(trace_secs: u64, rate: u32, mode: &str, spec: &TopoSpec) -> SimResult {
+    let g = spec.build();
     let mut cfg = SyntheticWanConfig::calibrated(2017);
     cfg.duration = Micros::from_secs(trace_secs);
     let traces = gen::generate(&g, &cfg);
-    let flow = Flow::new(g.node_by_name("NYC").unwrap(), g.node_by_name("SJC").unwrap());
+    let flow = if *spec == TopoSpec::NorthAmerica {
+        Flow::new(g.node_by_name("NYC").unwrap(), g.node_by_name("SJC").unwrap())
+    } else {
+        let (s, t) = *spec.default_flows(&g, 1).first().expect("topology has a flow");
+        Flow::new(s, t)
+    };
+    let deadline = spec.default_deadline(&g, &[(flow.source, flow.destination)]);
     let mut packets = 0u64;
     let start = Instant::now();
     // The two most expensive schemes: the paper's recommended policy
     // and the flooding upper bound.
     for kind in [SchemeKind::TargetedRedundancy, SchemeKind::TimeConstrainedFlooding] {
-        let mut scheme =
-            build_scheme(kind, &g, flow, ServiceRequirement::default(), &SchemeParams::default())
-                .expect("flow is routable");
-        let config = PlaybackConfig { packets_per_second: rate, ..PlaybackConfig::default() };
+        let mut scheme = build_scheme(
+            kind,
+            &g,
+            flow,
+            ServiceRequirement::new(deadline),
+            &SchemeParams::default(),
+        )
+        .expect("flow is routable");
+        let config =
+            PlaybackConfig { packets_per_second: rate, deadline, ..PlaybackConfig::default() };
         let stats = run_flow(&g, &traces, scheme.as_mut(), &config);
         packets += stats.packets_sent;
     }
@@ -174,6 +195,7 @@ fn sim_bench(trace_secs: u64, rate: u32, mode: &str) -> SimResult {
         bench: "sim".to_string(),
         schema_version: SCHEMA_VERSION,
         mode: mode.to_string(),
+        topo: spec.label(),
         trace_seconds: trace_secs,
         rate,
         packets,
@@ -212,7 +234,7 @@ fn load_json<T: Deserialize>(path: &Path) -> Option<T> {
 }
 
 fn main() {
-    let cli = Cli::new("dg-bench", "hot-path performance harness (forwarding + sim)")
+    let cli = topo_cli(Cli::new("dg-bench", "hot-path performance harness (forwarding + sim)"))
         .switch("quick", "abbreviated CI-smoke run (1s forwarding, 20s trace)")
         .flag_default("seconds", "N", "forwarding bench duration", "5")
         .flag_default("payload", "BYTES", "application payload size", "512")
@@ -248,6 +270,7 @@ fn main() {
         }
     }
     let out_dir = matches.value("out").map_or_else(dg_bench::results_dir, PathBuf::from);
+    let spec = topo_from_matches(&matches).unwrap_or_else(|e| cli.exit_with(&e));
 
     let forwarding = (only != Some("sim")).then(|| {
         let r = forwarding_bench(secs, payload, batch, mode);
@@ -260,7 +283,7 @@ fn main() {
         r
     });
     let sim = (only != Some("forwarding")).then(|| {
-        let r = sim_bench(sim_secs, rate, mode);
+        let r = sim_bench(sim_secs, rate, mode, &spec);
         println!(
             "sim: {} packets in {:.2}s -> {:.0} packets/sec",
             r.packets, r.wall_secs, r.packets_per_sec

@@ -10,10 +10,10 @@
 //! [--src NYC] [--dst SJC]`
 
 use dg_bench::cli::Cli;
-use dg_bench::{print_table, results_dir};
+use dg_bench::{print_table, results_dir, topo_cli, topo_from_matches};
 use dg_core::scheme::{SchemeParams, TargetedMode, TargetedRedundancy, TimeConstrainedFlooding};
 use dg_core::{DisseminationGraph, Flow, ServiceRequirement};
-use dg_topology::{presets, Graph};
+use dg_topology::Graph;
 
 fn describe(graph: &Graph, dg: &DisseminationGraph) -> String {
     dg.edges()
@@ -39,18 +39,32 @@ fn dot(graph: &Graph, dg: &DisseminationGraph, name: &str) {
 }
 
 fn main() {
-    let cli = Cli::new("fig1_graphs", "example dissemination graphs for one flow")
-        .flag_default("src", "SITE", "flow source site", "NYC")
-        .flag_default("dst", "SITE", "flow destination site", "SJC");
-    let matches = cli.parse_env();
-    let graph = presets::north_america_12();
-    let src = matches.value("src").unwrap_or("NYC").to_string();
-    let dst = matches.value("dst").unwrap_or("SJC").to_string();
-    let flow = Flow::new(
-        graph.node_by_name(&src).expect("known source site"),
-        graph.node_by_name(&dst).expect("known destination site"),
+    let cli = topo_cli(
+        Cli::new("fig1_graphs", "example dissemination graphs for one flow")
+            .flag("src", "SITE", "flow source site (default: first default flow)")
+            .flag("dst", "SITE", "flow destination site"),
     );
-    let requirement = ServiceRequirement::default();
+    let matches = cli.parse_env();
+    let spec = topo_from_matches(&matches).unwrap_or_else(|e| cli.exit_with(&e));
+    let graph = spec.build();
+    let flow = match (matches.value("src"), matches.value("dst")) {
+        (Some(src), Some(dst)) => Flow::new(
+            graph.node_by_name(src).expect("known source site"),
+            graph.node_by_name(dst).expect("known destination site"),
+        ),
+        // Keep the figure's documented NYC -> SJC default on the paper
+        // preset; generated families take their first sampled flow.
+        _ if spec == dg_topology::generate::TopoSpec::NorthAmerica => Flow::new(
+            graph.node_by_name("NYC").expect("preset site"),
+            graph.node_by_name("SJC").expect("preset site"),
+        ),
+        _ => {
+            let (s, t) = *spec.default_flows(&graph, 1).first().expect("topology has a flow");
+            Flow::new(s, t)
+        }
+    };
+    let flows = [(flow.source, flow.destination)];
+    let requirement = ServiceRequirement::new(spec.default_deadline(&graph, &flows));
     let params = SchemeParams::default();
 
     let targeted =

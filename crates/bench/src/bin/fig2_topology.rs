@@ -1,24 +1,26 @@
 //! Figure 2 (reconstructed): the evaluation overlay topology.
 //!
-//! Prints the 12 sites, their links with one-way latencies, and writes
-//! a DOT rendering. Also verifies the properties the evaluation relies
-//! on (two node-disjoint routes and a feasible 65 ms deadline for every
-//! transcontinental flow).
+//! Prints the sites, their links with one-way latencies, and writes a
+//! DOT rendering. Also verifies the properties the evaluation relies
+//! on (two node-disjoint routes and a feasible deadline for every
+//! evaluation flow). Defaults to the paper's 12-site preset; `--topo
+//! ring|waxman --nodes N` inspects a generated overlay instead.
 //!
-//! Usage: `cargo run --release -p dg-bench --bin fig2_topology`
+//! Usage: `cargo run --release -p dg-bench --bin fig2_topology --
+//! [--topo us|global|ring|waxman] [--nodes N]`
 
-use dg_bench::{print_table, results_dir, write_csv};
+use dg_bench::{print_table, results_dir, topo_cli, topo_from_matches, write_csv};
 use dg_topology::algo::disjoint::{max_disjoint, Disjointness};
 use dg_topology::algo::{dijkstra, reach};
-use dg_topology::{presets, Micros};
 
 fn main() {
-    // No tunables, but the shared parser still rejects stray flags and
-    // answers --help like every other binary.
-    dg_bench::cli::Cli::new("fig2_topology", "the evaluation overlay topology").parse_env();
-    let graph = presets::north_america_12();
+    let cli = topo_cli(dg_bench::cli::Cli::new("fig2_topology", "the evaluation overlay topology"));
+    let matches = cli.parse_env();
+    let spec = topo_from_matches(&matches).unwrap_or_else(|e| cli.exit_with(&e));
+    let graph = spec.build();
     println!(
-        "evaluation topology: {} sites, {} directed edges\n",
+        "evaluation topology {}: {} sites, {} directed edges\n",
+        spec.label(),
         graph.node_count(),
         graph.edge_count()
     );
@@ -37,22 +39,24 @@ fn main() {
     print_table(&table);
     write_csv("fig2_topology", &table);
 
-    println!("\ntranscontinental flows:");
+    let flows = spec.default_flows(&graph, 16);
+    let deadline = spec.default_deadline(&graph, &flows);
+    println!("\nevaluation flows (deadline {deadline}):");
     let mut rows = vec![vec![
         "flow".to_string(),
         "shortest path".to_string(),
         "latency".to_string(),
         "disjoint capacity".to_string(),
-        "65ms feasible".to_string(),
+        "deadline feasible".to_string(),
     ]];
-    for (s, t) in presets::transcontinental_flows(&graph) {
+    for (s, t) in flows {
         let p = dijkstra::shortest_path(&graph, s, t).expect("flows are routable");
         rows.push(vec![
             format!("{}->{}", graph.node(s).name, graph.node(t).name),
             p.display(&graph),
             p.latency(&graph).to_string(),
             max_disjoint(&graph, s, t, Disjointness::Node).to_string(),
-            reach::deadline_feasible(&graph, s, t, Micros::from_millis(65)).to_string(),
+            reach::deadline_feasible(&graph, s, t, deadline).to_string(),
         ]);
     }
     print_table(&rows);

@@ -9,22 +9,35 @@
 //! [--loss F] [--rate N]`
 
 use dg_bench::cli::Cli;
-use dg_bench::write_csv;
+use dg_bench::{topo_cli, topo_from_matches, write_csv};
 use dg_core::scheme::{build_scheme, SchemeKind, SchemeParams};
 use dg_core::{Flow, ServiceRequirement};
 use dg_sim::{run_flow_detailed, PlaybackConfig};
-use dg_topology::{presets, Micros};
+use dg_topology::generate::TopoSpec;
+use dg_topology::Micros;
 use dg_trace::{LinkCondition, TraceSet};
 
 fn main() {
-    let cli = Cli::new("fig3_case_study", "per-second delivery across one problem event")
-        .flag_default("loss", "F", "loss fraction on the destination's links", "0.35")
-        .flag_default("rate", "PPS", "application packets per second", "100");
+    let cli = topo_cli(
+        Cli::new("fig3_case_study", "per-second delivery across one problem event")
+            .flag_default("loss", "F", "loss fraction on the destination's links", "0.35")
+            .flag_default("rate", "PPS", "application packets per second", "100"),
+    );
     let matches = cli.parse_env();
     let loss: f64 = matches.get_or("loss", 0.35).unwrap_or_else(|e| cli.exit_with(&e));
     let rate: u32 = matches.get_or("rate", 100).unwrap_or_else(|e| cli.exit_with(&e));
-    let graph = presets::north_america_12();
-    let flow = Flow::new(graph.node_by_name("WAS").unwrap(), graph.node_by_name("SEA").unwrap());
+    let spec = topo_from_matches(&matches).unwrap_or_else(|e| cli.exit_with(&e));
+    let graph = spec.build();
+    // The paper's case-study flow on its preset; the first sampled
+    // disjoint-routable flow on a generated overlay.
+    let flow = if spec == TopoSpec::NorthAmerica {
+        Flow::new(graph.node_by_name("WAS").unwrap(), graph.node_by_name("SEA").unwrap())
+    } else {
+        let (s, t) = *spec.default_flows(&graph, 1).first().expect("topology has a flow");
+        Flow::new(s, t)
+    };
+    let endpoints = [(flow.source, flow.destination)];
+    let deadline = spec.default_deadline(&graph, &endpoints);
 
     // 90 seconds; the event covers 30s..60s on every link into SEA.
     let mut traces =
@@ -35,7 +48,7 @@ fn main() {
         }
     }
 
-    let config = PlaybackConfig { packets_per_second: rate, ..Default::default() };
+    let config = PlaybackConfig { packets_per_second: rate, deadline, ..Default::default() };
     println!(
         "case study {}: {}% loss on all destination links, 30s..60s\n",
         flow.label(&graph),
@@ -49,7 +62,7 @@ fn main() {
             kind,
             &graph,
             flow,
-            ServiceRequirement::default(),
+            ServiceRequirement::new(deadline),
             &SchemeParams::default(),
         )
         .expect("flow routable");

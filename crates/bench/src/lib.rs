@@ -11,6 +11,7 @@
 use dg_cli::{Cli, CliError, Matches};
 use dg_core::scheme::SchemeKind;
 use dg_sim::experiment::{ExperimentConfig, SchemeAggregate};
+use dg_topology::generate::TopoSpec;
 use dg_topology::{Graph, Micros, NodeId};
 use dg_trace::gen::{self, SyntheticWanConfig};
 use std::collections::HashMap;
@@ -99,7 +100,8 @@ impl Experiment {
             .flag_default("rate", "PPS", "application packets per second", "100")
             .flag_default("seed", "N", "base seed (week w uses seed+w)", "2017")
             .flag_default("threshold", "F", "per-second availability threshold", "1.0")
-            .flag_default("topology", "us|global", "evaluation topology", "us")
+            .flag_default("topology", "us|global|ring|waxman", "evaluation topology", "us")
+            .flag_default("nodes", "N", "node count for generated topologies", "100")
             .flag("threads", "N", "playback worker threads (default: all cores)")
             .flag("trace", "PATH", "replay a recorded trace instead of generating weeks")
     }
@@ -120,25 +122,15 @@ impl Experiment {
         let rate: u32 = matches.get_or("rate", 100)?;
         let threshold: f64 = matches.get_or("threshold", 1.0)?;
         let which = matches.value("topology").unwrap_or("us");
-        let (topology, flows, deadline) = match which {
-            "us" => {
-                let t = dg_topology::presets::north_america_12();
-                let f = dg_topology::presets::transcontinental_flows(&t);
-                (t, f, Micros::from_millis(65))
-            }
-            "global" => {
-                let t = dg_topology::presets::global_16();
-                let f = dg_topology::presets::intercontinental_flows(&t);
-                (t, f, Micros::from_millis(110))
-            }
-            other => {
-                return Err(CliError::BadValue {
-                    flag: "topology".to_string(),
-                    value: other.to_string(),
-                    expected: "us or global",
-                })
-            }
-        };
+        let nodes: usize = matches.get_or("nodes", 100)?;
+        let spec = TopoSpec::parse(which, nodes, base_seed).map_err(|_| CliError::BadValue {
+            flag: "topology".to_string(),
+            value: which.to_string(),
+            expected: "us, global, ring, or waxman",
+        })?;
+        let topology = spec.build();
+        let flows = spec.default_flows(&topology, 16);
+        let deadline = spec.default_deadline(&topology, &flows);
         let config = ExperimentConfig::builder()
             .packets_per_second(rate)
             .availability_threshold(threshold)
@@ -242,8 +234,17 @@ impl Experiment {
     pub fn wan_config(&self, seed: u64) -> SyntheticWanConfig {
         let mut cfg = SyntheticWanConfig::calibrated(seed);
         cfg.duration = Micros::from_secs(self.seconds_per_week);
-        cfg.node_weights =
-            Some(gen::biased_node_weights(&self.topology, &Self::ACCESS_SITES, Self::ACCESS_BIAS));
+        // Generated topologies carry none of the preset site names;
+        // they get unbiased problem placement.
+        let present: Vec<&str> = Self::ACCESS_SITES
+            .iter()
+            .copied()
+            .filter(|n| self.topology.node_by_name(n).is_some())
+            .collect();
+        if !present.is_empty() {
+            cfg.node_weights =
+                Some(gen::biased_node_weights(&self.topology, &present, Self::ACCESS_BIAS));
+        }
         cfg
     }
 
@@ -279,6 +280,33 @@ impl Experiment {
         }
         merged
     }
+}
+
+/// Chains the shared topology-selection flags onto a CLI: `--topo
+/// {us|global|ring|waxman}`, `--nodes N` (generated families only),
+/// and `--topo-seed N`. Parse the result with [`topo_from_matches`] —
+/// every binary that can run on generated overlays shares this one
+/// construction path instead of hardcoding a preset.
+pub fn topo_cli(cli: Cli) -> Cli {
+    cli.flag_default("topo", "us|global|ring|waxman", "topology family", "us")
+        .flag_default("nodes", "N", "node count for generated topologies", "100")
+        .flag_default("topo-seed", "N", "generator seed for ring/waxman", "2017")
+}
+
+/// Parses the [`topo_cli`] flags into a [`TopoSpec`].
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for an unknown family or unparsable numbers.
+pub fn topo_from_matches(matches: &Matches) -> Result<TopoSpec, CliError> {
+    let which = matches.value("topo").unwrap_or("us");
+    let nodes: usize = matches.get_or("nodes", 100)?;
+    let seed: u64 = matches.get_or("topo-seed", 2_017)?;
+    TopoSpec::parse(which, nodes, seed).map_err(|_| CliError::BadValue {
+        flag: "topo".to_string(),
+        value: which.to_string(),
+        expected: "us, global, ring, or waxman",
+    })
 }
 
 /// Directory where experiment binaries drop their CSV outputs.
@@ -355,6 +383,35 @@ mod tests {
         assert_eq!(exp.topology.node_count(), 16);
         assert_eq!(exp.flows.len(), 8);
         assert_eq!(exp.config.playback.deadline, Micros::from_millis(110));
+    }
+
+    #[test]
+    fn generated_topology_option() {
+        let exp =
+            Experiment::from_matches(&matches(&["--topology", "ring", "--nodes", "50"])).unwrap();
+        assert_eq!(exp.topology.node_count(), 50);
+        assert!(!exp.flows.is_empty());
+        assert!(exp.config.playback.deadline > Micros::ZERO);
+        // No preset site names exist, so problem placement is unbiased.
+        assert!(exp.wan_config(1).node_weights.is_none());
+    }
+
+    #[test]
+    fn topo_helper_parses_shared_flags() {
+        let m = topo_cli(Cli::new("t", "t"))
+            .parse(
+                ["--topo", "waxman", "--nodes", "60", "--topo-seed", "9"]
+                    .iter()
+                    .map(|s| s.to_string()),
+            )
+            .unwrap();
+        let spec = topo_from_matches(&m).unwrap();
+        assert_eq!(spec.label(), "waxman-60");
+        assert_eq!(spec.build().node_count(), 60);
+        let bad = topo_cli(Cli::new("t", "t"))
+            .parse(["--topo", "mars"].iter().map(|s| s.to_string()))
+            .unwrap();
+        assert!(topo_from_matches(&bad).is_err());
     }
 
     #[test]

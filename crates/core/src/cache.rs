@@ -1,0 +1,637 @@
+//! Interned, incrementally-invalidated dissemination-graph cache.
+//!
+//! Precomputing dissemination graphs dominates route-setup cost once
+//! overlays grow past the paper's 12 sites. [`GraphCache`] keeps two
+//! tiers of precomputed results on top of the generic
+//! [`dg_topology::cache::PrecomputeCache`]:
+//!
+//! - **Baseline bundles** ([`GraphCache::baseline`]): the four
+//!   targeted-redundancy graphs of a flow, computed exactly as the
+//!   schemes themselves compute them (topology-only, no link state)
+//!   and interned behind an [`Arc`]. Every scheme instance for the
+//!   same `(flow, deadline)` shares one computation; these entries
+//!   only flush when the topology epoch advances.
+//! - **Live graphs** ([`GraphCache::live`]): usability-aware variants
+//!   computed over the subgraph of links whose reported loss is below
+//!   the unusable threshold. Each entry records the edges its
+//!   computation *selected* plus every edge that was unusable at
+//!   compute time; a usability flip on any of those edges — and only
+//!   those — evicts it ([`GraphCache::note_loss`]).
+//!
+//! The live dependency rule is what makes incremental invalidation
+//! sound: a *usable but unselected* edge can change condition freely
+//! without invalidating, because (a) the computation never reads
+//! condition values, only the usable/unusable partition, and (b)
+//! removing an edge that an optimal solution does not use cannot
+//! change that optimum. To keep (b) airtight under latency ties, every
+//! internal shortest-path/disjoint-pair search runs on tie-broken
+//! weights (`latency × 2⁴² + hash(edge)`), making the optimum unique,
+//! so the cached value is a pure function of the usable-edge
+//! partition. The `cache_properties` proptest drives random flap
+//! sequences against [`GraphCache::compute_uncached`] as a
+//! from-scratch oracle to enforce exactly this.
+
+use crate::scheme::{
+    build_scheme, RoutingScheme, SchemeKind, SchemeParams, StaticTwoDisjoint, TargetedGraphs,
+    TargetedRedundancy,
+};
+use crate::{CoreError, DisseminationGraph, Flow, ServiceRequirement};
+use dg_topology::algo::disjoint::k_disjoint_paths_weighted;
+use dg_topology::algo::{dijkstra, reach};
+use dg_topology::cache::{CacheStats, EdgeSet, PrecomputeCache};
+use dg_topology::{EdgeId, Graph, Micros, NodeId};
+use serde::Serialize;
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
+
+/// Which cached dissemination graph of a flow to fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum CachedGraphKind {
+    /// The two-disjoint-path graph.
+    TwoDisjoint,
+    /// The source-problem graph.
+    SourceProblem,
+    /// The destination-problem graph.
+    DestinationProblem,
+    /// The robust (union) graph.
+    Robust,
+}
+
+impl CachedGraphKind {
+    /// All four kinds, in escalation order.
+    pub const ALL: [CachedGraphKind; 4] = [
+        CachedGraphKind::TwoDisjoint,
+        CachedGraphKind::SourceProblem,
+        CachedGraphKind::DestinationProblem,
+        CachedGraphKind::Robust,
+    ];
+}
+
+/// Counter snapshot for both cache tiers (see [`GraphCache::stats`]).
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct GraphCacheStats {
+    /// Baseline-bundle tier counters.
+    pub baseline: CacheStats,
+    /// Live-graph tier counters.
+    pub live: CacheStats,
+    /// Live entries currently cached.
+    pub live_entries: usize,
+    /// Baseline bundles currently cached.
+    pub baseline_entries: usize,
+    /// Links currently past the unusable-loss threshold.
+    pub unusable_edges: usize,
+}
+
+struct Inner {
+    baseline: PrecomputeCache<(Flow, Micros), TargetedGraphs>,
+    live: PrecomputeCache<(Flow, CachedGraphKind, Micros), DisseminationGraph>,
+    unusable: EdgeSet,
+}
+
+/// Shared, thread-safe cache of precomputed dissemination graphs for
+/// one topology (see the module docs for the two tiers).
+pub struct GraphCache {
+    graph: Arc<Graph>,
+    params: SchemeParams,
+    unusable_loss: f64,
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for GraphCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("GraphCache")
+            .field("nodes", &self.graph.node_count())
+            .field("edges", &self.graph.edge_count())
+            .field("stats", &stats)
+            .finish()
+    }
+}
+
+impl GraphCache {
+    /// Loss rate at which a link stops being considered for live
+    /// graphs: the same "a problem link is avoided, not weighted"
+    /// stance the paper's dynamic schemes take, at a threshold high
+    /// enough that ordinary congestion noise never flips it.
+    pub const DEFAULT_UNUSABLE_LOSS: f64 = 0.5;
+
+    /// Creates a cache for `graph` with the given scheme tunables.
+    pub fn new(graph: impl Into<Arc<Graph>>, params: SchemeParams) -> Self {
+        GraphCache {
+            graph: graph.into(),
+            params,
+            unusable_loss: Self::DEFAULT_UNUSABLE_LOSS,
+            inner: Mutex::new(Inner {
+                baseline: PrecomputeCache::new(),
+                live: PrecomputeCache::new(),
+                unusable: EdgeSet::new(),
+            }),
+        }
+    }
+
+    /// Overrides the unusable-loss threshold (see
+    /// [`GraphCache::DEFAULT_UNUSABLE_LOSS`]).
+    pub fn with_unusable_loss(mut self, threshold: f64) -> Self {
+        self.unusable_loss = threshold;
+        self
+    }
+
+    /// The topology this cache serves.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The scheme tunables bundles are computed with.
+    pub fn params(&self) -> &SchemeParams {
+        &self.params
+    }
+
+    /// The loss rate past which a link is excluded from live graphs.
+    pub fn unusable_loss(&self) -> f64 {
+        self.unusable_loss
+    }
+
+    /// The current topology epoch (see
+    /// [`dg_topology::cache::PrecomputeCache::epoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.inner.lock().expect("cache lock").live.epoch()
+    }
+
+    /// Advances the topology epoch, flushing both tiers (call when the
+    /// graph itself — membership or links — changes).
+    pub fn advance_epoch(&self) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.baseline.advance_epoch();
+        inner.live.advance_epoch();
+    }
+
+    /// The interned baseline bundle for `flow` under `requirement`,
+    /// computing it on first use. Identical to what
+    /// [`TargetedRedundancy::new`] would compute.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TargetedGraphs::compute`].
+    pub fn baseline(
+        &self,
+        flow: Flow,
+        requirement: ServiceRequirement,
+    ) -> Result<Arc<TargetedGraphs>, CoreError> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        let key = (flow, requirement.deadline);
+        if let Some(bundle) = inner.baseline.get(&key) {
+            return Ok(bundle);
+        }
+        let bundle = TargetedGraphs::compute(&self.graph, flow, requirement, &self.params)?;
+        Ok(inner.baseline.insert(key, bundle, EdgeSet::new()))
+    }
+
+    /// Records a reported loss rate for `edge`, invalidating exactly
+    /// the live entries that depend on it when (and only when) the
+    /// report flips the edge across the unusable threshold. Returns
+    /// whether a flip (and therefore any invalidation) happened.
+    pub fn note_loss(&self, edge: EdgeId, loss_rate: f64) -> bool {
+        let unusable = loss_rate >= self.unusable_loss;
+        let mut inner = self.inner.lock().expect("cache lock");
+        let flipped =
+            if unusable { inner.unusable.insert(edge) } else { inner.unusable.remove(edge) };
+        if flipped {
+            inner.live.invalidate_edge(edge);
+        }
+        flipped
+    }
+
+    /// Whether `edge` is currently below the unusable threshold.
+    pub fn is_usable(&self, edge: EdgeId) -> bool {
+        !self.inner.lock().expect("cache lock").unusable.contains(edge)
+    }
+
+    /// The cached live graph of `kind` for `flow`, computing it over
+    /// the currently-usable subgraph on a miss.
+    ///
+    /// # Errors
+    ///
+    /// Fails only when the *full* topology cannot provide the graph
+    /// (no disjoint pair, infeasible deadline): when merely the usable
+    /// subgraph is insufficient, the computation falls back to the
+    /// full graph, mirroring a scheme that has no good route left and
+    /// keeps its last one.
+    pub fn live(
+        &self,
+        flow: Flow,
+        kind: CachedGraphKind,
+        requirement: ServiceRequirement,
+    ) -> Result<Arc<DisseminationGraph>, CoreError> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        let key = (flow, kind, requirement.deadline);
+        if let Some(graph) = inner.live.get(&key) {
+            return Ok(graph);
+        }
+        let (graph, deps) = self.compute_live(flow, kind, requirement, &inner.unusable)?;
+        Ok(inner.live.insert(key, graph, deps))
+    }
+
+    /// From-scratch computation of the live graph of `kind` under the
+    /// current usability partition, bypassing the cache — the oracle
+    /// the correctness proptests compare [`GraphCache::live`] against.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GraphCache::live`].
+    pub fn compute_uncached(
+        &self,
+        flow: Flow,
+        kind: CachedGraphKind,
+        requirement: ServiceRequirement,
+    ) -> Result<DisseminationGraph, CoreError> {
+        let unusable = self.inner.lock().expect("cache lock").unusable.clone();
+        self.compute_live(flow, kind, requirement, &unusable).map(|(g, _)| g)
+    }
+
+    /// Counter snapshot across both tiers.
+    pub fn stats(&self) -> GraphCacheStats {
+        let inner = self.inner.lock().expect("cache lock");
+        GraphCacheStats {
+            baseline: inner.baseline.stats(),
+            live: inner.live.stats(),
+            live_entries: inner.live.len(),
+            baseline_entries: inner.baseline.len(),
+            unusable_edges: inner.unusable.len(),
+        }
+    }
+
+    /// Computes the live graph and its dependency set against an
+    /// explicit usability partition (see the module docs for why the
+    /// dependency set is `selected edges ∪ unusable edges`).
+    fn compute_live(
+        &self,
+        flow: Flow,
+        kind: CachedGraphKind,
+        requirement: ServiceRequirement,
+        unusable: &EdgeSet,
+    ) -> Result<(DisseminationGraph, EdgeSet), CoreError> {
+        let g = &*self.graph;
+        // Healing any currently-unusable edge must recompute: the edge
+        // was excluded, so its return can only improve the optimum.
+        let mut deps = unusable.clone();
+        let usable = |e: EdgeId| !unusable.contains(e);
+        let pair = k_disjoint_paths_weighted(
+            g,
+            flow.source,
+            flow.destination,
+            2,
+            self.params.disjointness,
+            |e| usable(e).then(|| tie_broken_weight(g, e) as i64),
+        );
+        let paths = match pair {
+            Ok(p) => p,
+            // Not enough usable disjoint routes: fall back to the full
+            // topology rather than failing the flow.
+            Err(_) => k_disjoint_paths_weighted(
+                g,
+                flow.source,
+                flow.destination,
+                2,
+                self.params.disjointness,
+                |e| Some(tie_broken_weight(g, e) as i64),
+            )?,
+        };
+        for p in &paths {
+            for &e in p.edges() {
+                deps.insert(e);
+            }
+        }
+        let normal = DisseminationGraph::from_paths(g, &paths)?;
+        let graph = match kind {
+            CachedGraphKind::TwoDisjoint => normal,
+            CachedGraphKind::SourceProblem => {
+                self.problem_graph(flow, &normal, requirement, unusable, Side::Source, &mut deps)?
+            }
+            CachedGraphKind::DestinationProblem => self.problem_graph(
+                flow,
+                &normal,
+                requirement,
+                unusable,
+                Side::Destination,
+                &mut deps,
+            )?,
+            CachedGraphKind::Robust => {
+                let s = self.problem_graph(
+                    flow,
+                    &normal,
+                    requirement,
+                    unusable,
+                    Side::Source,
+                    &mut deps,
+                )?;
+                let d = self.problem_graph(
+                    flow,
+                    &normal,
+                    requirement,
+                    unusable,
+                    Side::Destination,
+                    &mut deps,
+                )?;
+                s.union(g, &d)?
+            }
+        };
+        Ok((graph, deps))
+    }
+
+    /// Usability-filtered analogue of the targeted scheme's problem
+    /// graphs: the disjoint pair plus a deadline-feasible branch
+    /// through every usable endpoint neighbour, continuations chosen
+    /// canonically (tie-broken weights). Selected edges are added to
+    /// `deps`.
+    fn problem_graph(
+        &self,
+        flow: Flow,
+        normal: &DisseminationGraph,
+        requirement: ServiceRequirement,
+        unusable: &EdgeSet,
+        side: Side,
+        deps: &mut EdgeSet,
+    ) -> Result<DisseminationGraph, CoreError> {
+        let g = &*self.graph;
+        let feasible: HashSet<EdgeId> =
+            reach::time_constrained_edges(g, flow.source, flow.destination, requirement.deadline)?
+                .into_iter()
+                .collect();
+        if feasible.is_empty() {
+            return Err(CoreError::DeadlineInfeasible {
+                source: flow.source,
+                destination: flow.destination,
+            });
+        }
+        let ok = |e: EdgeId| feasible.contains(&e) && !unusable.contains(e);
+        let mut candidates: Vec<(Micros, Vec<EdgeId>)> = Vec::new();
+        match side {
+            Side::Source => {
+                let used: HashSet<NodeId> =
+                    normal.forwarding_edges(g, flow.source).map(|e| g.edge(e).dst).collect();
+                for &out in g.out_edges(flow.source) {
+                    let neighbor = g.edge(out).dst;
+                    if !ok(out) || used.contains(&neighbor) {
+                        continue;
+                    }
+                    if neighbor == flow.destination {
+                        candidates.push((g.edge(out).latency, vec![out]));
+                        continue;
+                    }
+                    let tail =
+                        dijkstra::shortest_path_weighted(g, neighbor, flow.destination, |e| {
+                            let info = g.edge(e);
+                            (ok(e) && info.src != flow.source && info.dst != flow.source)
+                                .then(|| tie_broken_weight(g, e))
+                        });
+                    if let Ok(tail) = tail {
+                        let branch_latency = g.edge(out).latency + tail.latency(g);
+                        if branch_latency <= requirement.deadline {
+                            let mut branch = vec![out];
+                            branch.extend_from_slice(tail.edges());
+                            candidates.push((branch_latency, branch));
+                        }
+                    }
+                }
+            }
+            Side::Destination => {
+                let used: HashSet<NodeId> = normal
+                    .edges()
+                    .iter()
+                    .filter(|&&e| g.edge(e).dst == flow.destination)
+                    .map(|&e| g.edge(e).src)
+                    .collect();
+                for &inc in g.in_edges(flow.destination) {
+                    let neighbor = g.edge(inc).src;
+                    if !ok(inc) || used.contains(&neighbor) {
+                        continue;
+                    }
+                    if neighbor == flow.source {
+                        candidates.push((g.edge(inc).latency, vec![inc]));
+                        continue;
+                    }
+                    let head = dijkstra::shortest_path_weighted(g, flow.source, neighbor, |e| {
+                        let info = g.edge(e);
+                        (ok(e) && info.src != flow.destination && info.dst != flow.destination)
+                            .then(|| tie_broken_weight(g, e))
+                    });
+                    if let Ok(head) = head {
+                        let branch_latency = g.edge(inc).latency + head.latency(g);
+                        if branch_latency <= requirement.deadline {
+                            let mut branch = head.edges().to_vec();
+                            branch.push(inc);
+                            candidates.push((branch_latency, branch));
+                        }
+                    }
+                }
+            }
+        }
+        candidates.sort_by(|a, b| (a.0, a.1.as_slice()).cmp(&(b.0, b.1.as_slice())));
+        let limit = self.params.problem_branch_limit.map_or(usize::MAX, usize::from);
+        let mut edges: Vec<EdgeId> = normal.edges().to_vec();
+        for (_, branch) in candidates.into_iter().take(limit) {
+            for &e in &branch {
+                deps.insert(e);
+            }
+            edges.extend(branch);
+        }
+        DisseminationGraph::new(g, flow.source, flow.destination, edges)
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Side {
+    Source,
+    Destination,
+}
+
+/// Latency with an edge-unique tie-break:
+/// `min(latency, ~2.1 s) × 2⁴² + hash₃₂(edge)`. Latency dominates (a
+/// 1 µs difference outweighs any hash sum over paths up to 1024 hops),
+/// and latency ties resolve by hash sums that virtually never collide
+/// — so every internal search has a unique optimum and cached results
+/// are reproducible functions of the usable-edge partition.
+fn tie_broken_weight(graph: &Graph, e: EdgeId) -> u64 {
+    let lat = graph.edge(e).latency.as_micros().min((1 << 21) - 1);
+    (lat << 42) + (splitmix64(e.index() as u64 + 1) >> 32)
+}
+
+/// SplitMix64 finalizer — a cheap, well-mixed 64-bit hash.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Like [`build_scheme`], but serving the shareable precomputations
+/// (targeted-redundancy bundles, disjoint pairs) from `cache` instead
+/// of recomputing them per scheme instance. Scheme behaviour is
+/// identical; only the construction cost changes.
+///
+/// # Errors
+///
+/// Same conditions as [`build_scheme`].
+pub fn build_scheme_cached(
+    kind: SchemeKind,
+    cache: &GraphCache,
+    flow: Flow,
+    requirement: ServiceRequirement,
+) -> Result<Box<dyn RoutingScheme>, CoreError> {
+    match kind {
+        SchemeKind::TargetedRedundancy => {
+            let graphs = cache.baseline(flow, requirement)?;
+            Ok(Box::new(TargetedRedundancy::from_graphs(graphs, flow, cache.params())))
+        }
+        SchemeKind::StaticTwoDisjoint => match cache.baseline(flow, requirement) {
+            Ok(graphs) => Ok(Box::new(StaticTwoDisjoint::from_graph(flow, graphs.normal.clone()))),
+            // The bundle needs a feasible deadline; the plain pair
+            // does not. Fall back rather than fail the flow.
+            Err(_) => build_scheme(kind, cache.graph(), flow, requirement, cache.params()),
+        },
+        other => build_scheme(other, cache.graph(), flow, requirement, cache.params()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_topology::presets;
+
+    fn setup() -> (Graph, Flow) {
+        let g = presets::north_america_12();
+        let flow = Flow::new(g.node_by_name("NYC").unwrap(), g.node_by_name("SJC").unwrap());
+        (g, flow)
+    }
+
+    #[test]
+    fn baseline_interns_and_matches_direct_construction() {
+        let (g, flow) = setup();
+        let req = ServiceRequirement::default();
+        let params = SchemeParams::default();
+        let cache = GraphCache::new(g.clone(), params);
+        let a = cache.baseline(flow, req).unwrap();
+        let b = cache.baseline(flow, req).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must return the interned bundle");
+        assert_eq!(cache.stats().baseline.hits, 1);
+        assert_eq!(cache.stats().baseline.misses, 1);
+
+        let direct = TargetedRedundancy::new(&g, flow, req, &params).unwrap();
+        for mode in [
+            TargetedMode::Normal,
+            TargetedMode::SourceProblem,
+            TargetedMode::DestinationProblem,
+            TargetedMode::Robust,
+        ] {
+            assert_eq!(a.for_mode(mode), direct.graph_for_mode(mode), "{mode:?} differs");
+        }
+    }
+
+    use crate::scheme::TargetedMode;
+
+    #[test]
+    fn cached_schemes_behave_like_direct_ones() {
+        let (g, flow) = setup();
+        let req = ServiceRequirement::default();
+        let params = SchemeParams::default();
+        let cache = GraphCache::new(g.clone(), params);
+        for kind in SchemeKind::ALL {
+            let cached = build_scheme_cached(kind, &cache, flow, req).unwrap();
+            let direct = build_scheme(kind, &g, flow, req, &params).unwrap();
+            assert_eq!(cached.kind(), direct.kind());
+            assert_eq!(cached.current(), direct.current(), "{kind} differs when cached");
+        }
+    }
+
+    #[test]
+    fn live_graphs_avoid_unusable_links_and_rehit() {
+        let (g, flow) = setup();
+        let req = ServiceRequirement::default();
+        let cache = GraphCache::new(g.clone(), SchemeParams::default());
+        let normal = cache.live(flow, CachedGraphKind::TwoDisjoint, req).unwrap();
+        let again = cache.live(flow, CachedGraphKind::TwoDisjoint, req).unwrap();
+        assert!(Arc::ptr_eq(&normal, &again));
+        assert_eq!(cache.stats().live.hits, 1);
+
+        // Kill one edge of the pair: the entry must be invalidated and
+        // the recomputed graph must avoid the dead link.
+        let dead = normal.edges()[0];
+        assert!(cache.note_loss(dead, 0.9));
+        assert_eq!(cache.stats().live.invalidated, 1);
+        let rerouted = cache.live(flow, CachedGraphKind::TwoDisjoint, req).unwrap();
+        assert!(!rerouted.contains(dead), "live graph still uses the unusable link");
+        assert_eq!(
+            *rerouted,
+            cache.compute_uncached(flow, CachedGraphKind::TwoDisjoint, req).unwrap()
+        );
+
+        // Healing it flips back and invalidates again (the edge is in
+        // the entry's unusable-dependency set).
+        assert!(cache.note_loss(dead, 0.0));
+        let healed = cache.live(flow, CachedGraphKind::TwoDisjoint, req).unwrap();
+        assert_eq!(*healed, *normal);
+    }
+
+    #[test]
+    fn unrelated_flap_does_not_invalidate() {
+        let (g, flow) = setup();
+        let req = ServiceRequirement::default();
+        let cache = GraphCache::new(g.clone(), SchemeParams::default());
+        let robust = cache.live(flow, CachedGraphKind::Robust, req).unwrap();
+        // A link far from the flow (MIA's first out-edge) that the
+        // robust graph does not select.
+        let mia = g.node_by_name("MIA").unwrap();
+        let far = g.out_edges(mia).iter().copied().find(|e| !robust.contains(*e)).unwrap();
+        assert!(cache.note_loss(far, 0.9), "crossing the threshold is a flip");
+        assert_eq!(cache.stats().live.invalidated, 0, "unrelated flap must not evict");
+        let again = cache.live(flow, CachedGraphKind::Robust, req).unwrap();
+        assert!(Arc::ptr_eq(&robust, &again));
+        // And the cached value still equals the oracle under the new
+        // partition.
+        assert_eq!(*again, cache.compute_uncached(flow, CachedGraphKind::Robust, req).unwrap());
+    }
+
+    #[test]
+    fn sub_threshold_loss_never_flips() {
+        let (g, flow) = setup();
+        let req = ServiceRequirement::default();
+        let cache = GraphCache::new(g.clone(), SchemeParams::default());
+        let normal = cache.live(flow, CachedGraphKind::TwoDisjoint, req).unwrap();
+        for e in g.edges() {
+            assert!(!cache.note_loss(e, 0.3), "0.3 loss is below the default threshold");
+        }
+        let again = cache.live(flow, CachedGraphKind::TwoDisjoint, req).unwrap();
+        assert!(Arc::ptr_eq(&normal, &again));
+    }
+
+    #[test]
+    fn epoch_advance_flushes_both_tiers() {
+        let (g, flow) = setup();
+        let req = ServiceRequirement::default();
+        let cache = GraphCache::new(g, SchemeParams::default());
+        cache.baseline(flow, req).unwrap();
+        cache.live(flow, CachedGraphKind::TwoDisjoint, req).unwrap();
+        assert_eq!(cache.stats().baseline_entries, 1);
+        assert_eq!(cache.stats().live_entries, 1);
+        cache.advance_epoch();
+        assert_eq!(cache.epoch(), 1);
+        assert_eq!(cache.stats().baseline_entries, 0);
+        assert_eq!(cache.stats().live_entries, 0);
+    }
+
+    #[test]
+    fn live_two_disjoint_matches_scheme_latency_optimum() {
+        // The tie-broken pair must still be latency-optimal: same
+        // total latency as the untied disjoint_pair computation.
+        let (g, flow) = setup();
+        let req = ServiceRequirement::default();
+        let cache = GraphCache::new(g.clone(), SchemeParams::default());
+        let live = cache.live(flow, CachedGraphKind::TwoDisjoint, req).unwrap();
+        let direct =
+            StaticTwoDisjoint::new(&g, flow, SchemeParams::default().disjointness).unwrap();
+        let lat = |dg: &DisseminationGraph| -> u64 {
+            dg.edges().iter().map(|&e| g.edge(e).latency.as_micros()).sum()
+        };
+        assert_eq!(lat(&live), lat(direct.current()));
+    }
+}

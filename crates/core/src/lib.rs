@@ -44,12 +44,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 mod detector;
 mod dgraph;
 mod error;
 mod flow;
 pub mod scheme;
 
+pub use cache::{build_scheme_cached, CachedGraphKind, GraphCache, GraphCacheStats};
 pub use detector::{ProblemDetector, ProblemStatus};
 pub use dgraph::DisseminationGraph;
 pub use error::CoreError;

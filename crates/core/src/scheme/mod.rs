@@ -27,7 +27,7 @@ pub use flooding::TimeConstrainedFlooding;
 pub use k_disjoint::StaticKDisjoint;
 pub use static_disjoint::StaticTwoDisjoint;
 pub use static_single::StaticSinglePath;
-pub use targeted::{TargetedMode, TargetedRedundancy};
+pub use targeted::{TargetedGraphs, TargetedMode, TargetedRedundancy};
 
 /// A per-flow routing scheme.
 ///

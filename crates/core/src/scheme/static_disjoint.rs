@@ -30,6 +30,13 @@ impl StaticTwoDisjoint {
         let (p1, p2) = disjoint_pair(topology, flow.source, flow.destination, disjointness)?;
         Ok(StaticTwoDisjoint { flow, graph: DisseminationGraph::from_paths(topology, &[p1, p2])? })
     }
+
+    /// Wraps an already-computed disjoint-pair graph (typically the
+    /// cached `normal` graph of a shared bundle; see
+    /// [`crate::cache::GraphCache`]).
+    pub fn from_graph(flow: Flow, graph: DisseminationGraph) -> Self {
+        StaticTwoDisjoint { flow, graph }
+    }
 }
 
 impl RoutingScheme for StaticTwoDisjoint {

@@ -27,6 +27,7 @@ use dg_topology::algo::{dijkstra, disjoint::disjoint_pair, reach};
 use dg_topology::{EdgeId, Graph, Micros, NodeId};
 use dg_trace::NetworkState;
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Which of the four precomputed graphs is active.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -60,28 +61,34 @@ impl TargetedMode {
     }
 }
 
-/// The targeted-redundancy routing scheme (see module docs).
-#[derive(Debug, Clone)]
-pub struct TargetedRedundancy {
-    flow: Flow,
-    detector: ProblemDetector,
-    clear_after_updates: u32,
-    normal: DisseminationGraph,
-    source_graph: DisseminationGraph,
-    destination_graph: DisseminationGraph,
-    robust: DisseminationGraph,
-    mode: TargetedMode,
-    clear_streak: u32,
+/// The four precomputed dissemination graphs of one targeted-
+/// redundancy flow, as a shareable bundle.
+///
+/// [`TargetedRedundancy`] holds one of these behind an [`Arc`]; the
+/// `GraphCache` interning layer (`dg-core::cache`) computes a bundle
+/// once per `(flow, deadline)` and hands the same allocation to every
+/// scheme instance that needs it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TargetedGraphs {
+    /// Two disjoint paths (the common case).
+    pub normal: DisseminationGraph,
+    /// The source-problem graph: the pair plus an escape branch
+    /// through every usable source neighbour.
+    pub source_problem: DisseminationGraph,
+    /// The destination-problem graph, symmetric on the receiving side.
+    pub destination_problem: DisseminationGraph,
+    /// The union of the two problem graphs.
+    pub robust: DisseminationGraph,
 }
 
-impl TargetedRedundancy {
+impl TargetedGraphs {
     /// Precomputes the four graphs for `flow` under `requirement`.
     ///
     /// # Errors
     ///
     /// Returns an error when the topology lacks two disjoint routes or
     /// the deadline is infeasible.
-    pub fn new(
+    pub fn compute(
         topology: &Graph,
         flow: Flow,
         requirement: ServiceRequirement,
@@ -108,7 +115,7 @@ impl TargetedRedundancy {
         }
 
         let limit = params.problem_branch_limit.map(usize::from);
-        let source_graph = build_source_problem_graph(
+        let source_problem = build_source_problem_graph(
             topology,
             flow,
             &normal,
@@ -116,7 +123,7 @@ impl TargetedRedundancy {
             requirement.deadline,
             limit,
         )?;
-        let destination_graph = build_destination_problem_graph(
+        let destination_problem = build_destination_problem_graph(
             topology,
             flow,
             &normal,
@@ -124,19 +131,61 @@ impl TargetedRedundancy {
             requirement.deadline,
             limit,
         )?;
-        let robust = source_graph.union(topology, &destination_graph)?;
+        let robust = source_problem.union(topology, &destination_problem)?;
 
-        Ok(TargetedRedundancy {
+        Ok(TargetedGraphs { normal, source_problem, destination_problem, robust })
+    }
+
+    /// The graph for `mode`.
+    pub fn for_mode(&self, mode: TargetedMode) -> &DisseminationGraph {
+        match mode {
+            TargetedMode::Normal => &self.normal,
+            TargetedMode::SourceProblem => &self.source_problem,
+            TargetedMode::DestinationProblem => &self.destination_problem,
+            TargetedMode::Robust => &self.robust,
+        }
+    }
+}
+
+/// The targeted-redundancy routing scheme (see module docs).
+#[derive(Debug, Clone)]
+pub struct TargetedRedundancy {
+    flow: Flow,
+    detector: ProblemDetector,
+    clear_after_updates: u32,
+    graphs: Arc<TargetedGraphs>,
+    mode: TargetedMode,
+    clear_streak: u32,
+}
+
+impl TargetedRedundancy {
+    /// Precomputes the four graphs for `flow` under `requirement`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the topology lacks two disjoint routes or
+    /// the deadline is infeasible.
+    pub fn new(
+        topology: &Graph,
+        flow: Flow,
+        requirement: ServiceRequirement,
+        params: &SchemeParams,
+    ) -> Result<Self, CoreError> {
+        let graphs = TargetedGraphs::compute(topology, flow, requirement, params)?;
+        Ok(Self::from_graphs(Arc::new(graphs), flow, params))
+    }
+
+    /// Builds the scheme around an already-computed (typically cached
+    /// and shared) graph bundle.
+    pub fn from_graphs(graphs: Arc<TargetedGraphs>, flow: Flow, params: &SchemeParams) -> Self {
+        TargetedRedundancy {
             flow,
             detector: ProblemDetector::new(params.problem_loss_threshold),
             clear_after_updates: params.clear_after_updates,
-            normal,
-            source_graph,
-            destination_graph,
-            robust,
+            graphs,
             mode: TargetedMode::Normal,
             clear_streak: 0,
-        })
+        }
     }
 
     /// The currently active mode.
@@ -146,12 +195,7 @@ impl TargetedRedundancy {
 
     /// The precomputed graph for `mode`.
     pub fn graph_for_mode(&self, mode: TargetedMode) -> &DisseminationGraph {
-        match mode {
-            TargetedMode::Normal => &self.normal,
-            TargetedMode::SourceProblem => &self.source_graph,
-            TargetedMode::DestinationProblem => &self.destination_graph,
-            TargetedMode::Robust => &self.robust,
-        }
+        self.graphs.for_mode(mode)
     }
 }
 
@@ -284,7 +328,7 @@ impl RoutingScheme for TargetedRedundancy {
         // those are the links the flow depends on in steady state, and
         // judging against the inflated problem graphs would keep the
         // scheme escalated whenever any extra branch sees loss.
-        let status = self.detector.classify(topology, self.flow, &self.normal, state);
+        let status = self.detector.classify(topology, self.flow, &self.graphs.normal, state);
         let target = TargetedMode::for_status(status);
         let previous = self.mode;
 

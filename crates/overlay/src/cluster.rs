@@ -13,8 +13,8 @@ use crate::node::{OverlayHandle, OverlayNode};
 use crate::session::{FlowReceiver, FlowSender};
 use crate::wire::DigestEntry;
 use crate::OverlayError;
-use dg_core::scheme::{build_scheme, SchemeKind, SchemeParams};
-use dg_core::{Flow, ServiceRequirement};
+use dg_core::scheme::{SchemeKind, SchemeParams};
+use dg_core::{build_scheme_cached, Flow, GraphCache, GraphCacheStats, ServiceRequirement};
 use dg_topology::{EdgeId, Graph, Micros, NodeId};
 use std::collections::HashMap;
 use std::net::UdpSocket;
@@ -73,6 +73,9 @@ pub struct Cluster {
     graph: Arc<Graph>,
     handles: Vec<Option<OverlayHandle>>,
     config: ClusterConfig,
+    /// Shared precomputed dissemination graphs for sender setup, so
+    /// many flows over the same topology intern one computation.
+    scheme_cache: GraphCache,
     /// Baseline emulated delay per edge, so injected faults compose.
     base_delay: Vec<Micros>,
     /// Every node's bound address, kept so a killed node can restart on
@@ -111,7 +114,8 @@ impl Cluster {
             apply_base_delays(&handle, &graph, &base_delay, node);
             handles.push(Some(handle));
         }
-        Ok(Cluster { graph, handles, config, base_delay, addrs })
+        let scheme_cache = GraphCache::new(Arc::clone(&graph), config.scheme_params);
+        Ok(Cluster { graph, handles, config, scheme_cache, base_delay, addrs })
     }
 
     /// The topology this cluster runs.
@@ -194,9 +198,13 @@ impl Cluster {
         kind: SchemeKind,
         requirement: ServiceRequirement,
     ) -> Result<FlowSender, OverlayError> {
-        let scheme =
-            build_scheme(kind, &self.graph, flow, requirement, &self.config.scheme_params)?;
+        let scheme = build_scheme_cached(kind, &self.scheme_cache, flow, requirement)?;
         self.node(flow.source).open_sender(scheme, requirement)
+    }
+
+    /// Counters of the cluster's shared scheme-construction cache.
+    pub fn scheme_cache_stats(&self) -> GraphCacheStats {
+        self.scheme_cache.stats()
     }
 
     /// Opens a receiver at the flow's destination.

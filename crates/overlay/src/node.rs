@@ -16,8 +16,8 @@ use crate::wire::{
 use crate::OverlayError;
 use bytes::Bytes;
 use crossbeam::channel::{self, Receiver, Sender, TryRecvError, TrySendError};
-use dg_core::scheme::RoutingScheme;
-use dg_core::{Flow, ServiceRequirement};
+use dg_core::scheme::{RoutingScheme, SchemeParams};
+use dg_core::{CachedGraphKind, Flow, GraphCache, GraphCacheStats, ServiceRequirement};
 use dg_topology::{Graph, Micros, NodeId};
 use dg_trace::NetworkState;
 use parking_lot::Mutex;
@@ -223,6 +223,10 @@ pub(crate) struct Shared {
     pub(crate) faults: FaultPlan,
     monitor: Mutex<LinkMonitor>,
     linkstate: Mutex<LinkStateDb>,
+    /// Precomputed dissemination graphs for this node's flows, fed by
+    /// link-state reports: entries are invalidated only when a report
+    /// flips a link they depend on across the usability threshold.
+    graph_cache: GraphCache,
     /// Link-state updates awaiting per-neighbour acknowledgement,
     /// keyed by neighbour then origin (only the newest stamp per
     /// origin is worth retransmitting).
@@ -505,6 +509,7 @@ impl Shared {
                 self.metrics.counters.lsa_acks_sent.fetch_add(1, Ordering::Relaxed);
                 self.transmit(from, ack.encode());
                 if self.linkstate.lock().apply(&update, now_us()) {
+                    self.note_link_state(&update);
                     self.flood_link_state(&update, Some(from));
                 }
             }
@@ -904,7 +909,18 @@ impl Shared {
             entries,
         };
         self.linkstate.lock().apply(&update, now);
+        self.note_link_state(&update);
         self.flood_link_state(&update, None);
+    }
+
+    /// Feeds an accepted link-state report into the graph cache, so
+    /// precomputed routes depending on a link that crossed the
+    /// usability threshold are evicted before the next scheme refresh.
+    fn note_link_state(&self, update: &LinkStateUpdate) {
+        for entry in &update.entries {
+            let loss = if entry.down { 1.0 } else { f64::from(entry.loss) };
+            self.graph_cache.note_loss(entry.edge, loss);
+        }
     }
 
     fn update_schemes(&self) {
@@ -923,6 +939,15 @@ impl Shared {
                     edges: slot.scheme.current().len() as u64,
                 });
             }
+            // Keep a usable disjoint-pair fallback warm for the flow.
+            // Hits are free; a recompute only happens after a report
+            // flipped one of the routes' links across the usability
+            // threshold (the pair itself is deadline-independent).
+            let _ = self.graph_cache.live(
+                slot.scheme.flow(),
+                CachedGraphKind::TwoDisjoint,
+                ServiceRequirement::default(),
+            );
         }
     }
 
@@ -990,6 +1015,10 @@ impl OverlayNode {
         let flap_hold_down = Micros::from_micros(config.flap_hold_down.as_micros() as u64);
         let flap_half_life = Micros::from_micros(config.flap_penalty_half_life.as_micros() as u64);
         let flap_threshold = config.flap_suppress_threshold;
+        let scheme_params = SchemeParams {
+            problem_loss_threshold: config.detector_loss_threshold,
+            ..SchemeParams::default()
+        };
         let shared = Arc::new(Shared {
             config,
             graph: Arc::clone(&graph),
@@ -1002,6 +1031,7 @@ impl OverlayNode {
                 link_down_intervals,
             )),
             linkstate: Mutex::new(LinkStateDb::new(&graph, max_age)),
+            graph_cache: GraphCache::new(Arc::clone(&graph), scheme_params),
             pending_lsa: Mutex::new(HashMap::new()),
             damper: Mutex::new(FlapDamper::new(flap_hold_down, flap_half_life, flap_threshold)),
             advertised: Mutex::new(HashMap::new()),
@@ -1103,6 +1133,12 @@ impl OverlayHandle {
     /// This node's current view of network-wide link conditions.
     pub fn network_state(&self) -> NetworkState {
         self.shared.linkstate.lock().network_state(now_us())
+    }
+
+    /// Counters of this node's precomputed-graph cache (hits, misses,
+    /// link-state invalidations).
+    pub fn graph_cache_stats(&self) -> GraphCacheStats {
+        self.shared.graph_cache.stats()
     }
 
     /// How many origins have reported link state so far.

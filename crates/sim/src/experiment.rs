@@ -2,8 +2,8 @@
 
 use crate::metrics::{gap_coverage, FlowRunStats};
 use crate::playback::{run_flow, PlaybackConfig};
-use dg_core::scheme::{build_scheme, SchemeKind, SchemeParams};
-use dg_core::{CoreError, Flow, ServiceRequirement};
+use dg_core::scheme::{SchemeKind, SchemeParams};
+use dg_core::{build_scheme_cached, CoreError, Flow, GraphCache, ServiceRequirement};
 use dg_topology::{Graph, NodeId};
 use dg_trace::TraceSet;
 use serde::{Deserialize, Serialize};
@@ -171,13 +171,16 @@ pub fn run_comparison(
     kinds: &[SchemeKind],
     config: &ExperimentConfig,
 ) -> Result<Vec<SchemeAggregate>, CoreError> {
+    // One cache per run: the expensive graph constructions (disjoint
+    // pairs, targeted bundles) are shared across the schemes that need
+    // them instead of being recomputed per (kind, flow).
+    let cache = GraphCache::new(topology.clone(), config.scheme_params);
     let mut out = Vec::with_capacity(kinds.len());
     for &kind in kinds {
         let mut per_flow = Vec::with_capacity(flows.len());
         for &(s, t) in flows {
             let flow = Flow::new(s, t);
-            let mut scheme =
-                build_scheme(kind, topology, flow, config.requirement, &config.scheme_params)?;
+            let mut scheme = build_scheme_cached(kind, &cache, flow, config.requirement)?;
             per_flow.push(run_flow(topology, traces, scheme.as_mut(), &config.playback));
         }
         let mut totals = per_flow[0];
@@ -212,17 +215,13 @@ pub fn run_comparison_parallel(
     use dg_core::scheme::RoutingScheme;
     assert!(threads > 0, "at least one worker thread required");
     // Pre-build every scheme serially so construction errors surface
-    // deterministically, then farm the replay work out to workers.
+    // deterministically (sharing precomputed graphs through one cache),
+    // then farm the replay work out to workers.
+    let cache = GraphCache::new(topology.clone(), config.scheme_params);
     let mut jobs: Vec<Option<(usize, Box<dyn RoutingScheme>)>> = Vec::new();
     for &kind in kinds {
         for &(s, t) in flows {
-            let scheme = build_scheme(
-                kind,
-                topology,
-                Flow::new(s, t),
-                config.requirement,
-                &config.scheme_params,
-            )?;
+            let scheme = build_scheme_cached(kind, &cache, Flow::new(s, t), config.requirement)?;
             jobs.push(Some((jobs.len(), scheme)));
         }
     }

@@ -27,7 +27,9 @@
 #![warn(missing_docs)]
 
 pub mod algo;
+pub mod cache;
 mod error;
+pub mod generate;
 mod geo;
 mod graph;
 mod ids;

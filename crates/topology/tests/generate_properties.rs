@@ -1,0 +1,136 @@
+//! Property battery for the topology generator (`dg_topology::generate`).
+//!
+//! Every generated overlay — both families, any seed, 50..=120 nodes —
+//! must satisfy the structural contract the rest of the reproduction
+//! builds on: connected, bidirectionally symmetric, latencies inside
+//! the fibre-factor envelope implied by the stored site positions, and
+//! bit-identical regeneration from an equal config (including a config
+//! that took a serde round trip).
+
+use dg_topology::generate::{CostModel, GeneratorConfig};
+use dg_topology::{EdgeId, Graph, Micros, NodeId};
+use proptest::prelude::*;
+use std::collections::{HashMap, VecDeque};
+
+/// Both families over the size band the scale experiments sweep.
+fn config_strategy() -> impl Strategy<Value = GeneratorConfig> {
+    (0usize..2, 50usize..=120, 0u64..1_000_000).prop_map(|(family, nodes, seed)| {
+        if family == 0 {
+            GeneratorConfig::waxman(nodes, seed)
+        } else {
+            GeneratorConfig::ring_of_cliques(nodes, seed)
+        }
+    })
+}
+
+/// Nodes reachable from node 0 along directed edges.
+fn reachable_count(g: &Graph) -> usize {
+    let mut seen = vec![false; g.node_count()];
+    let mut queue = VecDeque::from([NodeId::new(0)]);
+    seen[0] = true;
+    let mut count = 1;
+    while let Some(u) = queue.pop_front() {
+        for &e in g.out_edges(u) {
+            let v = g.edge(e).dst;
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                count += 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    count
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every generated overlay is connected: all sites reachable from
+    /// site 0 (with symmetry, that is full strong connectivity).
+    #[test]
+    fn generated_topologies_are_connected(config in config_strategy()) {
+        let g = config.generate();
+        prop_assert!(g.node_count() >= 3);
+        prop_assert_eq!(reachable_count(&g), g.node_count());
+    }
+
+    /// Links come in direction pairs with identical latency and cost:
+    /// for every edge u->v there is exactly one v->u with equal
+    /// metadata, and no (u, v) appears twice.
+    #[test]
+    fn generated_links_are_bidirectionally_symmetric(config in config_strategy()) {
+        let g = config.generate();
+        let mut by_pair: HashMap<(NodeId, NodeId), EdgeId> = HashMap::new();
+        for e in g.edges() {
+            let info = g.edge(e);
+            prop_assert_ne!(info.src, info.dst, "self-loop generated");
+            prop_assert!(
+                by_pair.insert((info.src, info.dst), e).is_none(),
+                "duplicate link {:?}->{:?}", info.src, info.dst
+            );
+        }
+        for e in g.edges() {
+            let info = g.edge(e);
+            let rev = by_pair.get(&(info.dst, info.src)).copied();
+            prop_assert!(rev.is_some(), "missing reverse of {:?}->{:?}", info.src, info.dst);
+            let rev = g.edge(rev.unwrap());
+            prop_assert_eq!(info.latency, rev.latency);
+            prop_assert_eq!(info.cost, rev.cost);
+        }
+    }
+
+    /// Every link's latency sits inside the fibre-factor envelope for
+    /// the great-circle distance between its endpoints' stored
+    /// positions, and its cost matches the cost model. The graph is
+    /// self-describing: metadata is recomputable from positions alone.
+    #[test]
+    fn generated_latencies_respect_the_fiber_envelope(config in config_strategy()) {
+        let g = config.generate();
+        for e in g.edges() {
+            let info = g.edge(e);
+            let a = g.node(info.src).position.expect("generated sites carry positions");
+            let b = g.node(info.dst).position.expect("generated sites carry positions");
+            let km = a.distance_km(&b);
+            let (lo, hi) = config.latency.bounds_for_km(km);
+            prop_assert!(
+                (lo..=hi).contains(&info.latency),
+                "latency {} outside [{lo}, {hi}] for a {km:.1} km link",
+                info.latency
+            );
+            let expected_cost = match config.cost {
+                CostModel::Uniform(c) => c,
+                CostModel::DistanceBanded { base, per_1000_km } =>
+                    base + per_1000_km * (km / 1000.0).ceil().max(0.0) as u32,
+            };
+            prop_assert_eq!(info.cost, expected_cost);
+            prop_assert!(info.latency >= Micros::from_micros(config.latency.hop_overhead_us));
+        }
+    }
+
+    /// Equal configs regenerate bit-identical graphs, including a
+    /// config that took a serde round trip (the cache-fixture
+    /// guarantee: persist the config, not the graph).
+    #[test]
+    fn generation_is_seed_deterministic_and_serde_stable(config in config_strategy()) {
+        let first = config.generate();
+        prop_assert_eq!(&first, &config.generate());
+
+        let json = serde_json::to_string(&config).unwrap();
+        let back: GeneratorConfig = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, config);
+        prop_assert_eq!(&back.generate(), &first);
+
+        let graph_json = serde_json::to_string(&first).unwrap();
+        let graph_back: Graph = serde_json::from_str(&graph_json).unwrap();
+        prop_assert_eq!(&graph_back, &first);
+    }
+
+    /// Different seeds differ (the generator actually randomises): two
+    /// Waxman draws of the same size from distinct seeds are unequal.
+    #[test]
+    fn distinct_seeds_produce_distinct_graphs(nodes in 50usize..=120, seed in 0u64..1_000_000) {
+        let a = GeneratorConfig::waxman(nodes, seed).generate();
+        let b = GeneratorConfig::waxman(nodes, seed + 1).generate();
+        prop_assert_ne!(a, b);
+    }
+}

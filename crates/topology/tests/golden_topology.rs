@@ -1,0 +1,40 @@
+//! Golden-seed fixture: the 100-node Waxman overlay at seed 2017 —
+//! the topology the scale experiments and CI runs anchor on — pinned
+//! as a JSON fixture. Any change to the generator's sampling order,
+//! latency model, or repair passes that alters this graph is a
+//! breaking change to every recorded benchmark and must show up here,
+//! not silently shift results.
+//!
+//! Regenerate after an *intentional* generator change with:
+//! `cargo test -p dg-topology --test golden_topology -- --ignored`
+
+use dg_topology::generate::GeneratorConfig;
+use dg_topology::Graph;
+use std::path::PathBuf;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/waxman_100_seed_2017.json")
+}
+
+fn golden_graph() -> Graph {
+    GeneratorConfig::waxman(100, 2017).generate()
+}
+
+#[test]
+fn waxman_100_seed_2017_matches_the_golden_fixture() {
+    let json = std::fs::read_to_string(fixture_path())
+        .expect("fixture exists; regenerate with -- --ignored");
+    let fixture: Graph = serde_json::from_str(&json).expect("fixture parses");
+    let generated = golden_graph();
+    assert_eq!(fixture.node_count(), generated.node_count());
+    assert_eq!(fixture.edge_count(), generated.edge_count());
+    assert_eq!(fixture, generated, "generator output drifted from the golden fixture");
+}
+
+/// Not a test: rewrites the fixture from the current generator.
+#[test]
+#[ignore = "writes the fixture; run explicitly after intentional generator changes"]
+fn regenerate_golden_fixture() {
+    let json = serde_json::to_string_pretty(&golden_graph()).expect("graph serializes");
+    std::fs::write(fixture_path(), json + "\n").expect("fixture dir is writable");
+}
