@@ -5,7 +5,7 @@
 use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, Criterion};
 use dg_core::scheme::{build_scheme, SchemeKind, SchemeParams};
-use dg_core::{Flow, ServiceRequirement};
+use dg_core::{Flow, ServiceRequirement, SlaClass};
 use dg_overlay::wire::{DataPacket, Envelope, Message};
 use dg_topology::{presets, Micros};
 use std::hint::black_box;
@@ -29,6 +29,7 @@ fn bench_wire(c: &mut Criterion) {
         deadline: Micros::from_millis(65),
         link_seq: 789,
         retransmission: false,
+        class: SlaClass::Surgical,
         mask,
         payload: Bytes::from(vec![0xAB; 512]),
     };

@@ -1,7 +1,7 @@
 //! `dg-bench` — the repo's performance harness.
 //!
-//! Two hot paths, one stable JSON schema per result so CI can diff
-//! runs:
+//! Two hot paths plus one resilience scenario, one stable JSON schema
+//! per result so CI can diff runs:
 //!
 //! * **forwarding** — a two-node loopback overlay cluster forwarding
 //!   batched application traffic; reports sustained delivered packets
@@ -9,16 +9,24 @@
 //! * **sim** — trace playback of the two most expensive routing schemes
 //!   over the evaluation topology; reports simulated packets per
 //!   wall-clock second.
+//! * **overload** (`--overload` or `--only overload`) — a cluster
+//!   driven past its outbound queue bound with synthetic bulk
+//!   pressure; reports the surgical class's on-time fraction, the
+//!   per-class shed counters, and how long full redundancy took to
+//!   restore after the load lifted.
 //!
 //! Each bench writes `BENCH_<name>.json` under `results/` (or `--out`).
 //! `--quick` shrinks the runs for CI smoke tests; `--check DIR`
 //! compares the fresh numbers against committed baseline JSONs and
 //! exits non-zero when throughput regresses by more than `--tolerance`
-//! (default 0.2 = 20%).
+//! (default 0.2 = 20%). The overload scenario's surgical on-time
+//! fraction is gated at a fixed 2% tolerance — an SLA floor, not a
+//! throughput band.
 //!
 //! Usage: `cargo run --release -p dg-bench --bin dg-bench --
-//! [--quick] [--only forwarding|sim] [--topo us|global|ring|waxman]
-//! [--nodes N] [--check docs/bench_baseline]`
+//! [--quick] [--only forwarding|sim|overload] [--overload]
+//! [--topo us|global|ring|waxman] [--nodes N]
+//! [--check docs/bench_baseline]`
 //!
 //! `--topo`/`--nodes` swap the sim bench's topology for a generated
 //! overlay (see `dg_topology::generate`); the forwarding bench is
@@ -76,6 +84,124 @@ struct SimResult {
     packets: u64,
     wall_secs: f64,
     packets_per_sec: f64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct OverloadResult {
+    bench: String,
+    schema_version: u32,
+    mode: String,
+    seconds: u64,
+    queue_bound: usize,
+    surgical_sent: u64,
+    surgical_on_time: u64,
+    surgical_on_time_fraction: f64,
+    shed_bulk: u64,
+    shed_timely: u64,
+    shed_surgical: u64,
+    peak_level: u8,
+    recovery_ms: Option<u64>,
+}
+
+/// Drives the overload soak topology (one source, two disjoint relays,
+/// one sink per SLA class) with the source's queue parked at ~80% of
+/// its bound and several times the admissible load offered in every
+/// class, then measures what the service-class machinery protected.
+fn overload_bench(secs: u64, mode: &str) -> OverloadResult {
+    use dg_core::SlaClass;
+
+    let mut b = GraphBuilder::new();
+    let src = b.add_node("SRC");
+    let relays = [b.add_node("RLY1"), b.add_node("RLY2")];
+    let sinks = [b.add_node("BULK"), b.add_node("TIMELY"), b.add_node("SURGICAL")];
+    for r in relays {
+        b.add_link(src, r, Micros::from_millis(10), 1).expect("links are distinct");
+        for s in sinks {
+            b.add_link(r, s, Micros::from_millis(10), 1).expect("links are distinct");
+        }
+    }
+    let graph = b.build();
+
+    let queue_bound = 128;
+    let config = ClusterConfig {
+        hello_interval: Duration::from_millis(20),
+        link_state_interval: Duration::from_millis(80),
+        shipper_queue: queue_bound,
+        overload_hold_down: Duration::from_millis(250),
+        ..ClusterConfig::default()
+    };
+    let cluster = Cluster::launch(&graph, config).expect("cluster launches");
+    assert!(cluster.wait_for_link_state(Duration::from_secs(5)), "link state converges");
+
+    let flows: Vec<_> = [SlaClass::Bulk, SlaClass::Timely, SlaClass::Surgical]
+        .into_iter()
+        .zip(sinks)
+        .map(|(class, sink)| (class, Flow::new(src, sink)))
+        .collect();
+    let receivers: Vec<_> =
+        flows.iter().map(|&(_, f)| cluster.open_receiver(f).expect("receiver opens")).collect();
+    let senders: Vec<_> = flows
+        .iter()
+        .map(|&(class, f)| cluster.open_sla_sender(f, class).expect("sender admits"))
+        .collect();
+
+    // Park synthetic pressure between the timely band (3/4 of the
+    // bound) and the surgical band (the bound itself) for the whole
+    // measured window, then offer multiples of the admissible load.
+    cluster.inject_overload(
+        src,
+        queue_bound * 13 / 16,
+        Duration::from_secs(secs) + Duration::from_millis(200),
+    );
+    let mut surgical_sent = 0u64;
+    let mut peak_level = 0u8;
+    let start = Instant::now();
+    let deadline = start + Duration::from_secs(secs);
+    while Instant::now() < deadline {
+        for _ in 0..4 {
+            senders[0].send(b"flood-bulk").expect("bulk send");
+        }
+        for _ in 0..2 {
+            senders[1].send(b"flood-timely").expect("timely send");
+        }
+        senders[2].send(b"steady-surgical").expect("surgical send");
+        surgical_sent += 1;
+        peak_level = peak_level.max(cluster.node(src).overload_level());
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Load lifted: time the walk back to full redundancy (EWMA decay
+    // plus a sustained-quiet hold-down).
+    let lifted = Instant::now();
+    let recovery_deadline = lifted + Duration::from_secs(5);
+    let mut recovery_ms = None;
+    while Instant::now() < recovery_deadline {
+        if cluster.node(src).overload_level() == 0 {
+            recovery_ms = Some(lifted.elapsed().as_millis() as u64);
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    std::thread::sleep(Duration::from_millis(300));
+
+    let surgical_on_time = receivers[2].drain().iter().filter(|d| d.on_time).count() as u64;
+    let counters = cluster.node(src).metrics_snapshot().counters;
+    cluster.shutdown();
+    OverloadResult {
+        bench: "overload".to_string(),
+        schema_version: SCHEMA_VERSION,
+        mode: mode.to_string(),
+        seconds: secs,
+        queue_bound,
+        surgical_sent,
+        surgical_on_time,
+        surgical_on_time_fraction: surgical_on_time as f64 / surgical_sent as f64,
+        shed_bulk: counters.shed_bulk,
+        shed_timely: counters.shed_timely,
+        shed_surgical: counters.shed_surgical,
+        peak_level,
+        recovery_ms,
+    }
 }
 
 fn forwarding_bench(secs: u64, payload_len: usize, batch: usize, mode: &str) -> ForwardingResult {
@@ -236,12 +362,13 @@ fn load_json<T: Deserialize>(path: &Path) -> Option<T> {
 fn main() {
     let cli = topo_cli(Cli::new("dg-bench", "hot-path performance harness (forwarding + sim)"))
         .switch("quick", "abbreviated CI-smoke run (1s forwarding, 20s trace)")
+        .switch("overload", "also run the overload-resilience scenario")
         .flag_default("seconds", "N", "forwarding bench duration", "5")
         .flag_default("payload", "BYTES", "application payload size", "512")
         .flag_default("batch", "N", "application packets per send_batch call", "32")
         .flag_default("sim-seconds", "N", "simulated trace duration", "60")
         .flag_default("rate", "PPS", "sim application packet rate", "2000")
-        .flag("only", "forwarding|sim", "run a single bench")
+        .flag("only", "forwarding|sim|overload", "run a single bench")
         .flag("out", "DIR", "output directory (default: results/)")
         .flag("check", "DIR", "compare against baseline BENCH_*.json in DIR")
         .flag_default("tolerance", "F", "allowed throughput regression for --check", "0.2");
@@ -261,18 +388,18 @@ fn main() {
     let tolerance: f64 = matches.get_or("tolerance", 0.2).unwrap_or_else(|e| cli.exit_with(&e));
     let only = matches.value("only");
     if let Some(o) = only {
-        if o != "forwarding" && o != "sim" {
+        if o != "forwarding" && o != "sim" && o != "overload" {
             cli.exit_with(&dg_bench::cli::CliError::BadValue {
                 flag: "only".to_string(),
                 value: o.to_string(),
-                expected: "forwarding or sim",
+                expected: "forwarding, sim, or overload",
             });
         }
     }
     let out_dir = matches.value("out").map_or_else(dg_bench::results_dir, PathBuf::from);
     let spec = topo_from_matches(&matches).unwrap_or_else(|e| cli.exit_with(&e));
 
-    let forwarding = (only != Some("sim")).then(|| {
+    let forwarding = (only.is_none() || only == Some("forwarding")).then(|| {
         let r = forwarding_bench(secs, payload, batch, mode);
         println!(
             "forwarding: {} delivered / {} sent in {}s -> {:.0} pps, {:.4} Gbps (p50 {:?} p99 {:?} p999 {:?} us)",
@@ -282,13 +409,24 @@ fn main() {
         write_result(&out_dir, "forwarding", &r);
         r
     });
-    let sim = (only != Some("forwarding")).then(|| {
+    let sim = (only.is_none() || only == Some("sim")).then(|| {
         let r = sim_bench(sim_secs, rate, mode, &spec);
         println!(
             "sim: {} packets in {:.2}s -> {:.0} packets/sec",
             r.packets, r.wall_secs, r.packets_per_sec
         );
         write_result(&out_dir, "sim", &r);
+        r
+    });
+    let overload = (matches.is_set("overload") || only == Some("overload")).then(|| {
+        let overload_secs = if quick { 1 } else { 3 };
+        let r = overload_bench(overload_secs, mode);
+        println!(
+            "overload: surgical {}/{} on time ({:.4}), shed bulk {} / timely {} / surgical {}, peak level {}, recovery {:?} ms",
+            r.surgical_on_time, r.surgical_sent, r.surgical_on_time_fraction,
+            r.shed_bulk, r.shed_timely, r.shed_surgical, r.peak_level, r.recovery_ms
+        );
+        write_result(&out_dir, "overload", &r);
         r
     });
 
@@ -320,6 +458,25 @@ fn main() {
             },
             None => failures
                 .push(format!("no readable baseline at {}/BENCH_sim.json", baseline_dir.display())),
+        }
+    }
+    if let Some(current) = overload {
+        match load_json::<OverloadResult>(&baseline_dir.join("BENCH_overload.json")) {
+            // The on-time fraction is an SLA floor, not a throughput
+            // band: gate it at a fixed 2% regardless of --tolerance.
+            Some(base) => match check_metric(
+                "overload surgical on-time %",
+                base.surgical_on_time_fraction * 100.0,
+                current.surgical_on_time_fraction * 100.0,
+                0.02,
+            ) {
+                Ok(line) => println!("check {line}"),
+                Err(line) => failures.push(line),
+            },
+            None => failures.push(format!(
+                "no readable baseline at {}/BENCH_overload.json",
+                baseline_dir.display()
+            )),
         }
     }
     if !failures.is_empty() {

@@ -1,5 +1,6 @@
-//! Flows and their service requirements.
+//! Flows, their service requirements, and SLA service classes.
 
+use crate::scheme::SchemeKind;
 use dg_topology::{Graph, Micros, NodeId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -54,6 +55,114 @@ impl Default for ServiceRequirement {
     }
 }
 
+/// Per-flow SLA service class: how much redundancy budget a flow is
+/// entitled to, and how expendable its packets are under overload.
+///
+/// The class binds three things together: a *scheme preference* (how
+/// much the flow spends on extra paths when the network is healthy), a
+/// *deadline budget* (how late a packet may arrive and still count),
+/// and a *drop priority* (which traffic an overloaded node sheds
+/// first). Bulk is shed before timely, timely before surgical; control
+/// frames are never shed at all.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SlaClass {
+    /// Throughput-oriented background traffic: cheapest scheme, widest
+    /// deadline, first to be shed.
+    Bulk,
+    /// Latency-sensitive but loss-tolerant traffic (the common case).
+    #[default]
+    Timely,
+    /// The paper's motivating remote-surgery/robotics class: targeted
+    /// redundancy, tight deadline, shed last.
+    Surgical,
+}
+
+impl SlaClass {
+    /// All classes, in drop-priority order (shed-first first).
+    pub const ALL: [SlaClass; 3] = [SlaClass::Bulk, SlaClass::Timely, SlaClass::Surgical];
+
+    /// The routing scheme the class runs when the node has headroom.
+    pub fn preferred_scheme(self) -> SchemeKind {
+        match self {
+            SlaClass::Bulk => SchemeKind::DynamicSinglePath,
+            SlaClass::Timely => SchemeKind::DynamicTwoDisjoint,
+            SlaClass::Surgical => SchemeKind::TargetedRedundancy,
+        }
+    }
+
+    /// The class's default deadline budget.
+    pub fn requirement(self) -> ServiceRequirement {
+        match self {
+            SlaClass::Bulk => ServiceRequirement::new(Micros::from_millis(250)),
+            SlaClass::Timely => ServiceRequirement::new(Micros::from_millis(100)),
+            SlaClass::Surgical => ServiceRequirement::default(),
+        }
+    }
+
+    /// Shed order under overload: lower is shed first.
+    pub fn drop_priority(self) -> u8 {
+        match self {
+            SlaClass::Bulk => 0,
+            SlaClass::Timely => 1,
+            SlaClass::Surgical => 2,
+        }
+    }
+
+    /// The two-bit wire encoding carried in the data-frame flags byte.
+    pub fn to_bits(self) -> u8 {
+        self.drop_priority()
+    }
+
+    /// Decodes the two-bit wire encoding; `None` for the reserved
+    /// pattern `3`.
+    pub fn from_bits(bits: u8) -> Option<SlaClass> {
+        match bits {
+            0 => Some(SlaClass::Bulk),
+            1 => Some(SlaClass::Timely),
+            2 => Some(SlaClass::Surgical),
+            _ => None,
+        }
+    }
+
+    /// Short lowercase label, e.g. `"surgical"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            SlaClass::Bulk => "bulk",
+            SlaClass::Timely => "timely",
+            SlaClass::Surgical => "surgical",
+        }
+    }
+}
+
+impl fmt::Display for SlaClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+// Hand-written serde impls: classes serialize as their lowercase label
+// (`"surgical"`), matching the CLI/config spelling, rather than the
+// Rust variant name.
+impl serde::ser::Serialize for SlaClass {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::String(self.label().to_owned())
+    }
+}
+
+impl serde::de::Deserialize for SlaClass {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::de::Error> {
+        match value {
+            serde::Value::String(s) => match s.as_str() {
+                "bulk" => Ok(SlaClass::Bulk),
+                "timely" => Ok(SlaClass::Timely),
+                "surgical" => Ok(SlaClass::Surgical),
+                other => Err(serde::de::Error::custom(format!("unknown SLA class `{other}`"))),
+            },
+            other => Err(serde::de::Error::unexpected("SLA class string", other)),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -78,5 +187,33 @@ mod tests {
         let f = Flow::new(NodeId::new(1), NodeId::new(2));
         let json = serde_json::to_string(&f).unwrap();
         assert_eq!(serde_json::from_str::<Flow>(&json).unwrap(), f);
+    }
+
+    #[test]
+    fn sla_class_bits_round_trip_and_reject_reserved() {
+        for class in SlaClass::ALL {
+            assert_eq!(SlaClass::from_bits(class.to_bits()), Some(class));
+        }
+        assert_eq!(SlaClass::from_bits(3), None);
+        assert_eq!(SlaClass::default(), SlaClass::Timely);
+    }
+
+    #[test]
+    fn sla_class_ordering_matches_drop_priority() {
+        // Shed-first classes sort first; deadlines tighten with class.
+        assert!(SlaClass::Bulk < SlaClass::Timely && SlaClass::Timely < SlaClass::Surgical);
+        assert!(
+            SlaClass::Surgical.requirement().deadline < SlaClass::Timely.requirement().deadline
+        );
+        assert!(SlaClass::Timely.requirement().deadline < SlaClass::Bulk.requirement().deadline);
+    }
+
+    #[test]
+    fn sla_class_serde_uses_lowercase_labels() {
+        for class in SlaClass::ALL {
+            let json = serde_json::to_string(&class).unwrap();
+            assert_eq!(json, format!("\"{}\"", class.label()));
+            assert_eq!(serde_json::from_str::<SlaClass>(&json).unwrap(), class);
+        }
     }
 }

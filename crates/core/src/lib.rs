@@ -55,4 +55,4 @@ pub use cache::{build_scheme_cached, CachedGraphKind, GraphCache, GraphCacheStat
 pub use detector::{ProblemDetector, ProblemStatus};
 pub use dgraph::DisseminationGraph;
 pub use error::CoreError;
-pub use flow::{Flow, ServiceRequirement};
+pub use flow::{Flow, ServiceRequirement, SlaClass};

@@ -25,6 +25,13 @@
 //! crash/restart events are warned about and ignored — killing a
 //! standalone daemon is the operator's job, not its own.
 //!
+//! `--sla-json PATH` loads an [`dg_overlay::SlaPlan`] and opens a
+//! sending session for every flow in it that originates at this node,
+//! in the flow's SLA service class (bulk/timely/surgical) with the
+//! class's scheme preference and deadline budget. The sessions are held
+//! for the daemon's lifetime, so admission control, class shed bands,
+//! and overload downgrades all apply to them.
+//!
 //! Config format:
 //! ```json
 //! {
@@ -39,7 +46,8 @@
 
 use dg_cli::Cli;
 use dg_overlay::chaos::{ChaosAction, ChaosEvent, ChaosSchedule};
-use dg_overlay::{NodeConfig, OverlayHandle, OverlayNode};
+use dg_overlay::session::FlowSender;
+use dg_overlay::{NodeConfig, OverlayHandle, OverlayNode, SlaPlan};
 use dg_topology::{Graph, NodeId};
 use serde::Deserialize;
 use std::collections::HashMap;
@@ -74,6 +82,7 @@ fn cli() -> Cli {
         .flag("run-secs", "N", "exit after N seconds instead of running forever")
         .flag("metrics-json", "PATH", "dump the metrics snapshot on shutdown ('-' for stdout)")
         .flag("chaos-json", "PATH", "replay a chaos schedule against this node's out-links")
+        .flag("sla-json", "PATH", "open per-flow SLA-class sending sessions sourced at this node")
 }
 
 fn main() {
@@ -96,7 +105,8 @@ fn main() {
     };
     let metrics_json = matches.value("metrics-json").map(str::to_string);
     let chaos_json = matches.value("chaos-json").map(str::to_string);
-    run(config_path, run_secs, metrics_json, chaos_json);
+    let sla_json = matches.value("sla-json").map(str::to_string);
+    run(config_path, run_secs, metrics_json, chaos_json, sla_json);
 }
 
 fn run(
@@ -104,6 +114,7 @@ fn run(
     run_secs: Option<u64>,
     metrics_json: Option<String>,
     chaos_json: Option<String>,
+    sla_json: Option<String>,
 ) {
     let raw = std::fs::read_to_string(config_path)
         .unwrap_or_else(|e| panic!("cannot read {config_path}: {e}"));
@@ -149,6 +160,17 @@ fn run(
         handle.local_addr(),
         file.peers.len()
     );
+    // SLA plan: open (and hold) a class-appropriate sending session for
+    // every flow sourced here, so admission, shed bands, and overload
+    // downgrades apply for the daemon's lifetime.
+    let _sla_senders: Vec<FlowSender> = sla_json
+        .map(|path| {
+            let raw = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("cannot read sla plan {path}: {e}"));
+            let plan = SlaPlan::from_json(&raw).unwrap_or_else(|e| panic!("bad sla plan: {e}"));
+            open_sla_senders(&handle, &graph, me, &plan)
+        })
+        .unwrap_or_default();
     // Report stats periodically until killed (or the run limit passes);
     // tick finely while chaos events are still pending.
     let started = std::time::Instant::now();
@@ -208,6 +230,58 @@ fn run(
     }
 }
 
+/// Opens the slice of an SLA plan this daemon owns: one sending session
+/// per flow sourced here, in the flow's class. Unknown sites and
+/// admission refusals are warned about and skipped — a partial plan
+/// still serves the flows it can.
+fn open_sla_senders(
+    handle: &OverlayHandle,
+    graph: &Graph,
+    me: NodeId,
+    plan: &SlaPlan,
+) -> Vec<FlowSender> {
+    let params = dg_core::scheme::SchemeParams::default();
+    let mut senders = Vec::new();
+    for spec in plan.sourced_at(graph, me) {
+        let (flow, class, requirement) = match spec.resolve(graph) {
+            Ok(resolved) => resolved,
+            Err(site) => {
+                eprintln!(
+                    "sla: skipping {}->{}: unknown site {site:?}",
+                    spec.source, spec.destination
+                );
+                continue;
+            }
+        };
+        let scheme = match dg_core::scheme::build_scheme(
+            class.preferred_scheme(),
+            graph,
+            flow,
+            requirement,
+            &params,
+        ) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("sla: skipping {flow}: {e}");
+                continue;
+            }
+        };
+        match handle.open_sender_with_class(scheme, requirement, class) {
+            Ok(sender) => {
+                println!(
+                    "sla: opened {} -> {} as {class} (deadline {} ms)",
+                    spec.source,
+                    spec.destination,
+                    requirement.deadline.as_millis()
+                );
+                senders.push(sender);
+            }
+            Err(e) => eprintln!("sla: skipping {flow}: {e}"),
+        }
+    }
+    senders
+}
+
 /// Applies the slice of a chaos action this daemon can enact: faults on
 /// its own out-links. Everything else is another node's business (or,
 /// for crash/restart, the operator's) and is skipped with a warning
@@ -256,6 +330,12 @@ fn apply_chaos_to_self(handle: &OverlayHandle, graph: &Graph, me: NodeId, action
             if node == me {
                 println!("chaos: injecting panic into {thread:?} thread");
                 handle.inject_thread_panic(thread);
+            }
+        }
+        ChaosAction::Overload { node, shipments, dwell_ms } => {
+            if node == me {
+                println!("chaos: flooding outbound queue with {shipments} shipments");
+                handle.inject_overload(shipments, Duration::from_millis(dwell_ms));
             }
         }
     }

@@ -66,6 +66,19 @@ pub enum ChaosAction {
         /// Which protocol thread to crash.
         thread: NodeThread,
     },
+    /// Flood a node's outbound data queue with synthetic shipments
+    /// that evaporate after `dwell_ms` — deterministic overload
+    /// pressure that exercises the class shed bands and the
+    /// redundancy-downgrade state machine without touching the wire.
+    /// A no-op if the node is crashed.
+    Overload {
+        /// The node to pressure.
+        node: NodeId,
+        /// Synthetic shipments injected into the outbound queue.
+        shipments: usize,
+        /// How long the pressure dwells before evaporating.
+        dwell_ms: u64,
+    },
 }
 
 /// A [`ChaosAction`] scheduled at an offset from the start of the run.
@@ -91,6 +104,11 @@ pub struct ChaosProfile {
     /// Quiet tail with no active fault, so delivery can recover before
     /// the run ends.
     pub settle_ms: u64,
+    /// Number of overload episodes (synthetic queue-pressure floods
+    /// against random nodes). Defaults to zero so existing profiles —
+    /// and their serialized JSON — keep their exact storms.
+    #[serde(default)]
+    pub overload_events: usize,
 }
 
 impl Default for ChaosProfile {
@@ -101,6 +119,7 @@ impl Default for ChaosProfile {
             crashes: 1,
             max_dwell_ms: 800,
             settle_ms: 1_500,
+            overload_events: 0,
         }
     }
 }
@@ -157,6 +176,18 @@ impl ChaosSchedule {
                 events
                     .push(ChaosEvent { at_ms: back_at, action: ChaosAction::RestartNode { node } });
             }
+        }
+        for _ in 0..profile.overload_events {
+            let node = NodeId::new((splitmix64(&mut rng) % node_count.max(1) as u64) as u32);
+            let start = splitmix64(&mut rng) % active_ms;
+            let dwell_ms = 1 + splitmix64(&mut rng) % profile.max_dwell_ms.max(1);
+            // Enough pressure to blow well past any reasonable queue
+            // bound, scaled by the seed for variety.
+            let shipments = 256 + (splitmix64(&mut rng) % 768) as usize;
+            events.push(ChaosEvent {
+                at_ms: start,
+                action: ChaosAction::Overload { node, shipments, dwell_ms },
+            });
         }
         ChaosSchedule { seed, events }
     }
@@ -284,6 +315,9 @@ fn apply(cluster: &mut Cluster, action: &ChaosAction) -> Result<(), OverlayError
             }
         }
         ChaosAction::PanicThread { node, thread } => cluster.panic_thread(node, thread),
+        ChaosAction::Overload { node, shipments, dwell_ms } => {
+            cluster.inject_overload(node, shipments, Duration::from_millis(dwell_ms));
+        }
     }
     Ok(())
 }

@@ -14,7 +14,9 @@ use crate::session::{FlowReceiver, FlowSender};
 use crate::wire::DigestEntry;
 use crate::OverlayError;
 use dg_core::scheme::{SchemeKind, SchemeParams};
-use dg_core::{build_scheme_cached, Flow, GraphCache, GraphCacheStats, ServiceRequirement};
+use dg_core::{
+    build_scheme_cached, Flow, GraphCache, GraphCacheStats, ServiceRequirement, SlaClass,
+};
 use dg_topology::{EdgeId, Graph, Micros, NodeId};
 use std::collections::HashMap;
 use std::net::UdpSocket;
@@ -49,6 +51,16 @@ pub struct ClusterConfig {
     /// Watchdog staleness horizon for every node (see
     /// [`crate::NodeConfigBuilder::watchdog_stale_after`]).
     pub watchdog_stale_after: Duration,
+    /// Outbound data-queue bound for every node (see
+    /// [`crate::NodeConfigBuilder::shipper_queue`]) — also the depth
+    /// scale of the class shed bands and the overload detector.
+    pub shipper_queue: usize,
+    /// Sender-session admission capacity per node (see
+    /// [`crate::NodeConfigBuilder::sender_capacity`]).
+    pub sender_capacity: usize,
+    /// Overload-detector hold-down for every node (see
+    /// [`crate::NodeConfigBuilder::overload_hold_down`]).
+    pub overload_hold_down: Duration,
 }
 
 impl Default for ClusterConfig {
@@ -63,6 +75,9 @@ impl Default for ClusterConfig {
             digest_interval: Duration::from_secs(1),
             flap_hold_down: Duration::from_millis(500),
             watchdog_stale_after: Duration::from_secs(1),
+            shipper_queue: 16_384,
+            sender_capacity: 1_024,
+            overload_hold_down: Duration::from_millis(500),
         }
     }
 }
@@ -202,6 +217,45 @@ impl Cluster {
         self.node(flow.source).open_sender(scheme, requirement)
     }
 
+    /// Opens a sender in an explicit SLA service class with a caller's
+    /// scheme choice and deadline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheme-construction, admission, and session errors.
+    pub fn open_sender_with_class(
+        &self,
+        flow: Flow,
+        kind: SchemeKind,
+        requirement: ServiceRequirement,
+        class: SlaClass,
+    ) -> Result<FlowSender, OverlayError> {
+        let scheme = build_scheme_cached(kind, &self.scheme_cache, flow, requirement)?;
+        self.node(flow.source).open_sender_with_class(scheme, requirement, class)
+    }
+
+    /// Opens a sender using the class's own scheme preference and
+    /// deadline budget: bulk rides one dynamic path at 250 ms, timely
+    /// two disjoint paths at 100 ms, surgical a targeted-redundancy
+    /// graph at the default deadline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheme-construction, admission, and session errors.
+    pub fn open_sla_sender(&self, flow: Flow, class: SlaClass) -> Result<FlowSender, OverlayError> {
+        let requirement = class.requirement();
+        self.open_sender_with_class(flow, class.preferred_scheme(), requirement, class)
+    }
+
+    /// Floods `node`'s outbound data queue with synthetic bulk-class
+    /// pressure (see [`OverlayHandle::inject_overload`]). A no-op on a
+    /// killed node.
+    pub fn inject_overload(&self, node: NodeId, shipments: usize, dwell: Duration) {
+        if let Some(handle) = self.handles[node.index()].as_ref() {
+            handle.inject_overload(shipments, dwell);
+        }
+    }
+
     /// Counters of the cluster's shared scheme-construction cache.
     pub fn scheme_cache_stats(&self) -> GraphCacheStats {
         self.scheme_cache.stats()
@@ -328,6 +382,9 @@ fn make_node_config(
         .digest_interval(config.digest_interval)
         .flap_hold_down(config.flap_hold_down)
         .watchdog_stale_after(config.watchdog_stale_after)
+        .shipper_queue(config.shipper_queue)
+        .sender_capacity(config.sender_capacity)
+        .overload_hold_down(config.overload_hold_down)
         .peers(graph.neighbors(node).map(|n| (n, addrs[n.index()])).collect::<HashMap<_, _>>())
         .build()
         .expect("cluster node configuration validates")

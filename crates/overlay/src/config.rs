@@ -78,6 +78,20 @@ pub struct NodeConfig {
     /// node degraded; it is also how long the degraded flag lingers
     /// after a thread restart.
     pub watchdog_stale_after: Duration,
+    /// Maximum sender sessions this node admits; further `open_sender`
+    /// calls fail with [`OverlayError::AdmissionDenied`].
+    pub sender_capacity: usize,
+    /// Fraction of `shipper_queue` at which the smoothed queue depth
+    /// declares the node overloaded (redundancy downgrades begin).
+    pub overload_enter_depth: f64,
+    /// Fraction of `shipper_queue` the smoothed depth must fall below —
+    /// with no shedding — before overload can clear (hysteresis; must
+    /// be below `overload_enter_depth`).
+    pub overload_exit_depth: f64,
+    /// Minimum dwell between overload transitions (enter, escalate,
+    /// exit), and the sustained-quiet horizon required before exit —
+    /// the same hold-down idea as route-flap damping.
+    pub overload_hold_down: Duration,
 }
 
 impl NodeConfig {
@@ -135,6 +149,10 @@ impl NodeConfigBuilder {
             flap_suppress_threshold: 3.0,
             nack_rerequest_after: Duration::from_millis(250),
             watchdog_stale_after: Duration::from_secs(1),
+            sender_capacity: 1_024,
+            overload_enter_depth: 0.5,
+            overload_exit_depth: 0.125,
+            overload_hold_down: Duration::from_millis(500),
         }
     }
 
@@ -271,6 +289,30 @@ impl NodeConfigBuilder {
         self
     }
 
+    /// Maximum sender sessions the node admits.
+    pub fn sender_capacity(mut self, sessions: usize) -> Self {
+        self.config.sender_capacity = sessions;
+        self
+    }
+
+    /// Queue-depth fraction at which overload is entered.
+    pub fn overload_enter_depth(mut self, fraction: f64) -> Self {
+        self.config.overload_enter_depth = fraction;
+        self
+    }
+
+    /// Queue-depth fraction below which overload may clear.
+    pub fn overload_exit_depth(mut self, fraction: f64) -> Self {
+        self.config.overload_exit_depth = fraction;
+        self
+    }
+
+    /// Minimum dwell between overload transitions.
+    pub fn overload_hold_down(mut self, hold_down: Duration) -> Self {
+        self.config.overload_hold_down = hold_down;
+        self
+    }
+
     /// Validates the configuration and returns it.
     ///
     /// # Errors
@@ -342,6 +384,23 @@ impl NodeConfigBuilder {
                 "watchdog_stale_after must comfortably outlast the hello interval \
                  (heartbeats are stamped at most once per tick)",
             ));
+        }
+        if c.sender_capacity == 0 {
+            return Err(OverlayError::InvalidConfig("sender_capacity must be positive"));
+        }
+        if !(c.overload_enter_depth > 0.0 && c.overload_enter_depth < 1.0) {
+            return Err(OverlayError::InvalidConfig(
+                "overload_enter_depth must be strictly between 0 and 1",
+            ));
+        }
+        if !(c.overload_exit_depth > 0.0 && c.overload_exit_depth < c.overload_enter_depth) {
+            return Err(OverlayError::InvalidConfig(
+                "overload_exit_depth must be positive and below overload_enter_depth \
+                 (hysteresis needs a gap)",
+            ));
+        }
+        if c.overload_hold_down.is_zero() {
+            return Err(OverlayError::InvalidConfig("overload_hold_down must be positive"));
         }
         Ok(self.config)
     }
@@ -418,6 +477,33 @@ mod tests {
         // A hold-down of zero is legal: it disables damping's window.
         let ok = NodeConfig::builder(NodeId::new(5), listen).flap_hold_down(Duration::ZERO).build();
         assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_bad_overload_knobs() {
+        let listen: SocketAddr = "127.0.0.1:0".parse().unwrap();
+        let bad = NodeConfig::builder(NodeId::new(7), listen).sender_capacity(0);
+        assert!(matches!(bad.build(), Err(OverlayError::InvalidConfig(_))));
+        let bad = NodeConfig::builder(NodeId::new(7), listen).overload_enter_depth(1.0);
+        assert!(matches!(bad.build(), Err(OverlayError::InvalidConfig(_))));
+        let bad = NodeConfig::builder(NodeId::new(7), listen)
+            .overload_enter_depth(0.3)
+            .overload_exit_depth(0.3);
+        assert!(
+            matches!(bad.build(), Err(OverlayError::InvalidConfig(_))),
+            "exit depth must sit strictly below enter depth"
+        );
+        let bad = NodeConfig::builder(NodeId::new(7), listen).overload_hold_down(Duration::ZERO);
+        assert!(matches!(bad.build(), Err(OverlayError::InvalidConfig(_))));
+        let ok = NodeConfig::builder(NodeId::new(7), listen)
+            .sender_capacity(2)
+            .overload_enter_depth(0.6)
+            .overload_exit_depth(0.1)
+            .overload_hold_down(Duration::from_millis(300))
+            .build()
+            .unwrap();
+        assert_eq!(ok.sender_capacity, 2);
+        assert_eq!(ok.overload_hold_down, Duration::from_millis(300));
     }
 
     #[test]

@@ -30,6 +30,14 @@ pub enum OverlayError {
     },
     /// A configuration builder was given internally inconsistent knobs.
     InvalidConfig(&'static str),
+    /// The node refused a new sender session: it is already at its
+    /// configured capacity (see `NodeConfig::sender_capacity`).
+    AdmissionDenied {
+        /// Sender sessions currently open on the node.
+        active: usize,
+        /// The configured admission capacity.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for OverlayError {
@@ -45,6 +53,9 @@ impl fmt::Display for OverlayError {
                 write!(f, "payload too large: {got} bytes exceeds {max}")
             }
             OverlayError::InvalidConfig(rule) => write!(f, "invalid configuration: {rule}"),
+            OverlayError::AdmissionDenied { active, capacity } => {
+                write!(f, "admission denied: {active} senders open, capacity {capacity}")
+            }
         }
     }
 }

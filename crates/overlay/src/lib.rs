@@ -59,10 +59,12 @@ mod linkstate;
 pub mod metrics;
 mod monitor;
 mod node;
+pub mod overload;
 pub mod pool;
 pub mod recovery;
 pub mod session;
 pub mod shard;
+pub mod sla;
 pub mod wire;
 
 pub use clock::now_us;
@@ -72,3 +74,5 @@ pub use metrics::{ClusterMetricsReport, MetricsSnapshot, NodeCounters, NodeThrea
 #[allow(deprecated)]
 pub use node::NodeStats;
 pub use node::{OverlayHandle, OverlayNode};
+pub use overload::{OverloadConfig, OverloadDetector, OverloadTransition, MAX_LEVEL};
+pub use sla::{SlaFlowSpec, SlaPlan};

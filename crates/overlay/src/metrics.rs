@@ -16,7 +16,7 @@
 use crate::clock::now_us;
 use crate::shard::ShardedMap;
 use dg_core::scheme::SchemeKind;
-use dg_core::Flow;
+use dg_core::{Flow, SlaClass};
 use dg_topology::{Micros, NodeId};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -42,6 +42,7 @@ macro_rules! declare_counters {
 
         /// A consistent-enough copy of one node's counters.
         #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+        #[serde(default)]
         pub struct NodeCounters {
             $($(#[$doc])* pub $field: u64,)+
         }
@@ -88,7 +89,22 @@ declare_counters! {
     /// Datagrams corrupted in flight by injected faults.
     fault_corruptions,
     /// Datagrams dropped because a bounded internal queue was full.
+    /// Deprecated: kept for one release as the sum of `shipper_drops`
+    /// and `delivery_drops`; read the per-cause counters instead.
     queue_drops,
+    /// Data shipments refused because the outbound shipper queue was at
+    /// (or past) the class's admission band.
+    shipper_drops,
+    /// Decoded packets dropped because a local receiver's bounded
+    /// delivery queue was full.
+    delivery_drops,
+    /// Bulk-class packets shed under queue pressure (shed first).
+    shed_bulk,
+    /// Timely-class packets shed under queue pressure.
+    shed_timely,
+    /// Surgical-class packets shed under queue pressure (shed last —
+    /// nonzero only when the queue is truly exhausted).
+    shed_surgical,
     /// Incoming links this node has declared down on hello timeout
     /// (counts declarations, not currently-down links).
     links_declared_down,
@@ -299,6 +315,32 @@ pub enum EventKind {
     ThreadCrash {
         /// Which loop crashed.
         thread: NodeThread,
+    },
+    /// The overload detector crossed its enter threshold (or escalated
+    /// to a deeper level): per-class redundancy downgrades apply until
+    /// [`EventKind::OverloadExit`].
+    OverloadEnter {
+        /// The degradation level entered (1 = bulk downgraded, 2 =
+        /// bulk and timely downgraded).
+        level: u8,
+    },
+    /// Sustained recovery: queue depth stayed below the exit threshold
+    /// with no shedding for a full hold-down, and every class's full
+    /// redundancy was restored.
+    OverloadExit {
+        /// The level the node was at before exiting.
+        level: u8,
+    },
+    /// An overloaded node replaced one sender session's dissemination
+    /// graph with a cheaper one (surgical keeps its targeted graph,
+    /// timely falls to two disjoint paths, bulk to a single path).
+    ClassDowngraded {
+        /// The flow whose redundancy was reduced.
+        flow: Flow,
+        /// The flow's SLA class.
+        class: SlaClass,
+        /// Edge count of the downgraded graph.
+        edges: u64,
     },
 }
 

@@ -6,6 +6,7 @@ use crate::fault::{corrupt_in_place, FaultPlan};
 use crate::linkstate::LinkStateDb;
 use crate::metrics::{EventKind, MetricsRegistry, MetricsSnapshot, NodeCounters, NodeThread};
 use crate::monitor::{FlapDamper, LinkMonitor};
+use crate::overload::{OverloadConfig, OverloadDetector, OverloadTransition};
 use crate::pool::BufferPool;
 use crate::recovery::{retransmit_worthwhile, GapTracker, SendBuffer};
 use crate::session::{Delivery, FlowReceiver, FlowSender, SchemeSlot};
@@ -16,8 +17,8 @@ use crate::wire::{
 use crate::OverlayError;
 use bytes::Bytes;
 use crossbeam::channel::{self, Receiver, Sender, TryRecvError, TrySendError};
-use dg_core::scheme::{RoutingScheme, SchemeParams};
-use dg_core::{CachedGraphKind, Flow, GraphCache, GraphCacheStats, ServiceRequirement};
+use dg_core::scheme::{build_scheme, RoutingScheme, SchemeKind, SchemeParams};
+use dg_core::{CachedGraphKind, Flow, GraphCache, GraphCacheStats, ServiceRequirement, SlaClass};
 use dg_topology::{Graph, Micros, NodeId};
 use dg_trace::NetworkState;
 use parking_lot::Mutex;
@@ -134,6 +135,10 @@ struct Shipment {
     datagram: Bytes,
     depart_at: Micros,
     order: u64,
+    /// `Some` for data traffic (the SLA class it carries), `None` for
+    /// control frames — hellos, link state, acks, digests, NACKs —
+    /// which ride a reserved unbounded lane and are never shed.
+    class: Option<SlaClass>,
 }
 
 // Ordered so a max-heap pops the *earliest* shipment first, FIFO within
@@ -246,7 +251,20 @@ pub(crate) struct Shared {
     pub(crate) senders: Mutex<Vec<Arc<Mutex<SchemeSlot>>>>,
     /// Reusable encode buffers for the transmit path.
     frame_pool: Mutex<BufferPool>,
+    /// Bounded lane for data shipments; overflow is shed by class.
     shipper_tx: Sender<Shipment>,
+    /// Reserved unbounded lane for control frames, so saturating data
+    /// traffic can never starve hellos or link state into a spurious
+    /// link-down declaration.
+    control_tx: Sender<Shipment>,
+    /// Data shipments currently in flight toward the wire (bounded
+    /// channel plus the shipper's heap) — the depth signal both the
+    /// class shed bands and the overload detector read.
+    queued_data: AtomicU64,
+    /// Damped overload state machine driving per-class redundancy
+    /// downgrades (observed from the ticker thread).
+    overload: Mutex<OverloadDetector>,
+    scheme_params: SchemeParams,
     shipment_order: AtomicU64,
     pub(crate) metrics: MetricsRegistry,
     hello_seq: AtomicU64,
@@ -298,7 +316,7 @@ impl Shared {
     /// calling thread when the verdict carries no delay (the hot path —
     /// no queue, no context switch), or via the shipper when the fault
     /// plan wants it held back.
-    fn transmit(&self, to: NodeId, datagram: Bytes) {
+    fn transmit(&self, to: NodeId, datagram: Bytes, class: Option<SlaClass>) {
         let verdict = self.faults.decide(to);
         if verdict.drop {
             self.metrics.counters.fault_drops.fetch_add(1, Ordering::Relaxed);
@@ -323,10 +341,10 @@ impl Shared {
             return;
         }
         let depart_at = now_us().saturating_add(verdict.delay);
-        self.ship(to, payload.clone(), depart_at);
+        self.ship(to, payload.clone(), depart_at, class);
         if verdict.duplicate {
             self.metrics.counters.fault_duplicates.fetch_add(1, Ordering::Relaxed);
-            self.ship(to, payload, depart_at);
+            self.ship(to, payload, depart_at, class);
         }
     }
 
@@ -340,38 +358,96 @@ impl Shared {
         link.bytes.fetch_add(bytes, Ordering::Relaxed);
     }
 
-    /// Accounts one wire transmission and queues it on the shipper,
-    /// dropping (and counting) on overflow instead of growing without
-    /// bound.
-    fn ship(&self, to: NodeId, datagram: Bytes, depart_at: Micros) {
+    /// Accounts one wire transmission and queues it on the shipper.
+    /// Control frames (`class == None`) take the reserved unbounded
+    /// lane; data frames take the bounded lane and are shed (and
+    /// counted against their class) on overflow instead of growing
+    /// without bound.
+    fn ship(&self, to: NodeId, datagram: Bytes, depart_at: Micros, class: Option<SlaClass>) {
         self.account_send(to, datagram.len());
         let shipment = Shipment {
             to,
             datagram,
             depart_at,
             order: self.shipment_order.fetch_add(1, Ordering::Relaxed),
+            class,
         };
+        let Some(class) = class else {
+            // Closed channels only happen during shutdown.
+            let _ = self.control_tx.send(shipment);
+            return;
+        };
+        self.queued_data.fetch_add(1, Ordering::Relaxed);
         match self.shipper_tx.try_send(shipment) {
             Ok(()) => {}
             Err(TrySendError::Full(_)) => {
-                self.metrics.counters.queue_drops.fetch_add(1, Ordering::Relaxed);
+                self.queued_data.fetch_sub(1, Ordering::Relaxed);
+                self.shed(class, 1);
             }
             // A closed channel only happens during shutdown.
-            Err(TrySendError::Disconnected(_)) => {}
+            Err(TrySendError::Disconnected(_)) => {
+                self.queued_data.fetch_sub(1, Ordering::Relaxed);
+            }
         }
+    }
+
+    /// Records `count` shed data packets of `class`: the per-class shed
+    /// counter, the shipper-side drop cause, and the deprecated
+    /// aggregate (`queue_drops` stays the sum of `shipper_drops` and
+    /// `delivery_drops` for one release).
+    fn shed(&self, class: SlaClass, count: u64) {
+        let cell = match class {
+            SlaClass::Bulk => &self.metrics.counters.shed_bulk,
+            SlaClass::Timely => &self.metrics.counters.shed_timely,
+            SlaClass::Surgical => &self.metrics.counters.shed_surgical,
+        };
+        cell.fetch_add(count, Ordering::Relaxed);
+        self.metrics.counters.shipper_drops.fetch_add(count, Ordering::Relaxed);
+        self.metrics.counters.queue_drops.fetch_add(count, Ordering::Relaxed);
+    }
+
+    /// Priority admission of a run of data packets against the class
+    /// shed bands: bulk is admitted only into the bottom half of the
+    /// outbound data queue, timely into the bottom three quarters, and
+    /// surgical up to the full bound — so under pressure bulk sheds
+    /// first, then timely, and surgical last. Returns `false` (and
+    /// counts the shed) when the run must be dropped.
+    fn admit_data(&self, class: SlaClass, count: u64) -> bool {
+        let bound = self.config.shipper_queue as u64;
+        let band = match class {
+            SlaClass::Bulk => bound / 2,
+            SlaClass::Timely => bound - bound / 4,
+            SlaClass::Surgical => bound,
+        };
+        if self.queued_data.load(Ordering::Relaxed) < band {
+            return true;
+        }
+        self.shed(class, count);
+        false
     }
 
     /// Draws a pooled buffer, encodes with `fill`, and transmits the
     /// resulting frame toward `neighbor`.
-    fn transmit_pooled(&self, neighbor: NodeId, fill: impl FnOnce(&mut Vec<u8>)) {
+    fn transmit_pooled(
+        &self,
+        neighbor: NodeId,
+        class: Option<SlaClass>,
+        fill: impl FnOnce(&mut Vec<u8>),
+    ) {
         let mut buf = self.frame_pool.lock().get();
         fill(&mut buf);
-        self.transmit(neighbor, Bytes::from(buf));
+        self.transmit(neighbor, Bytes::from(buf), class);
     }
 
     /// Assigns a per-link sequence, buffers for recovery, and transmits
     /// a data packet toward `neighbor`.
     pub(crate) fn send_data(&self, neighbor: NodeId, packet: &DataPacket) {
+        // Shed before touching the link sequence or the retransmit
+        // buffer: a shed packet must not open a gap the neighbour
+        // would NACK for.
+        if !self.admit_data(packet.class, 1) {
+            return;
+        }
         let link_seq = {
             let mut links = self.send_links.lock();
             let link = links.entry(neighbor).or_insert_with(|| SendLink {
@@ -385,7 +461,9 @@ impl Shared {
         };
         self.metrics.counters.data_sent.fetch_add(1, Ordering::Relaxed);
         self.metrics.flow(packet.flow).transmissions.fetch_add(1, Ordering::Relaxed);
-        self.transmit_pooled(neighbor, |buf| wire::encode_data(self.me(), packet, link_seq, buf));
+        self.transmit_pooled(neighbor, Some(packet.class), |buf| {
+            wire::encode_data(self.me(), packet, link_seq, buf);
+        });
     }
 
     /// Like [`Shared::send_data`] for a run of packets: assigns them
@@ -398,6 +476,11 @@ impl Shared {
     /// one sending session).
     pub(crate) fn send_data_batch(&self, neighbor: NodeId, packets: &[DataPacket]) {
         if packets.is_empty() {
+            return;
+        }
+        // Same pre-sequence shedding as `send_data`: the whole run is
+        // admitted or shed as one unit.
+        if !self.admit_data(packets[0].class, packets.len() as u64) {
             return;
         }
         let first_seq = {
@@ -432,7 +515,7 @@ impl Shared {
                 size += next;
                 end += 1;
             }
-            self.transmit_pooled(neighbor, |buf| {
+            self.transmit_pooled(neighbor, Some(packets[0].class), |buf| {
                 wire::encode_data_batch(self.me(), &packets[start..end], &seqs[start..end], buf);
             });
             start = end;
@@ -488,7 +571,7 @@ impl Shared {
                     from: self.me(),
                     message: Message::HelloAck { echo_seq: seq, echo_sent_at: sent_at },
                 };
-                self.transmit(from, ack.encode());
+                self.transmit(from, ack.encode(), None);
             }
             Message::HelloAck { echo_sent_at, .. } => {
                 let rtt = now_us().saturating_sub(echo_sent_at);
@@ -507,7 +590,7 @@ impl Shared {
                     },
                 };
                 self.metrics.counters.lsa_acks_sent.fetch_add(1, Ordering::Relaxed);
-                self.transmit(from, ack.encode());
+                self.transmit(from, ack.encode(), None);
                 if self.linkstate.lock().apply(&update, now_us()) {
                     self.note_link_state(&update);
                     self.flood_link_state(&update, Some(from));
@@ -606,7 +689,7 @@ impl Shared {
                     // re-encoding here keeps the hot path free of frame
                     // clones.
                     self.metrics.flow(packet.flow).transmissions.fetch_add(1, Ordering::Relaxed);
-                    self.transmit_pooled(from, |buf| {
+                    self.transmit_pooled(from, Some(packet.class), |buf| {
                         wire::encode_data(self.me(), &packet, seq, buf);
                     });
                 }
@@ -638,7 +721,7 @@ impl Shared {
                 packets: missing.len() as u64,
             });
             let nack = Envelope { from: self.me(), message: Message::Nack { missing } };
-            self.transmit(from, nack.encode());
+            self.transmit(from, nack.encode(), None);
         }
         // Flow-level duplicate suppression.
         if !self.dedup.lock().insert((packet.flow, packet.flow_seq)) {
@@ -655,18 +738,26 @@ impl Shared {
                 self.metrics.counters.delivered_late.fetch_add(1, Ordering::Relaxed);
                 flow_cells.packets_late.fetch_add(1, Ordering::Relaxed);
             }
-            if let Some(tx) = self.receivers.get(&packet.flow) {
-                let delivery = Delivery {
-                    flow: packet.flow,
-                    flow_seq: packet.flow_seq,
-                    payload: packet.payload.clone(),
-                    sent_at: packet.sent_at,
-                    delivered_at: now,
-                    on_time,
-                };
+            let delivery = Delivery {
+                flow: packet.flow,
+                flow_seq: packet.flow_seq,
+                payload: packet.payload.clone(),
+                sent_at: packet.sent_at,
+                delivered_at: now,
+                on_time,
+            };
+            {
                 // The delivery queue is bounded: an application that
                 // stops draining sheds load instead of wedging the node.
-                if let Err(TrySendError::Full(_)) = tx.try_send(delivery) {
+                let sent = self.receivers.with(&packet.flow, |tx| tx.try_send(delivery));
+                if let Some(Err(TrySendError::Full(_))) = sent {
+                    let shed_cell = match packet.class {
+                        SlaClass::Bulk => &self.metrics.counters.shed_bulk,
+                        SlaClass::Timely => &self.metrics.counters.shed_timely,
+                        SlaClass::Surgical => &self.metrics.counters.shed_surgical,
+                    };
+                    shed_cell.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.counters.delivery_drops.fetch_add(1, Ordering::Relaxed);
                     self.metrics.counters.queue_drops.fetch_add(1, Ordering::Relaxed);
                 }
             }
@@ -687,7 +778,7 @@ impl Shared {
             if Some(neighbor) != except {
                 self.register_pending(neighbor, update, now);
                 self.metrics.counters.link_state_flooded.fetch_add(1, Ordering::Relaxed);
-                self.transmit(neighbor, bytes.clone());
+                self.transmit(neighbor, bytes.clone(), None);
             }
         }
     }
@@ -721,7 +812,7 @@ impl Shared {
         self.register_pending(neighbor, update, now);
         let bytes =
             Envelope { from: self.me(), message: Message::LinkState(update.clone()) }.encode();
-        self.transmit(neighbor, bytes);
+        self.transmit(neighbor, bytes, None);
     }
 
     /// Retransmits every pending link-state update whose ack timer has
@@ -757,7 +848,7 @@ impl Shared {
         for (neighbor, update) in resends {
             self.metrics.counters.lsa_retransmits.fetch_add(1, Ordering::Relaxed);
             let bytes = Envelope { from: self.me(), message: Message::LinkState(update) }.encode();
-            self.transmit(neighbor, bytes);
+            self.transmit(neighbor, bytes, None);
         }
     }
 
@@ -769,7 +860,7 @@ impl Shared {
         let bytes = Envelope { from: self.me(), message: Message::Digest { entries } }.encode();
         for &e in self.graph.out_edges(self.me()) {
             self.metrics.counters.digests_sent.fetch_add(1, Ordering::Relaxed);
-            self.transmit(self.graph.edge(e).dst, bytes.clone());
+            self.transmit(self.graph.edge(e).dst, bytes.clone(), None);
         }
     }
 
@@ -799,7 +890,7 @@ impl Shared {
                 .fetch_add(missing.len() as u64, Ordering::Relaxed);
             self.metrics.counters.nack_messages_sent.fetch_add(1, Ordering::Relaxed);
             let nack = Envelope { from: self.me(), message: Message::Nack { missing } };
-            self.transmit(neighbor, nack.encode());
+            self.transmit(neighbor, nack.encode(), None);
         }
     }
 
@@ -949,6 +1040,131 @@ impl Shared {
                 ServiceRequirement::default(),
             );
         }
+        // An ongoing overload episode keeps its downgrade masks in step
+        // with the topology: recompute them (silently — the level did
+        // not change) after the scheme refresh.
+        let level = self.overload.lock().level();
+        if level > 0 {
+            self.apply_overload(level);
+        }
+    }
+
+    /// Feeds the overload detector one observation (called once per
+    /// hello tick) and, when a damped transition is admitted, journals
+    /// the episode and adjusts per-class redundancy.
+    fn observe_overload(&self, now: Micros) {
+        let depth = self.queued_data.load(Ordering::Relaxed);
+        let c = &self.metrics.counters;
+        let shed_total = c.shed_bulk.load(Ordering::Relaxed)
+            + c.shed_timely.load(Ordering::Relaxed)
+            + c.shed_surgical.load(Ordering::Relaxed);
+        match self.overload.lock().observe(now, depth, shed_total) {
+            Some(OverloadTransition::Enter { level })
+            | Some(OverloadTransition::Escalate { level }) => {
+                self.metrics.record(EventKind::OverloadEnter { level });
+                self.apply_overload(level);
+            }
+            Some(OverloadTransition::Exit { from_level }) => {
+                self.metrics.record(EventKind::OverloadExit { level: from_level });
+                self.apply_overload(0);
+            }
+            None => {}
+        }
+    }
+
+    /// (Re)applies the downgrade policy for overload `level` to every
+    /// sender slot: surgical keeps its full graph at every level,
+    /// timely falls back to its precomputed disjoint pair at level 2,
+    /// and bulk drops to a single path from level 1. `ClassDowngraded`
+    /// is journaled only when a slot's effective level changes; a mask
+    /// recomputed at an unchanged level (link state moved mid-episode)
+    /// is silent.
+    fn apply_overload(&self, level: u8) {
+        let slots: Vec<_> = self.senders.lock().clone();
+        if slots.is_empty() {
+            return;
+        }
+        let state = self.linkstate.lock().network_state(now_us());
+        for slot in slots {
+            let mut slot = slot.lock();
+            let (flow, class) = (slot.flow, slot.class);
+            let effective = match class {
+                SlaClass::Surgical => 0,
+                SlaClass::Timely => {
+                    if level >= 2 {
+                        2
+                    } else {
+                        0
+                    }
+                }
+                SlaClass::Bulk => u8::from(level >= 1),
+            };
+            if effective == 0 {
+                if slot.is_downgraded() {
+                    slot.clear_downgrade();
+                }
+                continue;
+            }
+            let graph = match class {
+                SlaClass::Timely => self
+                    .graph_cache
+                    .live(flow, CachedGraphKind::TwoDisjoint, ServiceRequirement::default())
+                    .ok()
+                    .map(|g| (*g).clone()),
+                SlaClass::Bulk => self.single_path_graph(flow, &state),
+                SlaClass::Surgical => None,
+            };
+            // A flow whose cheaper graph cannot be computed right now
+            // (e.g. the topology is partitioned) keeps whatever it has.
+            let Some(graph) = graph else { continue };
+            let edges = graph.len() as u64;
+            let mask = Bytes::from(graph.to_bitmask(self.graph.edge_count()));
+            let changed = slot.downgrade_level != effective;
+            slot.set_downgrade(mask, effective);
+            if changed {
+                self.metrics.record(EventKind::ClassDowngraded { flow, class, edges });
+            }
+        }
+    }
+
+    /// The cheapest dissemination graph for `flow` under the current
+    /// network state: one loss-aware path (the bulk downgrade target).
+    fn single_path_graph(
+        &self,
+        flow: Flow,
+        state: &NetworkState,
+    ) -> Option<dg_core::DisseminationGraph> {
+        let mut scheme = build_scheme(
+            SchemeKind::DynamicSinglePath,
+            &self.graph,
+            flow,
+            SlaClass::Bulk.requirement(),
+            &self.scheme_params,
+        )
+        .ok()?;
+        let _ = scheme.update(&self.graph, state);
+        Some(scheme.current().clone())
+    }
+
+    /// Floods the outbound data queue with synthetic bulk-class
+    /// shipments addressed to no peer (they evaporate at departure):
+    /// deterministic queue pressure for chaos and soak tests, injected
+    /// through the reserved lane so the injection itself is never shed.
+    pub(crate) fn inject_overload(&self, shipments: usize, dwell: Duration) {
+        let depart_at = now_us().saturating_add(Micros::from_micros(dwell.as_micros() as u64));
+        for _ in 0..shipments {
+            self.queued_data.fetch_add(1, Ordering::Relaxed);
+            let shipment = Shipment {
+                to: NodeId::new(u32::MAX),
+                datagram: Bytes::new(),
+                depart_at,
+                order: self.shipment_order.fetch_add(1, Ordering::Relaxed),
+                class: Some(SlaClass::Bulk),
+            };
+            if self.control_tx.send(shipment).is_err() {
+                self.queued_data.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
     }
 
     fn send_hellos(&self) {
@@ -957,7 +1173,7 @@ impl Shared {
         for &e in self.graph.out_edges(me) {
             let hello = Envelope { from: me, message: Message::Hello { seq, sent_at: now_us() } };
             self.metrics.counters.hellos_sent.fetch_add(1, Ordering::Relaxed);
-            self.transmit(self.graph.edge(e).dst, hello.encode());
+            self.transmit(self.graph.edge(e).dst, hello.encode(), None);
         }
     }
 }
@@ -1005,6 +1221,13 @@ impl OverlayNode {
     ) -> Result<OverlayHandle, OverlayError> {
         socket.set_read_timeout(Some(Duration::from_millis(10)))?;
         let (shipper_tx, shipper_rx) = channel::bounded(config.shipper_queue);
+        let (control_tx, control_rx) = channel::unbounded();
+        let overload = OverloadDetector::new(OverloadConfig {
+            queue_bound: config.shipper_queue as u64,
+            enter_depth: config.overload_enter_depth,
+            exit_depth: config.overload_exit_depth,
+            hold_down: config.overload_hold_down,
+        });
         let monitor_window = config.monitor_window;
         let dedup_window = config.dedup_window;
         let hello_interval = config.hello_interval;
@@ -1043,6 +1266,10 @@ impl OverlayNode {
             senders: Mutex::new(Vec::new()),
             frame_pool: Mutex::new(BufferPool::default()),
             shipper_tx,
+            control_tx,
+            queued_data: AtomicU64::new(0),
+            overload: Mutex::new(overload),
+            scheme_params,
             shipment_order: AtomicU64::new(0),
             metrics: MetricsRegistry::new(journal_capacity),
             hello_seq: AtomicU64::new(0),
@@ -1062,7 +1289,7 @@ impl OverlayNode {
             .name(format!("dg-ship-{}", ship_shared.config.node))
             .spawn(move || {
                 run_supervised(&ship_shared, NodeThread::Shipper, || {
-                    shipper_loop(&ship_shared, &shipper_rx);
+                    shipper_loop(&ship_shared, &shipper_rx, &control_rx);
                 });
             })?;
 
@@ -1088,24 +1315,60 @@ impl OverlayHandle {
         self.shared.socket.local_addr().expect("bound socket has an address")
     }
 
-    /// Opens a sending session at this node for the scheme's flow.
+    /// Opens a sending session at this node for the scheme's flow, in
+    /// the default [`SlaClass::Timely`] service class.
     ///
     /// # Errors
     ///
     /// Returns [`OverlayError::UnknownNode`] when the scheme's flow does
-    /// not originate here.
+    /// not originate here, and [`OverlayError::AdmissionDenied`] when
+    /// the node is at its configured sender capacity.
     pub fn open_sender(
         &self,
         scheme: Box<dyn RoutingScheme>,
         requirement: ServiceRequirement,
     ) -> Result<FlowSender, OverlayError> {
+        self.open_sender_with_class(scheme, requirement, SlaClass::default())
+    }
+
+    /// Opens a sending session in an explicit SLA service class. The
+    /// class is stamped into every packet's wire prelude, decides the
+    /// shed band the flow's traffic is admitted against, and selects
+    /// the redundancy the node may downgrade to under overload (see
+    /// `docs/RESILIENCE.md`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::UnknownNode`] when the scheme's flow does
+    /// not originate here, and [`OverlayError::AdmissionDenied`] when
+    /// the node is at its configured sender capacity
+    /// ([`crate::NodeConfigBuilder::sender_capacity`]).
+    pub fn open_sender_with_class(
+        &self,
+        scheme: Box<dyn RoutingScheme>,
+        requirement: ServiceRequirement,
+        class: SlaClass,
+    ) -> Result<FlowSender, OverlayError> {
         if scheme.flow().source != self.node_id() {
             return Err(OverlayError::UnknownNode(scheme.flow().source));
         }
         let flow = scheme.flow();
-        let slot = Arc::new(Mutex::new(SchemeSlot::new(scheme, self.shared.graph.edge_count())));
-        self.shared.senders.lock().push(Arc::clone(&slot));
-        Ok(FlowSender::new(Arc::clone(&self.shared), slot, flow, requirement.deadline))
+        let mut senders = self.shared.senders.lock();
+        // Admission control: refuse work beyond the configured
+        // capacity instead of absorbing it and failing every class.
+        let capacity = self.shared.config.sender_capacity;
+        if senders.len() >= capacity {
+            return Err(OverlayError::AdmissionDenied { active: senders.len(), capacity });
+        }
+        let slot = Arc::new(Mutex::new(SchemeSlot::new(
+            scheme,
+            flow,
+            class,
+            self.shared.graph.edge_count(),
+        )));
+        senders.push(Arc::clone(&slot));
+        drop(senders);
+        Ok(FlowSender::new(Arc::clone(&self.shared), slot, flow, requirement.deadline, class))
     }
 
     /// Opens a receiving session for `flow`, which must terminate here.
@@ -1199,6 +1462,26 @@ impl OverlayHandle {
         self.shared.send_links.lock().values().map(|l| l.buffer.len()).sum()
     }
 
+    /// The node's current overload degradation level (0 = full
+    /// redundancy on every class; see `docs/RESILIENCE.md`).
+    pub fn overload_level(&self) -> u8 {
+        self.shared.overload.lock().level()
+    }
+
+    /// Data shipments currently queued toward the wire — the depth
+    /// signal the shed bands and the overload detector read.
+    pub fn outbound_queue_depth(&self) -> u64 {
+        self.shared.queued_data.load(Ordering::Relaxed)
+    }
+
+    /// Floods this node's outbound data queue with `shipments`
+    /// synthetic bulk-class shipments that evaporate (addressed to no
+    /// peer) after `dwell`: deterministic overload pressure for chaos
+    /// and soak tests, without touching the wire.
+    pub fn inject_overload(&self, shipments: usize, dwell: Duration) {
+        self.shared.inject_overload(shipments, dwell);
+    }
+
     /// Stops the node's threads and joins them.
     pub fn shutdown(mut self) {
         self.shared.running.store(false, Ordering::SeqCst);
@@ -1273,23 +1556,31 @@ fn receive_loop(shared: &Shared) {
     }
 }
 
-fn shipper_loop(shared: &Shared, rx: &Receiver<Shipment>) {
+fn shipper_loop(shared: &Shared, data_rx: &Receiver<Shipment>, control_rx: &Receiver<Shipment>) {
     let mut heap: std::collections::BinaryHeap<Shipment> = std::collections::BinaryHeap::new();
     loop {
         shared.beat(NodeThread::Shipper);
         shared.maybe_injected_panic(NodeThread::Shipper);
-        // Drain whatever has been queued.
-        loop {
-            match rx.try_recv() {
-                Ok(s) => heap.push(s),
-                Err(TryRecvError::Empty) => break,
-                Err(TryRecvError::Disconnected) => break,
+        // Drain whatever has been queued — the reserved control lane
+        // first, then data. Both land in the same departure heap; the
+        // lanes exist so saturating data can never *drop* control, not
+        // to reorder departures.
+        for rx in [control_rx, data_rx] {
+            loop {
+                match rx.try_recv() {
+                    Ok(s) => heap.push(s),
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => break,
+                }
             }
         }
         // Send everything due.
         let now = now_us();
         while heap.peek().is_some_and(|s| s.depart_at <= now) {
             let s = heap.pop().expect("peeked");
+            if s.class.is_some() {
+                shared.queued_data.fetch_sub(1, Ordering::Relaxed);
+            }
             if let Some(addr) = shared.config.peers.get(&s.to) {
                 let _ = shared.socket.send_to(&s.datagram, addr);
             }
@@ -1305,7 +1596,7 @@ fn shipper_loop(shared: &Shared, rx: &Receiver<Shipment>) {
                 Duration::from_micros(s.depart_at.saturating_sub(now_us()).as_micros().min(5_000))
             })
             .unwrap_or(Duration::from_millis(2));
-        if let Ok(s) = rx.recv_timeout(nap) {
+        if let Ok(s) = data_rx.recv_timeout(nap) {
             heap.push(s);
         }
     }
@@ -1322,6 +1613,7 @@ fn ticker_loop(shared: &Shared) {
         shared.maybe_injected_panic(NodeThread::Ticker);
         shared.send_hellos();
         let now = now_us();
+        shared.observe_overload(now);
         shared.retransmit_pending_lsas(now);
         shared.rerequest_nacks(now);
         if last_ls.elapsed() >= ls_every {

@@ -7,7 +7,7 @@ use crate::OverlayError;
 use bytes::Bytes;
 use crossbeam::channel::Receiver;
 use dg_core::scheme::RoutingScheme;
-use dg_core::{DisseminationGraph, Flow};
+use dg_core::{DisseminationGraph, Flow, SlaClass};
 use dg_topology::Micros;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -89,30 +89,68 @@ impl DeliveryStats {
 }
 
 /// The per-sender routing state: the live scheme plus its current
-/// dissemination graph pre-encoded as a wire bitmask.
+/// dissemination graph pre-encoded as a wire bitmask, and — under
+/// overload — a cheaper override mask that temporarily replaces it.
 pub(crate) struct SchemeSlot {
     pub(crate) scheme: Box<dyn RoutingScheme>,
+    pub(crate) flow: Flow,
+    pub(crate) class: SlaClass,
     mask: Bytes,
+    /// Downgraded dissemination mask applied while the node is
+    /// overloaded; `None` means the scheme's full graph is in force.
+    downgrade: Option<Bytes>,
+    /// The overload level the current downgrade was computed at (0
+    /// when no downgrade is active), so re-applying the same level is
+    /// a no-op.
+    pub(crate) downgrade_level: u8,
 }
 
 impl SchemeSlot {
-    pub(crate) fn new(scheme: Box<dyn RoutingScheme>, edge_count: usize) -> Self {
+    pub(crate) fn new(
+        scheme: Box<dyn RoutingScheme>,
+        flow: Flow,
+        class: SlaClass,
+        edge_count: usize,
+    ) -> Self {
         let mask = Bytes::from(scheme.current().to_bitmask(edge_count));
-        SchemeSlot { scheme, mask }
+        SchemeSlot { scheme, flow, class, mask, downgrade: None, downgrade_level: 0 }
     }
 
     pub(crate) fn refresh_mask(&mut self, edge_count: usize) {
         self.mask = Bytes::from(self.scheme.current().to_bitmask(edge_count));
     }
 
+    /// Replaces the stamped mask with a downgraded graph (overload).
+    pub(crate) fn set_downgrade(&mut self, mask: Bytes, level: u8) {
+        self.downgrade = Some(mask);
+        self.downgrade_level = level;
+    }
+
+    /// Restores the scheme's full graph.
+    pub(crate) fn clear_downgrade(&mut self) {
+        self.downgrade = None;
+        self.downgrade_level = 0;
+    }
+
+    pub(crate) fn is_downgraded(&self) -> bool {
+        self.downgrade.is_some()
+    }
+
     fn mask(&self) -> Bytes {
-        self.mask.clone()
+        match &self.downgrade {
+            Some(mask) => mask.clone(),
+            None => self.mask.clone(),
+        }
     }
 }
 
 impl std::fmt::Debug for SchemeSlot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SchemeSlot").field("scheme", &self.scheme.kind()).finish()
+        f.debug_struct("SchemeSlot")
+            .field("scheme", &self.scheme.kind())
+            .field("class", &self.class)
+            .field("downgraded", &self.downgrade.is_some())
+            .finish()
     }
 }
 
@@ -123,6 +161,7 @@ pub struct FlowSender {
     slot: Arc<Mutex<SchemeSlot>>,
     flow: Flow,
     deadline: Micros,
+    class: SlaClass,
     next_seq: AtomicU64,
     /// This flow's metrics cells, resolved once so the hot send path
     /// skips the registry lookup.
@@ -134,6 +173,7 @@ impl std::fmt::Debug for FlowSender {
         f.debug_struct("FlowSender")
             .field("flow", &self.flow)
             .field("deadline", &self.deadline)
+            .field("class", &self.class)
             .finish()
     }
 }
@@ -144,14 +184,26 @@ impl FlowSender {
         slot: Arc<Mutex<SchemeSlot>>,
         flow: Flow,
         deadline: Micros,
+        class: SlaClass,
     ) -> Self {
         let cells = shared.metrics.flow(flow);
-        FlowSender { shared, slot, flow, deadline, next_seq: AtomicU64::new(0), cells }
+        FlowSender { shared, slot, flow, deadline, class, next_seq: AtomicU64::new(0), cells }
     }
 
     /// The flow this session sends on.
     pub fn flow(&self) -> Flow {
         self.flow
+    }
+
+    /// The SLA class stamped onto this session's packets.
+    pub fn class(&self) -> SlaClass {
+        self.class
+    }
+
+    /// True while the node has replaced this flow's dissemination graph
+    /// with a cheaper one under overload (see `docs/RESILIENCE.md`).
+    pub fn is_downgraded(&self) -> bool {
+        self.slot.lock().is_downgraded()
     }
 
     /// Sends one application packet; returns its flow sequence number.
@@ -173,6 +225,7 @@ impl FlowSender {
             deadline: self.deadline,
             link_seq: 0, // assigned per link at transmission
             retransmission: false,
+            class: self.class,
             mask: self.slot.lock().mask(),
             payload: Bytes::copy_from_slice(payload),
         };
@@ -217,6 +270,7 @@ impl FlowSender {
                 deadline: self.deadline,
                 link_seq: 0, // assigned per link at transmission
                 retransmission: false,
+                class: self.class,
                 mask: mask.clone(),
                 payload: Bytes::copy_from_slice(p),
             })

@@ -43,6 +43,14 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedMap<K, V> {
         self.shard(key).lock().get(key).cloned()
     }
 
+    /// Applies `f` to the value for `key` under the shard lock, or
+    /// returns `None` when the key is absent. Unlike [`ShardedMap::get`]
+    /// this never clones the value — the per-packet delivery path uses
+    /// it to reach a receiver's channel without refcount traffic.
+    pub fn with<R>(&self, key: &K, f: impl FnOnce(&V) -> R) -> Option<R> {
+        self.shard(key).lock().get(key).map(f)
+    }
+
     /// Returns the value for `key`, inserting `make()` first if absent.
     pub fn get_or_insert_with(&self, key: &K, make: impl FnOnce() -> V) -> V {
         let mut shard = self.shard(key).lock();

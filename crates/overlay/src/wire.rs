@@ -22,15 +22,17 @@
 
 use crate::OverlayError;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use dg_core::Flow;
+use dg_core::{Flow, SlaClass};
 use dg_topology::{EdgeId, Micros, NodeId};
 
 /// First byte of every overlay datagram.
 pub const MAGIC: u8 = 0xDC;
 /// Wire protocol version. Version 2 added the prelude checksum, the
 /// link-state origin epoch, and per-entry link-down flags; version 3
-/// added batched data frames and the word-folded checksum.
-pub const VERSION: u8 = 3;
+/// added batched data frames and the word-folded checksum; version 4
+/// turned the data-body retransmission byte into a flags byte carrying
+/// the SLA service class (bits 1–2).
+pub const VERSION: u8 = 4;
 /// Maximum application payload per packet, chosen to keep the whole
 /// datagram under a typical 1500-byte MTU.
 pub const MAX_PAYLOAD: usize = 1200;
@@ -127,6 +129,9 @@ pub struct DataPacket {
     pub link_seq: u64,
     /// True for hop-by-hop retransmissions (they are not recovered again).
     pub retransmission: bool,
+    /// The flow's SLA service class, stamped by the source and carried
+    /// end to end so every hop sheds in the same priority order.
+    pub class: SlaClass,
     /// Dissemination-graph edge bitmask (LSB-first over dense edge ids).
     pub mask: Bytes,
     /// Application payload.
@@ -186,9 +191,15 @@ const T_LSA_ACK: u8 = 6;
 const T_DIGEST: u8 = 7;
 
 /// Fixed part of a data body: flow (8), flow_seq (8), sent_at (8),
-/// deadline (8), link_seq (8), retransmission flag (1), mask length
-/// (2), payload length (2).
+/// deadline (8), link_seq (8), flags (1), mask length (2), payload
+/// length (2).
 const DATA_FIXED_LEN: usize = 45;
+
+/// Bit 0 of a data body's flags byte: hop-by-hop retransmission.
+const FLAG_RETRANSMISSION: u8 = 0x01;
+/// Bits 1–2 of a data body's flags byte: the SLA class.
+const CLASS_SHIFT: u8 = 1;
+const CLASS_MASK: u8 = 0b0000_0110;
 
 /// Byte offset of the prelude checksum field.
 const CHECKSUM_OFFSET: usize = 7;
@@ -272,7 +283,7 @@ fn put_data_body<B: BufMut>(buf: &mut B, d: &DataPacket, link_seq: u64) {
     buf.put_u64(d.sent_at.as_micros());
     buf.put_u64(d.deadline.as_micros());
     buf.put_u64(link_seq);
-    buf.put_u8(u8::from(d.retransmission));
+    buf.put_u8((d.class.to_bits() << CLASS_SHIFT) | u8::from(d.retransmission));
     buf.put_u16(d.mask.len() as u16);
     buf.put_slice(&d.mask);
     buf.put_u16(d.payload.len() as u16);
@@ -337,7 +348,13 @@ fn decode_data_body(
     let sent_at = Micros::from_micros(buf.get_u64());
     let deadline = Micros::from_micros(buf.get_u64());
     let link_seq = buf.get_u64();
-    let retransmission = buf.get_u8() != 0;
+    let flags = buf.get_u8();
+    if flags & !(FLAG_RETRANSMISSION | CLASS_MASK) != 0 {
+        return Err(OverlayError::Malformed("unknown data flags"));
+    }
+    let retransmission = flags & FLAG_RETRANSMISSION != 0;
+    let class = SlaClass::from_bits((flags & CLASS_MASK) >> CLASS_SHIFT)
+        .ok_or(OverlayError::Malformed("reserved sla class bits"))?;
     let mask_len = buf.get_u16() as usize;
     if buf.remaining() < mask_len + 2 {
         return Err(OverlayError::Malformed("short mask"));
@@ -350,7 +367,17 @@ fn decode_data_body(
     }
     let payload = materialize.take(datagram, datagram.len() - buf.remaining(), payload_len);
     buf.advance(payload_len);
-    Ok(DataPacket { flow, flow_seq, sent_at, deadline, link_seq, retransmission, mask, payload })
+    Ok(DataPacket {
+        flow,
+        flow_seq,
+        sent_at,
+        deadline,
+        link_seq,
+        retransmission,
+        class,
+        mask,
+        payload,
+    })
 }
 
 fn decode_with(datagram: &[u8], materialize: Materialize<'_>) -> Result<Envelope, OverlayError> {
@@ -605,6 +632,7 @@ mod tests {
                 deadline: Micros::from_millis(65),
                 link_seq: 99,
                 retransmission: false,
+                class: SlaClass::Surgical,
                 mask: Bytes::from_static(&[0b1010_0001, 0x00, 0xff]),
                 payload: Bytes::from_static(b"hello world"),
             }),
@@ -769,6 +797,7 @@ mod tests {
                 deadline: Micros::from_millis(65),
                 link_seq: 500 + i as u64,
                 retransmission: i % 2 == 1,
+                class: SlaClass::ALL[i % SlaClass::ALL.len()],
                 mask: Bytes::from_static(&[0b0000_0011]),
                 payload: Bytes::copy_from_slice(format!("payload-{i}").as_bytes()),
             })
@@ -831,6 +860,40 @@ mod tests {
                 "{env:?}"
             );
         }
+    }
+
+    #[test]
+    fn sla_class_round_trips_in_flags_byte() {
+        for class in SlaClass::ALL {
+            for retransmission in [false, true] {
+                let mut env = sample_data();
+                let Message::Data(d) = &mut env.message else { unreachable!() };
+                d.class = class;
+                d.retransmission = retransmission;
+                let bytes = env.encode();
+                let Envelope { message: Message::Data(back), .. } =
+                    Envelope::decode(&bytes).unwrap()
+                else {
+                    panic!("data decodes as data")
+                };
+                assert_eq!(back.class, class);
+                assert_eq!(back.retransmission, retransmission);
+            }
+        }
+    }
+
+    #[test]
+    fn reserved_class_bits_are_rejected() {
+        // The flags byte sits after the prelude and the five fixed u64/
+        // u32 fields of the data body.
+        const FLAGS_OFFSET: usize = PRELUDE_LEN + 4 + 4 + 8 + 8 + 8 + 8;
+        let mut bytes = sample_data().encode().to_vec();
+        bytes[FLAGS_OFFSET] = 0b0000_0110; // class bits = 3 (reserved)
+        seal(&mut bytes, 0);
+        assert!(Envelope::decode(&bytes).is_err(), "reserved class bits must not decode");
+        bytes[FLAGS_OFFSET] = 0b0000_1000; // unknown high flag bit
+        seal(&mut bytes, 0);
+        assert!(Envelope::decode(&bytes).is_err(), "unknown flag bits must not decode");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! round-trip arbitrary well-formed messages.
 
 use bytes::{Bytes, BytesMut};
-use dg_core::Flow;
+use dg_core::{Flow, SlaClass};
 use dg_overlay::pool::BufferPool;
 use dg_overlay::wire::{
     DataPacket, DigestEntry, Envelope, LinkStateEntry, LinkStateUpdate, Message,
@@ -20,16 +20,18 @@ fn arb_packet() -> impl Strategy<Value = DataPacket> {
         0u64..1_000_000_000,
         any::<u64>(),
         any::<bool>(),
+        0u8..3,
         proptest::collection::vec(any::<u8>(), 0..16),
         proptest::collection::vec(any::<u8>(), 0..64),
     )
-        .prop_map(|(s, d, seq, sent, dl, lseq, retx, mask, payload)| DataPacket {
+        .prop_map(|(s, d, seq, sent, dl, lseq, retx, class, mask, payload)| DataPacket {
             flow: Flow::new(NodeId::new(s), NodeId::new(d)),
             flow_seq: seq,
             sent_at: Micros::from_micros(sent),
             deadline: Micros::from_micros(dl),
             link_seq: lseq,
             retransmission: retx,
+            class: SlaClass::from_bits(class).expect("0..3 are the assigned class patterns"),
             mask: Bytes::from(mask),
             payload: Bytes::from(payload),
         })

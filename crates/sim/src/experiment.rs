@@ -3,7 +3,7 @@
 use crate::metrics::{gap_coverage, FlowRunStats};
 use crate::playback::{run_flow, PlaybackConfig};
 use dg_core::scheme::{SchemeKind, SchemeParams};
-use dg_core::{build_scheme_cached, CoreError, Flow, GraphCache, ServiceRequirement};
+use dg_core::{build_scheme_cached, CoreError, Flow, GraphCache, ServiceRequirement, SlaClass};
 use dg_topology::{Graph, NodeId};
 use dg_trace::TraceSet;
 use serde::{Deserialize, Serialize};
@@ -192,6 +192,45 @@ pub fn run_comparison(
     Ok(out)
 }
 
+/// Evaluates each SLA service class under its own scheme preference
+/// and deadline budget — bulk on a dynamic single path at 250 ms,
+/// timely on two disjoint paths at 100 ms, surgical on a targeted
+/// graph at 65 ms — over identical traces. This is the simulator-side
+/// counterpart of the overlay's per-class bindings: it sizes, offline,
+/// what each class's redundancy budget buys in timeliness, the numbers
+/// an operator needs before writing an `--sla-json` plan.
+///
+/// # Errors
+///
+/// Propagates scheme-construction failures (e.g. a flow without two
+/// disjoint paths).
+pub fn run_sla_comparison(
+    topology: &Graph,
+    traces: &TraceSet,
+    flows: &[(NodeId, NodeId)],
+    config: &ExperimentConfig,
+) -> Result<Vec<(SlaClass, SchemeAggregate)>, CoreError> {
+    let cache = GraphCache::new(topology.clone(), config.scheme_params);
+    let mut out = Vec::with_capacity(SlaClass::ALL.len());
+    for class in SlaClass::ALL {
+        let requirement = class.requirement();
+        let kind = class.preferred_scheme();
+        let playback = PlaybackConfig { deadline: requirement.deadline, ..config.playback };
+        let mut per_flow = Vec::with_capacity(flows.len());
+        for &(s, t) in flows {
+            let flow = Flow::new(s, t);
+            let mut scheme = build_scheme_cached(kind, &cache, flow, requirement)?;
+            per_flow.push(run_flow(topology, traces, scheme.as_mut(), &playback));
+        }
+        let mut totals = per_flow[0];
+        for f in &per_flow[1..] {
+            totals.merge(f);
+        }
+        out.push((class, SchemeAggregate { kind, totals, per_flow }));
+    }
+    Ok(out)
+}
+
 /// Like [`run_comparison`], fanning the per-(scheme, flow) runs out
 /// over `threads` worker threads. Results are bit-identical to the
 /// serial version (loss draws are a pure function of the event
@@ -365,6 +404,27 @@ mod tests {
         for a in &aggs {
             assert!(single.average_cost() <= a.average_cost() + 1e-9);
         }
+    }
+
+    #[test]
+    fn sla_comparison_binds_each_class_to_its_scheme() {
+        let (g, traces, flows) = tiny_experiment();
+        let config = ExperimentConfig {
+            playback: PlaybackConfig { packets_per_second: 10, ..Default::default() },
+            ..Default::default()
+        };
+        let aggs = run_sla_comparison(&g, &traces, &flows, &config).unwrap();
+        assert_eq!(aggs.len(), SlaClass::ALL.len());
+        for (class, agg) in &aggs {
+            assert_eq!(agg.kind, class.preferred_scheme());
+            assert_eq!(agg.per_flow.len(), flows.len());
+        }
+        // The classes spend strictly increasing redundancy budgets.
+        let cost = |c: SlaClass| {
+            aggs.iter().find(|(k, _)| *k == c).map(|(_, a)| a.average_cost()).unwrap()
+        };
+        assert!(cost(SlaClass::Bulk) <= cost(SlaClass::Timely) + 1e-9);
+        assert!(cost(SlaClass::Timely) <= cost(SlaClass::Surgical) + 1e-9);
     }
 
     #[test]

@@ -1,14 +1,21 @@
 //! Replay a seeded chaos storm against a live localhost overlay and
 //! watch it degrade gracefully: bursty loss, duplication, corruption,
-//! a blackholed link, and a node crash/restart, followed by a settle
-//! window where delivery recovers.
+//! a blackholed link, a node crash/restart, and queue-overload bursts
+//! that trip the SLA shedding machinery, followed by a settle window
+//! where delivery recovers.
 //!
 //! Run with: `cargo run --release --example chaos_demo`
 
 use dissemination_graphs::overlay::chaos::{ChaosProfile, ChaosRunner, ChaosSchedule};
 use dissemination_graphs::overlay::cluster::{Cluster, ClusterConfig};
+use dissemination_graphs::overlay::metrics::{ClusterMetricsReport, EventKind};
 use dissemination_graphs::prelude::*;
 use std::time::{Duration, Instant};
+
+/// Journal entries matching `pred`, summed across every live node.
+fn count_events(report: &ClusterMetricsReport, pred: impl Fn(&EventKind) -> bool) -> usize {
+    report.nodes.iter().flat_map(|n| &n.events).filter(|e| pred(&e.kind)).count()
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let graph = topology::presets::north_america_12();
@@ -19,18 +26,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             hello_interval: Duration::from_millis(25),
             link_state_interval: Duration::from_millis(100),
             fault_seed: 7,
+            // Small enough that the storm's overload bursts actually
+            // cross the class shed bands (256/384/512 here).
+            shipper_queue: 512,
+            overload_hold_down: Duration::from_millis(300),
             ..ClusterConfig::default()
         },
     )?;
     assert!(cluster.wait_for_link_state(Duration::from_secs(5)));
 
     let rx = cluster.open_receiver(flow)?;
-    let tx =
-        cluster.open_sender(flow, SchemeKind::TargetedRedundancy, ServiceRequirement::default())?;
+    // Surgical class: targeted redundancy, the 65 ms deadline, and the
+    // last spot in the shed order when an overload burst lands.
+    let tx = cluster.open_sla_sender(flow, SlaClass::Surgical)?;
 
     // A deterministic storm: same seed, same schedule, every time. The
     // flow's endpoints are protected from crashes.
-    let profile = ChaosProfile::default();
+    let profile = ChaosProfile { overload_events: 2, ..ChaosProfile::default() };
     let schedule = ChaosSchedule::generate(
         7,
         graph.edge_count(),
@@ -68,6 +80,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.totals.malformed,
         report.totals.queue_drops,
         report.totals.links_declared_down,
+    );
+    println!(
+        "overload: shed bulk {} / timely {} / surgical {} | episodes entered {} exited {} downgrades {}",
+        report.totals.shed_bulk,
+        report.totals.shed_timely,
+        report.totals.shed_surgical,
+        count_events(&report, |k| matches!(k, EventKind::OverloadEnter { .. })),
+        count_events(&report, |k| matches!(k, EventKind::OverloadExit { .. })),
+        count_events(&report, |k| matches!(k, EventKind::ClassDowngraded { .. })),
     );
     let fr = report.flow(flow).expect("flow was active");
     println!(

@@ -46,6 +46,7 @@ pub use dg_trace as trace;
 
 // The workhorse types, liftable without spelling out the sub-crate.
 pub use dg_core::scheme::SchemeKind;
+pub use dg_core::SlaClass;
 pub use dg_overlay::chaos::ChaosSchedule;
 pub use dg_overlay::cluster::Cluster;
 pub use dg_overlay::metrics::MetricsSnapshot;
@@ -54,7 +55,7 @@ pub use dg_overlay::{NodeConfig, NodeConfigBuilder, OverlayHandle};
 /// The types most programs need, importable in one line.
 pub mod prelude {
     pub use dg_core::scheme::{build_scheme, RoutingScheme, SchemeKind, SchemeParams};
-    pub use dg_core::{DisseminationGraph, Flow, ServiceRequirement};
+    pub use dg_core::{DisseminationGraph, Flow, ServiceRequirement, SlaClass};
     pub use dg_overlay::chaos::ChaosSchedule;
     pub use dg_overlay::cluster::{Cluster, ClusterConfig};
     pub use dg_overlay::metrics::MetricsSnapshot;

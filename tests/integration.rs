@@ -171,6 +171,7 @@ fn wire_mask_agrees_with_dissemination_graph() {
         deadline: Micros::from_millis(65),
         link_seq: 0,
         retransmission: false,
+        class: SlaClass::Surgical,
         mask: bytes::Bytes::from(dg.to_bitmask(graph.edge_count())),
         payload: bytes::Bytes::from_static(b"x"),
     };
