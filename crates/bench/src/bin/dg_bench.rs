@@ -9,6 +9,12 @@
 //! * **sim** — trace playback of the two most expensive routing schemes
 //!   over the evaluation topology; reports simulated packets per
 //!   wall-clock second.
+//! * **sim-parallel** (`--parallel` or `--only sim-parallel`) — the
+//!   same replay fanned out over a batch of flow×scheme jobs, run once
+//!   serially and once on the worker-pool `run_flows` path; reports
+//!   both throughputs, the speedup, and whether the parallel results
+//!   were byte-identical to the serial ones (they must be — a mismatch
+//!   fails the bench even without `--check`).
 //! * **overload** (`--overload` or `--only overload`) — a cluster
 //!   driven past its outbound queue bound with synthetic bulk
 //!   pressure; reports the surgical class's on-time fraction, the
@@ -24,8 +30,8 @@
 //! throughput band.
 //!
 //! Usage: `cargo run --release -p dg-bench --bin dg-bench --
-//! [--quick] [--only forwarding|sim|overload] [--overload]
-//! [--topo us|global|ring|waxman] [--nodes N]
+//! [--quick] [--only forwarding|sim|sim-parallel|overload]
+//! [--overload] [--parallel] [--topo us|global|ring|waxman] [--nodes N]
 //! [--check docs/bench_baseline]`
 //!
 //! `--topo`/`--nodes` swap the sim bench's topology for a generated
@@ -37,7 +43,7 @@ use dg_bench::{topo_cli, topo_from_matches};
 use dg_core::scheme::{build_scheme, SchemeKind, SchemeParams};
 use dg_core::{Flow, ServiceRequirement};
 use dg_overlay::cluster::{Cluster, ClusterConfig};
-use dg_sim::{run_flow, LatencyHistogram, PlaybackConfig};
+use dg_sim::{run_flow, run_flows, FlowJob, LatencyHistogram, PlaybackConfig};
 use dg_topology::generate::TopoSpec;
 use dg_topology::{GraphBuilder, Micros};
 use dg_trace::gen::{self, SyntheticWanConfig};
@@ -84,6 +90,32 @@ struct SimResult {
     packets: u64,
     wall_secs: f64,
     packets_per_sec: f64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct SimParallelResult {
+    bench: String,
+    schema_version: u32,
+    mode: String,
+    #[serde(default)]
+    topo: String,
+    trace_seconds: u64,
+    rate: u32,
+    /// Cores the host reported at run time; the speedup gate only
+    /// applies when this is ≥ 2 (a single-core box cannot speed up).
+    cores: usize,
+    /// Worker threads the parallel leg actually used.
+    threads: usize,
+    jobs: usize,
+    packets: u64,
+    serial_wall_secs: f64,
+    serial_packets_per_sec: f64,
+    parallel_wall_secs: f64,
+    parallel_packets_per_sec: f64,
+    speedup: f64,
+    /// Whether the parallel results were byte-identical to the serial
+    /// ones. Anything but `true` is a correctness failure.
+    identical: bool,
 }
 
 #[derive(Debug, Serialize, Deserialize)]
@@ -330,6 +362,68 @@ fn sim_bench(trace_secs: u64, rate: u32, mode: &str, spec: &TopoSpec) -> SimResu
     }
 }
 
+/// Fans the sim bench out: a batch of flow×scheme jobs replayed once
+/// on the serial `run_flows(.., 1)` path and once on the worker pool
+/// (`threads = min(cores, jobs)`), timing both and comparing the
+/// `FlowRunStats` for byte equality. The batch uses the topology's
+/// default flow set so the jobs are heterogeneous — exactly the load
+/// shape the pull-based job queue has to balance.
+fn sim_parallel_bench(
+    trace_secs: u64,
+    rate: u32,
+    mode: &str,
+    spec: &TopoSpec,
+) -> SimParallelResult {
+    let g = spec.build();
+    let mut cfg = SyntheticWanConfig::calibrated(2017);
+    cfg.duration = Micros::from_secs(trace_secs);
+    let traces = gen::generate(&g, &cfg);
+    let flows = spec.default_flows(&g, 8);
+    let deadline = spec.default_deadline(&g, &flows);
+    let jobs: Vec<FlowJob> = [SchemeKind::TargetedRedundancy, SchemeKind::TimeConstrainedFlooding]
+        .into_iter()
+        .flat_map(|kind| {
+            flows.iter().map(move |&(s, t)| FlowJob {
+                kind,
+                flow: Flow::new(s, t),
+                requirement: ServiceRequirement::new(deadline),
+            })
+        })
+        .collect();
+    let config = PlaybackConfig { packets_per_second: rate, deadline, ..PlaybackConfig::default() };
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads = cores.min(jobs.len()).max(1);
+
+    let start = Instant::now();
+    let serial = run_flows(&g, &traces, &jobs, &config, 1).expect("flows are routable");
+    let serial_wall = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let parallel = run_flows(&g, &traces, &jobs, &config, threads).expect("flows are routable");
+    let parallel_wall = start.elapsed().as_secs_f64();
+
+    let packets: u64 = serial.iter().map(|s| s.packets_sent).sum();
+    SimParallelResult {
+        bench: "sim_parallel".to_string(),
+        schema_version: SCHEMA_VERSION,
+        mode: mode.to_string(),
+        topo: spec.label(),
+        trace_seconds: trace_secs,
+        rate,
+        cores,
+        threads,
+        jobs: jobs.len(),
+        packets,
+        serial_wall_secs: serial_wall,
+        serial_packets_per_sec: packets as f64 / serial_wall,
+        parallel_wall_secs: parallel_wall,
+        parallel_packets_per_sec: packets as f64 / parallel_wall,
+        speedup: serial_wall / parallel_wall,
+        identical: serial == parallel,
+    }
+}
+
 fn write_result<T: Serialize>(dir: &Path, name: &str, result: &T) -> PathBuf {
     std::fs::create_dir_all(dir).expect("output directory is creatable");
     let path = dir.join(format!("BENCH_{name}.json"));
@@ -363,12 +457,13 @@ fn main() {
     let cli = topo_cli(Cli::new("dg-bench", "hot-path performance harness (forwarding + sim)"))
         .switch("quick", "abbreviated CI-smoke run (1s forwarding, 20s trace)")
         .switch("overload", "also run the overload-resilience scenario")
+        .switch("parallel", "also run the parallel-simulator scaling scenario")
         .flag_default("seconds", "N", "forwarding bench duration", "5")
         .flag_default("payload", "BYTES", "application payload size", "512")
         .flag_default("batch", "N", "application packets per send_batch call", "32")
         .flag_default("sim-seconds", "N", "simulated trace duration", "60")
         .flag_default("rate", "PPS", "sim application packet rate", "2000")
-        .flag("only", "forwarding|sim|overload", "run a single bench")
+        .flag("only", "forwarding|sim|sim-parallel|overload", "run a single bench")
         .flag("out", "DIR", "output directory (default: results/)")
         .flag("check", "DIR", "compare against baseline BENCH_*.json in DIR")
         .flag_default("tolerance", "F", "allowed throughput regression for --check", "0.2");
@@ -388,11 +483,11 @@ fn main() {
     let tolerance: f64 = matches.get_or("tolerance", 0.2).unwrap_or_else(|e| cli.exit_with(&e));
     let only = matches.value("only");
     if let Some(o) = only {
-        if o != "forwarding" && o != "sim" && o != "overload" {
+        if o != "forwarding" && o != "sim" && o != "sim-parallel" && o != "overload" {
             cli.exit_with(&dg_bench::cli::CliError::BadValue {
                 flag: "only".to_string(),
                 value: o.to_string(),
-                expected: "forwarding, sim, or overload",
+                expected: "forwarding, sim, sim-parallel, or overload",
             });
         }
     }
@@ -416,6 +511,31 @@ fn main() {
             r.packets, r.wall_secs, r.packets_per_sec
         );
         write_result(&out_dir, "sim", &r);
+        r
+    });
+    let sim_parallel = (matches.is_set("parallel") || only == Some("sim-parallel")).then(|| {
+        let r = sim_parallel_bench(sim_secs, rate, mode, &spec);
+        println!(
+            "sim-parallel: {} packets over {} jobs, serial {:.0} pps, {} threads {:.0} pps \
+             ({:.2}x on {} cores), identical: {}",
+            r.packets,
+            r.jobs,
+            r.serial_packets_per_sec,
+            r.threads,
+            r.parallel_packets_per_sec,
+            r.speedup,
+            r.cores,
+            r.identical
+        );
+        write_result(&out_dir, "sim_parallel", &r);
+        // Byte-identity is a correctness invariant, not a performance
+        // band: a divergence fails the run even without --check.
+        if !r.identical {
+            eprintln!(
+                "REGRESSION sim-parallel: worker-pool results diverged from the serial replay"
+            );
+            std::process::exit(1);
+        }
         r
     });
     let overload = (matches.is_set("overload") || only == Some("overload")).then(|| {
@@ -458,6 +578,43 @@ fn main() {
             },
             None => failures
                 .push(format!("no readable baseline at {}/BENCH_sim.json", baseline_dir.display())),
+        }
+    }
+    if let Some(current) = sim_parallel {
+        // The single-thread leg must not regress: the worker-pool
+        // machinery is free when threads == 1.
+        match load_json::<SimParallelResult>(&baseline_dir.join("BENCH_sim_parallel.json")) {
+            Some(base) => match check_metric(
+                "sim-parallel serial packets/sec",
+                base.serial_packets_per_sec,
+                current.serial_packets_per_sec,
+                tolerance,
+            ) {
+                Ok(line) => println!("check {line}"),
+                Err(line) => failures.push(line),
+            },
+            None => failures.push(format!(
+                "no readable baseline at {}/BENCH_sim_parallel.json",
+                baseline_dir.display()
+            )),
+        }
+        // The speedup gate is absolute, not baseline-relative: on a
+        // multi-core host the pool must actually scale. A 2-3 core
+        // runner cannot hit 2x (2.0 is its theoretical ceiling), so it
+        // gets a softer floor; a single core skips the gate entirely.
+        if current.cores >= 2 {
+            let floor = if current.cores >= 4 { 2.0 } else { 1.5 };
+            let line = format!(
+                "sim-parallel speedup: {:.2}x on {} cores (floor {floor:.1}x)",
+                current.speedup, current.cores
+            );
+            if current.speedup < floor {
+                failures.push(format!("{line} — parallel run_flows is not scaling"));
+            } else {
+                println!("check {line}");
+            }
+        } else {
+            println!("check sim-parallel speedup: skipped on a single-core host");
         }
     }
     if let Some(current) = overload {

@@ -14,58 +14,12 @@ use dg_sim::experiment::{ExperimentConfig, SchemeAggregate};
 use dg_topology::generate::TopoSpec;
 use dg_topology::{Graph, Micros, NodeId};
 use dg_trace::gen::{self, SyntheticWanConfig};
-use std::collections::HashMap;
 use std::fs;
 use std::path::PathBuf;
 
 /// The shared command-line toolkit (re-exported so binaries depend on
 /// one crate): [`cli::Cli`], [`cli::Matches`], [`cli::CliError`].
 pub use dg_cli as cli;
-
-/// Simple `--key value` argument parser for the experiment binaries.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the shared declarative parser: `Experiment::cli(..)` / `dg_bench::cli::Cli` \
-            give uniform --help and typed errors instead of panics"
-)]
-#[derive(Debug, Clone)]
-pub struct Args {
-    values: HashMap<String, String>,
-}
-
-#[allow(deprecated)]
-impl Args {
-    /// Parses the process arguments; `--key value` pairs only.
-    pub fn from_env() -> Self {
-        let mut values = HashMap::new();
-        let mut argv = std::env::args().skip(1);
-        while let Some(key) = argv.next() {
-            if let Some(name) = key.strip_prefix("--") {
-                if let Some(value) = argv.next() {
-                    values.insert(name.to_string(), value);
-                }
-            }
-        }
-        Args { values }
-    }
-
-    /// Returns the parsed value for `key`, or `default`.
-    ///
-    /// # Panics
-    ///
-    /// Panics with a clear message when the value does not parse.
-    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T
-    where
-        T::Err: std::fmt::Debug,
-    {
-        match self.values.get(key) {
-            Some(v) => {
-                v.parse().unwrap_or_else(|e| panic!("invalid value for --{key}: {v:?} ({e:?})"))
-            }
-            None => default,
-        }
-    }
-}
 
 /// The standard experiment: the evaluation topology, its 16
 /// transcontinental flows, and the calibrated synthetic-WAN config.
@@ -153,55 +107,6 @@ impl Experiment {
             threads,
             trace_file,
         })
-    }
-
-    /// Builds the standard experiment from the legacy [`Args`] parser.
-    #[deprecated(
-        since = "0.2.0",
-        note = "declare flags with `Experiment::cli(..)` and build with \
-                `Experiment::from_matches(&cli.parse_env())`"
-    )]
-    #[allow(deprecated)]
-    pub fn from_args(args: &Args) -> Self {
-        let seconds_per_week: u64 = args.get("seconds", 1_800);
-        let weeks: u64 = args.get("weeks", 4);
-        let base_seed: u64 = args.get("seed", 2_017);
-        let rate: u32 = args.get("rate", 100);
-        let threshold: f64 = args.get("threshold", 1.0);
-        let which: String = args.get("topology", "us".to_string());
-        let (topology, flows, deadline) = match which.as_str() {
-            "us" => {
-                let t = dg_topology::presets::north_america_12();
-                let f = dg_topology::presets::transcontinental_flows(&t);
-                (t, f, Micros::from_millis(65))
-            }
-            "global" => {
-                let t = dg_topology::presets::global_16();
-                let f = dg_topology::presets::intercontinental_flows(&t);
-                (t, f, Micros::from_millis(110))
-            }
-            other => panic!("unknown --topology {other:?} (use us or global)"),
-        };
-        let mut config = ExperimentConfig::default();
-        config.playback.packets_per_second = rate;
-        config.playback.availability_threshold = threshold;
-        config.playback.deadline = deadline;
-        config.requirement.deadline = deadline;
-        let threads: usize =
-            args.get("threads", std::thread::available_parallelism().map_or(1, |n| n.get()));
-        let trace_file = {
-            let path: String = args.get("trace", String::new());
-            (!path.is_empty()).then(|| PathBuf::from(path))
-        };
-        Experiment {
-            topology,
-            flows,
-            seconds_per_week,
-            seeds: (0..weeks).map(|w| base_seed + w).collect(),
-            config,
-            threads,
-            trace_file,
-        }
     }
 
     /// The trace for one week: the recorded file when `--trace` was
@@ -350,19 +255,6 @@ mod tests {
         Experiment::cli("test", "test harness")
             .parse(args.iter().map(|s| s.to_string()))
             .expect("test arguments parse")
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_args_shim_still_works() {
-        let args = Args { values: HashMap::from([("rate".into(), "50".into())]) };
-        assert_eq!(args.get("rate", 100u32), 50);
-        assert_eq!(args.get("weeks", 4u64), 4);
-        let exp = Experiment::from_args(&Args { values: HashMap::new() });
-        let new = Experiment::from_matches(&matches(&[])).unwrap();
-        assert_eq!(exp.topology.node_count(), new.topology.node_count());
-        assert_eq!(exp.seeds, new.seeds);
-        assert_eq!(exp.config, new.config);
     }
 
     #[test]

@@ -35,7 +35,7 @@ fn quick_run_emits_schema_valid_results() {
     let _ = std::fs::remove_dir_all(&dir);
 
     let output = dg_bench()
-        .args(["--quick", "--out", dir.to_str().unwrap()])
+        .args(["--quick", "--parallel", "--out", dir.to_str().unwrap()])
         .output()
         .expect("dg-bench runs");
     assert!(
@@ -64,6 +64,28 @@ fn quick_run_emits_schema_valid_results() {
         assert!(as_num(field(&sim, key)).is_some(), "{key} must be numeric");
     }
     assert!(as_num(field(&sim, "packets_per_sec")).unwrap() > 0.0);
+
+    let par = read_json(&dir.join("BENCH_sim_parallel.json"));
+    assert_eq!(field(&par, "bench"), &Value::String("sim_parallel".into()));
+    assert_eq!(field(&par, "schema_version"), &Value::UInt(1));
+    for key in [
+        "trace_seconds",
+        "rate",
+        "cores",
+        "threads",
+        "jobs",
+        "packets",
+        "serial_wall_secs",
+        "serial_packets_per_sec",
+        "parallel_wall_secs",
+        "parallel_packets_per_sec",
+        "speedup",
+    ] {
+        assert!(as_num(field(&par, key)).is_some(), "{key} must be numeric");
+    }
+    // The harness exits nonzero on divergence, so a written file must
+    // say identical — but pin it anyway: it is the bench's contract.
+    assert_eq!(field(&par, "identical"), &Value::Bool(true));
 
     // A self-check against the numbers just produced always passes.
     let check = dg_bench()

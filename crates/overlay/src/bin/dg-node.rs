@@ -47,7 +47,7 @@
 use dg_cli::Cli;
 use dg_overlay::chaos::{ChaosAction, ChaosEvent, ChaosSchedule};
 use dg_overlay::session::FlowSender;
-use dg_overlay::{NodeConfig, OverlayHandle, OverlayNode, SlaPlan};
+use dg_overlay::{NodeConfig, OverlayHandle, OverlayNode, Runtime, SlaPlan};
 use dg_topology::{Graph, NodeId};
 use serde::Deserialize;
 use std::collections::HashMap;
@@ -83,6 +83,11 @@ fn cli() -> Cli {
         .flag("metrics-json", "PATH", "dump the metrics snapshot on shutdown ('-' for stdout)")
         .flag("chaos-json", "PATH", "replay a chaos schedule against this node's out-links")
         .flag("sla-json", "PATH", "open per-flow SLA-class sending sessions sourced at this node")
+        .flag(
+            "runtime",
+            "MODE",
+            "node runtime: 'threaded' (default), 'reactor', or 'reactor:N' with N workers",
+        )
 }
 
 fn main() {
@@ -106,7 +111,8 @@ fn main() {
     let metrics_json = matches.value("metrics-json").map(str::to_string);
     let chaos_json = matches.value("chaos-json").map(str::to_string);
     let sla_json = matches.value("sla-json").map(str::to_string);
-    run(config_path, run_secs, metrics_json, chaos_json, sla_json);
+    let runtime = matches.value("runtime").map(str::to_string);
+    run(config_path, run_secs, metrics_json, chaos_json, sla_json, runtime);
 }
 
 fn run(
@@ -115,6 +121,7 @@ fn run(
     metrics_json: Option<String>,
     chaos_json: Option<String>,
     sla_json: Option<String>,
+    runtime_descriptor: Option<String>,
 ) {
     let raw = std::fs::read_to_string(config_path)
         .unwrap_or_else(|e| panic!("cannot read {config_path}: {e}"));
@@ -153,12 +160,18 @@ fn run(
         .unwrap_or_default();
 
     let graph = Arc::new(graph);
-    let handle = OverlayNode::spawn(config, Arc::clone(&graph)).expect("node starts");
+    // --runtime beats DG_RUNTIME beats the threaded default.
+    let descriptor = runtime_descriptor
+        .or_else(|| std::env::var("DG_RUNTIME").ok())
+        .unwrap_or_else(|| "threaded".to_string());
+    let runtime = Runtime::from_descriptor(&descriptor);
+    let handle = OverlayNode::spawn_on(&runtime, config, Arc::clone(&graph)).expect("node starts");
     println!(
-        "dg-node {} listening on {} with {} peers",
+        "dg-node {} listening on {} with {} peers ({:?} runtime)",
         file.node,
         handle.local_addr(),
-        file.peers.len()
+        file.peers.len(),
+        runtime.mode()
     );
     // SLA plan: open (and hold) a class-appropriate sending session for
     // every flow sourced here, so admission, shed bands, and overload
@@ -219,6 +232,7 @@ fn run(
     }
     let snapshot = handle.metrics_snapshot();
     handle.shutdown();
+    runtime.shutdown();
     if let Some(path) = metrics_json {
         let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
         if path == "-" {

@@ -41,10 +41,11 @@ pub struct NodeConfig {
     /// default (a crashed origin must not freeze the database).
     pub link_state_max_age: Duration,
     /// Bound on the outgoing-shipment queue (datagrams); overflow is
-    /// dropped and counted in `queue_drops`.
+    /// dropped and counted in `shipper_drops` (plus the per-class
+    /// `shed_*` counter of the shed packet).
     pub shipper_queue: usize,
     /// Bound on each receiver session's delivery queue (packets);
-    /// overflow is dropped and counted in `queue_drops`.
+    /// overflow is dropped and counted in `delivery_drops`.
     pub delivery_queue: usize,
     /// Seed for the node's deterministic fault-injection RNG.
     pub fault_seed: u64,
@@ -95,18 +96,8 @@ pub struct NodeConfig {
 }
 
 impl NodeConfig {
-    /// A configuration with the defaults used by localhost clusters:
+    /// Starts a validated builder from the localhost-cluster defaults:
     /// 50 ms hellos, 20-hello loss windows, 200 ms link-state refresh.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use NodeConfig::builder(node, listen), which validates the \
-                configuration before the node spawns"
-    )]
-    pub fn new(node: NodeId, listen: SocketAddr) -> Self {
-        NodeConfigBuilder::defaults(node, listen)
-    }
-
-    /// Starts a validated builder from the localhost-cluster defaults.
     pub fn builder(node: NodeId, listen: SocketAddr) -> NodeConfigBuilder {
         NodeConfigBuilder { config: NodeConfigBuilder::defaults(node, listen) }
     }
@@ -425,17 +416,6 @@ mod tests {
         assert!(cfg.link_state_max_age > cfg.link_state_interval * 2, "aging must outlast refresh");
         assert!(cfg.shipper_queue > 0 && cfg.delivery_queue > 0);
         assert!(cfg.max_batch_bytes > 0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructor_matches_builder_defaults() {
-        let listen: SocketAddr = "127.0.0.1:0".parse().unwrap();
-        let old = NodeConfig::new(NodeId::new(2), listen);
-        let new = NodeConfig::builder(NodeId::new(2), listen).build().unwrap();
-        assert_eq!(old.hello_interval, new.hello_interval);
-        assert_eq!(old.retransmit_buffer, new.retransmit_buffer);
-        assert_eq!(old.max_batch_bytes, new.max_batch_bytes);
     }
 
     #[test]

@@ -62,6 +62,7 @@ mod node;
 pub mod overload;
 pub mod pool;
 pub mod recovery;
+pub mod runtime;
 pub mod session;
 pub mod shard;
 pub mod sla;
@@ -71,8 +72,7 @@ pub use clock::now_us;
 pub use config::{NodeConfig, NodeConfigBuilder};
 pub use error::OverlayError;
 pub use metrics::{ClusterMetricsReport, MetricsSnapshot, NodeCounters, NodeThread};
-#[allow(deprecated)]
-pub use node::NodeStats;
 pub use node::{OverlayHandle, OverlayNode};
 pub use overload::{OverloadConfig, OverloadDetector, OverloadTransition, MAX_LEVEL};
+pub use runtime::{Runtime, RuntimeConfig, SpawnMode};
 pub use sla::{SlaFlowSpec, SlaPlan};

@@ -24,8 +24,17 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// Declares the node counter block in two sections: `live` fields are
+/// backed by one atomic each and counted on the hot paths; `derived`
+/// fields have no atomic — they are computed from the live fields at
+/// snapshot time, but still appear in [`NodeCounters`] (and its serde
+/// form), so removing a counter's atomic does not break readers of
+/// serialized snapshots.
 macro_rules! declare_counters {
-    ($($(#[$doc:meta])* $field:ident),+ $(,)?) => {
+    (
+        live { $($(#[$doc:meta])* $field:ident),+ $(,)? }
+        derived { $($(#[$ddoc:meta])* $dfield:ident = $dexpr:expr),+ $(,)? }
+    ) => {
         /// The node-wide atomic counter block.
         #[derive(Debug, Default)]
         pub(crate) struct AtomicCounters {
@@ -34,9 +43,12 @@ macro_rules! declare_counters {
 
         impl AtomicCounters {
             pub(crate) fn snapshot(&self) -> NodeCounters {
-                NodeCounters {
+                let mut snap = NodeCounters {
                     $($field: self.$field.load(Ordering::Relaxed),)+
-                }
+                    $($dfield: 0,)+
+                };
+                $(snap.$dfield = ($dexpr)(&snap);)+
+                snap
             }
         }
 
@@ -45,20 +57,25 @@ macro_rules! declare_counters {
         #[serde(default)]
         pub struct NodeCounters {
             $($(#[$doc])* pub $field: u64,)+
+            $($(#[$ddoc])* pub $dfield: u64,)+
         }
 
         impl NodeCounters {
             /// Field-wise sum; associative and commutative, so merging
             /// any number of snapshots in any order or grouping yields
-            /// the same totals.
+            /// the same totals. Derived fields merge field-wise too — a
+            /// sum of per-node derivations equals the derivation of the
+            /// summed live fields, because every derivation is linear.
             pub fn merge(&mut self, other: &NodeCounters) {
                 $(self.$field = self.$field.wrapping_add(other.$field);)+
+                $(self.$dfield = self.$dfield.wrapping_add(other.$dfield);)+
             }
         }
     };
 }
 
 declare_counters! {
+    live {
     /// UDP datagrams handed to the shipper (after fault filtering).
     datagrams_sent,
     /// UDP datagrams received on the socket.
@@ -88,10 +105,6 @@ declare_counters! {
     fault_duplicates,
     /// Datagrams corrupted in flight by injected faults.
     fault_corruptions,
-    /// Datagrams dropped because a bounded internal queue was full.
-    /// Deprecated: kept for one release as the sum of `shipper_drops`
-    /// and `delivery_drops`; read the per-cause counters instead.
-    queue_drops,
     /// Data shipments refused because the outbound shipper queue was at
     /// (or past) the class's admission band.
     shipper_drops,
@@ -158,6 +171,15 @@ declare_counters! {
     nack_rerequests,
     /// Supervised node threads restarted after a panic.
     thread_crashes,
+    }
+    derived {
+    /// Datagrams dropped because a bounded internal queue was full —
+    /// always exactly `shipper_drops + delivery_drops`. The 0.2.0
+    /// aggregate atomic was removed in 0.3.0; the field is derived at
+    /// snapshot time so serialized snapshots stay readable by older
+    /// consumers.
+    queue_drops = |c: &NodeCounters| c.shipper_drops.wrapping_add(c.delivery_drops),
+    }
 }
 
 /// Per-flow atomic cells; field names mirror `dg-sim`'s `FlowRunStats`.

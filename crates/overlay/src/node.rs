@@ -4,11 +4,12 @@ use crate::clock::now_us;
 use crate::config::NodeConfig;
 use crate::fault::{corrupt_in_place, FaultPlan};
 use crate::linkstate::LinkStateDb;
-use crate::metrics::{EventKind, MetricsRegistry, MetricsSnapshot, NodeCounters, NodeThread};
+use crate::metrics::{EventKind, MetricsRegistry, MetricsSnapshot, NodeThread};
 use crate::monitor::{FlapDamper, LinkMonitor};
 use crate::overload::{OverloadConfig, OverloadDetector, OverloadTransition};
 use crate::pool::BufferPool;
 use crate::recovery::{retransmit_worthwhile, GapTracker, SendBuffer};
+use crate::runtime::{Runtime, SpawnMode};
 use crate::session::{Delivery, FlowReceiver, FlowSender, SchemeSlot};
 use crate::shard::ShardedMap;
 use crate::wire::{
@@ -33,63 +34,6 @@ use std::time::Duration;
 /// Constructor namespace for overlay nodes; see [`OverlayNode::spawn`].
 #[derive(Debug)]
 pub struct OverlayNode;
-
-/// Legacy compact counter view, derived from the node's
-/// [`MetricsSnapshot`] (see [`OverlayHandle::metrics_snapshot`] for the
-/// full registry).
-#[deprecated(
-    since = "0.2.0",
-    note = "use OverlayHandle::metrics_snapshot(); every NodeStats field maps to a \
-            MetricsSnapshot counter (delivered = delivered_on_time + delivered_late)"
-)]
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct NodeStats {
-    /// Data transmissions onto links (originals, not retransmissions).
-    pub data_sent: u64,
-    /// Data packets received from links.
-    pub data_received: u64,
-    /// Packets delivered to local receiver sessions.
-    pub delivered: u64,
-    /// Flow-level duplicates suppressed.
-    pub duplicates: u64,
-    /// Packets dropped because their deadline had passed.
-    pub expired: u64,
-    /// NACKs sent upstream.
-    pub nacks_sent: u64,
-    /// Retransmissions performed in response to NACKs.
-    pub retransmissions: u64,
-    /// Datagrams dropped by injected link faults.
-    pub fault_drops: u64,
-    /// Hello probes sent.
-    pub hellos_sent: u64,
-    /// Link-state updates originated or re-flooded.
-    pub link_state_sent: u64,
-    /// Dissemination-graph changes across local sender sessions.
-    pub graph_changes: u64,
-    /// Datagrams that failed to parse.
-    pub malformed: u64,
-}
-
-#[allow(deprecated)]
-impl NodeStats {
-    /// Projects the full counter block down to the legacy view.
-    fn from_counters(c: &NodeCounters) -> NodeStats {
-        NodeStats {
-            data_sent: c.data_sent,
-            data_received: c.data_received,
-            delivered: c.delivered_on_time + c.delivered_late,
-            duplicates: c.duplicates,
-            expired: c.expired,
-            nacks_sent: c.nack_messages_sent,
-            retransmissions: c.retransmissions_served,
-            fault_drops: c.fault_drops,
-            hellos_sent: c.hellos_sent,
-            link_state_sent: c.link_state_flooded,
-            graph_changes: c.graph_changes,
-            malformed: c.malformed,
-        }
-    }
-}
 
 struct DedupCache {
     seen: HashSet<(Flow, u64)>,
@@ -130,7 +74,7 @@ struct SendLink {
     buffer: SendBuffer<DataPacket>,
 }
 
-struct Shipment {
+pub(crate) struct Shipment {
     to: NodeId,
     datagram: Bytes,
     depart_at: Micros,
@@ -279,18 +223,37 @@ impl Shared {
         self.config.node
     }
 
-    /// Stamps the calling supervised thread's heartbeat.
-    fn beat(&self, thread: NodeThread) {
+    /// Stamps the calling supervised duty's heartbeat.
+    pub(crate) fn beat(&self, thread: NodeThread) {
         self.supervision.heartbeats[thread_index(thread)]
             .store(now_us().as_micros(), Ordering::Relaxed);
     }
 
     /// Panics if a panic was injected for `thread` (fault injection for
     /// supervision tests); consumes the request either way.
-    fn maybe_injected_panic(&self, thread: NodeThread) {
+    pub(crate) fn maybe_injected_panic(&self, thread: NodeThread) {
         if self.supervision.panic_requests[thread_index(thread)].swap(false, Ordering::Relaxed) {
             panic!("injected panic in {thread:?} thread");
         }
+    }
+
+    /// True until shutdown has been requested.
+    pub(crate) fn is_running(&self) -> bool {
+        self.running.load(Ordering::SeqCst)
+    }
+
+    /// Accounts one supervised-duty panic: counts it, journals it, and
+    /// opens the degradation window. The crash instant counts as a
+    /// heartbeat — the restart is immediate, so the duty is degraded,
+    /// not dead. Shared by the per-thread supervisor and the reactor.
+    pub(crate) fn note_thread_crash(&self, thread: NodeThread) {
+        self.metrics.counters.thread_crashes.fetch_add(1, Ordering::Relaxed);
+        self.metrics.record(EventKind::ThreadCrash { thread });
+        let until = now_us()
+            .as_micros()
+            .saturating_add(self.config.watchdog_stale_after.as_micros() as u64);
+        self.supervision.degraded_until.fetch_max(until, Ordering::Relaxed);
+        self.beat(thread);
     }
 
     /// True while the node is running without a full complement of
@@ -392,9 +355,9 @@ impl Shared {
     }
 
     /// Records `count` shed data packets of `class`: the per-class shed
-    /// counter, the shipper-side drop cause, and the deprecated
-    /// aggregate (`queue_drops` stays the sum of `shipper_drops` and
-    /// `delivery_drops` for one release).
+    /// counter plus the shipper-side drop cause. (The snapshot-level
+    /// `queue_drops` aggregate is derived from the per-cause counters
+    /// at read time; nothing counts into it here.)
     fn shed(&self, class: SlaClass, count: u64) {
         let cell = match class {
             SlaClass::Bulk => &self.metrics.counters.shed_bulk,
@@ -403,7 +366,6 @@ impl Shared {
         };
         cell.fetch_add(count, Ordering::Relaxed);
         self.metrics.counters.shipper_drops.fetch_add(count, Ordering::Relaxed);
-        self.metrics.counters.queue_drops.fetch_add(count, Ordering::Relaxed);
     }
 
     /// Priority admission of a run of data packets against the class
@@ -758,7 +720,6 @@ impl Shared {
                     };
                     shed_cell.fetch_add(1, Ordering::Relaxed);
                     self.metrics.counters.delivery_drops.fetch_add(1, Ordering::Relaxed);
-                    self.metrics.counters.queue_drops.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
@@ -1178,14 +1139,141 @@ impl Shared {
     }
 }
 
+/// Per-node state the shipper duty keeps across service passes: the
+/// departure heap plus the receive ends of the two shipment lanes.
+pub(crate) struct ShipperState {
+    heap: std::collections::BinaryHeap<Shipment>,
+    data_rx: Receiver<Shipment>,
+    control_rx: Receiver<Shipment>,
+}
+
+impl ShipperState {
+    pub(crate) fn new(data_rx: Receiver<Shipment>, control_rx: Receiver<Shipment>) -> Self {
+        ShipperState { heap: std::collections::BinaryHeap::new(), data_rx, control_rx }
+    }
+}
+
+/// Deadline state for one node's periodic duties — the node's slots in
+/// the reactor's timer wheel. The threaded ticker drives the same
+/// state, so both modes fire the same duties on the same cadence.
+pub(crate) struct TickerState {
+    next_hello: std::time::Instant,
+    next_ls: std::time::Instant,
+    next_digest: std::time::Instant,
+}
+
+impl TickerState {
+    /// Hello duties fire immediately (a fresh node introduces itself
+    /// right away, as the threaded ticker always has); link-state and
+    /// digest origination wait one full interval.
+    pub(crate) fn new(config: &NodeConfig) -> Self {
+        let now = std::time::Instant::now();
+        TickerState {
+            next_hello: now,
+            next_ls: now + config.link_state_interval,
+            next_digest: now + config.digest_interval,
+        }
+    }
+
+    /// The earliest pending deadline.
+    pub(crate) fn next_deadline(&self) -> std::time::Instant {
+        self.next_hello.min(self.next_ls).min(self.next_digest)
+    }
+}
+
+impl Shared {
+    /// Drains up to [`RX_BATCH`] datagrams from the socket without
+    /// blocking (the socket must be in non-blocking mode, or mid-drain
+    /// in the threaded receive loop). Returns how many were handled.
+    pub(crate) fn service_receive(&self, buf: &mut [u8]) -> usize {
+        let mut handled = 0;
+        while handled < RX_BATCH {
+            match self.socket.recv_from(buf) {
+                Ok((len, _addr)) => {
+                    self.handle_datagram(&buf[..len]);
+                    handled += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        handled
+    }
+
+    /// One shipper pass: drains both lanes into the departure heap and
+    /// sends everything due. Returns how many shipments went onto the
+    /// wire and the earliest still-parked departure, if any.
+    pub(crate) fn service_shipper(&self, state: &mut ShipperState) -> (usize, Option<Micros>) {
+        // The reserved control lane drains first, then data. Both land
+        // in the same departure heap; the lanes exist so saturating
+        // data can never *drop* control, not to reorder departures.
+        for rx in [&state.control_rx, &state.data_rx] {
+            loop {
+                match rx.try_recv() {
+                    Ok(s) => state.heap.push(s),
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => break,
+                }
+            }
+        }
+        let now = now_us();
+        let mut sent = 0;
+        while state.heap.peek().is_some_and(|s| s.depart_at <= now) {
+            let s = state.heap.pop().expect("peeked");
+            if s.class.is_some() {
+                self.queued_data.fetch_sub(1, Ordering::Relaxed);
+            }
+            if let Some(addr) = self.config.peers.get(&s.to) {
+                let _ = self.socket.send_to(&s.datagram, addr);
+            }
+            self.frame_pool.lock().recycle(s.datagram);
+            sent += 1;
+        }
+        (sent, state.heap.peek().map(|s| s.depart_at))
+    }
+
+    /// Fires whichever periodic duties are due: hello probes plus the
+    /// per-tick housekeeping (overload observation, LSA retransmits,
+    /// NACK re-requests) on the hello cadence, link-state origination
+    /// and scheme refresh on the link-state cadence, anti-entropy
+    /// digests on theirs. Returns whether anything fired.
+    pub(crate) fn service_ticker(&self, state: &mut TickerState) -> bool {
+        let tick = std::time::Instant::now();
+        let mut fired = false;
+        if tick >= state.next_hello {
+            state.next_hello = tick + self.config.hello_interval;
+            self.send_hellos();
+            let now = now_us();
+            self.observe_overload(now);
+            self.retransmit_pending_lsas(now);
+            self.rerequest_nacks(now);
+            fired = true;
+        }
+        if tick >= state.next_ls {
+            state.next_ls = tick + self.config.link_state_interval;
+            self.originate_link_state();
+            self.update_schemes();
+            fired = true;
+        }
+        if tick >= state.next_digest {
+            state.next_digest = tick + self.config.digest_interval;
+            self.send_digests();
+            fired = true;
+        }
+        fired
+    }
+}
+
 /// A running overlay node.
 ///
 /// Dropping the handle without calling [`OverlayHandle::shutdown`]
-/// leaves the daemon threads running until process exit; call
-/// `shutdown` for an orderly stop.
+/// leaves the daemon threads (or reactor registration) running until
+/// process exit; call `shutdown` for an orderly stop.
 pub struct OverlayHandle {
     shared: Arc<Shared>,
     threads: Vec<JoinHandle<()>>,
+    /// Set by the reactor worker once this node's slot has flushed its
+    /// parked shipments and been dropped; `None` in threaded mode.
+    retired: Option<Arc<AtomicBool>>,
 }
 
 impl std::fmt::Debug for OverlayHandle {
@@ -1198,18 +1286,38 @@ impl std::fmt::Debug for OverlayHandle {
 }
 
 impl OverlayNode {
-    /// Binds the configured address and starts the node's threads.
+    /// Binds the configured address and starts the node on dedicated
+    /// threads (the [`SpawnMode::Threaded`] compatibility mode; see
+    /// [`OverlayNode::spawn_on`] for the runtime-aware entry point).
     ///
     /// # Errors
     ///
     /// Returns [`OverlayError::Io`] when the socket cannot be bound.
     pub fn spawn(config: NodeConfig, graph: Arc<Graph>) -> Result<OverlayHandle, OverlayError> {
+        OverlayNode::spawn_on(&Runtime::threaded(), config, graph)
+    }
+
+    /// Binds the configured address and starts the node on `runtime`:
+    /// three dedicated threads under a [`SpawnMode::Threaded`] runtime,
+    /// or a slot on the shared reactor worker pool under
+    /// [`SpawnMode::Reactor`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::Io`] when the socket cannot be bound and
+    /// [`OverlayError::RuntimeShutDown`] when the runtime has stopped.
+    pub fn spawn_on(
+        runtime: &Runtime,
+        config: NodeConfig,
+        graph: Arc<Graph>,
+    ) -> Result<OverlayHandle, OverlayError> {
         let socket = UdpSocket::bind(config.listen)?;
-        OverlayNode::spawn_with_socket(config, graph, socket)
+        OverlayNode::spawn_with_socket_on(runtime, config, graph, socket)
     }
 
     /// Starts a node over an already-bound socket (used by clusters,
-    /// which must learn every port before wiring up peer tables).
+    /// which must learn every port before wiring up peer tables) on
+    /// dedicated threads.
     ///
     /// # Errors
     ///
@@ -1219,89 +1327,142 @@ impl OverlayNode {
         graph: Arc<Graph>,
         socket: UdpSocket,
     ) -> Result<OverlayHandle, OverlayError> {
-        socket.set_read_timeout(Some(Duration::from_millis(10)))?;
-        let (shipper_tx, shipper_rx) = channel::bounded(config.shipper_queue);
-        let (control_tx, control_rx) = channel::unbounded();
-        let overload = OverloadDetector::new(OverloadConfig {
-            queue_bound: config.shipper_queue as u64,
-            enter_depth: config.overload_enter_depth,
-            exit_depth: config.overload_exit_depth,
-            hold_down: config.overload_hold_down,
-        });
-        let monitor_window = config.monitor_window;
-        let dedup_window = config.dedup_window;
-        let hello_interval = config.hello_interval;
-        let journal_capacity = config.journal_capacity;
-        let link_down_intervals = config.link_down_intervals;
-        let max_age = Micros::from_micros(config.link_state_max_age.as_micros() as u64);
-        let fault_seed = config.fault_seed;
-        let flap_hold_down = Micros::from_micros(config.flap_hold_down.as_micros() as u64);
-        let flap_half_life = Micros::from_micros(config.flap_penalty_half_life.as_micros() as u64);
-        let flap_threshold = config.flap_suppress_threshold;
-        let scheme_params = SchemeParams {
-            problem_loss_threshold: config.detector_loss_threshold,
-            ..SchemeParams::default()
-        };
-        let shared = Arc::new(Shared {
-            config,
-            graph: Arc::clone(&graph),
-            socket,
-            running: AtomicBool::new(true),
-            faults: FaultPlan::with_seed(fault_seed),
-            monitor: Mutex::new(LinkMonitor::new(
-                monitor_window,
-                Micros::from_micros(hello_interval.as_micros() as u64),
-                link_down_intervals,
-            )),
-            linkstate: Mutex::new(LinkStateDb::new(&graph, max_age)),
-            graph_cache: GraphCache::new(Arc::clone(&graph), scheme_params),
-            pending_lsa: Mutex::new(HashMap::new()),
-            damper: Mutex::new(FlapDamper::new(flap_hold_down, flap_half_life, flap_threshold)),
-            advertised: Mutex::new(HashMap::new()),
-            supervision: Supervision::new(now_us()),
-            dedup: Mutex::new(DedupCache::new(dedup_window)),
-            send_links: Mutex::new(HashMap::new()),
-            recv_links: Mutex::new(HashMap::new()),
-            receivers: ShardedMap::new(),
-            senders: Mutex::new(Vec::new()),
-            frame_pool: Mutex::new(BufferPool::default()),
-            shipper_tx,
-            control_tx,
-            queued_data: AtomicU64::new(0),
-            overload: Mutex::new(overload),
-            scheme_params,
-            shipment_order: AtomicU64::new(0),
-            metrics: MetricsRegistry::new(journal_capacity),
-            hello_seq: AtomicU64::new(0),
-            ls_seq: AtomicU64::new(0),
-            ls_epoch: now_us().as_micros(),
-        });
-
-        let rx_shared = Arc::clone(&shared);
-        let rx_thread = std::thread::Builder::new()
-            .name(format!("dg-rx-{}", rx_shared.config.node))
-            .spawn(move || {
-                run_supervised(&rx_shared, NodeThread::Receive, || receive_loop(&rx_shared));
-            })?;
-
-        let ship_shared = Arc::clone(&shared);
-        let ship_thread = std::thread::Builder::new()
-            .name(format!("dg-ship-{}", ship_shared.config.node))
-            .spawn(move || {
-                run_supervised(&ship_shared, NodeThread::Shipper, || {
-                    shipper_loop(&ship_shared, &shipper_rx, &control_rx);
-                });
-            })?;
-
-        let tick_shared = Arc::clone(&shared);
-        let tick_thread = std::thread::Builder::new()
-            .name(format!("dg-tick-{}", tick_shared.config.node))
-            .spawn(move || {
-                run_supervised(&tick_shared, NodeThread::Ticker, || ticker_loop(&tick_shared));
-            })?;
-
-        Ok(OverlayHandle { shared, threads: vec![rx_thread, ship_thread, tick_thread] })
+        OverlayNode::spawn_with_socket_on(&Runtime::threaded(), config, graph, socket)
     }
+
+    /// Starts a node over an already-bound socket on `runtime`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::Io`] when socket options cannot be set
+    /// and [`OverlayError::RuntimeShutDown`] when the runtime has
+    /// stopped accepting nodes.
+    pub fn spawn_with_socket_on(
+        runtime: &Runtime,
+        config: NodeConfig,
+        graph: Arc<Graph>,
+        socket: UdpSocket,
+    ) -> Result<OverlayHandle, OverlayError> {
+        match runtime.mode() {
+            SpawnMode::Threaded => {
+                socket.set_read_timeout(Some(Duration::from_millis(10)))?;
+                let (shared, data_rx, control_rx) = build_shared(config, graph, socket);
+                spawn_threaded(shared, data_rx, control_rx)
+            }
+            SpawnMode::Reactor => {
+                // The reactor never blocks on any one node's socket; it
+                // polls every registered socket in non-blocking mode.
+                socket.set_nonblocking(true)?;
+                let (shared, data_rx, control_rx) = build_shared(config, graph, socket);
+                let retired = runtime.register(Arc::clone(&shared), data_rx, control_rx)?;
+                Ok(OverlayHandle { shared, threads: Vec::new(), retired: Some(retired) })
+            }
+        }
+    }
+}
+
+/// Builds the node's shared state and its two shipment lanes.
+fn build_shared(
+    config: NodeConfig,
+    graph: Arc<Graph>,
+    socket: UdpSocket,
+) -> (Arc<Shared>, Receiver<Shipment>, Receiver<Shipment>) {
+    let (shipper_tx, shipper_rx) = channel::bounded(config.shipper_queue);
+    let (control_tx, control_rx) = channel::unbounded();
+    let overload = OverloadDetector::new(OverloadConfig {
+        queue_bound: config.shipper_queue as u64,
+        enter_depth: config.overload_enter_depth,
+        exit_depth: config.overload_exit_depth,
+        hold_down: config.overload_hold_down,
+    });
+    let monitor_window = config.monitor_window;
+    let dedup_window = config.dedup_window;
+    let hello_interval = config.hello_interval;
+    let journal_capacity = config.journal_capacity;
+    let link_down_intervals = config.link_down_intervals;
+    let max_age = Micros::from_micros(config.link_state_max_age.as_micros() as u64);
+    let fault_seed = config.fault_seed;
+    let flap_hold_down = Micros::from_micros(config.flap_hold_down.as_micros() as u64);
+    let flap_half_life = Micros::from_micros(config.flap_penalty_half_life.as_micros() as u64);
+    let flap_threshold = config.flap_suppress_threshold;
+    let scheme_params = SchemeParams {
+        problem_loss_threshold: config.detector_loss_threshold,
+        ..SchemeParams::default()
+    };
+    let shared = Arc::new(Shared {
+        config,
+        graph: Arc::clone(&graph),
+        socket,
+        running: AtomicBool::new(true),
+        faults: FaultPlan::with_seed(fault_seed),
+        monitor: Mutex::new(LinkMonitor::new(
+            monitor_window,
+            Micros::from_micros(hello_interval.as_micros() as u64),
+            link_down_intervals,
+        )),
+        linkstate: Mutex::new(LinkStateDb::new(&graph, max_age)),
+        graph_cache: GraphCache::new(Arc::clone(&graph), scheme_params),
+        pending_lsa: Mutex::new(HashMap::new()),
+        damper: Mutex::new(FlapDamper::new(flap_hold_down, flap_half_life, flap_threshold)),
+        advertised: Mutex::new(HashMap::new()),
+        supervision: Supervision::new(now_us()),
+        dedup: Mutex::new(DedupCache::new(dedup_window)),
+        send_links: Mutex::new(HashMap::new()),
+        recv_links: Mutex::new(HashMap::new()),
+        receivers: ShardedMap::new(),
+        senders: Mutex::new(Vec::new()),
+        frame_pool: Mutex::new(BufferPool::default()),
+        shipper_tx,
+        control_tx,
+        queued_data: AtomicU64::new(0),
+        overload: Mutex::new(overload),
+        scheme_params,
+        shipment_order: AtomicU64::new(0),
+        metrics: MetricsRegistry::new(journal_capacity),
+        hello_seq: AtomicU64::new(0),
+        ls_seq: AtomicU64::new(0),
+        ls_epoch: now_us().as_micros(),
+    });
+    (shared, shipper_rx, control_rx)
+}
+
+/// Starts the three dedicated per-node threads of the compatibility
+/// [`SpawnMode::Threaded`] mode.
+fn spawn_threaded(
+    shared: Arc<Shared>,
+    data_rx: Receiver<Shipment>,
+    control_rx: Receiver<Shipment>,
+) -> Result<OverlayHandle, OverlayError> {
+    let rx_shared = Arc::clone(&shared);
+    let rx_thread = std::thread::Builder::new()
+        .name(format!("dg-rx-{}", rx_shared.config.node))
+        .spawn(move || {
+            run_supervised(&rx_shared, NodeThread::Receive, || receive_loop(&rx_shared));
+        })?;
+
+    let ship_shared = Arc::clone(&shared);
+    let ship_thread = std::thread::Builder::new()
+        .name(format!("dg-ship-{}", ship_shared.config.node))
+        .spawn(move || {
+            run_supervised(&ship_shared, NodeThread::Shipper, || {
+                // A fresh heap per restart: a panic forfeits whatever
+                // was parked, exactly as a crashed thread always has.
+                let mut state = ShipperState::new(data_rx.clone(), control_rx.clone());
+                shipper_loop(&ship_shared, &mut state);
+            });
+        })?;
+
+    let tick_shared = Arc::clone(&shared);
+    let tick_thread = std::thread::Builder::new()
+        .name(format!("dg-tick-{}", tick_shared.config.node))
+        .spawn(move || {
+            run_supervised(&tick_shared, NodeThread::Ticker, || {
+                let mut state = TickerState::new(&tick_shared.config);
+                ticker_loop(&tick_shared, &mut state);
+            });
+        })?;
+
+    Ok(OverlayHandle { shared, threads: vec![rx_thread, ship_thread, tick_thread], retired: None })
 }
 
 impl OverlayHandle {
@@ -1409,17 +1570,6 @@ impl OverlayHandle {
         self.shared.linkstate.lock().origins_heard()
     }
 
-    /// Snapshot of this node's counters (legacy compact view).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use metrics_snapshot(), which carries every NodeStats field plus \
-                per-flow/per-link counters and the event journal"
-    )]
-    #[allow(deprecated)]
-    pub fn stats(&self) -> NodeStats {
-        NodeStats::from_counters(&self.shared.metrics.counters.snapshot())
-    }
-
     /// Full observability snapshot: node-wide counters, per-flow and
     /// per-link counters, the event journal, and the degradation flag.
     /// Serde-serializable.
@@ -1482,11 +1632,23 @@ impl OverlayHandle {
         self.shared.inject_overload(shipments, dwell);
     }
 
-    /// Stops the node's threads and joins them.
+    /// Stops the node and waits for its outbound queue to flush: joins
+    /// the dedicated threads in threaded mode, or waits for the reactor
+    /// worker to retire this node's slot in reactor mode.
     pub fn shutdown(mut self) {
         self.shared.running.store(false, Ordering::SeqCst);
         for t in self.threads.drain(..) {
             let _ = t.join();
+        }
+        if let Some(retired) = self.retired.take() {
+            // The worker flushes parked shipments before retiring the
+            // slot, mirroring the threaded shipper's drain-then-exit.
+            // The cap only guards against a runtime that was torn down
+            // out from under the node.
+            let deadline = std::time::Instant::now() + Duration::from_secs(30);
+            while !retired.load(Ordering::Acquire) && std::time::Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(1));
+            }
         }
     }
 }
@@ -1506,15 +1668,7 @@ fn run_supervised(shared: &Shared, thread: NodeThread, body: impl Fn()) {
         if !shared.running.load(Ordering::SeqCst) {
             return;
         }
-        shared.metrics.counters.thread_crashes.fetch_add(1, Ordering::Relaxed);
-        shared.metrics.record(EventKind::ThreadCrash { thread });
-        let until = now_us()
-            .as_micros()
-            .saturating_add(shared.config.watchdog_stale_after.as_micros() as u64);
-        shared.supervision.degraded_until.fetch_max(until, Ordering::Relaxed);
-        // The crash instant counts as a heartbeat: the restart below is
-        // immediate, so the thread is degraded (window above), not dead.
-        shared.beat(thread);
+        shared.note_thread_crash(thread);
     }
 }
 
@@ -1556,76 +1710,36 @@ fn receive_loop(shared: &Shared) {
     }
 }
 
-fn shipper_loop(shared: &Shared, data_rx: &Receiver<Shipment>, control_rx: &Receiver<Shipment>) {
-    let mut heap: std::collections::BinaryHeap<Shipment> = std::collections::BinaryHeap::new();
+fn shipper_loop(shared: &Shared, state: &mut ShipperState) {
     loop {
         shared.beat(NodeThread::Shipper);
         shared.maybe_injected_panic(NodeThread::Shipper);
-        // Drain whatever has been queued — the reserved control lane
-        // first, then data. Both land in the same departure heap; the
-        // lanes exist so saturating data can never *drop* control, not
-        // to reorder departures.
-        for rx in [control_rx, data_rx] {
-            loop {
-                match rx.try_recv() {
-                    Ok(s) => heap.push(s),
-                    Err(TryRecvError::Empty) => break,
-                    Err(TryRecvError::Disconnected) => break,
-                }
-            }
-        }
-        // Send everything due.
-        let now = now_us();
-        while heap.peek().is_some_and(|s| s.depart_at <= now) {
-            let s = heap.pop().expect("peeked");
-            if s.class.is_some() {
-                shared.queued_data.fetch_sub(1, Ordering::Relaxed);
-            }
-            if let Some(addr) = shared.config.peers.get(&s.to) {
-                let _ = shared.socket.send_to(&s.datagram, addr);
-            }
-            shared.frame_pool.lock().recycle(s.datagram);
-        }
-        if !shared.running.load(Ordering::SeqCst) && heap.is_empty() {
+        let (_, next_departure) = shared.service_shipper(state);
+        // `None` means the heap is empty: a stopping node may exit.
+        if !shared.running.load(Ordering::SeqCst) && next_departure.is_none() {
             return;
         }
         // Sleep until the next due shipment or a short poll.
-        let nap = heap
-            .peek()
-            .map(|s| {
-                Duration::from_micros(s.depart_at.saturating_sub(now_us()).as_micros().min(5_000))
-            })
+        let nap = next_departure
+            .map(|d| Duration::from_micros(d.saturating_sub(now_us()).as_micros().min(5_000)))
             .unwrap_or(Duration::from_millis(2));
-        if let Ok(s) = data_rx.recv_timeout(nap) {
-            heap.push(s);
+        if let Ok(s) = state.data_rx.recv_timeout(nap) {
+            state.heap.push(s);
         }
     }
 }
 
-fn ticker_loop(shared: &Shared) {
-    let hello_every = shared.config.hello_interval;
-    let ls_every = shared.config.link_state_interval;
-    let digest_every = shared.config.digest_interval;
-    let mut last_ls = std::time::Instant::now();
-    let mut last_digest = std::time::Instant::now();
+fn ticker_loop(shared: &Shared, state: &mut TickerState) {
     while shared.running.load(Ordering::SeqCst) {
         shared.beat(NodeThread::Ticker);
         shared.maybe_injected_panic(NodeThread::Ticker);
-        shared.send_hellos();
-        let now = now_us();
-        shared.observe_overload(now);
-        shared.retransmit_pending_lsas(now);
-        shared.rerequest_nacks(now);
-        if last_ls.elapsed() >= ls_every {
-            last_ls = std::time::Instant::now();
-            shared.originate_link_state();
-            shared.update_schemes();
-        }
-        if last_digest.elapsed() >= digest_every {
-            last_digest = std::time::Instant::now();
-            shared.send_digests();
-        }
-        std::thread::sleep(hello_every);
+        shared.service_ticker(state);
+        let nap = state
+            .next_deadline()
+            .saturating_duration_since(std::time::Instant::now())
+            .min(shared.config.hello_interval)
+            .max(Duration::from_millis(1));
+        std::thread::sleep(nap);
     }
 }
 
@@ -1645,18 +1759,13 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn stats_snapshot_reads_counters() {
-        let metrics = MetricsRegistry::new(4);
-        metrics.counters.data_sent.fetch_add(3, Ordering::Relaxed);
-        metrics.counters.duplicates.fetch_add(1, Ordering::Relaxed);
-        metrics.counters.delivered_on_time.fetch_add(5, Ordering::Relaxed);
-        metrics.counters.delivered_late.fetch_add(2, Ordering::Relaxed);
-        metrics.counters.nack_messages_sent.fetch_add(4, Ordering::Relaxed);
-        let snap = NodeStats::from_counters(&metrics.counters.snapshot());
-        assert_eq!(snap.data_sent, 3);
-        assert_eq!(snap.duplicates, 1);
-        assert_eq!(snap.delivered, 7, "on-time and late both count as delivered");
-        assert_eq!(snap.nacks_sent, 4);
+    fn ticker_state_fires_hellos_first() {
+        let config = NodeConfig::builder(NodeId::new(0), "127.0.0.1:0".parse().unwrap())
+            .build()
+            .expect("default config validates");
+        let state = TickerState::new(&config);
+        assert_eq!(state.next_deadline(), state.next_hello, "hello duty is due immediately");
+        assert!(state.next_ls > state.next_hello);
+        assert!(state.next_digest > state.next_hello);
     }
 }

@@ -1,0 +1,420 @@
+//! The node runtime: how overlay nodes get their CPU time.
+//!
+//! Historically every [`crate::OverlayNode`] burned three dedicated OS
+//! threads (receive, shipper, ticker), so an N-node in-process cluster
+//! was `3·N` threads thrashing the scheduler. A [`Runtime`] makes the
+//! execution strategy explicit and shared:
+//!
+//! - [`SpawnMode::Threaded`] — the compatibility mode: three dedicated,
+//!   individually supervised threads per node, exactly as before.
+//! - [`SpawnMode::Reactor`] — an event-driven readiness loop: all
+//!   registered nodes multiplex onto a fixed pool of `workers` threads.
+//!   Each worker polls its nodes' non-blocking sockets (reusing the
+//!   batched drain), pumps their shipper departure heaps, and fires
+//!   their timer-wheel deadlines (hello/link-state/digest/retransmit
+//!   cadences), sleeping only until the earliest pending deadline.
+//!
+//! Both modes drive the *same* per-duty service methods on the node's
+//! shared state, so protocol behaviour, metrics, and journal semantics
+//! are identical and can be diffed between modes (`tests/runtime.rs`
+//! holds the equivalence test). Supervision is also equivalent: each
+//! duty of each service pass runs under `catch_unwind`, and a panic is
+//! counted, journaled as a `ThreadCrash`, and opens the same degraded
+//! window as a crashed dedicated thread.
+//!
+//! See `docs/RUNTIME.md` for the design discussion and worker sizing
+//! guidance.
+
+use crate::metrics::NodeThread;
+use crate::node::{Shared, Shipment, ShipperState, TickerState};
+use crate::OverlayError;
+use crossbeam::channel::{self, Receiver, Sender};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How a runtime schedules the nodes spawned onto it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpawnMode {
+    /// Three dedicated, supervised OS threads per node — the historical
+    /// behaviour, kept as a compatibility fallback and as the reference
+    /// semantics the reactor is diffed against.
+    Threaded,
+    /// All nodes multiplex onto a shared pool of reactor workers: one
+    /// readiness loop per worker over its nodes' sockets, shipment
+    /// heaps, and timer deadlines.
+    Reactor,
+}
+
+/// Configuration of a [`Runtime`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// The scheduling mode.
+    pub mode: SpawnMode,
+    /// Reactor worker threads (ignored in threaded mode). Zero means
+    /// one worker per available CPU core.
+    pub workers: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig { mode: SpawnMode::Threaded, workers: 0 }
+    }
+}
+
+impl RuntimeConfig {
+    /// The compatibility configuration: dedicated threads per node.
+    pub fn threaded() -> Self {
+        RuntimeConfig { mode: SpawnMode::Threaded, workers: 0 }
+    }
+
+    /// A reactor pool of `workers` threads (zero = one per CPU core).
+    pub fn reactor(workers: usize) -> Self {
+        RuntimeConfig { mode: SpawnMode::Reactor, workers }
+    }
+
+    fn effective_workers(&self) -> usize {
+        match self.workers {
+            0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            n => n,
+        }
+    }
+}
+
+/// How long an idle reactor worker naps between socket polls. UDP
+/// sockets have no cross-platform readiness notification without
+/// `epoll`-style machinery (which this workspace forgoes — no unsafe,
+/// no new dependencies), so readiness is discovered by polling; this
+/// bounds the added first-datagram latency per pass.
+const POLL_NAP: Duration = Duration::from_millis(1);
+
+/// How long a worker with no nodes blocks waiting for a registration
+/// before re-checking for shutdown.
+const INTAKE_NAP: Duration = Duration::from_millis(20);
+
+/// A handle to a shared node runtime; cheap to clone.
+///
+/// Spawn nodes onto it with [`crate::OverlayNode::spawn_on`] (or let
+/// [`crate::cluster::Cluster::launch`] build one from the `DG_RUNTIME`
+/// environment variable). A threaded runtime owns no threads of its
+/// own; a reactor runtime owns its worker pool, which runs until
+/// [`Runtime::shutdown`].
+#[derive(Clone)]
+pub struct Runtime {
+    inner: Arc<RuntimeInner>,
+}
+
+struct RuntimeInner {
+    mode: SpawnMode,
+    /// Round-robin registration cursor over the workers.
+    next_worker: AtomicUsize,
+    /// One intake lane per worker; a node registers with exactly one
+    /// worker and is serviced by it alone for its whole life, so
+    /// per-node protocol state needs no new locking.
+    intakes: Vec<Sender<NodeSlot>>,
+    /// Set by [`Runtime::shutdown`]: registrations are refused and
+    /// workers retire their remaining slots and exit.
+    shutting_down: AtomicBool,
+    workers: parking_lot::Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("mode", &self.inner.mode)
+            .field("workers", &self.inner.intakes.len())
+            .finish()
+    }
+}
+
+impl Runtime {
+    /// Builds a runtime; a reactor runtime starts its worker pool
+    /// immediately.
+    pub fn new(config: RuntimeConfig) -> Runtime {
+        let workers = match config.mode {
+            SpawnMode::Threaded => 0,
+            SpawnMode::Reactor => config.effective_workers(),
+        };
+        let mut intakes = Vec::with_capacity(workers);
+        let mut receivers = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = channel::unbounded();
+            intakes.push(tx);
+            receivers.push(rx);
+        }
+        let inner = Arc::new(RuntimeInner {
+            mode: config.mode,
+            next_worker: AtomicUsize::new(0),
+            intakes,
+            shutting_down: AtomicBool::new(false),
+            workers: parking_lot::Mutex::new(Vec::new()),
+        });
+        let mut handles = Vec::with_capacity(workers);
+        for (i, intake) in receivers.into_iter().enumerate() {
+            let worker_inner = Arc::clone(&inner);
+            let handle = std::thread::Builder::new()
+                .name(format!("dg-worker-{i}"))
+                .spawn(move || worker_loop(&worker_inner, &intake))
+                .expect("reactor worker thread spawns");
+            handles.push(handle);
+        }
+        *inner.workers.lock() = handles;
+        Runtime { inner }
+    }
+
+    /// The compatibility runtime: nodes get dedicated threads.
+    pub fn threaded() -> Runtime {
+        Runtime::new(RuntimeConfig::threaded())
+    }
+
+    /// A reactor runtime with `workers` pool threads (zero = one per
+    /// CPU core).
+    pub fn reactor(workers: usize) -> Runtime {
+        Runtime::new(RuntimeConfig::reactor(workers))
+    }
+
+    /// Builds a runtime from a `DG_RUNTIME`-style descriptor:
+    /// `threaded` (the default for anything unrecognised), `reactor`
+    /// (one worker per core), or `reactor:N` (an explicit pool size).
+    pub fn from_descriptor(descriptor: &str) -> Runtime {
+        let d = descriptor.trim();
+        match d.strip_prefix("reactor") {
+            Some("") => Runtime::reactor(0),
+            Some(rest) => {
+                let workers = rest.strip_prefix(':').and_then(|n| n.parse().ok()).unwrap_or(0usize);
+                Runtime::reactor(workers)
+            }
+            None => Runtime::threaded(),
+        }
+    }
+
+    /// This runtime's scheduling mode.
+    pub fn mode(&self) -> SpawnMode {
+        self.inner.mode
+    }
+
+    /// Reactor worker threads in the pool (zero for a threaded
+    /// runtime).
+    pub fn workers(&self) -> usize {
+        self.inner.intakes.len()
+    }
+
+    /// Registers a node with the next worker (round-robin). Returns the
+    /// retirement flag the worker sets once the node has shut down and
+    /// its slot was flushed and dropped.
+    pub(crate) fn register(
+        &self,
+        shared: Arc<Shared>,
+        data_rx: Receiver<Shipment>,
+        control_rx: Receiver<Shipment>,
+    ) -> Result<Arc<AtomicBool>, OverlayError> {
+        debug_assert_eq!(self.inner.mode, SpawnMode::Reactor, "registering on a threaded runtime");
+        if self.inner.shutting_down.load(Ordering::Acquire) {
+            return Err(OverlayError::RuntimeShutDown);
+        }
+        let retired = Arc::new(AtomicBool::new(false));
+        let ticker = TickerState::new(&shared.config);
+        let slot = NodeSlot {
+            shared,
+            shipper: ShipperState::new(data_rx, control_rx),
+            ticker,
+            buf: vec![0u8; 65_536],
+            retired: Arc::clone(&retired),
+        };
+        let i = self.inner.next_worker.fetch_add(1, Ordering::Relaxed) % self.inner.intakes.len();
+        if self.inner.intakes[i].send(slot).is_err() {
+            return Err(OverlayError::RuntimeShutDown);
+        }
+        Ok(retired)
+    }
+
+    /// Stops the worker pool and joins it. Nodes still registered are
+    /// force-retired: their sockets stop being serviced and any parked
+    /// shipments are forfeited — shut nodes down first for a flush.
+    /// Idempotent; a threaded runtime has nothing to stop.
+    pub fn shutdown(&self) {
+        self.inner.shutting_down.store(true, Ordering::Release);
+        let handles: Vec<JoinHandle<()>> = self.inner.workers.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One registered node as its worker sees it: the node's shared state
+/// plus the per-node driver state the dedicated threads used to keep on
+/// their stacks.
+struct NodeSlot {
+    shared: Arc<Shared>,
+    shipper: ShipperState,
+    ticker: TickerState,
+    buf: Vec<u8>,
+    retired: Arc<AtomicBool>,
+}
+
+/// The outcome of one service pass over one node.
+enum Verdict {
+    /// Work was done; the worker should loop again immediately.
+    Active,
+    /// Nothing to do until (at most) this far in the future.
+    Idle(Duration),
+    /// The node has shut down and flushed; drop the slot.
+    Retire,
+}
+
+impl NodeSlot {
+    /// One service pass: drain the socket, pump the shipper, fire due
+    /// timers. Each duty runs under its own `catch_unwind` so a panic
+    /// is attributed to the same [`NodeThread`] a dedicated thread
+    /// would have crashed on, with identical accounting.
+    fn service(&mut self) -> Verdict {
+        let shared = &self.shared;
+        if !shared.is_running() {
+            // Shutdown: stop receiving and ticking, flush the departure
+            // heap exactly as the threaded shipper drains before exit.
+            let (sent, next_departure) = shared.service_shipper(&mut self.shipper);
+            return match next_departure {
+                None => Verdict::Retire,
+                Some(at) => {
+                    if sent > 0 {
+                        Verdict::Active
+                    } else {
+                        Verdict::Idle(duration_until(at))
+                    }
+                }
+            };
+        }
+        let mut active = false;
+
+        shared.beat(NodeThread::Receive);
+        let buf = &mut self.buf;
+        match catch_unwind(AssertUnwindSafe(|| {
+            shared.maybe_injected_panic(NodeThread::Receive);
+            shared.service_receive(buf)
+        })) {
+            Ok(received) => active |= received > 0,
+            Err(_) => shared.note_thread_crash(NodeThread::Receive),
+        }
+
+        shared.beat(NodeThread::Shipper);
+        let shipper = &mut self.shipper;
+        let mut next_departure = None;
+        match catch_unwind(AssertUnwindSafe(|| {
+            shared.maybe_injected_panic(NodeThread::Shipper);
+            shared.service_shipper(shipper)
+        })) {
+            Ok((sent, next)) => {
+                active |= sent > 0;
+                next_departure = next;
+            }
+            Err(_) => shared.note_thread_crash(NodeThread::Shipper),
+        }
+
+        shared.beat(NodeThread::Ticker);
+        let ticker = &mut self.ticker;
+        match catch_unwind(AssertUnwindSafe(|| {
+            shared.maybe_injected_panic(NodeThread::Ticker);
+            shared.service_ticker(ticker)
+        })) {
+            Ok(fired) => active |= fired,
+            Err(_) => shared.note_thread_crash(NodeThread::Ticker),
+        }
+
+        if active {
+            return Verdict::Active;
+        }
+        let mut wake = self.ticker.next_deadline().saturating_duration_since(Instant::now());
+        if let Some(at) = next_departure {
+            wake = wake.min(duration_until(at));
+        }
+        Verdict::Idle(wake)
+    }
+}
+
+/// Time from now until a shipment departure on the overlay clock.
+fn duration_until(depart_at: dg_topology::Micros) -> Duration {
+    Duration::from_micros(depart_at.saturating_sub(crate::clock::now_us()).as_micros())
+}
+
+/// One reactor worker: adopt newly registered nodes, service every
+/// slot, and sleep until the earliest pending deadline (bounded by the
+/// socket poll interval).
+fn worker_loop(inner: &RuntimeInner, intake: &Receiver<NodeSlot>) {
+    let mut slots: Vec<NodeSlot> = Vec::new();
+    loop {
+        while let Ok(slot) = intake.try_recv() {
+            slots.push(slot);
+        }
+        if inner.shutting_down.load(Ordering::Acquire) {
+            // Force-retire whatever is left so pending shutdowns (and
+            // late registrations that raced the flag) can't hang.
+            for slot in slots.drain(..) {
+                slot.retired.store(true, Ordering::Release);
+            }
+            while let Ok(slot) = intake.try_recv() {
+                slot.retired.store(true, Ordering::Release);
+            }
+            return;
+        }
+        if slots.is_empty() {
+            let _ = intake.recv_timeout(INTAKE_NAP).map(|slot| slots.push(slot));
+            continue;
+        }
+        let mut any_active = false;
+        let mut nap = POLL_NAP;
+        slots.retain_mut(|slot| match slot.service() {
+            Verdict::Active => {
+                any_active = true;
+                true
+            }
+            Verdict::Idle(wake) => {
+                nap = nap.min(wake);
+                true
+            }
+            Verdict::Retire => {
+                slot.retired.store(true, Ordering::Release);
+                false
+            }
+        });
+        if !any_active && !nap.is_zero() {
+            std::thread::sleep(nap);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptor_parsing() {
+        assert_eq!(Runtime::from_descriptor("threaded").mode(), SpawnMode::Threaded);
+        assert_eq!(Runtime::from_descriptor("anything-else").mode(), SpawnMode::Threaded);
+        let r = Runtime::from_descriptor("reactor:3");
+        assert_eq!(r.mode(), SpawnMode::Reactor);
+        assert_eq!(r.workers(), 3);
+        r.shutdown();
+        let r = Runtime::from_descriptor("reactor");
+        assert_eq!(r.mode(), SpawnMode::Reactor);
+        assert!(r.workers() >= 1);
+        r.shutdown();
+    }
+
+    #[test]
+    fn threaded_runtime_owns_no_workers() {
+        let r = Runtime::threaded();
+        assert_eq!(r.workers(), 0);
+        r.shutdown(); // no-op, idempotent
+        r.shutdown();
+    }
+
+    #[test]
+    fn shutdown_refuses_new_registrations() {
+        let r = Runtime::reactor(1);
+        r.shutdown();
+        assert!(r.inner.shutting_down.load(Ordering::Acquire));
+        assert!(r.inner.workers.lock().is_empty(), "workers joined");
+    }
+}

@@ -1,6 +1,7 @@
 //! Multi-flow, multi-scheme comparison experiments (the Table 2 engine).
 
 use crate::metrics::{gap_coverage, FlowRunStats};
+use crate::parallel::{run_flows_cached, FlowJob};
 use crate::playback::{run_flow, PlaybackConfig};
 use dg_core::scheme::{SchemeKind, SchemeParams};
 use dg_core::{build_scheme_cached, CoreError, Flow, GraphCache, ServiceRequirement, SlaClass};
@@ -251,48 +252,25 @@ pub fn run_comparison_parallel(
     config: &ExperimentConfig,
     threads: usize,
 ) -> Result<Vec<SchemeAggregate>, CoreError> {
-    use dg_core::scheme::RoutingScheme;
     assert!(threads > 0, "at least one worker thread required");
-    // Pre-build every scheme serially so construction errors surface
-    // deterministically (sharing precomputed graphs through one cache),
-    // then farm the replay work out to workers.
     let cache = GraphCache::new(topology.clone(), config.scheme_params);
-    let mut jobs: Vec<Option<(usize, Box<dyn RoutingScheme>)>> = Vec::new();
-    for &kind in kinds {
-        for &(s, t) in flows {
-            let scheme = build_scheme_cached(kind, &cache, Flow::new(s, t), config.requirement)?;
-            jobs.push(Some((jobs.len(), scheme)));
-        }
-    }
-    let total_jobs = jobs.len();
-    let jobs = std::sync::Mutex::new(jobs);
-    let results: std::sync::Mutex<Vec<Option<FlowRunStats>>> =
-        std::sync::Mutex::new(vec![None; total_jobs]);
-    let next = std::sync::atomic::AtomicUsize::new(0);
+    let jobs: Vec<FlowJob> = kinds
+        .iter()
+        .flat_map(|&kind| {
+            flows.iter().map(move |&(s, t)| FlowJob {
+                kind,
+                flow: Flow::new(s, t),
+                requirement: config.requirement,
+            })
+        })
+        .collect();
+    let results = run_flows_cached(topology, traces, &jobs, &config.playback, threads, &cache)?;
 
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads.min(total_jobs.max(1)) {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-                if i >= total_jobs {
-                    return;
-                }
-                let (slot, mut scheme) =
-                    jobs.lock().expect("jobs lock")[i].take().expect("each job taken once");
-                let stats = run_flow(topology, traces, scheme.as_mut(), &config.playback);
-                results.lock().expect("results lock")[slot] = Some(stats);
-            });
-        }
-    })
-    .expect("worker threads do not panic");
-
-    let results = results.into_inner().expect("results lock");
     let flows_per_kind = flows.len();
     let mut out = Vec::with_capacity(kinds.len());
     for (ki, &kind) in kinds.iter().enumerate() {
-        let per_flow: Vec<FlowRunStats> = (0..flows_per_kind)
-            .map(|fi| results[ki * flows_per_kind + fi].expect("every job ran"))
-            .collect();
+        let per_flow: Vec<FlowRunStats> =
+            results[ki * flows_per_kind..(ki + 1) * flows_per_kind].to_vec();
         let mut totals = per_flow[0];
         for f in &per_flow[1..] {
             totals.merge(f);

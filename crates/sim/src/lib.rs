@@ -41,10 +41,15 @@ pub mod experiment;
 mod histogram;
 mod metrics;
 mod packet;
+mod parallel;
 mod playback;
 mod rng;
 
 pub use histogram::LatencyHistogram;
 pub use metrics::{gap_coverage, FlowRunStats, SecondRecord};
 pub use packet::{simulate_packet, simulate_packet_with, PacketOutcome, RecoveryModel, SimScratch};
-pub use playback::{run_flow, run_flow_detailed, run_flow_full, PlaybackConfig, PlaybackOutput};
+pub use parallel::{run_flows, run_flows_cached, FlowJob};
+pub use playback::{
+    run_flow, run_flow_detailed, run_flow_full, run_flow_full_with, run_flow_with, PlaybackConfig,
+    PlaybackOutput,
+};

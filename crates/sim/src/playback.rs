@@ -67,6 +67,22 @@ pub fn run_flow(
     run_flow_full(topology, traces, scheme, config).stats
 }
 
+/// Like [`run_flow`], reusing a caller-provided scratch arena. The
+/// parallel runner ([`crate::run_flows`]) keeps one scratch per worker
+/// so consecutive jobs on a thread reuse the event heap, arrival table,
+/// and edge-index allocations; results are identical to [`run_flow`]
+/// (the scratch is re-indexed for the scheme's graph before any packet
+/// is simulated).
+pub fn run_flow_with(
+    topology: &Graph,
+    traces: &TraceSet,
+    scheme: &mut dyn RoutingScheme,
+    config: &PlaybackConfig,
+    scratch: &mut SimScratch,
+) -> FlowRunStats {
+    run_flow_full_with(topology, traces, scheme, config, scratch).stats
+}
+
 /// Replays `traces` and additionally returns one record per second
 /// (used for the case-study timeline figure).
 pub fn run_flow_detailed(
@@ -91,6 +107,22 @@ pub fn run_flow_full(
     traces: &TraceSet,
     scheme: &mut dyn RoutingScheme,
     config: &PlaybackConfig,
+) -> PlaybackOutput {
+    // One scratch for the whole run: the forwarding index is rebuilt
+    // only when the scheme actually reroutes, and the event heap and
+    // arrival table are reused across every packet.
+    let mut scratch = SimScratch::new();
+    run_flow_full_with(topology, traces, scheme, config, &mut scratch)
+}
+
+/// [`run_flow_full`] over a caller-provided scratch arena (see
+/// [`run_flow_with`]).
+pub fn run_flow_full_with(
+    topology: &Graph,
+    traces: &TraceSet,
+    scheme: &mut dyn RoutingScheme,
+    config: &PlaybackConfig,
+    scratch: &mut SimScratch,
 ) -> PlaybackOutput {
     assert!(config.packets_per_second > 0, "at least one packet per second");
     let flow = scheme.flow();
@@ -126,10 +158,6 @@ pub fn run_flow_full(
     let mut records = Vec::with_capacity(total_seconds as usize);
     let mut latency = LatencyHistogram::new();
     let mut seq = 0u64;
-    // One scratch for the whole run: the forwarding index is rebuilt
-    // only when the scheme actually reroutes, and the event heap and
-    // arrival table are reused across every packet.
-    let mut scratch = SimScratch::new();
     scratch.index_graph(topology, scheme.current());
 
     for second in 0..total_seconds {
@@ -147,7 +175,7 @@ pub fn run_flow_full(
                 }
             }
             let outcome = simulate_packet_with(
-                &mut scratch,
+                scratch,
                 topology,
                 scheme.current(),
                 traces,

@@ -50,7 +50,9 @@ pub use dg_core::SlaClass;
 pub use dg_overlay::chaos::ChaosSchedule;
 pub use dg_overlay::cluster::Cluster;
 pub use dg_overlay::metrics::MetricsSnapshot;
-pub use dg_overlay::{NodeConfig, NodeConfigBuilder, OverlayHandle};
+pub use dg_overlay::{
+    NodeConfig, NodeConfigBuilder, OverlayHandle, Runtime, RuntimeConfig, SpawnMode,
+};
 
 /// The types most programs need, importable in one line.
 pub mod prelude {
@@ -59,8 +61,10 @@ pub mod prelude {
     pub use dg_overlay::chaos::ChaosSchedule;
     pub use dg_overlay::cluster::{Cluster, ClusterConfig};
     pub use dg_overlay::metrics::MetricsSnapshot;
-    pub use dg_overlay::{NodeConfig, NodeConfigBuilder, OverlayHandle};
-    pub use dg_sim::{run_flow, PlaybackConfig};
+    pub use dg_overlay::{
+        NodeConfig, NodeConfigBuilder, OverlayHandle, Runtime, RuntimeConfig, SpawnMode,
+    };
+    pub use dg_sim::{run_flow, run_flows, FlowJob, PlaybackConfig};
     pub use dg_topology::{self as topology, Graph, Micros, NodeId};
     pub use dg_trace::gen::SyntheticWanConfig;
     pub use dg_trace::{NetworkState, TraceSet};
