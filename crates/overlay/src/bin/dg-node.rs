@@ -13,26 +13,57 @@
 //!   dg-node --config node.json --run-secs 30 --metrics-json out.json
 //!   dg-node --help                               # full flag reference
 //!
-//! `--run-secs N` exits after N seconds instead of running forever, and
-//! `--metrics-json PATH` dumps the node's full metrics snapshot
-//! (counters, per-flow/per-link cells, event journal) as JSON on
-//! shutdown; `-` writes it to stdout.
+//! Once the UDP socket is bound and the protocol threads are running,
+//! the daemon prints a machine-parseable readiness line to stdout:
+//!
+//! ```text
+//! READY <node> <addr> <runtime>
+//! ```
+//!
+//! Deployment harnesses (`dg-emu`) wait for this line instead of
+//! guessing at startup latency. All failures to load or validate the
+//! config, topology, chaos, or SLA files exit with code 1 and a
+//! diagnostic naming the file and the parse error — a daemon never
+//! panics over operator input.
+//!
+//! `--run-secs N` / `--run-ms N` exit after the given span instead of
+//! running forever, and `--metrics-json PATH` dumps the node's full
+//! metrics snapshot (counters, per-flow/per-link cells, event journal,
+//! link-state digest) as JSON on shutdown; `-` writes it to stdout.
+//! File dumps are atomic (temp file + rename) so an out-of-process
+//! collector never observes partial JSON — even if the daemon is
+//! SIGKILLed mid-dump, the destination holds either nothing or a
+//! complete document. `--baseline-at-ms N --baseline-json PATH` writes
+//! a second, mid-run snapshot the same way, so collectors can compute
+//! post-heal deltas from cumulative counters.
 //!
 //! `--chaos-json PATH` replays a [`dg_overlay::chaos::ChaosSchedule`]
 //! against this node's own out-links: edge impairments whose source is
 //! this node (and node-wide impairments naming it) are applied at their
 //! scheduled offsets; events aimed at other nodes are skipped, and
 //! crash/restart events are warned about and ignored — killing a
-//! standalone daemon is the operator's job, not its own.
+//! standalone daemon is the operator's job, not its own (`dg-emu` uses
+//! `ChaosSchedule::shard_for_node` to pre-slice schedules so daemons
+//! only ever see their own events).
 //!
 //! `--sla-json PATH` loads an [`dg_overlay::SlaPlan`] and opens a
 //! sending session for every flow in it that originates at this node,
 //! in the flow's SLA service class (bulk/timely/surgical) with the
 //! class's scheme preference and deadline budget. The sessions are held
 //! for the daemon's lifetime, so admission control, class shed bands,
-//! and overload downgrades all apply to them.
+//! and overload downgrades all apply to them. `--traffic-pps N` drives
+//! an RTP-like fixed-rate control stream (64-byte frames) through every
+//! opened sender — the application workload for deployment soaks —
+//! optionally stopping at `--traffic-stop-ms` so in-flight traffic can
+//! drain before the final snapshot.
 //!
-//! Config format:
+//! `--quiesce-at-ms N` pauses link-state *origination* N ms into the
+//! run (hellos, digests, and flooding keep running): databases settle
+//! to a fixed per-origin fingerprint, so snapshots taken across many
+//! daemons at slightly different instants remain comparable.
+//!
+//! Config format: see [`dg_overlay::NodeFileConfig`] — identity fields
+//! plus optional tuning overrides:
 //! ```json
 //! {
 //!   "topology": "topology.json",
@@ -47,47 +78,81 @@
 use dg_cli::Cli;
 use dg_overlay::chaos::{ChaosAction, ChaosEvent, ChaosSchedule};
 use dg_overlay::session::FlowSender;
-use dg_overlay::{NodeConfig, OverlayHandle, OverlayNode, Runtime, SlaPlan};
+use dg_overlay::{MetricsSnapshot, NodeFileConfig, OverlayHandle, OverlayNode, Runtime, SlaPlan};
 use dg_topology::{Graph, NodeId};
-use serde::Deserialize;
-use std::collections::HashMap;
-use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
-
-#[derive(Debug, Deserialize)]
-struct FileConfig {
-    topology: String,
-    node: String,
-    listen: SocketAddr,
-    peers: HashMap<String, SocketAddr>,
-    #[serde(default = "default_hello_ms")]
-    hello_interval_ms: u64,
-    #[serde(default = "default_ls_ms")]
-    link_state_interval_ms: u64,
-}
-
-fn default_hello_ms() -> u64 {
-    50
-}
-
-fn default_ls_ms() -> u64 {
-    200
-}
+use std::time::{Duration, Instant};
 
 fn cli() -> Cli {
     Cli::new("dg-node", "standalone overlay transport daemon")
         .flag("config", "FILE", "JSON node configuration to run")
         .flag("emit-topology", "FILE", "write the 12-node preset topology and exit")
         .flag("run-secs", "N", "exit after N seconds instead of running forever")
+        .flag("run-ms", "N", "exit after N milliseconds (finer-grained --run-secs)")
         .flag("metrics-json", "PATH", "dump the metrics snapshot on shutdown ('-' for stdout)")
+        .flag("baseline-json", "PATH", "dump a mid-run snapshot at --baseline-at-ms")
+        .flag("baseline-at-ms", "N", "when to take the baseline snapshot, in ms into the run")
+        .flag("quiesce-at-ms", "N", "pause link-state origination N ms into the run")
         .flag("chaos-json", "PATH", "replay a chaos schedule against this node's out-links")
         .flag("sla-json", "PATH", "open per-flow SLA-class sending sessions sourced at this node")
+        .flag("traffic-pps", "N", "drive N packets/s through every SLA sender opened here")
+        .flag("traffic-stop-ms", "N", "stop the traffic driver N ms into the run")
+        .flag(
+            "epoch-us",
+            "T",
+            "anchor all time flags to this wall-clock instant (us since the UNIX epoch) \
+             instead of process start; deadlines already past are honoured immediately",
+        )
         .flag(
             "runtime",
             "MODE",
             "node runtime: 'threaded' (default), 'reactor', or 'reactor:N' with N workers",
         )
+}
+
+/// Exits with code 1 and a diagnostic on stderr — the non-panicking
+/// path for every operator-input failure.
+fn fail(message: std::fmt::Arguments<'_>) -> ! {
+    eprintln!("dg-node: {message}");
+    std::process::exit(1);
+}
+
+macro_rules! fail {
+    ($($arg:tt)*) => { fail(format_args!($($arg)*)) };
+}
+
+/// Reads a file, exiting with a diagnostic naming it on failure.
+fn read_file(what: &str, path: &str) -> String {
+    match std::fs::read_to_string(path) {
+        Ok(raw) => raw,
+        Err(e) => fail!("cannot read {what} {path}: {e}"),
+    }
+}
+
+/// Writes JSON atomically: temp file in the destination's directory,
+/// then rename. A collector racing the writer sees the old content or
+/// the new content, never a torn prefix.
+fn write_json_atomic(path: &str, json: &str) -> std::io::Result<()> {
+    let dest = std::path::Path::new(path);
+    let tmp = dest.with_extension(format!("tmp.{}", std::process::id()));
+    std::fs::write(&tmp, json)?;
+    std::fs::rename(&tmp, dest)
+}
+
+/// The daemon's parsed runtime options.
+struct Options {
+    run_limit: Option<Duration>,
+    metrics_json: Option<String>,
+    baseline_json: Option<String>,
+    baseline_at: Option<Duration>,
+    quiesce_at: Option<Duration>,
+    chaos_json: Option<String>,
+    sla_json: Option<String>,
+    traffic_pps: Option<u64>,
+    traffic_stop: Option<Duration>,
+    runtime_descriptor: Option<String>,
+    epoch_us: Option<u64>,
 }
 
 fn main() {
@@ -96,7 +161,9 @@ fn main() {
     if let Some(path) = matches.value("emit-topology") {
         let graph = dg_topology::presets::north_america_12();
         let json = serde_json::to_string_pretty(&graph).expect("graph serializes");
-        std::fs::write(path, json).expect("topology file is writable");
+        if let Err(e) = std::fs::write(path, json) {
+            fail!("cannot write topology {path}: {e}");
+        }
         println!("wrote {path}");
         return;
     }
@@ -104,68 +171,87 @@ fn main() {
         eprintln!("dg-node: either --config or --emit-topology is required\n\n{}", cli.usage());
         std::process::exit(2);
     };
-    let run_secs = match matches.get::<u64>("run-secs") {
+    let get_u64 = |name: &str| match matches.get::<u64>(name) {
         Ok(v) => v,
         Err(e) => cli.exit_with(&e),
     };
-    let metrics_json = matches.value("metrics-json").map(str::to_string);
-    let chaos_json = matches.value("chaos-json").map(str::to_string);
-    let sla_json = matches.value("sla-json").map(str::to_string);
-    let runtime = matches.value("runtime").map(str::to_string);
-    run(config_path, run_secs, metrics_json, chaos_json, sla_json, runtime);
+    let options = Options {
+        run_limit: get_u64("run-ms")
+            .map(Duration::from_millis)
+            .or_else(|| get_u64("run-secs").map(Duration::from_secs)),
+        metrics_json: matches.value("metrics-json").map(str::to_string),
+        baseline_json: matches.value("baseline-json").map(str::to_string),
+        baseline_at: get_u64("baseline-at-ms").map(Duration::from_millis),
+        quiesce_at: get_u64("quiesce-at-ms").map(Duration::from_millis),
+        chaos_json: matches.value("chaos-json").map(str::to_string),
+        sla_json: matches.value("sla-json").map(str::to_string),
+        traffic_pps: get_u64("traffic-pps"),
+        traffic_stop: get_u64("traffic-stop-ms").map(Duration::from_millis),
+        runtime_descriptor: matches.value("runtime").map(str::to_string),
+        epoch_us: get_u64("epoch-us"),
+    };
+    run(config_path, options);
 }
 
-fn run(
-    config_path: &str,
-    run_secs: Option<u64>,
-    metrics_json: Option<String>,
-    chaos_json: Option<String>,
-    sla_json: Option<String>,
-    runtime_descriptor: Option<String>,
-) {
-    let raw = std::fs::read_to_string(config_path)
-        .unwrap_or_else(|e| panic!("cannot read {config_path}: {e}"));
-    let file: FileConfig = serde_json::from_str(&raw).unwrap_or_else(|e| panic!("bad config: {e}"));
-    let topo_raw = std::fs::read_to_string(&file.topology)
-        .unwrap_or_else(|e| panic!("cannot read topology {}: {e}", file.topology));
-    let graph: Graph =
-        serde_json::from_str(&topo_raw).unwrap_or_else(|e| panic!("bad topology: {e}"));
+fn run(config_path: &str, options: Options) {
+    let raw = read_file("config", config_path);
+    let file = match NodeFileConfig::from_json(&raw) {
+        Ok(file) => file,
+        Err(e) => fail!("bad config {config_path}: {e}"),
+    };
+    let topo_raw = read_file("topology", &file.topology);
+    let graph: Graph = match serde_json::from_str(&topo_raw) {
+        Ok(graph) => graph,
+        Err(e) => fail!("bad topology {}: {e}", file.topology),
+    };
+    let config = match file.resolve(&graph) {
+        Ok(config) => config,
+        Err(e) => fail!("{config_path}: {e}"),
+    };
+    let me = config.node;
 
-    let me = graph
-        .node_by_name(&file.node)
-        .unwrap_or_else(|| panic!("node {:?} not in topology", file.node));
-    let mut peers = HashMap::new();
-    for (name, addr) in &file.peers {
-        let peer =
-            graph.node_by_name(name).unwrap_or_else(|| panic!("peer {name:?} not in topology"));
-        peers.insert(peer, *addr);
-    }
-    let config = NodeConfig::builder(me, file.listen)
-        .hello_interval(Duration::from_millis(file.hello_interval_ms))
-        .link_state_interval(Duration::from_millis(file.link_state_interval_ms))
-        .peers(peers)
-        .build()
-        .unwrap_or_else(|e| panic!("bad config: {e}"));
-
-    let mut chaos: Vec<ChaosEvent> = chaos_json
-        .map(|path| {
-            let raw = std::fs::read_to_string(&path)
-                .unwrap_or_else(|e| panic!("cannot read chaos schedule {path}: {e}"));
-            let schedule = ChaosSchedule::from_json(&raw)
-                .unwrap_or_else(|e| panic!("bad chaos schedule: {e}"));
-            let mut events = schedule.events;
-            events.sort_by_key(|e| e.at_ms);
-            events
-        })
-        .unwrap_or_default();
+    let mut chaos: Vec<ChaosEvent> = match &options.chaos_json {
+        Some(path) => {
+            let raw = read_file("chaos schedule", path);
+            match ChaosSchedule::from_json(&raw) {
+                Ok(schedule) => {
+                    let mut events = schedule.events;
+                    events.sort_by_key(|e| e.at_ms);
+                    events
+                }
+                Err(e) => fail!("bad chaos schedule {path}: {e}"),
+            }
+        }
+        None => Vec::new(),
+    };
+    let sla_plan: Option<SlaPlan> = match &options.sla_json {
+        Some(path) => {
+            let raw = read_file("sla plan", path);
+            match SlaPlan::from_json(&raw) {
+                Ok(plan) => Some(plan),
+                Err(e) => fail!("bad sla plan {path}: {e}"),
+            }
+        }
+        None => None,
+    };
 
     let graph = Arc::new(graph);
     // --runtime beats DG_RUNTIME beats the threaded default.
-    let descriptor = runtime_descriptor
+    let descriptor = options
+        .runtime_descriptor
+        .clone()
         .or_else(|| std::env::var("DG_RUNTIME").ok())
         .unwrap_or_else(|| "threaded".to_string());
     let runtime = Runtime::from_descriptor(&descriptor);
-    let handle = OverlayNode::spawn_on(&runtime, config, Arc::clone(&graph)).expect("node starts");
+    let handle = match OverlayNode::spawn_on(&runtime, config, Arc::clone(&graph)) {
+        Ok(handle) => handle,
+        Err(e) => fail!("cannot start node {}: {e}", file.node),
+    };
+    // The machine-parseable readiness line harnesses wait for: printed
+    // only after the socket is bound and the protocol threads (or the
+    // reactor slot) are running. Rust's stdout is line-buffered even
+    // into a pipe, so the line is visible immediately.
+    println!("READY {} {} {descriptor}", file.node, handle.local_addr());
     println!(
         "dg-node {} listening on {} with {} peers ({:?} runtime)",
         file.node,
@@ -176,71 +262,155 @@ fn run(
     // SLA plan: open (and hold) a class-appropriate sending session for
     // every flow sourced here, so admission, shed bands, and overload
     // downgrades apply for the daemon's lifetime.
-    let _sla_senders: Vec<FlowSender> = sla_json
-        .map(|path| {
-            let raw = std::fs::read_to_string(&path)
-                .unwrap_or_else(|e| panic!("cannot read sla plan {path}: {e}"));
-            let plan = SlaPlan::from_json(&raw).unwrap_or_else(|e| panic!("bad sla plan: {e}"));
-            open_sla_senders(&handle, &graph, me, &plan)
-        })
+    let sla_senders: Vec<FlowSender> = sla_plan
+        .as_ref()
+        .map(|plan| open_sla_senders(&handle, &graph, me, plan))
         .unwrap_or_default();
-    // Report stats periodically until killed (or the run limit passes);
-    // tick finely while chaos events are still pending.
-    let started = std::time::Instant::now();
-    let mut next_stats = Duration::from_secs(10);
-    loop {
-        let stats_due = {
-            let nap = next_stats.saturating_sub(started.elapsed());
-            let nap = match chaos.first() {
-                Some(event) => nap
-                    .min(Duration::from_millis(event.at_ms).saturating_sub(started.elapsed()))
-                    .max(Duration::from_millis(1)),
-                None => nap,
-            };
-            match run_secs {
-                Some(secs) => {
-                    let left = Duration::from_secs(secs).saturating_sub(started.elapsed());
-                    if left.is_zero() {
-                        break;
-                    }
-                    std::thread::sleep(left.min(nap));
+
+    // With --epoch-us every time flag measures from a wall-clock
+    // instant the whole deployment shares, not from this process's
+    // start: daemons spawned (or respawned) at different moments still
+    // snapshot, quiesce, and stop traffic at the same real instants,
+    // and a respawned daemon replays already-past chaos events
+    // immediately in order, restoring the deployment's intended state.
+    let started = Instant::now();
+    let start_offset = options.epoch_us.map_or(Duration::ZERO, |epoch| {
+        let now_us = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_micros() as u64);
+        Duration::from_micros(now_us.saturating_sub(epoch))
+    });
+
+    // The RTP-like fixed-rate control stream: one paced 64-byte frame
+    // per sender per tick, from a dedicated thread so protocol pacing
+    // and chaos replay never skew the send cadence.
+    let traffic_running = Arc::new(AtomicBool::new(true));
+    let traffic_thread = options.traffic_pps.filter(|_| !sla_senders.is_empty()).map(|pps| {
+        let running = Arc::clone(&traffic_running);
+        let stop_at = options.traffic_stop;
+        let senders = sla_senders;
+        std::thread::spawn(move || {
+            let interval = Duration::from_micros(1_000_000 / pps.max(1));
+            let payload = [0x5Au8; 64];
+            let mut next = Instant::now();
+            while running.load(Ordering::Relaxed) {
+                if stop_at.is_some_and(|stop| start_offset + started.elapsed() >= stop) {
+                    break;
                 }
-                None => std::thread::sleep(nap),
+                for sender in &senders {
+                    // Shed or refused sends are the overload machinery
+                    // working as designed, not a driver error.
+                    let _ = sender.send(&payload);
+                }
+                next += interval;
+                let now = Instant::now();
+                if next > now {
+                    std::thread::sleep(next - now);
+                } else {
+                    // Fell behind (scheduler stall): realign instead of
+                    // bursting to catch up.
+                    next = now;
+                }
             }
-            let elapsed = started.elapsed();
-            let due = chaos.iter().take_while(|e| e.at_ms as u128 <= elapsed.as_millis()).count();
-            for event in chaos.drain(..due) {
-                apply_chaos_to_self(&handle, &graph, me, &event.action);
+            // Tail-loss probes: hop-by-hop recovery is gap-triggered,
+            // so the last packets of the stream can be lost with
+            // nothing behind them to expose the gap. Re-offer the final
+            // packet a few times (same flow sequence — duplicates are
+            // suppressed, losses are repaired) so the tail survives
+            // into the final snapshots.
+            for _ in 0..3 {
+                if !running.load(Ordering::Relaxed) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(120));
+                for sender in &senders {
+                    let _ = sender.tail_probe(&payload);
+                }
             }
-            elapsed >= next_stats
-        };
-        if !stats_due {
-            continue;
+        })
+    });
+
+    // Report stats periodically until killed (or the run limit passes);
+    // tick finely while chaos events or snapshot deadlines are pending.
+    let mut next_stats = start_offset + Duration::from_secs(10);
+    // A baseline deadline already past at (re)spawn is skipped, not
+    // fired late: this incarnation's counters started from zero, and a
+    // stale overwrite would corrupt the deployment's delta arithmetic.
+    let mut baseline_due = options.baseline_at.filter(|&at| {
+        let due = at > start_offset;
+        if !due {
+            println!("baseline: deadline already past at startup, skipping");
         }
-        next_stats += Duration::from_secs(10);
-        let c = handle.metrics_snapshot().counters;
-        println!(
-            "stats: rx {} tx {} delivered {} dup {} expired {} nack {} retx {}",
-            c.data_received,
-            c.data_sent,
-            c.delivered_on_time + c.delivered_late,
-            c.duplicates,
-            c.expired,
-            c.nack_messages_sent,
-            c.retransmissions_served
-        );
+        due
+    });
+    let mut quiesce_due = options.quiesce_at;
+    loop {
+        let elapsed = start_offset + started.elapsed();
+        if options.run_limit.is_some_and(|limit| elapsed >= limit) {
+            break;
+        }
+        // Fire everything due at this instant.
+        let due = chaos.iter().take_while(|e| e.at_ms as u128 <= elapsed.as_millis()).count();
+        for event in chaos.drain(..due) {
+            apply_chaos_to_self(&handle, &graph, me, &event.action);
+        }
+        if baseline_due.is_some_and(|at| elapsed >= at) {
+            baseline_due = None;
+            if let Some(path) = &options.baseline_json {
+                dump_snapshot(&handle.metrics_snapshot(), path, "baseline");
+            }
+        }
+        if quiesce_due.is_some_and(|at| elapsed >= at) {
+            quiesce_due = None;
+            println!("quiesce: pausing link-state origination");
+            handle.set_origination_paused(true);
+        }
+        if elapsed >= next_stats {
+            next_stats += Duration::from_secs(10);
+            let c = handle.metrics_snapshot().counters;
+            println!(
+                "stats: rx {} tx {} delivered {} dup {} expired {} nack {} retx {}",
+                c.data_received,
+                c.data_sent,
+                c.delivered_on_time + c.delivered_late,
+                c.duplicates,
+                c.expired,
+                c.nack_messages_sent,
+                c.retransmissions_served
+            );
+        }
+        // Sleep until the nearest future deadline.
+        let mut nap = next_stats.saturating_sub(elapsed);
+        if let Some(event) = chaos.first() {
+            nap = nap.min(Duration::from_millis(event.at_ms).saturating_sub(elapsed));
+        }
+        for at in [baseline_due, quiesce_due, options.run_limit].into_iter().flatten() {
+            nap = nap.min(at.saturating_sub(elapsed));
+        }
+        std::thread::sleep(nap.max(Duration::from_millis(1)));
+    }
+    traffic_running.store(false, Ordering::Relaxed);
+    if let Some(thread) = traffic_thread {
+        let _ = thread.join();
     }
     let snapshot = handle.metrics_snapshot();
     handle.shutdown();
     runtime.shutdown();
-    if let Some(path) = metrics_json {
-        let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
-        if path == "-" {
-            println!("{json}");
-        } else {
-            std::fs::write(&path, json).expect("metrics file is writable");
-            println!("wrote metrics to {path}");
-        }
+    if let Some(path) = &options.metrics_json {
+        dump_snapshot(&snapshot, path, "metrics");
+    }
+}
+
+/// Serializes a snapshot to `path` ('-' for stdout) atomically; exits
+/// with a diagnostic when the destination is unwritable.
+fn dump_snapshot(snapshot: &MetricsSnapshot, path: &str, what: &str) {
+    let json = serde_json::to_string_pretty(snapshot).expect("snapshot serializes");
+    if path == "-" {
+        println!("{json}");
+    } else if let Err(e) = write_json_atomic(path, &json) {
+        fail!("cannot write {what} {path}: {e}");
+    } else {
+        println!("wrote {what} to {path}");
     }
 }
 
@@ -303,6 +473,10 @@ fn open_sla_senders(
 fn apply_chaos_to_self(handle: &OverlayHandle, graph: &Graph, me: NodeId, action: &ChaosAction) {
     match *action {
         ChaosAction::InjectEdge { edge, fault } => {
+            if edge.index() >= graph.edge_count() {
+                eprintln!("chaos: ignoring impairment of unknown edge {edge:?}");
+                return;
+            }
             let info = graph.edge(edge);
             if info.src == me {
                 println!("chaos: impairing link to {}", graph.node(info.dst).name);
@@ -310,6 +484,10 @@ fn apply_chaos_to_self(handle: &OverlayHandle, graph: &Graph, me: NodeId, action
             }
         }
         ChaosAction::HealEdge { edge } => {
+            if edge.index() >= graph.edge_count() {
+                eprintln!("chaos: ignoring heal of unknown edge {edge:?}");
+                return;
+            }
             let info = graph.edge(edge);
             if info.src == me {
                 println!("chaos: healing link to {}", graph.node(info.dst).name);

@@ -11,7 +11,7 @@ use crate::cluster::Cluster;
 use crate::fault::{splitmix64, unit, BurstLoss, LinkFault};
 use crate::metrics::NodeThread;
 use crate::OverlayError;
-use dg_topology::{EdgeId, Micros, NodeId};
+use dg_topology::{EdgeId, Graph, Micros, NodeId};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -204,6 +204,118 @@ impl ChaosSchedule {
     /// Serializes the schedule to JSON.
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("schedule serializes")
+    }
+
+    /// The fire time of the last event, in milliseconds (zero for an
+    /// empty schedule). Deployment harnesses size their run windows
+    /// off this.
+    pub fn end_ms(&self) -> u64 {
+        self.events.iter().map(|e| e.at_ms).max().unwrap_or(0)
+    }
+
+    /// The same schedule with every event delayed by `offset_ms` —
+    /// how a harness aligns a schedule authored relative to "chaos
+    /// starts" onto a run that needs a convergence warm-up first.
+    pub fn shifted(&self, offset_ms: u64) -> ChaosSchedule {
+        let events = self
+            .events
+            .iter()
+            .map(|e| ChaosEvent {
+                at_ms: e.at_ms.saturating_add(offset_ms),
+                action: e.action.clone(),
+            })
+            .collect();
+        ChaosSchedule { seed: self.seed, events }
+    }
+
+    /// The schedule as seen by a process that joins `elapsed_ms` into
+    /// the run (a restarted daemon): events already in the past are
+    /// dropped, the rest keep their absolute position by firing
+    /// `elapsed_ms` earlier on the newcomer's own clock.
+    pub fn rebased(&self, elapsed_ms: u64) -> ChaosSchedule {
+        let events = self
+            .events
+            .iter()
+            .filter(|e| e.at_ms >= elapsed_ms)
+            .map(|e| ChaosEvent { at_ms: e.at_ms - elapsed_ms, action: e.action.clone() })
+            .collect();
+        ChaosSchedule { seed: self.seed, events }
+    }
+
+    /// Just the process-level events — crashes and restarts, sorted by
+    /// fire time. A multi-process harness executes these itself (kill
+    /// and respawn the daemon); they are exactly the events
+    /// [`ChaosSchedule::shard_for_node`] excludes.
+    pub fn process_events(&self) -> Vec<ChaosEvent> {
+        let mut events: Vec<ChaosEvent> = self
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(e.action, ChaosAction::CrashNode { .. } | ChaosAction::RestartNode { .. })
+            })
+            .cloned()
+            .collect();
+        events.sort_by_key(|e| e.at_ms);
+        events
+    }
+
+    /// The slice of this schedule one daemon can enact on itself — the
+    /// per-node `--chaos-json` file a multi-process harness distributes.
+    ///
+    /// A standalone daemon controls only its own *out*-links, so
+    /// cluster-wide actions lower to that vantage point:
+    ///
+    /// - edge events survive where the edge's source is `me` (edges
+    ///   out of range for the topology are dropped rather than trusted);
+    /// - `ImpairNode`/`HealNode` against `me` survive as-is (the daemon
+    ///   impairs all of its out-links), and against a *neighbour* they
+    ///   lower to edge events on the `me → node` edge — so the union of
+    ///   every daemon's shard reproduces the cluster semantics of
+    ///   impairing both directions of every incident link;
+    /// - thread panics and overloads survive where they name `me`;
+    /// - crashes and restarts are excluded entirely: killing a process
+    ///   is the harness's job (see [`ChaosSchedule::process_events`]),
+    ///   not the victim's.
+    pub fn shard_for_node(&self, graph: &Graph, me: NodeId) -> ChaosSchedule {
+        let edge_to =
+            |node: NodeId| graph.out_edges(me).iter().copied().find(|&e| graph.edge(e).dst == node);
+        let mut events = Vec::new();
+        for event in &self.events {
+            let lowered = match event.action {
+                ChaosAction::InjectEdge { edge, fault } => (edge.index() < graph.edge_count()
+                    && graph.edge(edge).src == me)
+                    .then_some(ChaosAction::InjectEdge { edge, fault }),
+                ChaosAction::HealEdge { edge } => (edge.index() < graph.edge_count()
+                    && graph.edge(edge).src == me)
+                    .then_some(ChaosAction::HealEdge { edge }),
+                ChaosAction::ImpairNode { node, fault } => {
+                    if node == me {
+                        Some(ChaosAction::ImpairNode { node, fault })
+                    } else {
+                        edge_to(node).map(|edge| ChaosAction::InjectEdge { edge, fault })
+                    }
+                }
+                ChaosAction::HealNode { node } => {
+                    if node == me {
+                        Some(ChaosAction::HealNode { node })
+                    } else {
+                        edge_to(node).map(|edge| ChaosAction::HealEdge { edge })
+                    }
+                }
+                ChaosAction::CrashNode { .. } | ChaosAction::RestartNode { .. } => None,
+                ChaosAction::PanicThread { node, thread } => {
+                    (node == me).then_some(ChaosAction::PanicThread { node, thread })
+                }
+                ChaosAction::Overload { node, shipments, dwell_ms } => {
+                    (node == me).then_some(ChaosAction::Overload { node, shipments, dwell_ms })
+                }
+            };
+            if let Some(action) = lowered {
+                events.push(ChaosEvent { at_ms: event.at_ms, action });
+            }
+        }
+        events.sort_by_key(|e| e.at_ms);
+        ChaosSchedule { seed: self.seed, events }
     }
 }
 
@@ -404,6 +516,106 @@ mod tests {
         };
         let parsed = ChaosSchedule::from_json(&schedule.to_json()).unwrap();
         assert_eq!(parsed, schedule);
+    }
+
+    #[test]
+    fn shards_cover_the_cluster_semantics_and_drop_process_events() {
+        let graph = dg_topology::presets::north_america_12();
+        let nyc = graph.node_by_name("NYC").unwrap();
+        let den = graph.node_by_name("DEN").unwrap();
+        let nyc_out = graph.out_edges(nyc)[0];
+        let fault = LinkFault { loss: 0.5, ..LinkFault::default() };
+        let schedule = ChaosSchedule {
+            seed: 1,
+            events: vec![
+                ChaosEvent { at_ms: 10, action: ChaosAction::InjectEdge { edge: nyc_out, fault } },
+                ChaosEvent { at_ms: 20, action: ChaosAction::ImpairNode { node: den, fault } },
+                ChaosEvent { at_ms: 30, action: ChaosAction::HealNode { node: den } },
+                ChaosEvent { at_ms: 40, action: ChaosAction::CrashNode { node: den } },
+                ChaosEvent { at_ms: 50, action: ChaosAction::RestartNode { node: den } },
+                ChaosEvent { at_ms: 60, action: ChaosAction::HealEdge { edge: nyc_out } },
+            ],
+        };
+
+        // Process-level events are the harness's, never a daemon's.
+        let process: Vec<_> = schedule.process_events();
+        assert_eq!(process.len(), 2);
+        for me in graph.nodes() {
+            for event in &schedule.shard_for_node(&graph, me).events {
+                assert!(
+                    !matches!(
+                        event.action,
+                        ChaosAction::CrashNode { .. } | ChaosAction::RestartNode { .. }
+                    ),
+                    "process event leaked into a shard"
+                );
+            }
+        }
+
+        // NYC's own out-edge events stay; nobody else sees them.
+        let nyc_shard = schedule.shard_for_node(&graph, nyc);
+        assert!(nyc_shard
+            .events
+            .iter()
+            .any(|e| matches!(e.action, ChaosAction::InjectEdge { edge, .. } if edge == nyc_out)));
+        let sjc = graph.node_by_name("SJC").unwrap();
+        assert!(!schedule
+            .shard_for_node(&graph, sjc)
+            .events
+            .iter()
+            .any(|e| matches!(e.action, ChaosAction::InjectEdge { edge, .. } if edge == nyc_out)));
+
+        // ImpairNode{DEN} lowers to: DEN impairing its own out-links,
+        // plus each neighbour impairing its edge toward DEN — together
+        // exactly the cluster's incident_edges (both directions).
+        let den_shard = schedule.shard_for_node(&graph, den);
+        assert!(den_shard
+            .events
+            .iter()
+            .any(|e| matches!(e.action, ChaosAction::ImpairNode { node, .. } if node == den)));
+        let mut lowered_in_edges = Vec::new();
+        for me in graph.nodes() {
+            if me == den {
+                continue;
+            }
+            for event in &schedule.shard_for_node(&graph, me).events {
+                if let ChaosAction::InjectEdge { edge, .. } = event.action {
+                    let info = graph.edge(edge);
+                    if info.dst == den {
+                        assert_eq!(info.src, me, "a daemon can only impair its own out-links");
+                        lowered_in_edges.push(edge);
+                    }
+                }
+            }
+        }
+        lowered_in_edges.sort_by_key(|e| e.index());
+        let mut expected: Vec<EdgeId> = graph.in_edges(den).to_vec();
+        expected.sort_by_key(|e| e.index());
+        assert_eq!(lowered_in_edges, expected, "every in-edge of DEN is covered by a neighbour");
+    }
+
+    #[test]
+    fn shift_and_rebase_preserve_absolute_fire_times() {
+        let schedule = ChaosSchedule {
+            seed: 0,
+            events: vec![
+                ChaosEvent { at_ms: 100, action: ChaosAction::HealEdge { edge: EdgeId::new(0) } },
+                ChaosEvent { at_ms: 400, action: ChaosAction::HealEdge { edge: EdgeId::new(1) } },
+            ],
+        };
+        let shifted = schedule.shifted(2_000);
+        assert_eq!(shifted.events[0].at_ms, 2_100);
+        assert_eq!(shifted.events[1].at_ms, 2_400);
+
+        // A daemon respawned 2.2 s into the run sees only the future
+        // event, 200 ms away on its own clock — the same wall-clock
+        // instant the original schedule intended.
+        let rebased = shifted.rebased(2_200);
+        assert_eq!(rebased.events.len(), 1);
+        assert_eq!(rebased.events[0].at_ms, 200);
+
+        assert_eq!(schedule.end_ms(), 400);
+        assert_eq!(ChaosSchedule { seed: 0, events: vec![] }.end_ms(), 0);
     }
 
     #[test]

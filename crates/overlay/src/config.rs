@@ -1,7 +1,8 @@
 //! Per-node configuration.
 
 use crate::OverlayError;
-use dg_topology::NodeId;
+use dg_topology::{Graph, NodeId};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::time::Duration;
@@ -397,6 +398,153 @@ impl NodeConfigBuilder {
     }
 }
 
+fn default_hello_ms() -> u64 {
+    50
+}
+
+fn default_ls_ms() -> u64 {
+    200
+}
+
+/// The on-disk JSON configuration of a standalone `dg-node` daemon —
+/// shared between the daemon (which parses it) and deployment tooling
+/// like `dg-emu` (which generates one per node), so the two can never
+/// drift apart on field names.
+///
+/// Only the identity fields are mandatory; every `*_ms` tuning knob is
+/// optional and falls back to the [`NodeConfig`] default when omitted,
+/// which keeps hand-written configs short:
+///
+/// ```json
+/// {
+///   "topology": "topology.json",
+///   "node": "NYC",
+///   "listen": "0.0.0.0:7100",
+///   "peers": { "CHI": "192.0.2.10:7100", "WAS": "192.0.2.11:7100" }
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeFileConfig {
+    /// Path to the topology JSON (a serialized [`Graph`]), relative to
+    /// the daemon's working directory.
+    pub topology: String,
+    /// This node's site name in that topology.
+    pub node: String,
+    /// Address to bind the daemon's UDP socket on.
+    pub listen: SocketAddr,
+    /// Socket addresses of every overlay neighbour, by site name.
+    #[serde(default)]
+    pub peers: HashMap<String, SocketAddr>,
+    /// How often hellos probe each out-link.
+    #[serde(default = "default_hello_ms")]
+    pub hello_interval_ms: u64,
+    /// How often this node originates a link-state update.
+    #[serde(default = "default_ls_ms")]
+    pub link_state_interval_ms: u64,
+    /// Anti-entropy digest cadence override.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub digest_interval_ms: Option<u64>,
+    /// Route-flap damping hold-down override (zero disables damping's
+    /// window).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub flap_hold_down_ms: Option<u64>,
+    /// Link-state aging horizon override. Deployment harnesses that
+    /// compare database digests across daemons raise this past the run
+    /// length so a dead origin's reports freeze identically everywhere
+    /// instead of expiring at slightly different instants.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub link_state_max_age_ms: Option<u64>,
+    /// Watchdog staleness horizon override (also the degraded-flag
+    /// linger after a thread restart).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub watchdog_stale_after_ms: Option<u64>,
+    /// Hello-silence intervals before an incoming link is declared
+    /// down.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub link_down_intervals: Option<u64>,
+    /// Seed for the daemon's deterministic fault-injection RNG.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub fault_seed: Option<u64>,
+}
+
+impl NodeFileConfig {
+    /// A config with the mandatory identity fields and every tuning
+    /// knob at its default.
+    pub fn new(topology: &str, node: &str, listen: SocketAddr) -> NodeFileConfig {
+        NodeFileConfig {
+            topology: topology.to_string(),
+            node: node.to_string(),
+            listen,
+            peers: HashMap::new(),
+            hello_interval_ms: default_hello_ms(),
+            link_state_interval_ms: default_ls_ms(),
+            digest_interval_ms: None,
+            flap_hold_down_ms: None,
+            link_state_max_age_ms: None,
+            watchdog_stale_after_ms: None,
+            link_down_intervals: None,
+            fault_seed: None,
+        }
+    }
+
+    /// Parses a config from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying serde error on malformed input.
+    pub fn from_json(json: &str) -> Result<NodeFileConfig, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Serializes the config to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("config serializes")
+    }
+
+    /// Resolves the file config against its topology into a validated
+    /// [`NodeConfig`]: site names become node ids and the tuning
+    /// overrides flow through the builder's consistency checks.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the unknown site or the
+    /// violated builder rule.
+    pub fn resolve(&self, graph: &Graph) -> Result<NodeConfig, String> {
+        let me = graph
+            .node_by_name(&self.node)
+            .ok_or_else(|| format!("node {:?} not in topology", self.node))?;
+        let mut peers = HashMap::new();
+        for (name, addr) in &self.peers {
+            let peer =
+                graph.node_by_name(name).ok_or_else(|| format!("peer {name:?} not in topology"))?;
+            peers.insert(peer, *addr);
+        }
+        let mut builder = NodeConfig::builder(me, self.listen)
+            .hello_interval(Duration::from_millis(self.hello_interval_ms))
+            .link_state_interval(Duration::from_millis(self.link_state_interval_ms))
+            .peers(peers);
+        if let Some(ms) = self.digest_interval_ms {
+            builder = builder.digest_interval(Duration::from_millis(ms));
+        }
+        if let Some(ms) = self.flap_hold_down_ms {
+            builder = builder.flap_hold_down(Duration::from_millis(ms));
+        }
+        if let Some(ms) = self.link_state_max_age_ms {
+            builder = builder.link_state_max_age(Duration::from_millis(ms));
+        }
+        if let Some(ms) = self.watchdog_stale_after_ms {
+            builder = builder.watchdog_stale_after(Duration::from_millis(ms));
+        }
+        if let Some(n) = self.link_down_intervals {
+            builder = builder.link_down_intervals(n);
+        }
+        if let Some(seed) = self.fault_seed {
+            builder = builder.fault_seed(seed);
+        }
+        builder.build().map_err(|e| e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -501,6 +649,47 @@ mod tests {
         assert!(cfg.lsa_retransmit_timeout > Duration::ZERO);
         assert!(cfg.flap_suppress_threshold > 1.0);
         assert!(cfg.watchdog_stale_after > cfg.hello_interval * 2);
+    }
+
+    #[test]
+    fn file_configs_round_trip_and_resolve() {
+        let graph = dg_topology::presets::north_america_12();
+        let mut file = NodeFileConfig::new("topo.json", "NYC", "127.0.0.1:7100".parse().unwrap());
+        file.peers.insert("CHI".into(), "127.0.0.1:7101".parse().unwrap());
+        file.link_state_max_age_ms = Some(15_000);
+        file.flap_hold_down_ms = Some(600);
+        let parsed = NodeFileConfig::from_json(&file.to_json()).unwrap();
+        assert_eq!(parsed, file);
+
+        let cfg = parsed.resolve(&graph).expect("resolves against the preset");
+        assert_eq!(cfg.node, graph.node_by_name("NYC").unwrap());
+        assert_eq!(cfg.peers[&graph.node_by_name("CHI").unwrap()], file.peers["CHI"]);
+        assert_eq!(cfg.link_state_max_age, Duration::from_secs(15));
+        assert_eq!(cfg.flap_hold_down, Duration::from_millis(600));
+        assert_eq!(cfg.hello_interval, Duration::from_millis(50), "defaults survive");
+    }
+
+    #[test]
+    fn file_config_resolution_names_the_offender() {
+        let graph = dg_topology::presets::north_america_12();
+        let file = NodeFileConfig::new("topo.json", "ATLANTIS", "127.0.0.1:0".parse().unwrap());
+        assert!(file.resolve(&graph).unwrap_err().contains("ATLANTIS"));
+
+        let mut file = NodeFileConfig::new("topo.json", "NYC", "127.0.0.1:0".parse().unwrap());
+        file.peers.insert("MORDOR".into(), "127.0.0.1:1".parse().unwrap());
+        assert!(file.resolve(&graph).unwrap_err().contains("MORDOR"));
+
+        // Tuning overrides flow through the builder's validation.
+        let mut file = NodeFileConfig::new("topo.json", "NYC", "127.0.0.1:0".parse().unwrap());
+        file.link_state_max_age_ms = Some(100);
+        assert!(file.resolve(&graph).unwrap_err().contains("link_state_max_age"));
+
+        // Sparse JSON parses: only identity fields are mandatory.
+        let sparse = r#"{"topology": "t.json", "node": "NYC", "listen": "127.0.0.1:0"}"#;
+        let parsed = NodeFileConfig::from_json(sparse).unwrap();
+        assert!(parsed.peers.is_empty());
+        assert_eq!(parsed.hello_interval_ms, 50);
+        assert!(parsed.link_state_max_age_ms.is_none());
     }
 
     #[test]

@@ -493,6 +493,7 @@ impl MetricsRegistry {
             events,
             events_dropped,
             degraded: false,
+            link_state: Vec::new(),
         }
     }
 }
@@ -518,6 +519,14 @@ pub struct MetricsSnapshot {
     /// operators should treat the node's estimates with suspicion.
     #[serde(default)]
     pub degraded: bool,
+    /// Per-origin `(epoch, seq)` digest of the node's link-state
+    /// database at snapshot time — the same summary the anti-entropy
+    /// exchange advertises, embedded so out-of-process collectors (the
+    /// `dg-emu` harness, say) can check database convergence across
+    /// daemons from their metrics dumps alone. Empty in snapshots
+    /// produced before this field existed.
+    #[serde(default)]
+    pub link_state: Vec<crate::wire::DigestEntry>,
 }
 
 /// A cluster-wide flow summary aggregated across every live node.

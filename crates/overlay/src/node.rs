@@ -216,6 +216,12 @@ pub(crate) struct Shared {
     /// This node's link-state incarnation, minted from the clock at
     /// spawn so a restarted node outranks its previous life.
     ls_epoch: u64,
+    /// While set, the ticker skips link-state origination (hellos,
+    /// digests, acks, and retransmits keep running). Out-of-process
+    /// collectors quiesce origination briefly before snapshotting so
+    /// every daemon's final digest refers to the same frozen stamps
+    /// instead of racing the 200 ms refresh cadence.
+    originations_paused: AtomicBool,
 }
 
 impl Shared {
@@ -1250,7 +1256,9 @@ impl Shared {
         }
         if tick >= state.next_ls {
             state.next_ls = tick + self.config.link_state_interval;
-            self.originate_link_state();
+            if !self.originations_paused.load(Ordering::Relaxed) {
+                self.originate_link_state();
+            }
             self.update_schemes();
             fired = true;
         }
@@ -1422,6 +1430,7 @@ fn build_shared(
         hello_seq: AtomicU64::new(0),
         ls_seq: AtomicU64::new(0),
         ls_epoch: now_us().as_micros(),
+        originations_paused: AtomicBool::new(false),
     });
     (shared, shipper_rx, control_rx)
 }
@@ -1576,6 +1585,7 @@ impl OverlayHandle {
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         let mut snap = self.shared.metrics.snapshot(self.node_id());
         snap.degraded = self.shared.degraded();
+        snap.link_state = self.shared.linkstate.lock().digest();
         snap
     }
 
@@ -1597,6 +1607,17 @@ impl OverlayHandle {
     /// database — the same digest the anti-entropy exchange advertises.
     pub fn link_state_digest(&self) -> Vec<DigestEntry> {
         self.shared.linkstate.lock().digest()
+    }
+
+    /// Pauses (or resumes) this node's link-state origination. While
+    /// paused the node stops minting new `(epoch, seq)` stamps but
+    /// keeps probing hellos, answering digests, and flooding other
+    /// origins' reports — so databases settle to a fixed fingerprint
+    /// instead of chasing the refresh cadence. Collectors use this as
+    /// a quiesce window right before taking comparable snapshots
+    /// across nodes; forwarding is unaffected.
+    pub fn set_origination_paused(&self, paused: bool) {
+        self.shared.originations_paused.store(paused, Ordering::Relaxed);
     }
 
     /// This node's direct measurements of the link *from* `neighbor`:

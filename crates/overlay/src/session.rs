@@ -233,6 +233,52 @@ impl FlowSender {
         Ok(seq)
     }
 
+    /// Re-disseminates the most recently sent packet under its original
+    /// flow sequence number — a tail-loss probe, in the spirit of TCP
+    /// TLP. Hop-by-hop recovery is gap-triggered: a packet lost on a
+    /// link is only NACKed when a *later* packet on that link exposes
+    /// the gap, so the last packets of a paused or finished stream can
+    /// be lost silently. The probe travels the flow's current
+    /// dissemination graph with fresh per-link sequences, which (a)
+    /// exposes any tail gaps for normal NACK recovery and (b) delivers
+    /// the packet itself if the original copies died — while flow-level
+    /// duplicate suppression keeps an already-delivered tail from being
+    /// delivered twice. The probe mints no new flow sequence and does
+    /// not count in `packets_sent`; it is the same logical packet,
+    /// offered again.
+    ///
+    /// Returns `false` without sending when the session has not sent
+    /// anything yet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::PayloadTooLarge`] for payloads over
+    /// [`MAX_PAYLOAD`] bytes (the payload must be the one passed to the
+    /// matching [`FlowSender::send`] for the probe to be a faithful
+    /// re-offer).
+    pub fn tail_probe(&self, payload: &[u8]) -> Result<bool, OverlayError> {
+        if payload.len() > MAX_PAYLOAD {
+            return Err(OverlayError::PayloadTooLarge { got: payload.len(), max: MAX_PAYLOAD });
+        }
+        let next = self.next_seq.load(Ordering::Relaxed);
+        if next == 0 {
+            return Ok(false);
+        }
+        let packet = DataPacket {
+            flow: self.flow,
+            flow_seq: next - 1,
+            sent_at: now_us(),
+            deadline: self.deadline,
+            link_seq: 0, // assigned per link at transmission
+            retransmission: false,
+            class: self.class,
+            mask: self.slot.lock().mask(),
+            payload: Bytes::copy_from_slice(payload),
+        };
+        self.shared.disseminate(&packet);
+        Ok(true)
+    }
+
     /// Sends a run of application packets as one batch: they receive
     /// consecutive flow sequence numbers, share one timestamp and
     /// dissemination mask, and are coalesced into as few wire datagrams

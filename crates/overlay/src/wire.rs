@@ -104,7 +104,11 @@ pub enum Message {
 }
 
 /// One origin's latest `(epoch, seq)` stamp inside a [`Message::Digest`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Serde-serializable so metrics snapshots can embed the database
+/// digest, letting out-of-process collectors compare convergence across
+/// daemons without a live API connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct DigestEntry {
     /// The origin summarized.
     pub origin: NodeId,

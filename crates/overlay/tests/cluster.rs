@@ -506,3 +506,54 @@ fn global_overlay_delivers_intercontinentally() {
     }
     cluster.shutdown();
 }
+
+#[test]
+fn tail_probe_repairs_a_silently_lost_stream_tail() {
+    let cluster = na_cluster();
+    let flow = nyc_sjc(&cluster);
+    let rx = cluster.open_receiver(flow).unwrap();
+    let tx = cluster
+        .open_sender(flow, SchemeKind::StaticSinglePath, ServiceRequirement::default())
+        .unwrap();
+    // A probe before anything was sent is a no-op.
+    assert!(!tx.tail_probe(b"nothing yet").unwrap(), "probe with no history sent something");
+
+    // Establish the stream, then lose its final packet completely:
+    // hop-by-hop recovery is gap-triggered, so with nothing sent behind
+    // it the loss is silent and permanent.
+    for i in 0..3u64 {
+        tx.send(format!("m{i}").as_bytes()).unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let graph = cluster.graph().clone();
+    let first_hop = tx
+        .current_graph()
+        .forwarding_edges(&graph, flow.source)
+        .next()
+        .expect("single path has a first hop");
+    cluster.set_link_fault(first_hop, 1.0, Micros::ZERO);
+    let tail_seq = tx.send(b"the tail").unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+    cluster.set_link_fault(first_hop, 0.0, Micros::ZERO);
+    std::thread::sleep(Duration::from_millis(200));
+    let before = rx.drain();
+    assert_eq!(before.len(), 3, "the tail was lost with no gap to expose it");
+    assert!(before.iter().all(|d| d.flow_seq != tail_seq));
+
+    // The probe re-offers the same flow sequence over the healed path.
+    assert!(tx.tail_probe(b"the tail").unwrap());
+    let recovered = rx.recv_timeout(Duration::from_millis(500)).expect("probe delivered the tail");
+    assert_eq!(recovered.flow_seq, tail_seq);
+    assert_eq!(recovered.payload.as_ref(), b"the tail");
+
+    // Probing an already-delivered tail is suppressed as a duplicate,
+    // and probes never mint sequence numbers or inflate packets_sent.
+    assert!(tx.tail_probe(b"the tail").unwrap());
+    std::thread::sleep(Duration::from_millis(200));
+    assert!(rx.drain().is_empty(), "duplicate probe was delivered twice");
+    let cells = cluster.node(flow.source).metrics_snapshot();
+    let flow_cell = cells.flows.iter().find(|f| f.flow == flow).expect("flow has metrics");
+    assert_eq!(flow_cell.packets_sent, 4, "probes do not inflate packets_sent");
+    assert_eq!(tx.send(b"next").unwrap(), tail_seq + 1, "probes do not consume sequences");
+    cluster.shutdown();
+}
