@@ -15,6 +15,14 @@
 //!   both throughputs, the speedup, and whether the parallel results
 //!   were byte-identical to the serial ones (they must be — a mismatch
 //!   fails the bench even without `--check`).
+//! * **many-flow** (`--flows 1|100|10000`, default 10000) — thousands
+//!   of unicast flows collapsed into source-sharing multicast groups
+//!   routed by interned graphs, replayed against the naive per-flow
+//!   baseline (fresh graph + full playback per flow); reports the
+//!   aggregate flow-packets/sec of both legs, the speedup, the
+//!   multicast-tier interning hit rate, per-flow fairness percentiles,
+//!   and a single-receiver byte-identity spot-check (a divergence
+//!   fails the bench even without `--check`).
 //! * **overload** (`--overload` or `--only overload`) — a cluster
 //!   driven past its outbound queue bound with synthetic bulk
 //!   pressure; reports the surgical class's on-time fraction, the
@@ -30,8 +38,9 @@
 //! throughput band.
 //!
 //! Usage: `cargo run --release -p dg-bench --bin dg-bench --
-//! [--quick] [--only forwarding|sim|sim-parallel|overload]
-//! [--overload] [--parallel] [--topo us|global|ring|waxman] [--nodes N]
+//! [--quick] [--only forwarding|sim|sim-parallel|overload|many-flow]
+//! [--overload] [--parallel] [--flows N]
+//! [--topo us|global|ring|waxman] [--nodes N]
 //! [--check docs/bench_baseline]`
 //!
 //! `--topo`/`--nodes` swap the sim bench's topology for a generated
@@ -41,9 +50,12 @@
 use dg_bench::cli::Cli;
 use dg_bench::{topo_cli, topo_from_matches};
 use dg_core::scheme::{build_scheme, SchemeKind, SchemeParams};
-use dg_core::{Flow, ServiceRequirement};
+use dg_core::{Flow, GraphCache, GraphCacheStats, MulticastKind, ServiceRequirement};
 use dg_overlay::cluster::{Cluster, ClusterConfig};
-use dg_sim::{run_flow, run_flows, FlowJob, LatencyHistogram, PlaybackConfig};
+use dg_sim::{
+    group_flows, run_flow, run_flows, run_group_with, run_groups, run_unicast_static_with, FlowJob,
+    GroupJob, LatencyHistogram, PlaybackConfig, SimScratch,
+};
 use dg_topology::generate::TopoSpec;
 use dg_topology::{GraphBuilder, Micros};
 use dg_trace::gen::{self, SyntheticWanConfig};
@@ -115,6 +127,50 @@ struct SimParallelResult {
     speedup: f64,
     /// Whether the parallel results were byte-identical to the serial
     /// ones. Anything but `true` is a correctness failure.
+    identical: bool,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct ManyFlowResult {
+    bench: String,
+    schema_version: u32,
+    mode: String,
+    #[serde(default)]
+    topo: String,
+    /// Application flows replayed (the `--flows` knob).
+    flows: usize,
+    /// Source-sharing groups the flows collapsed into.
+    groups: usize,
+    trace_seconds: u64,
+    rate: u32,
+    /// Grouped fast path: wall time and aggregate source-side
+    /// throughput (flow-packets per wall second — every flow's packets
+    /// count, even though grouped flows share one propagation).
+    group_wall_secs: f64,
+    group_flow_pps: f64,
+    /// Naive baseline: one uncached graph construction plus one full
+    /// playback per flow.
+    naive_wall_secs: f64,
+    naive_flow_pps: f64,
+    /// `naive_wall_secs / group_wall_secs` — the many-flow payoff.
+    speedup: f64,
+    /// Link transmissions per leg; the grouped leg sends each packet
+    /// once per shared edge instead of once per flow.
+    group_transmissions: u64,
+    naive_transmissions: u64,
+    /// Multicast-tier interning counters: one cache lookup per flow
+    /// (plus one per group at replay), so the hit rate approaches
+    /// `flows / (flows + groups)` as flows grow.
+    intern_hits: u64,
+    intern_misses: u64,
+    intern_hit_rate: f64,
+    /// Percentiles of the per-flow on-time delivery rate — grouping
+    /// must not starve any single flow.
+    fairness_p50: f64,
+    fairness_p99: f64,
+    /// Whether a single-receiver group replay was byte-identical to
+    /// the plain unicast replay. Anything but `true` is a correctness
+    /// failure.
     identical: bool,
 }
 
@@ -295,6 +351,7 @@ fn forwarding_bench(secs: u64, payload_len: usize, batch: usize, mode: &str) -> 
         }
     }
     let wall = start.elapsed().as_secs_f64();
+    println!("{}", cache_stats_line(&cluster.node(a).metrics_snapshot().graph_cache));
     cluster.shutdown();
 
     let pps = delivered as f64 / wall;
@@ -424,6 +481,166 @@ fn sim_parallel_bench(
     }
 }
 
+/// Value at quantile `q` (0..=1) of an ascending-sorted slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// One-line rendering of the graph-cache counters (satellite of the
+/// many-flow work: the interned share must be visible in bench output).
+fn cache_stats_line(stats: &GraphCacheStats) -> String {
+    format!(
+        "graph-cache: baseline {}h/{}m, live {}h/{}m, multicast {}h/{}m, interned share {:.4}",
+        stats.baseline.hits,
+        stats.baseline.misses,
+        stats.live.hits,
+        stats.live.misses,
+        stats.multicast.hits,
+        stats.multicast.misses,
+        stats.interned_share()
+    )
+}
+
+/// The many-flow fast path against its own absence: `flows` unicast
+/// flows (sources round-robined over the topology) are replayed once
+/// collapsed into source-sharing multicast groups routed by interned
+/// graphs, and once the naive way — a fresh per-flow graph
+/// construction plus a full per-flow playback. Both legs run serially
+/// so the speedup measures interning + shared propagation, not thread
+/// count. A single-receiver identity spot-check rides along: the
+/// grouped replay of a 1-flow group must be byte-identical to the
+/// plain unicast replay.
+fn many_flow_bench(
+    flows: usize,
+    trace_secs: u64,
+    rate: u32,
+    mode: &str,
+    spec: &TopoSpec,
+) -> ManyFlowResult {
+    assert!(flows > 0, "at least one flow");
+    let g = spec.build();
+    let n = g.node_count();
+    assert!(n >= 2, "many-flow needs at least two nodes");
+    let mut cfg = SyntheticWanConfig::calibrated(2017);
+    cfg.duration = Micros::from_secs(trace_secs);
+    let traces = gen::generate(&g, &cfg);
+
+    // Deterministic flow population: sources round-robin the nodes,
+    // each source cycling through the other nodes as destinations —
+    // the "one feed, many subscribers" shape that motivates grouping.
+    let flow_list: Vec<Flow> = (0..flows)
+        .map(|i| {
+            let src = i % n;
+            let dst = (src + 1 + (i / n) % (n - 1)) % n;
+            Flow::new(dg_topology::NodeId::new(src as u32), dg_topology::NodeId::new(dst as u32))
+        })
+        .collect();
+    let pairs: Vec<_> = {
+        let mut seen = std::collections::HashSet::new();
+        flow_list
+            .iter()
+            .filter(|f| seen.insert((f.source, f.destination)))
+            .map(|f| (f.source, f.destination))
+            .collect()
+    };
+    let deadline = spec.default_deadline(&g, &pairs);
+    let requirement = ServiceRequirement::new(deadline);
+    let config = PlaybackConfig { packets_per_second: rate, deadline, ..PlaybackConfig::default() };
+    let kind = MulticastKind::Targeted;
+
+    // Grouped leg: every flow interns its group's graph through the
+    // shared cache (this is what each per-flow sender open costs), the
+    // distinct groups replay once, and per-flow accounting reads each
+    // flow's receiver slot out of its group run.
+    let cache = GraphCache::new(g.clone(), SchemeParams::default());
+    let group_start = Instant::now();
+    let grouped = group_flows(&flow_list);
+    let by_source: std::collections::HashMap<_, _> = grouped.iter().cloned().collect();
+    for f in &flow_list {
+        let receivers = &by_source[&f.source];
+        cache.multicast(f.source, receivers, kind, requirement).expect("group is routable");
+    }
+    let jobs: Vec<GroupJob> = grouped
+        .iter()
+        .map(|(source, receivers)| GroupJob {
+            source: *source,
+            receivers: receivers.clone(),
+            kind,
+            requirement,
+        })
+        .collect();
+    let runs = run_groups(&g, &traces, &cache, &jobs, &config, 1).expect("groups are routable");
+    let by_run: std::collections::HashMap<_, _> = runs
+        .iter()
+        .flat_map(|r| r.receivers.iter().map(move |cell| ((r.source, cell.receiver), cell)))
+        .collect();
+    let mut rates: Vec<f64> =
+        flow_list.iter().map(|f| by_run[&(f.source, f.destination)].on_time_fraction()).collect();
+    let group_wall = group_start.elapsed().as_secs_f64();
+    let group_transmissions: u64 = runs.iter().map(|r| r.transmissions).sum();
+    rates.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+    let stats = cache.stats();
+
+    // Naive leg: what the same workload costs without grouping — a
+    // fresh (uncached) targeted graph and a full playback per flow.
+    let mut scratch = SimScratch::new();
+    let naive_start = Instant::now();
+    let mut naive_transmissions = 0u64;
+    for f in &flow_list {
+        let uni = cache
+            .compute_multicast_uncached(f.source, &[f.destination], kind, requirement)
+            .expect("flow is routable")
+            .unicast_view(&g, f.destination)
+            .expect("receiver is on its own graph");
+        let (_, tx) = run_unicast_static_with(&g, &traces, &uni, &config, &mut scratch);
+        naive_transmissions += tx;
+    }
+    let naive_wall = naive_start.elapsed().as_secs_f64();
+
+    // Identity spot-check: a 1-flow group must replay byte-identically
+    // to the plain unicast path on the same seed.
+    let probe = flow_list[0];
+    let mgraph = cache
+        .multicast(probe.source, &[probe.destination], MulticastKind::Tree, requirement)
+        .expect("probe flow is routable");
+    let group_run = run_group_with(&g, &traces, &mgraph, &config, &mut scratch);
+    let uni = mgraph.unicast_view(&g, probe.destination).expect("probe receiver is on the graph");
+    let (uni_stats, uni_tx) = run_unicast_static_with(&g, &traces, &uni, &config, &mut scratch);
+    let identical = group_run.transmissions == uni_tx
+        && serde_json::to_string(&group_run.receivers).expect("stats serialize")
+            == serde_json::to_string(&[uni_stats]).expect("stats serialize");
+
+    println!("{}", cache_stats_line(&stats));
+    let total_packets = (flows as u64) * trace_secs * u64::from(rate);
+    ManyFlowResult {
+        bench: "many_flow".to_string(),
+        schema_version: SCHEMA_VERSION,
+        mode: mode.to_string(),
+        topo: spec.label(),
+        flows,
+        groups: jobs.len(),
+        trace_seconds: trace_secs,
+        rate,
+        group_wall_secs: group_wall,
+        group_flow_pps: total_packets as f64 / group_wall,
+        naive_wall_secs: naive_wall,
+        naive_flow_pps: total_packets as f64 / naive_wall,
+        speedup: naive_wall / group_wall,
+        group_transmissions,
+        naive_transmissions,
+        intern_hits: stats.multicast.hits,
+        intern_misses: stats.multicast.misses,
+        intern_hit_rate: stats.interned_share(),
+        fairness_p50: percentile(&rates, 0.5),
+        fairness_p99: percentile(&rates, 0.99),
+        identical,
+    }
+}
+
 fn write_result<T: Serialize>(dir: &Path, name: &str, result: &T) -> PathBuf {
     std::fs::create_dir_all(dir).expect("output directory is creatable");
     let path = dir.join(format!("BENCH_{name}.json"));
@@ -463,7 +680,8 @@ fn main() {
         .flag_default("batch", "N", "application packets per send_batch call", "32")
         .flag_default("sim-seconds", "N", "simulated trace duration", "60")
         .flag_default("rate", "PPS", "sim application packet rate", "2000")
-        .flag("only", "forwarding|sim|sim-parallel|overload", "run a single bench")
+        .flag("flows", "N", "many-flow bench population (default 10000, quick 100)")
+        .flag("only", "forwarding|sim|sim-parallel|overload|many-flow", "run a single bench")
         .flag("out", "DIR", "output directory (default: results/)")
         .flag("check", "DIR", "compare against baseline BENCH_*.json in DIR")
         .flag_default("tolerance", "F", "allowed throughput regression for --check", "0.2");
@@ -481,13 +699,22 @@ fn main() {
     let batch: usize = matches.get_or("batch", 32).unwrap_or_else(|e| cli.exit_with(&e));
     let rate: u32 = matches.get_or("rate", 2_000).unwrap_or_else(|e| cli.exit_with(&e));
     let tolerance: f64 = matches.get_or("tolerance", 0.2).unwrap_or_else(|e| cli.exit_with(&e));
+    let flows: usize = matches
+        .get("flows")
+        .unwrap_or_else(|e| cli.exit_with(&e))
+        .unwrap_or(if quick { 100 } else { 10_000 });
     let only = matches.value("only");
     if let Some(o) = only {
-        if o != "forwarding" && o != "sim" && o != "sim-parallel" && o != "overload" {
+        if o != "forwarding"
+            && o != "sim"
+            && o != "sim-parallel"
+            && o != "overload"
+            && o != "many-flow"
+        {
             cli.exit_with(&dg_bench::cli::CliError::BadValue {
                 flag: "only".to_string(),
                 value: o.to_string(),
-                expected: "forwarding, sim, sim-parallel, or overload",
+                expected: "forwarding, sim, sim-parallel, overload, or many-flow",
             });
         }
     }
@@ -533,6 +760,39 @@ fn main() {
         if !r.identical {
             eprintln!(
                 "REGRESSION sim-parallel: worker-pool results diverged from the serial replay"
+            );
+            std::process::exit(1);
+        }
+        r
+    });
+    let many_flow = (only.is_none() || only == Some("many-flow")).then(|| {
+        let (mf_secs, mf_rate) = if quick { (2, 100) } else { (5, 100) };
+        let r = many_flow_bench(flows, mf_secs, mf_rate, mode, &spec);
+        println!(
+            "many-flow: {} flows in {} groups, grouped {:.2}s ({:.0} flow-pps) vs naive {:.2}s \
+             ({:.0} flow-pps) -> {:.2}x, intern rate {:.4}, tx {} vs {}, fairness p50 {:.4} \
+             p99 {:.4}, identical: {}",
+            r.flows,
+            r.groups,
+            r.group_wall_secs,
+            r.group_flow_pps,
+            r.naive_wall_secs,
+            r.naive_flow_pps,
+            r.speedup,
+            r.intern_hit_rate,
+            r.group_transmissions,
+            r.naive_transmissions,
+            r.fairness_p50,
+            r.fairness_p99,
+            r.identical
+        );
+        write_result(&out_dir, "manyflow", &r);
+        // Single-receiver identity is a correctness invariant, not a
+        // performance band: a divergence fails the run even without
+        // --check.
+        if !r.identical {
+            eprintln!(
+                "REGRESSION many-flow: single-receiver group replay diverged from the unicast path"
             );
             std::process::exit(1);
         }
@@ -615,6 +875,46 @@ fn main() {
             }
         } else {
             println!("check sim-parallel speedup: skipped on a single-core host");
+        }
+    }
+    if let Some(current) = many_flow {
+        match load_json::<ManyFlowResult>(&baseline_dir.join("BENCH_manyflow.json")) {
+            Some(base) => match check_metric(
+                "many-flow grouped flow-pps",
+                base.group_flow_pps,
+                current.group_flow_pps,
+                tolerance,
+            ) {
+                Ok(line) => println!("check {line}"),
+                Err(line) => failures.push(line),
+            },
+            None => failures.push(format!(
+                "no readable baseline at {}/BENCH_manyflow.json",
+                baseline_dir.display()
+            )),
+        }
+        // Absolute gates, meaningful only at scale: with ≥1000 flows
+        // over a dozen sources, grouping must pay ≥5x and the
+        // multicast tier must intern ≥99% of lookups.
+        if current.flows >= 1000 {
+            let line = format!(
+                "many-flow speedup: {:.2}x over {} flows (floor 5.0x)",
+                current.speedup, current.flows
+            );
+            if current.speedup < 5.0 {
+                failures.push(format!("{line} — grouping is not paying for itself"));
+            } else {
+                println!("check {line}");
+            }
+            let line =
+                format!("many-flow intern rate: {:.4} (floor 0.99)", current.intern_hit_rate);
+            if current.intern_hit_rate < 0.99 {
+                failures.push(format!("{line} — multicast interning is missing"));
+            } else {
+                println!("check {line}");
+            }
+        } else {
+            println!("check many-flow absolute gates: skipped below 1000 flows");
         }
     }
     if let Some(current) = overload {

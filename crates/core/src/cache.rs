@@ -31,6 +31,7 @@
 //! sequences against [`GraphCache::compute_uncached`] as a
 //! from-scratch oracle to enforce exactly this.
 
+use crate::mgraph::{receiver_digest, MulticastGraph, MulticastKind};
 use crate::scheme::{
     build_scheme, RoutingScheme, SchemeKind, SchemeParams, StaticTwoDisjoint, TargetedGraphs,
     TargetedRedundancy,
@@ -40,7 +41,7 @@ use dg_topology::algo::disjoint::k_disjoint_paths_weighted;
 use dg_topology::algo::{dijkstra, reach};
 use dg_topology::cache::{CacheStats, EdgeSet, PrecomputeCache};
 use dg_topology::{EdgeId, Graph, Micros, NodeId};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::sync::{Arc, Mutex};
 
@@ -67,24 +68,44 @@ impl CachedGraphKind {
     ];
 }
 
-/// Counter snapshot for both cache tiers (see [`GraphCache::stats`]).
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+/// Counter snapshot across all cache tiers (see [`GraphCache::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
 pub struct GraphCacheStats {
     /// Baseline-bundle tier counters.
     pub baseline: CacheStats,
     /// Live-graph tier counters.
     pub live: CacheStats,
+    /// Multicast (cross-flow interning) tier counters.
+    pub multicast: CacheStats,
     /// Live entries currently cached.
     pub live_entries: usize,
     /// Baseline bundles currently cached.
     pub baseline_entries: usize,
+    /// Multicast graphs currently cached.
+    pub multicast_entries: usize,
     /// Links currently past the unusable-loss threshold.
     pub unusable_edges: usize,
+}
+
+impl GraphCacheStats {
+    /// Fraction of lookups served from cache across all three tiers —
+    /// at many-flow scale this is the *interned share*: how much graph
+    /// construction was amortised away.
+    pub fn interned_share(&self) -> f64 {
+        let hits = self.baseline.hits + self.live.hits + self.multicast.hits;
+        let total = hits + self.baseline.misses + self.live.misses + self.multicast.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        hits as f64 / total as f64
+    }
 }
 
 struct Inner {
     baseline: PrecomputeCache<(Flow, Micros), TargetedGraphs>,
     live: PrecomputeCache<(Flow, CachedGraphKind, Micros), DisseminationGraph>,
+    multicast: PrecomputeCache<(NodeId, u64, MulticastKind, Micros), MulticastGraph>,
     unusable: EdgeSet,
 }
 
@@ -124,6 +145,7 @@ impl GraphCache {
             inner: Mutex::new(Inner {
                 baseline: PrecomputeCache::new(),
                 live: PrecomputeCache::new(),
+                multicast: PrecomputeCache::new(),
                 unusable: EdgeSet::new(),
             }),
         }
@@ -157,12 +179,13 @@ impl GraphCache {
         self.inner.lock().expect("cache lock").live.epoch()
     }
 
-    /// Advances the topology epoch, flushing both tiers (call when the
+    /// Advances the topology epoch, flushing every tier (call when the
     /// graph itself — membership or links — changes).
     pub fn advance_epoch(&self) {
         let mut inner = self.inner.lock().expect("cache lock");
         inner.baseline.advance_epoch();
         inner.live.advance_epoch();
+        inner.multicast.advance_epoch();
     }
 
     /// The interned baseline bundle for `flow` under `requirement`,
@@ -187,9 +210,10 @@ impl GraphCache {
     }
 
     /// Records a reported loss rate for `edge`, invalidating exactly
-    /// the live entries that depend on it when (and only when) the
-    /// report flips the edge across the unusable threshold. Returns
-    /// whether a flip (and therefore any invalidation) happened.
+    /// the live and multicast entries that depend on it when (and only
+    /// when) the report flips the edge across the unusable threshold.
+    /// Returns whether a flip (and therefore any invalidation)
+    /// happened.
     pub fn note_loss(&self, edge: EdgeId, loss_rate: f64) -> bool {
         let unusable = loss_rate >= self.unusable_loss;
         let mut inner = self.inner.lock().expect("cache lock");
@@ -197,6 +221,7 @@ impl GraphCache {
             if unusable { inner.unusable.insert(edge) } else { inner.unusable.remove(edge) };
         if flipped {
             inner.live.invalidate_edge(edge);
+            inner.multicast.invalidate_edge(edge);
         }
         flipped
     }
@@ -248,14 +273,82 @@ impl GraphCache {
         self.compute_live(flow, kind, requirement, &unusable).map(|(g, _)| g)
     }
 
-    /// Counter snapshot across both tiers.
+    /// The interned multicast graph for `source` → `receivers` under
+    /// `kind` and `requirement`, computing it over the currently-usable
+    /// subgraph on a miss.
+    ///
+    /// This is the **cross-flow interning** tier: the key is
+    /// `(source, receiver-set digest, kind, deadline)`, so any number
+    /// of flows sharing a source and receiver set — 10k subscribers of
+    /// one feed — share one precomputed graph behind one `Arc`.
+    /// Receiver order and duplicates do not matter (the set is
+    /// canonicalized first), and every hit re-checks the stored
+    /// receiver set so a digest collision can never serve a wrong
+    /// graph. Entries are dependency-tracked and invalidated by
+    /// [`GraphCache::note_loss`] exactly like the unicast live tier.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::MismatchedEndpoints`] when `receivers` is empty
+    /// after dropping the source from it; otherwise fails only when
+    /// the *full* topology cannot reach some receiver (the computation
+    /// falls back to the full graph when merely the usable subgraph is
+    /// insufficient, mirroring the live tier).
+    pub fn multicast(
+        &self,
+        source: NodeId,
+        receivers: &[NodeId],
+        kind: MulticastKind,
+        requirement: ServiceRequirement,
+    ) -> Result<Arc<MulticastGraph>, CoreError> {
+        let canonical = canonical_receivers(source, receivers)?;
+        let key = (source, receiver_digest(&canonical), kind, requirement.deadline);
+        let mut inner = self.inner.lock().expect("cache lock");
+        if let Some(graph) = inner.multicast.get(&key) {
+            if graph.receivers() == canonical.as_slice() {
+                return Ok(graph);
+            }
+            // Digest collision: serve a fresh computation without
+            // evicting the resident entry.
+            let (g, _) =
+                self.compute_multicast(source, &canonical, kind, requirement, &inner.unusable)?;
+            return Ok(Arc::new(g));
+        }
+        let (graph, deps) =
+            self.compute_multicast(source, &canonical, kind, requirement, &inner.unusable)?;
+        Ok(inner.multicast.insert(key, graph, deps))
+    }
+
+    /// From-scratch computation of the multicast graph under the
+    /// current usability partition, bypassing the cache — the oracle
+    /// the multicast proptests compare [`GraphCache::multicast`]
+    /// against.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GraphCache::multicast`].
+    pub fn compute_multicast_uncached(
+        &self,
+        source: NodeId,
+        receivers: &[NodeId],
+        kind: MulticastKind,
+        requirement: ServiceRequirement,
+    ) -> Result<MulticastGraph, CoreError> {
+        let canonical = canonical_receivers(source, receivers)?;
+        let unusable = self.inner.lock().expect("cache lock").unusable.clone();
+        self.compute_multicast(source, &canonical, kind, requirement, &unusable).map(|(g, _)| g)
+    }
+
+    /// Counter snapshot across all tiers.
     pub fn stats(&self) -> GraphCacheStats {
         let inner = self.inner.lock().expect("cache lock");
         GraphCacheStats {
             baseline: inner.baseline.stats(),
             live: inner.live.stats(),
+            multicast: inner.multicast.stats(),
             live_entries: inner.live.len(),
             baseline_entries: inner.baseline.len(),
+            multicast_entries: inner.multicast.len(),
             unusable_edges: inner.unusable.len(),
         }
     }
@@ -437,6 +530,149 @@ impl GraphCache {
         }
         DisseminationGraph::new(g, flow.source, flow.destination, edges)
     }
+
+    /// Computes the multicast graph and its dependency set against an
+    /// explicit usability partition. The soundness argument is the
+    /// live tier's, extended to sets: the computation reads only the
+    /// usable/unusable partition, every search runs on tie-broken
+    /// weights (unique optima), and the dependency set is `selected
+    /// edges ∪ unusable edges` — plus, for [`MulticastKind::Targeted`],
+    /// every receiver's in-edges, because the problem *classification*
+    /// of a receiver reads their usability too.
+    fn compute_multicast(
+        &self,
+        source: NodeId,
+        receivers: &[NodeId],
+        kind: MulticastKind,
+        requirement: ServiceRequirement,
+        unusable: &EdgeSet,
+    ) -> Result<(MulticastGraph, EdgeSet), CoreError> {
+        let g = &*self.graph;
+        let mut deps = unusable.clone();
+        let usable = |e: EdgeId| !unusable.contains(e);
+
+        // The shared tree: per-receiver tie-broken shortest usable
+        // paths. Unique optima make their union a proper out-tree, and
+        // the full-graph fallback mirrors the live tier's "keep a
+        // route rather than fail the flow" stance.
+        let mut edges: Vec<EdgeId> = Vec::new();
+        for &r in receivers {
+            let path = dijkstra::shortest_path_weighted(g, source, r, |e| {
+                usable(e).then(|| tie_broken_weight(g, e))
+            })
+            .or_else(|_| {
+                dijkstra::shortest_path_weighted(g, source, r, |e| Some(tie_broken_weight(g, e)))
+            })?;
+            edges.extend_from_slice(path.edges());
+        }
+        for &e in &edges {
+            deps.insert(e);
+        }
+
+        if kind != MulticastKind::Tree {
+            // Branch decisions below read the tree as it stood, not
+            // earlier receivers' grafts, so construction order cannot
+            // leak into the result.
+            let tree = edges.clone();
+            for &r in receivers {
+                if kind == MulticastKind::Targeted {
+                    // The classification itself reads every in-edge's
+                    // usability: a flip on any of them must recompute.
+                    for &e in g.in_edges(r) {
+                        deps.insert(e);
+                    }
+                    let problem = g.in_edges(r).iter().any(|&e| unusable.contains(e));
+                    if !problem {
+                        continue;
+                    }
+                }
+                self.graft_receiver_branches(
+                    source,
+                    r,
+                    requirement,
+                    unusable,
+                    &tree,
+                    &mut edges,
+                    &mut deps,
+                );
+            }
+        }
+        let graph = MulticastGraph::new(g, source, receivers.to_vec(), edges)?;
+        Ok((graph, deps))
+    }
+
+    /// Grafts destination-problem-style redundancy branches for one
+    /// receiver: a deadline-feasible path into every usable in-edge of
+    /// `receiver` not already fed by the tree, continuations chosen
+    /// canonically (tie-broken weights), best-latency branches first up
+    /// to `problem_branch_limit`. A receiver whose deadline admits no
+    /// feasible edges keeps its plain tree path instead of failing the
+    /// whole group.
+    #[allow(clippy::too_many_arguments)]
+    fn graft_receiver_branches(
+        &self,
+        source: NodeId,
+        receiver: NodeId,
+        requirement: ServiceRequirement,
+        unusable: &EdgeSet,
+        tree: &[EdgeId],
+        edges: &mut Vec<EdgeId>,
+        deps: &mut EdgeSet,
+    ) {
+        let g = &*self.graph;
+        let feasible: HashSet<EdgeId> =
+            match reach::time_constrained_edges(g, source, receiver, requirement.deadline) {
+                Ok(v) if !v.is_empty() => v.into_iter().collect(),
+                _ => return,
+            };
+        let ok = |e: EdgeId| feasible.contains(&e) && !unusable.contains(e);
+        let used: HashSet<NodeId> =
+            tree.iter().filter(|&&e| g.edge(e).dst == receiver).map(|&e| g.edge(e).src).collect();
+        let mut candidates: Vec<(Micros, Vec<EdgeId>)> = Vec::new();
+        for &inc in g.in_edges(receiver) {
+            let neighbor = g.edge(inc).src;
+            if !ok(inc) || used.contains(&neighbor) {
+                continue;
+            }
+            if neighbor == source {
+                candidates.push((g.edge(inc).latency, vec![inc]));
+                continue;
+            }
+            let head = dijkstra::shortest_path_weighted(g, source, neighbor, |e| {
+                let info = g.edge(e);
+                (ok(e) && info.src != receiver && info.dst != receiver)
+                    .then(|| tie_broken_weight(g, e))
+            });
+            if let Ok(head) = head {
+                let branch_latency = g.edge(inc).latency + head.latency(g);
+                if branch_latency <= requirement.deadline {
+                    let mut branch = head.edges().to_vec();
+                    branch.push(inc);
+                    candidates.push((branch_latency, branch));
+                }
+            }
+        }
+        candidates.sort_by(|a, b| (a.0, a.1.as_slice()).cmp(&(b.0, b.1.as_slice())));
+        let limit = self.params.problem_branch_limit.map_or(usize::MAX, usize::from);
+        for (_, branch) in candidates.into_iter().take(limit) {
+            for &e in &branch {
+                deps.insert(e);
+            }
+            edges.extend(branch);
+        }
+    }
+}
+
+/// Canonicalizes a receiver set for interning: sorted, deduplicated,
+/// source dropped; errors when nothing remains.
+fn canonical_receivers(source: NodeId, receivers: &[NodeId]) -> Result<Vec<NodeId>, CoreError> {
+    let mut canonical: Vec<NodeId> = receivers.iter().copied().filter(|&r| r != source).collect();
+    canonical.sort();
+    canonical.dedup();
+    if canonical.is_empty() {
+        return Err(CoreError::MismatchedEndpoints);
+    }
+    Ok(canonical)
 }
 
 #[derive(Clone, Copy)]
@@ -457,7 +693,7 @@ fn tie_broken_weight(graph: &Graph, e: EdgeId) -> u64 {
 }
 
 /// SplitMix64 finalizer — a cheap, well-mixed 64-bit hash.
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -633,5 +869,119 @@ mod tests {
             dg.edges().iter().map(|&e| g.edge(e).latency.as_micros()).sum()
         };
         assert_eq!(lat(&live), lat(direct.current()));
+    }
+
+    #[test]
+    fn multicast_interns_across_receiver_orderings() {
+        let (g, _) = setup();
+        let req = ServiceRequirement::default();
+        let cache = GraphCache::new(g.clone(), SchemeParams::default());
+        let src = g.node_by_name("NYC").unwrap();
+        let rs: Vec<NodeId> =
+            ["SJC", "LAX", "MIA"].iter().map(|n| g.node_by_name(n).unwrap()).collect();
+        let a = cache.multicast(src, &rs, MulticastKind::Targeted, req).unwrap();
+        let shuffled = vec![rs[2], rs[0], rs[1], rs[0], src];
+        let b = cache.multicast(src, &shuffled, MulticastKind::Targeted, req).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "order/dup/source differences must hit the same entry");
+        assert_eq!(cache.stats().multicast.hits, 1);
+        assert_eq!(cache.stats().multicast.misses, 1);
+        assert_eq!(cache.stats().multicast_entries, 1);
+        for &r in &rs {
+            assert!(a.contains_receiver(r));
+        }
+    }
+
+    #[test]
+    fn multicast_invalidates_on_selected_flap_and_matches_oracle() {
+        let (g, _) = setup();
+        let req = ServiceRequirement::default();
+        let cache = GraphCache::new(g.clone(), SchemeParams::default());
+        let src = g.node_by_name("NYC").unwrap();
+        let rs: Vec<NodeId> = ["SJC", "DEN"].iter().map(|n| g.node_by_name(n).unwrap()).collect();
+        let tree = cache.multicast(src, &rs, MulticastKind::Tree, req).unwrap();
+        let dead = tree.edges()[0];
+        assert!(cache.note_loss(dead, 0.9));
+        assert_eq!(cache.stats().multicast.invalidated, 1);
+        let rerouted = cache.multicast(src, &rs, MulticastKind::Tree, req).unwrap();
+        assert!(!rerouted.contains(dead), "tree still uses the unusable link");
+        assert_eq!(
+            *rerouted,
+            cache.compute_multicast_uncached(src, &rs, MulticastKind::Tree, req).unwrap()
+        );
+        // Healing flips back (the edge is in the unusable snapshot).
+        assert!(cache.note_loss(dead, 0.0));
+        let healed = cache.multicast(src, &rs, MulticastKind::Tree, req).unwrap();
+        assert_eq!(*healed, *tree);
+    }
+
+    #[test]
+    fn targeted_multicast_grafts_branches_only_on_problem_receivers() {
+        let (g, _) = setup();
+        let req = ServiceRequirement::default();
+        let cache = GraphCache::new(g.clone(), SchemeParams::default());
+        let src = g.node_by_name("NYC").unwrap();
+        let rs: Vec<NodeId> = ["SJC", "ATL"].iter().map(|n| g.node_by_name(n).unwrap()).collect();
+        let healthy = cache.multicast(src, &rs, MulticastKind::Targeted, req).unwrap();
+        let plain = cache.multicast(src, &rs, MulticastKind::Tree, req).unwrap();
+        assert_eq!(healthy.edges(), plain.edges(), "no problems -> targeted is the plain tree");
+
+        // Impair one of SJC's in-edges: SJC becomes a problem receiver
+        // and gains redundancy branches; the robust variant has them
+        // regardless.
+        let sjc = rs[0];
+        let dead = *g.in_edges(sjc).first().unwrap();
+        cache.note_loss(dead, 0.9);
+        let targeted = cache.multicast(src, &rs, MulticastKind::Targeted, req).unwrap();
+        assert!(!targeted.contains(dead));
+        let inbound =
+            |mg: &MulticastGraph| mg.edges().iter().filter(|&&e| g.edge(e).dst == sjc).count();
+        assert!(
+            inbound(&targeted) > 1,
+            "problem receiver must gain redundant inbound edges, got {}",
+            inbound(&targeted)
+        );
+        let robust = cache.multicast(src, &rs, MulticastKind::Robust, req).unwrap();
+        assert!(inbound(&robust) > 1);
+    }
+
+    #[test]
+    fn epoch_advance_flushes_multicast_tier() {
+        let (g, _) = setup();
+        let req = ServiceRequirement::default();
+        let cache = GraphCache::new(g.clone(), SchemeParams::default());
+        let src = g.node_by_name("NYC").unwrap();
+        let rs = [g.node_by_name("SJC").unwrap()];
+        cache.multicast(src, &rs, MulticastKind::Tree, req).unwrap();
+        assert_eq!(cache.stats().multicast_entries, 1);
+        cache.advance_epoch();
+        assert_eq!(cache.stats().multicast_entries, 0);
+    }
+
+    #[test]
+    fn single_receiver_tree_matches_unicast_single_path() {
+        // A one-receiver tree is exactly the tie-broken shortest path
+        // the live unicast tier computes for DynamicSinglePath-style
+        // lookups, so `--flows 1` group runs reduce to unicast.
+        let (g, flow) = setup();
+        let req = ServiceRequirement::default();
+        let cache = GraphCache::new(g.clone(), SchemeParams::default());
+        let mg =
+            cache.multicast(flow.source, &[flow.destination], MulticastKind::Tree, req).unwrap();
+        let uni = mg.unicast_view(&g, flow.destination).unwrap();
+        assert_eq!(uni.edges(), mg.edges());
+        assert_eq!(mg.receivers(), &[flow.destination]);
+    }
+
+    #[test]
+    fn interned_share_reflects_all_tiers() {
+        let (g, flow) = setup();
+        let req = ServiceRequirement::default();
+        let cache = GraphCache::new(g.clone(), SchemeParams::default());
+        assert_eq!(cache.stats().interned_share(), 0.0);
+        cache.multicast(flow.source, &[flow.destination], MulticastKind::Tree, req).unwrap();
+        cache.multicast(flow.source, &[flow.destination], MulticastKind::Tree, req).unwrap();
+        cache.multicast(flow.source, &[flow.destination], MulticastKind::Tree, req).unwrap();
+        let share = cache.stats().interned_share();
+        assert!((share - 2.0 / 3.0).abs() < 1e-9, "2 hits of 3 lookups, got {share}");
     }
 }

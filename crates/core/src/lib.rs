@@ -49,6 +49,7 @@ mod detector;
 mod dgraph;
 mod error;
 mod flow;
+mod mgraph;
 pub mod scheme;
 
 pub use cache::{build_scheme_cached, CachedGraphKind, GraphCache, GraphCacheStats};
@@ -56,3 +57,4 @@ pub use detector::{ProblemDetector, ProblemStatus};
 pub use dgraph::DisseminationGraph;
 pub use error::CoreError;
 pub use flow::{Flow, ServiceRequirement, SlaClass};
+pub use mgraph::{receiver_digest, MulticastGraph, MulticastKind};

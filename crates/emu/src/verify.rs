@@ -201,6 +201,7 @@ mod tests {
             events_dropped: 0,
             degraded: false,
             link_state,
+            graph_cache: Default::default(),
         }
     }
 

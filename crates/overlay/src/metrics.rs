@@ -16,7 +16,7 @@
 use crate::clock::now_us;
 use crate::shard::ShardedMap;
 use dg_core::scheme::SchemeKind;
-use dg_core::{Flow, SlaClass};
+use dg_core::{Flow, GraphCacheStats, SlaClass};
 use dg_topology::{Micros, NodeId};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -494,6 +494,7 @@ impl MetricsRegistry {
             events_dropped,
             degraded: false,
             link_state: Vec::new(),
+            graph_cache: GraphCacheStats::default(),
         }
     }
 }
@@ -527,6 +528,12 @@ pub struct MetricsSnapshot {
     /// produced before this field existed.
     #[serde(default)]
     pub link_state: Vec<crate::wire::DigestEntry>,
+    /// Counters of the node's precomputed-graph cache (baseline, live,
+    /// and multicast interning tiers), so cache effectiveness is
+    /// observable alongside traffic counters. Zero in snapshots
+    /// produced before this field existed.
+    #[serde(default)]
+    pub graph_cache: GraphCacheStats,
 }
 
 /// A cluster-wide flow summary aggregated across every live node.

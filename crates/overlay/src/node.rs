@@ -7,10 +7,10 @@ use crate::linkstate::LinkStateDb;
 use crate::metrics::{EventKind, MetricsRegistry, MetricsSnapshot, NodeThread};
 use crate::monitor::{FlapDamper, LinkMonitor};
 use crate::overload::{OverloadConfig, OverloadDetector, OverloadTransition};
-use crate::pool::BufferPool;
+use crate::pool::{BufferPool, ScratchVecPool};
 use crate::recovery::{retransmit_worthwhile, GapTracker, SendBuffer};
 use crate::runtime::{Runtime, SpawnMode};
-use crate::session::{Delivery, FlowReceiver, FlowSender, SchemeSlot};
+use crate::session::{Delivery, FlowGroup, FlowReceiver, FlowSender, GroupSlot, SchemeSlot};
 use crate::shard::ShardedMap;
 use crate::wire::{
     self, DataPacket, DigestEntry, Envelope, LinkStateEntry, LinkStateUpdate, Message,
@@ -19,7 +19,9 @@ use crate::OverlayError;
 use bytes::Bytes;
 use crossbeam::channel::{self, Receiver, Sender, TryRecvError, TrySendError};
 use dg_core::scheme::{build_scheme, RoutingScheme, SchemeKind, SchemeParams};
-use dg_core::{CachedGraphKind, Flow, GraphCache, GraphCacheStats, ServiceRequirement, SlaClass};
+use dg_core::{
+    CachedGraphKind, Flow, GraphCache, GraphCacheStats, MulticastKind, ServiceRequirement, SlaClass,
+};
 use dg_topology::{Graph, Micros, NodeId};
 use dg_trace::NetworkState;
 use parking_lot::Mutex;
@@ -193,8 +195,15 @@ pub(crate) struct Shared {
     /// serialize on one lock.
     receivers: ShardedMap<Flow, Sender<Delivery>>,
     pub(crate) senders: Mutex<Vec<Arc<Mutex<SchemeSlot>>>>,
+    /// Multicast group sessions originated here, refreshed alongside
+    /// the unicast sender slots on every scheme-update tick.
+    pub(crate) groups: Mutex<Vec<Arc<Mutex<GroupSlot>>>>,
     /// Reusable encode buffers for the transmit path.
     frame_pool: Mutex<BufferPool>,
+    /// Reusable packet scratch for the batch send path.
+    packet_scratch: Mutex<ScratchVecPool<DataPacket>>,
+    /// Reusable link-sequence scratch for the batch send path.
+    seq_scratch: Mutex<ScratchVecPool<u64>>,
     /// Bounded lane for data shipments; overflow is shed by class.
     shipper_tx: Sender<Shipment>,
     /// Reserved unbounded lane for control frames, so saturating data
@@ -467,7 +476,8 @@ impl Shared {
         let n = packets.len() as u64;
         self.metrics.counters.data_sent.fetch_add(n, Ordering::Relaxed);
         self.metrics.flow(packets[0].flow).transmissions.fetch_add(n, Ordering::Relaxed);
-        let seqs: Vec<u64> = (first_seq..first_seq + n).collect();
+        let mut seqs = self.seq_scratch.lock().get();
+        seqs.extend(first_seq..first_seq + n);
         // Chunk so no datagram exceeds the configured batch budget
         // (always at least one packet per datagram).
         let budget = self.config.max_batch_bytes;
@@ -488,6 +498,17 @@ impl Shared {
             });
             start = end;
         }
+        self.seq_scratch.lock().put(seqs);
+    }
+
+    /// Takes a pooled scratch vector for assembling a packet batch.
+    pub(crate) fn take_packet_scratch(&self) -> Vec<DataPacket> {
+        self.packet_scratch.lock().get()
+    }
+
+    /// Returns a batch scratch vector to the pool.
+    pub(crate) fn put_packet_scratch(&self, v: Vec<DataPacket>) {
+        self.packet_scratch.lock().put(v);
     }
 
     /// Disseminates a packet from this node along its mask's out-edges.
@@ -697,7 +718,12 @@ impl Shared {
             return;
         }
         let on_time = !packet.expired(now);
-        if packet.flow.destination == self.me() {
+        // Unicast delivers at the flow's destination; a group flow
+        // delivers at every node with an open receiver session for it
+        // (group membership is not wire-visible — the mask is).
+        let deliver_here = packet.flow.destination == self.me()
+            || (packet.flow.is_group() && self.receivers.with(&packet.flow, |_| ()).is_some());
+        if deliver_here {
             let flow_cells = self.metrics.flow(packet.flow);
             if on_time {
                 self.metrics.counters.delivered_on_time.fetch_add(1, Ordering::Relaxed);
@@ -1006,6 +1032,33 @@ impl Shared {
                 CachedGraphKind::TwoDisjoint,
                 ServiceRequirement::default(),
             );
+        }
+        // Group slots ride the same tick: a lookup against the
+        // interned multicast tier is free while the cached graph is
+        // valid, and recomputes exactly when a link-state report
+        // flipped an edge the graph depends on.
+        let groups: Vec<_> = self.groups.lock().clone();
+        for slot in groups {
+            let mut slot = slot.lock();
+            let fresh = self.graph_cache.multicast(
+                slot.flow.source,
+                slot.graph.receivers(),
+                slot.kind,
+                slot.requirement,
+            );
+            if let Ok(graph) = fresh {
+                if !Arc::ptr_eq(&graph, &slot.graph) {
+                    // A recompute can land on the same edge set (the
+                    // flip was on a redundant branch's alternative);
+                    // only a real edge-set change counts as a reroute.
+                    let changed = *graph != *slot.graph;
+                    slot.refresh(graph, self.graph.edge_count());
+                    if changed {
+                        self.metrics.counters.graph_changes.fetch_add(1, Ordering::Relaxed);
+                        self.metrics.flow(slot.flow).graph_changes.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
         }
         // An ongoing overload episode keeps its downgrade masks in step
         // with the topology: recompute them (silently — the level did
@@ -1419,7 +1472,10 @@ fn build_shared(
         recv_links: Mutex::new(HashMap::new()),
         receivers: ShardedMap::new(),
         senders: Mutex::new(Vec::new()),
+        groups: Mutex::new(Vec::new()),
         frame_pool: Mutex::new(BufferPool::default()),
+        packet_scratch: Mutex::new(ScratchVecPool::default()),
+        seq_scratch: Mutex::new(ScratchVecPool::default()),
         shipper_tx,
         control_tx,
         queued_data: AtomicU64::new(0),
@@ -1541,6 +1597,77 @@ impl OverlayHandle {
         Ok(FlowSender::new(Arc::clone(&self.shared), slot, flow, requirement.deadline, class))
     }
 
+    /// Opens a multicast sending session from this node to `receivers`:
+    /// one send covers every receiver, over an interned single-source
+    /// dissemination graph shared by all groups with the same
+    /// `(source, receiver set, kind, deadline)`. The `group_id` is the
+    /// rendezvous: receivers subscribe with
+    /// [`OverlayHandle::open_group_receiver`] on
+    /// `Flow::group(source, group_id)`.
+    ///
+    /// Group sessions count against the same sender admission capacity
+    /// as unicast sessions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::Core`] when no multicast graph exists
+    /// (e.g. a receiver is unreachable or the set is empty), and
+    /// [`OverlayError::AdmissionDenied`] at sender capacity.
+    pub fn open_group_sender(
+        &self,
+        receivers: &[NodeId],
+        group_id: u32,
+        kind: MulticastKind,
+        requirement: ServiceRequirement,
+        class: SlaClass,
+    ) -> Result<FlowGroup, OverlayError> {
+        let flow = Flow::group(self.node_id(), group_id);
+        let graph =
+            self.shared.graph_cache.multicast(self.node_id(), receivers, kind, requirement)?;
+        let mut groups = self.shared.groups.lock();
+        let capacity = self.shared.config.sender_capacity;
+        let active = self.shared.senders.lock().len() + groups.len();
+        if active >= capacity {
+            return Err(OverlayError::AdmissionDenied { active, capacity });
+        }
+        let slot = Arc::new(Mutex::new(GroupSlot::new(
+            graph,
+            flow,
+            kind,
+            requirement,
+            self.shared.graph.edge_count(),
+        )));
+        groups.push(Arc::clone(&slot));
+        drop(groups);
+        Ok(FlowGroup::new(Arc::clone(&self.shared), slot, flow, requirement.deadline, class))
+    }
+
+    /// Opens a receiving session for the multicast group flow
+    /// `Flow::group(source, group_id)`. Any node may subscribe; only
+    /// nodes in the sender's receiver set are reached by the group's
+    /// dissemination graph.
+    ///
+    /// A later receiver for the same group flow replaces the earlier
+    /// one at this node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::UnknownNode`] when `source` does not
+    /// exist in the topology.
+    pub fn open_group_receiver(
+        &self,
+        source: NodeId,
+        group_id: u32,
+    ) -> Result<FlowReceiver, OverlayError> {
+        if source.index() >= self.shared.graph.node_count() {
+            return Err(OverlayError::UnknownNode(source));
+        }
+        let flow = Flow::group(source, group_id);
+        let (tx, rx) = channel::bounded(self.shared.config.delivery_queue);
+        self.shared.receivers.insert(flow, tx);
+        Ok(FlowReceiver::new(rx))
+    }
+
     /// Opens a receiving session for `flow`, which must terminate here.
     ///
     /// A later receiver for the same flow replaces the earlier one.
@@ -1586,6 +1713,7 @@ impl OverlayHandle {
         let mut snap = self.shared.metrics.snapshot(self.node_id());
         snap.degraded = self.shared.degraded();
         snap.link_state = self.shared.linkstate.lock().digest();
+        snap.graph_cache = self.shared.graph_cache.stats();
         snap
     }
 

@@ -90,6 +90,17 @@ impl RuntimeConfig {
 /// bounds the added first-datagram latency per pass.
 const POLL_NAP: Duration = Duration::from_millis(1);
 
+/// How many consecutive all-idle passes a worker tolerates before it
+/// stops spinning at the socket-poll cadence and sleeps toward the
+/// earliest real deadline instead.
+const IDLE_STREAK_BEFORE_TRIM: u32 = 3;
+
+/// The ceiling on a trimmed idle nap. Socket readiness is still
+/// discovered only by polling, so a worker never sleeps longer than
+/// this even when the next protocol deadline is further out — this
+/// bounds the first-datagram latency after a quiet spell.
+const IDLE_NAP_CAP: Duration = Duration::from_millis(20);
+
 /// How long a worker with no nodes blocks waiting for a registration
 /// before re-checking for shutdown.
 const INTAKE_NAP: Duration = Duration::from_millis(20);
@@ -343,6 +354,7 @@ fn duration_until(depart_at: dg_topology::Micros) -> Duration {
 /// socket poll interval).
 fn worker_loop(inner: &RuntimeInner, intake: &Receiver<NodeSlot>) {
     let mut slots: Vec<NodeSlot> = Vec::new();
+    let mut idle_streak: u32 = 0;
     loop {
         while let Ok(slot) = intake.try_recv() {
             slots.push(slot);
@@ -363,14 +375,16 @@ fn worker_loop(inner: &RuntimeInner, intake: &Receiver<NodeSlot>) {
             continue;
         }
         let mut any_active = false;
-        let mut nap = POLL_NAP;
+        // The earliest deadline any slot reported (shipment departure
+        // or ticker timer); `None` means every idle slot is unbounded.
+        let mut min_wake: Option<Duration> = None;
         slots.retain_mut(|slot| match slot.service() {
             Verdict::Active => {
                 any_active = true;
                 true
             }
             Verdict::Idle(wake) => {
-                nap = nap.min(wake);
+                min_wake = Some(min_wake.map_or(wake, |w| w.min(wake)));
                 true
             }
             Verdict::Retire => {
@@ -378,7 +392,24 @@ fn worker_loop(inner: &RuntimeInner, intake: &Receiver<NodeSlot>) {
                 false
             }
         });
-        if !any_active && !nap.is_zero() {
+        if any_active {
+            idle_streak = 0;
+            continue;
+        }
+        idle_streak = idle_streak.saturating_add(1);
+        // Idle-wakeup trim: a worker whose nodes have been idle for a
+        // few passes in a row stops burning the 1 ms poll cadence and
+        // sleeps until the earliest shipment/ticker deadline instead
+        // (still capped, since datagram arrival is only discovered by
+        // polling). A single quiet pass keeps the tight cadence so a
+        // briefly-idle node under traffic never waits extra.
+        let wake = min_wake.unwrap_or(POLL_NAP);
+        let nap = if idle_streak >= IDLE_STREAK_BEFORE_TRIM && wake > POLL_NAP {
+            wake.min(IDLE_NAP_CAP)
+        } else {
+            wake.min(POLL_NAP)
+        };
+        if !nap.is_zero() {
             std::thread::sleep(nap);
         }
     }

@@ -7,8 +7,10 @@ use crate::OverlayError;
 use bytes::Bytes;
 use crossbeam::channel::Receiver;
 use dg_core::scheme::RoutingScheme;
-use dg_core::{DisseminationGraph, Flow, SlaClass};
-use dg_topology::Micros;
+use dg_core::{
+    DisseminationGraph, Flow, MulticastGraph, MulticastKind, ServiceRequirement, SlaClass,
+};
+use dg_topology::{Micros, NodeId};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -306,28 +308,204 @@ impl FlowSender {
         self.cells.packets_sent.fetch_add(n, Ordering::Relaxed);
         let mask = self.slot.lock().mask();
         let sent_at = now_us();
-        let packets: Vec<DataPacket> = payloads
-            .iter()
-            .enumerate()
-            .map(|(i, p)| DataPacket {
-                flow: self.flow,
-                flow_seq: first + i as u64,
-                sent_at,
-                deadline: self.deadline,
-                link_seq: 0, // assigned per link at transmission
-                retransmission: false,
-                class: self.class,
-                mask: mask.clone(),
-                payload: Bytes::copy_from_slice(p),
-            })
-            .collect();
+        // Pooled scratch: the batch path otherwise allocates (and
+        // frees) one `Vec<DataPacket>` per call.
+        let mut packets = self.shared.take_packet_scratch();
+        packets.extend(payloads.iter().enumerate().map(|(i, p)| DataPacket {
+            flow: self.flow,
+            flow_seq: first + i as u64,
+            sent_at,
+            deadline: self.deadline,
+            link_seq: 0, // assigned per link at transmission
+            retransmission: false,
+            class: self.class,
+            mask: mask.clone(),
+            payload: Bytes::copy_from_slice(p),
+        }));
         self.shared.disseminate_batch(&packets);
+        self.shared.put_packet_scratch(packets);
         Ok(first)
     }
 
     /// The dissemination graph currently stamped onto packets.
     pub fn current_graph(&self) -> DisseminationGraph {
         self.slot.lock().scheme.current().clone()
+    }
+}
+
+/// The per-group routing state: the interned multicast graph plus its
+/// current wire bitmask. Refreshed by the node's scheme-update tick
+/// when link-state flips evict the cached graph.
+pub(crate) struct GroupSlot {
+    pub(crate) graph: Arc<MulticastGraph>,
+    pub(crate) flow: Flow,
+    pub(crate) kind: MulticastKind,
+    pub(crate) requirement: ServiceRequirement,
+    mask: Bytes,
+}
+
+impl GroupSlot {
+    pub(crate) fn new(
+        graph: Arc<MulticastGraph>,
+        flow: Flow,
+        kind: MulticastKind,
+        requirement: ServiceRequirement,
+        edge_count: usize,
+    ) -> Self {
+        let mask = Bytes::from(graph.to_bitmask(edge_count));
+        GroupSlot { graph, flow, kind, requirement, mask }
+    }
+
+    /// Installs a fresh graph and re-stamps the wire mask.
+    pub(crate) fn refresh(&mut self, graph: Arc<MulticastGraph>, edge_count: usize) {
+        self.mask = Bytes::from(graph.to_bitmask(edge_count));
+        self.graph = graph;
+    }
+
+    fn mask(&self) -> Bytes {
+        self.mask.clone()
+    }
+}
+
+impl std::fmt::Debug for GroupSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GroupSlot")
+            .field("flow", &self.flow)
+            .field("kind", &self.kind)
+            .field("receivers", &self.graph.receivers().len())
+            .finish()
+    }
+}
+
+/// A multicast sending session: one encode + dissemination per packet
+/// covers every receiver of the group, instead of N unicast sends.
+///
+/// The group's dissemination graph is a single-source tree (or, for
+/// [`MulticastKind::Targeted`]/[`MulticastKind::Robust`], a DAG with
+/// redundancy branches grafted at receivers) interned in the node's
+/// graph cache, so thousands of groups over the same topology share
+/// one precomputed graph per distinct `(source, receiver set, kind,
+/// deadline)`. See `docs/MULTICAST.md`.
+pub struct FlowGroup {
+    shared: Arc<Shared>,
+    slot: Arc<Mutex<GroupSlot>>,
+    flow: Flow,
+    deadline: Micros,
+    class: SlaClass,
+    next_seq: AtomicU64,
+    cells: Arc<crate::metrics::FlowCells>,
+}
+
+impl std::fmt::Debug for FlowGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlowGroup")
+            .field("flow", &self.flow)
+            .field("deadline", &self.deadline)
+            .field("class", &self.class)
+            .finish()
+    }
+}
+
+impl FlowGroup {
+    pub(crate) fn new(
+        shared: Arc<Shared>,
+        slot: Arc<Mutex<GroupSlot>>,
+        flow: Flow,
+        deadline: Micros,
+        class: SlaClass,
+    ) -> Self {
+        let cells = shared.metrics.flow(flow);
+        FlowGroup { shared, slot, flow, deadline, class, next_seq: AtomicU64::new(0), cells }
+    }
+
+    /// The group flow this session sends on (a tagged group id in the
+    /// destination field; see [`Flow::group`]).
+    pub fn flow(&self) -> Flow {
+        self.flow
+    }
+
+    /// The SLA class stamped onto this session's packets.
+    pub fn class(&self) -> SlaClass {
+        self.class
+    }
+
+    /// The canonical receiver set of the group.
+    pub fn receivers(&self) -> Vec<NodeId> {
+        self.slot.lock().graph.receivers().to_vec()
+    }
+
+    /// Sends one application packet to every receiver of the group;
+    /// returns its flow sequence number.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::PayloadTooLarge`] for payloads over
+    /// [`MAX_PAYLOAD`] bytes.
+    pub fn send(&self, payload: &[u8]) -> Result<u64, OverlayError> {
+        if payload.len() > MAX_PAYLOAD {
+            return Err(OverlayError::PayloadTooLarge { got: payload.len(), max: MAX_PAYLOAD });
+        }
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        self.cells.packets_sent.fetch_add(1, Ordering::Relaxed);
+        let packet = DataPacket {
+            flow: self.flow,
+            flow_seq: seq,
+            sent_at: now_us(),
+            deadline: self.deadline,
+            link_seq: 0, // assigned per link at transmission
+            retransmission: false,
+            class: self.class,
+            mask: self.slot.lock().mask(),
+            payload: Bytes::copy_from_slice(payload),
+        };
+        self.shared.disseminate(&packet);
+        Ok(seq)
+    }
+
+    /// Sends a run of packets to every receiver as one batch — the
+    /// many-flow fast path: consecutive sequence numbers, one shared
+    /// timestamp and mask, coalesced wire datagrams per out-link, and
+    /// one dissemination covering all receivers. Returns the first
+    /// sequence number of the run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::PayloadTooLarge`] if any payload exceeds
+    /// [`MAX_PAYLOAD`]; nothing is sent in that case.
+    pub fn send_batch(&self, payloads: &[&[u8]]) -> Result<u64, OverlayError> {
+        for p in payloads {
+            if p.len() > MAX_PAYLOAD {
+                return Err(OverlayError::PayloadTooLarge { got: p.len(), max: MAX_PAYLOAD });
+            }
+        }
+        let n = payloads.len() as u64;
+        let first = self.next_seq.fetch_add(n, Ordering::Relaxed);
+        if n == 0 {
+            return Ok(first);
+        }
+        self.cells.packets_sent.fetch_add(n, Ordering::Relaxed);
+        let mask = self.slot.lock().mask();
+        let sent_at = now_us();
+        let mut packets = self.shared.take_packet_scratch();
+        packets.extend(payloads.iter().enumerate().map(|(i, p)| DataPacket {
+            flow: self.flow,
+            flow_seq: first + i as u64,
+            sent_at,
+            deadline: self.deadline,
+            link_seq: 0, // assigned per link at transmission
+            retransmission: false,
+            class: self.class,
+            mask: mask.clone(),
+            payload: Bytes::copy_from_slice(p),
+        }));
+        self.shared.disseminate_batch(&packets);
+        self.shared.put_packet_scratch(packets);
+        Ok(first)
+    }
+
+    /// The multicast graph currently stamped onto packets.
+    pub fn current_graph(&self) -> Arc<MulticastGraph> {
+        Arc::clone(&self.slot.lock().graph)
     }
 }
 

@@ -557,3 +557,99 @@ fn tail_probe_repairs_a_silently_lost_stream_tail() {
     assert_eq!(tx.send(b"next").unwrap(), tail_seq + 1, "probes do not consume sequences");
     cluster.shutdown();
 }
+
+#[test]
+fn group_sender_reaches_every_receiver() {
+    use dg_core::{MulticastKind, SlaClass};
+
+    let cluster = na_cluster();
+    let g = cluster.graph();
+    let src = g.node_by_name("NYC").unwrap();
+    let receivers: Vec<_> =
+        ["SJC", "LAX", "MIA"].iter().map(|n| g.node_by_name(n).unwrap()).collect();
+    let (tx, sessions) = cluster
+        .open_group_sender(
+            src,
+            &receivers,
+            7,
+            MulticastKind::Targeted,
+            ServiceRequirement::default(),
+            SlaClass::Timely,
+        )
+        .unwrap();
+    assert_eq!(sessions.len(), receivers.len());
+    assert!(tx.flow().is_group());
+    assert_eq!(tx.flow().group_id(), Some(7));
+
+    // One send per packet reaches the whole receiver set.
+    for i in 0..10u64 {
+        let seq = tx.send(format!("group {i}").as_bytes()).unwrap();
+        assert_eq!(seq, i);
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // And one encoded batch fans out the same way.
+    let first = tx.send_batch(&[b"batch a".as_ref(), b"batch b".as_ref()]).unwrap();
+    assert_eq!(first, 10);
+
+    for (node, rx) in &sessions {
+        let mut got = Vec::new();
+        while got.len() < 12 {
+            match rx.recv_timeout(Duration::from_millis(500)) {
+                Some(d) => got.push(d),
+                None => break,
+            }
+        }
+        assert_eq!(got.len(), 12, "receiver {node:?} missed packets");
+        got.sort_by_key(|d| d.flow_seq);
+        assert_eq!(got[0].payload.as_ref(), b"group 0");
+        assert_eq!(got[11].payload.as_ref(), b"batch b");
+        for d in &got {
+            assert!(d.on_time, "receiver {node:?} seq {} late: {}", d.flow_seq, d.latency());
+        }
+    }
+
+    // The multicast tier interned the group graph, and the counters
+    // surface through the node's metrics snapshot.
+    let stats = cluster.node(src).metrics_snapshot().graph_cache;
+    assert!(stats.multicast.misses >= 1, "group graph was constructed");
+    cluster.shutdown();
+}
+
+#[test]
+fn group_and_unicast_flows_do_not_collide() {
+    use dg_core::{MulticastKind, SlaClass};
+
+    let cluster = na_cluster();
+    let g = cluster.graph();
+    let src = g.node_by_name("NYC").unwrap();
+    let dst = g.node_by_name("SJC").unwrap();
+    let flow = Flow::new(src, dst);
+    let uni_rx = cluster.open_receiver(flow).unwrap();
+    let uni_tx = cluster
+        .open_sender(flow, SchemeKind::StaticSinglePath, ServiceRequirement::default())
+        .unwrap();
+    let (grp_tx, grp_sessions) = cluster
+        .open_group_sender(
+            src,
+            &[dst],
+            1,
+            MulticastKind::Tree,
+            ServiceRequirement::default(),
+            SlaClass::Timely,
+        )
+        .unwrap();
+
+    uni_tx.send(b"unicast").unwrap();
+    grp_tx.send(b"grouped").unwrap();
+
+    let uni = uni_rx.recv_timeout(Duration::from_millis(500)).expect("unicast delivered");
+    assert_eq!(uni.payload.as_ref(), b"unicast");
+    let grp = grp_sessions[0].1.recv_timeout(Duration::from_millis(500)).expect("group delivered");
+    assert_eq!(grp.payload.as_ref(), b"grouped");
+
+    // Each session saw exactly its own stream.
+    std::thread::sleep(Duration::from_millis(100));
+    assert!(uni_rx.drain().is_empty(), "group packet leaked into the unicast session");
+    assert!(grp_sessions[0].1.drain().is_empty(), "unicast packet leaked into the group session");
+    cluster.shutdown();
+}

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod experiment;
+mod group;
 mod histogram;
 mod metrics;
 mod packet;
@@ -45,9 +46,16 @@ mod parallel;
 mod playback;
 mod rng;
 
+pub use group::{
+    group_flows, run_group_with, run_groups, run_groups_fresh, run_unicast_static_with, GroupJob,
+    GroupRunStats, ReceiverRunStats,
+};
 pub use histogram::LatencyHistogram;
 pub use metrics::{gap_coverage, FlowRunStats, SecondRecord};
-pub use packet::{simulate_packet, simulate_packet_with, PacketOutcome, RecoveryModel, SimScratch};
+pub use packet::{
+    simulate_group_packet_with, simulate_packet, simulate_packet_with, PacketOutcome,
+    RecoveryModel, SimScratch,
+};
 pub use parallel::{run_flows, run_flows_cached, FlowJob};
 pub use playback::{
     run_flow, run_flow_detailed, run_flow_full, run_flow_full_with, run_flow_with, PlaybackConfig,

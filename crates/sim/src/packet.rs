@@ -1,7 +1,7 @@
 //! Per-packet propagation through a dissemination graph.
 
 use crate::rng::unit_sample;
-use dg_core::DisseminationGraph;
+use dg_core::{DisseminationGraph, MulticastGraph};
 use dg_topology::{Graph, Micros};
 use dg_trace::TraceSet;
 use serde::{Deserialize, Serialize};
@@ -67,10 +67,21 @@ impl SimScratch {
     /// per dissemination graph (and again whenever the scheme reroutes);
     /// [`simulate_packet_with`] then does O(out-degree) work per visit.
     pub fn index_graph(&mut self, topology: &Graph, dgraph: &DisseminationGraph) {
+        self.index_edges(topology, dgraph.edges());
+    }
+
+    /// Rebuilds the per-node forwarding index for a multicast graph;
+    /// one index then serves every receiver of the group.
+    pub fn index_multicast(&mut self, topology: &Graph, mgraph: &MulticastGraph) {
+        self.index_edges(topology, mgraph.edges());
+    }
+
+    /// Rebuilds the per-node forwarding index from a raw edge set.
+    pub fn index_edges(&mut self, topology: &Graph, edges: &[dg_topology::EdgeId]) {
         let n = topology.node_count();
         self.out.iter_mut().for_each(Vec::clear);
         self.out.resize(n, Vec::new());
-        for &e in dgraph.edges() {
+        for &e in edges {
             self.out[topology.edge(e).src.index()].push(e);
         }
     }
@@ -147,9 +158,88 @@ pub fn simulate_packet_with(
     seq: u64,
 ) -> PacketOutcome {
     let expiry = send_time.saturating_add(deadline);
+    let transmissions = propagate(
+        scratch,
+        topology,
+        dgraph.source(),
+        traces,
+        send_time,
+        expiry,
+        recovery,
+        seed,
+        seq,
+    );
+    let delivered_at = scratch.arrived(dgraph.destination().index());
+    PacketOutcome {
+        delivered_at,
+        on_time: delivered_at.is_some_and(|t| t <= expiry),
+        transmissions,
+    }
+}
+
+/// Simulates one multicast packet over `mgraph`, reading every
+/// receiver's outcome from a single propagation — the packet spreads
+/// through the shared dissemination graph once, exactly as one overlay
+/// send covers the whole group. `outcomes[i]` is the result for
+/// `mgraph.receivers()[i]`; the returned count is the packet's total
+/// link transmissions (the shared group cost). The scratch must have
+/// been indexed via [`SimScratch::index_multicast`].
+#[allow(clippy::too_many_arguments)] // a flat hot-path signature beats a builder here
+pub fn simulate_group_packet_with(
+    scratch: &mut SimScratch,
+    topology: &Graph,
+    mgraph: &MulticastGraph,
+    traces: &TraceSet,
+    send_time: Micros,
+    deadline: Micros,
+    recovery: &RecoveryModel,
+    seed: u64,
+    seq: u64,
+    outcomes: &mut Vec<PacketOutcome>,
+) -> u64 {
+    let expiry = send_time.saturating_add(deadline);
+    let transmissions = propagate(
+        scratch,
+        topology,
+        mgraph.source(),
+        traces,
+        send_time,
+        expiry,
+        recovery,
+        seed,
+        seq,
+    );
+    outcomes.clear();
+    outcomes.extend(mgraph.receivers().iter().map(|r| {
+        let delivered_at = scratch.arrived(r.index());
+        PacketOutcome {
+            delivered_at,
+            on_time: delivered_at.is_some_and(|t| t <= expiry),
+            transmissions,
+        }
+    }));
+    transmissions
+}
+
+/// The shared propagation core: first-arrival times at every node the
+/// packet reaches are left in the scratch's arrival table for the
+/// caller to read (one node for unicast, the receiver set for
+/// multicast). Returns the packet's link transmissions.
+#[allow(clippy::too_many_arguments)]
+fn propagate(
+    scratch: &mut SimScratch,
+    topology: &Graph,
+    source: dg_topology::NodeId,
+    traces: &TraceSet,
+    send_time: Micros,
+    expiry: Micros,
+    recovery: &RecoveryModel,
+    seed: u64,
+    seq: u64,
+) -> u64 {
     let mut transmissions = 0u64;
     scratch.begin(topology.node_count());
-    scratch.heap.push(Reverse((send_time, dgraph.source())));
+    scratch.heap.push(Reverse((send_time, source)));
 
     while let Some(Reverse((t, u))) = scratch.heap.pop() {
         if scratch.arrived(u.index()).is_some() {
@@ -181,13 +271,7 @@ pub fn simulate_packet_with(
             }
         }
     }
-
-    let delivered_at = scratch.arrived(dgraph.destination().index());
-    PacketOutcome {
-        delivered_at,
-        on_time: delivered_at.is_some_and(|t| t <= expiry),
-        transmissions,
-    }
+    transmissions
 }
 
 #[cfg(test)]

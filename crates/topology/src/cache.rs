@@ -19,7 +19,7 @@
 //! `dg-core::cache`; this module is deliberately value-agnostic.
 
 use crate::EdgeId;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::Arc;
@@ -100,7 +100,8 @@ impl FromIterator<EdgeId> for EdgeSet {
 }
 
 /// Hit/miss/invalidation counters for one [`PrecomputeCache`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(default)]
 pub struct CacheStats {
     /// Lookups answered from cache.
     pub hits: u64,
